@@ -1,0 +1,48 @@
+//! Criterion benches: detection robustness/throughput over the whole
+//! suite (§8.1's compile-time claim) and solver microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_detection(c: &mut Criterion) {
+    // The full-suite pass takes ~1 s per iteration; keep sampling modest.
+
+    // Pre-compile all modules once; measure detection itself.
+    let modules: Vec<ssair::Module> = benchsuite::all()
+        .iter()
+        .map(|b| minicc::compile(b.source, b.name).unwrap())
+        .collect();
+    c.bench_function("detect_all_21_benchmarks", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for m in &modules {
+                for f in &m.functions {
+                    n += idioms::detect(f).len();
+                }
+            }
+            assert_eq!(n, 60);
+        })
+    });
+    let cg = minicc::compile(
+        benchsuite::all().iter().find(|b| b.name == "CG").unwrap().source,
+        "CG",
+    )
+    .unwrap();
+    c.bench_function("detect_spmv_in_cg", |b| {
+        b.iter(|| {
+            let f = cg.function("cg_spmv").unwrap();
+            let n = idioms::detect(f).len();
+            assert_eq!(n, 1);
+        })
+    });
+    c.bench_function("frontend_compile_cg", |b| {
+        let src = benchsuite::all().iter().find(|b| b.name == "CG").unwrap().source;
+        b.iter(|| minicc::compile(src, "CG").unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_detection
+}
+criterion_main!(benches);

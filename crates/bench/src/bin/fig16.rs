@@ -1,0 +1,20 @@
+//! Figure 16: detected idioms per benchmark, by class.
+fn main() {
+    let analyses = idiomatch_bench::analyze_all();
+    let classes =
+        ["Scalar Reduction", "Histogram Reduction", "Stencil", "Matrix Op.", "Sparse Matrix Op."];
+    let mut rows = Vec::new();
+    for a in &analyses {
+        let mut row = vec![a.name.to_owned()];
+        let mut total = 0;
+        for c in classes {
+            let n = a.by_class.get(c).copied().unwrap_or(0);
+            total += n;
+            row.push(if n == 0 { "".into() } else { n.to_string() });
+        }
+        row.push(total.to_string());
+        rows.push(row);
+    }
+    let headers = ["Benchmark", "ScalarRed", "HistoRed", "Stencil", "MatrixOp", "SparseOp", "total"];
+    idiomatch_bench::print_rows(&headers, &rows);
+}

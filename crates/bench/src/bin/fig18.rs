@@ -1,0 +1,29 @@
+//! Figure 18: end-to-end speedup vs sequential, best API per platform.
+//! The "lazy" column is the red-bar runtime optimization of §8.3.
+use hetero::Platform;
+fn main() {
+    let analyses = idiomatch_bench::analyze_all();
+    let mut rows = Vec::new();
+    for a in analyses.iter().filter(|a| a.covered) {
+        let mut row = vec![a.name.to_owned()];
+        for p in Platform::ALL {
+            match idiomatch_core::speedup_on(a, p, false) {
+                Some((api, s)) => row.push(format!("{:.2}x ({})", s, api.label())),
+                None => row.push("-".into()),
+            }
+        }
+        if a.lazy {
+            match idiomatch_core::speedup_on(a, Platform::Gpu, true) {
+                Some((_, s)) => row.push(format!("{s:.2}x")),
+                None => row.push("-".into()),
+            }
+        } else {
+            row.push("".into());
+        }
+        rows.push(row);
+    }
+    idiomatch_bench::print_rows(
+        &["Benchmark", "CPU", "iGPU", "GPU", "GPU+lazy copy"],
+        &rows,
+    );
+}

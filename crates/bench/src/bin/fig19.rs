@@ -1,0 +1,24 @@
+//! Figure 19: our best configuration vs handwritten OpenMP (CPU) and
+//! OpenCL (GPU) reference implementations.
+use hetero::Platform;
+fn main() {
+    let analyses = idiomatch_bench::analyze_all();
+    let mut rows = Vec::new();
+    for a in analyses.iter().filter(|a| a.covered) {
+        let ours = Platform::ALL
+            .iter()
+            .filter_map(|&p| idiomatch_core::speedup_on(a, p, a.lazy))
+            .map(|(_, s)| s)
+            .fold(0.0f64, f64::max);
+        let omp = idiomatch_core::reference_speedup(a, Platform::Cpu).unwrap_or(0.0);
+        let ocl = idiomatch_core::reference_speedup(a, Platform::Gpu).unwrap_or(0.0);
+        rows.push(vec![
+            a.name.to_owned(),
+            format!("{ours:.2}x"),
+            format!("{omp:.2}x"),
+            format!("{ocl:.2}x"),
+        ]);
+    }
+    idiomatch_bench::print_rows(&["Benchmark", "IDL (best)", "OpenMP ref", "OpenCL ref"], &rows);
+    println!("\n(EP/IS/MG/tpacf references parallelize the whole application — §8.3)");
+}

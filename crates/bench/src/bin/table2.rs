@@ -1,0 +1,27 @@
+//! Table 2: compile-time cost of detection (seconds, overhead %).
+use std::time::Instant;
+fn main() {
+    let mut rows = Vec::new();
+    for b in benchsuite::all() {
+        let t0 = Instant::now();
+        let module = minicc::compile(b.source, b.name).unwrap();
+        let without = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        for f in &module.functions {
+            let _ = idioms::detect(f);
+        }
+        let with = without + t1.elapsed().as_secs_f64();
+        rows.push(vec![
+            b.name.to_owned(),
+            format!("{without:.3}"),
+            format!("{with:.3}"),
+            format!("{:.0}", 100.0 * (with - without) / without.max(1e-9)),
+        ]);
+    }
+    idiomatch_bench::print_rows(&["Benchmark", "without IDL (s)", "with IDL (s)", "overhead %"], &rows);
+    let avg: f64 = rows
+        .iter()
+        .map(|r| r[3].parse::<f64>().unwrap_or(0.0))
+        .sum::<f64>() / rows.len() as f64;
+    println!("\naverage overhead: {avg:.0}% (paper: 82%)");
+}

@@ -1,0 +1,37 @@
+//! Table 3: per-API runtime (ms) per platform for the covered benchmarks.
+use hetero::{Api, Platform};
+fn main() {
+    let analyses = idiomatch_bench::analyze_all();
+    let apis = Api::AUTO;
+    for platform in Platform::ALL {
+        println!("\n== {} ==", platform.label());
+        let mut headers: Vec<&str> = vec!["Benchmark"];
+        headers.extend(apis.iter().map(|a| a.label()));
+        let mut rows = Vec::new();
+        for a in analyses.iter().filter(|a| a.covered) {
+            let Some(kind) = a.dominant_kind else { continue };
+            let mut row = vec![a.name.to_owned()];
+            let mut best = f64::INFINITY;
+            let mut cells = Vec::new();
+            for api in apis {
+                match hetero::kernel_time_ms(api, platform, kind, &a.workload, true) {
+                    Some(t) => {
+                        best = best.min(t);
+                        cells.push(Some(t));
+                    }
+                    None => cells.push(None),
+                }
+            }
+            for c in cells {
+                row.push(match c {
+                    Some(t) if (t - best).abs() < 1e-9 => format!("*{}*", idiomatch_bench::ms(t)),
+                    Some(t) => idiomatch_bench::ms(t),
+                    None => "-".to_owned(),
+                });
+            }
+            rows.push(row);
+        }
+        idiomatch_bench::print_rows(&headers, &rows);
+    }
+    println!("\n(*fastest per row/platform; '-' = API does not target this idiom/platform)");
+}

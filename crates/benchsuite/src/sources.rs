@@ -1,0 +1,911 @@
+//! The 21 benchmark reconstructions. Each entry documents which idioms it
+//! carries (matching the paper's Figure 16 population) and why the
+//! baseline detectors succeed or fail on them.
+
+use crate::{csr, fill_f64, fill_i32_mod, zeros_f64, zeros_i32, Benchmark, Suite, GRID, N};
+use interp::Value;
+
+/// All 21 benchmarks in the paper's order (NAS then Parboil).
+#[must_use]
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        // ----------------- NAS -----------------
+        Benchmark {
+            name: "BT",
+            suite: Suite::Nas,
+            // 6 plain FP reductions (ICC-detectable) + a dominant
+            // block-tridiagonal sweep with loop-carried dependences.
+            source: r#"
+double bt_dot(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += x[i] * y[i];
+    return s;
+}
+double bt_sum(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += x[i];
+    return s;
+}
+double bt_sq(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += x[i] * x[i];
+    return s;
+}
+double bt_wsum(double* x, double* w, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += w[i] * x[i];
+    return s;
+}
+double bt_diff(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += x[i] - y[i];
+    return s;
+}
+double bt_prod(double* x, int n) {
+    double s = 1.0;
+    for (int i = 0; i < n; i++) s = s * x[i];
+    return s;
+}
+void bt_sweep(double* x, int n, int steps) {
+    for (int t = 0; t < steps; t++) {
+        for (int i = 1; i < n; i++) x[i] = x[i] - 0.31 * x[i-1];
+        for (int i = n - 2; i >= 0; i--) x[i] = x[i] - 0.27 * x[i+1];
+    }
+}
+double bt_run(double* x, double* y, double* w, int n) {
+    double r = bt_dot(x, y, n) + bt_sum(x, n) + bt_sq(y, n);
+    r = r + bt_wsum(x, w, n) + bt_diff(x, y, n) + bt_prod(w, n);
+    bt_sweep(x, n, 60);
+    return r;
+}
+"#,
+            entry: "bt_run",
+            setup: |mem| {
+                let x = fill_f64(mem, N, 1);
+                let y = fill_f64(mem, N, 2);
+                let w = fill_f64(mem, N, 3);
+                vec![Value::P(x), Value::P(y), Value::P(w), Value::I(N as i64)]
+            },
+            invocations: 200.0,
+            scale: 4000.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "CG",
+            suite: Suite::Nas,
+            // The conjugate-gradient core: 2 CSR SPMVs (Figure 4) + 4
+            // plain FP reductions (dot products / norms). Dominated by
+            // the sparse multiplications — non-affine for both baselines.
+            source: r#"
+void cg_spmv(double* a, int* rowstr, int* colidx, double* z, double* r, int m) {
+    for (int j = 0; j < m; j++) {
+        double d = 0.0;
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+            d = d + a[k] * z[colidx[k]];
+        r[j] = d;
+    }
+}
+void cg_spmv2(double* a, int* rowstr, int* colidx, double* p, double* q, int m) {
+    for (int j = 0; j < m; j++) {
+        double acc = 0.0;
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+            acc = acc + a[k] * p[colidx[k]];
+        q[j] = acc;
+    }
+}
+double cg_dot(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += x[i] * y[i];
+    return s;
+}
+double cg_norm(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += x[i] * x[i];
+    return s;
+}
+double cg_rsum(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += x[i];
+    return s;
+}
+double cg_wdot(double* x, double* y, double* w, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += w[i] * x[i] * y[i];
+    return s;
+}
+double cg_run(double* a, int* rowstr, int* colidx, double* z, double* r,
+              double* p, double* q, double* w, int m) {
+    cg_spmv(a, rowstr, colidx, z, r, m);
+    cg_spmv2(a, rowstr, colidx, p, q, m);
+    double s = cg_dot(r, q, m) + cg_norm(r, m) + cg_rsum(q, m) + cg_wdot(r, q, w, m);
+    return s;
+}
+"#,
+            entry: "cg_run",
+            setup: |mem| {
+                let (vals, rs, ci) = csr(mem, N, 8);
+                let z = fill_f64(mem, N, 4);
+                let r = zeros_f64(mem, N);
+                let p = fill_f64(mem, N, 5);
+                let q = zeros_f64(mem, N);
+                let w = fill_f64(mem, N, 6);
+                vec![
+                    Value::P(vals),
+                    Value::P(rs),
+                    Value::P(ci),
+                    Value::P(z),
+                    Value::P(r),
+                    Value::P(p),
+                    Value::P(q),
+                    Value::P(w),
+                    Value::I(N as i64),
+                ]
+            },
+            invocations: 1875.0,
+            scale: 20_000.0,
+            covered: true,
+            lazy: true,
+        },
+        Benchmark {
+            name: "DC",
+            suite: Suite::Nas,
+            // Data-cube: 1 histogram (view counting) + 1 plain *integer*
+            // reduction (one of Polly's 3 — integer sums need no FP
+            // reassociation) + a dominant sort-like data-dependent phase.
+            source: r#"
+void dc_count(int* keys, int* views, int n) {
+    for (int i = 0; i < n; i++) views[keys[i]] = views[keys[i]] + 1;
+}
+int dc_total(int* counts, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += counts[i];
+    return s;
+}
+void dc_shuffle(int* keys, int* tmp, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 0; i < n; i++) tmp[keys[i] % n] = keys[i] + t;
+        for (int i = 1; i < n; i++) keys[i] = keys[i] + tmp[i-1] % 7;
+    }
+}
+int dc_run(int* keys, int* views, int* tmp, int n) {
+    dc_count(keys, views, n);
+    int s = dc_total(views, n);
+    dc_shuffle(keys, tmp, n, 40);
+    return s;
+}
+"#,
+            entry: "dc_run",
+            setup: |mem| {
+                let keys = fill_i32_mod(mem, N, 64, 7);
+                let views = zeros_i32(mem, 64);
+                let tmp = zeros_i32(mem, N);
+                vec![Value::P(keys), Value::P(views), Value::P(tmp), Value::I(N as i64)]
+            },
+            invocations: 30.0,
+            scale: 3000.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "EP",
+            suite: Suite::Nas,
+            // Embarrassingly parallel: the Gaussian-pair histogram is
+            // about half the runtime (the paper's outlier in Figure 17);
+            // 2 plain FP reductions for the sx/sy sums.
+            source: r#"
+void ep_histogram(double* xs, double* ys, int* bins, int n) {
+    for (int i = 0; i < n; i++) {
+        double ax = fabs(xs[i]);
+        double ay = fabs(ys[i]);
+        double m = fmax(ax, ay);
+        int l = (int)(m * 9.99);
+        bins[l] = bins[l] + 1;
+    }
+}
+double ep_sx(double* xs, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += xs[i];
+    return s;
+}
+double ep_sy(double* ys, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += ys[i];
+    return s;
+}
+void ep_generate(double* xs, double* ys, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 1; i < n; i++) xs[i] = xs[i] * 0.9 + xs[i-1] * 0.099;
+        for (int i = 1; i < n; i++) ys[i] = ys[i] * 0.9 + ys[i-1] * 0.098;
+    }
+}
+double ep_run(double* xs, double* ys, int* bins, int n) {
+    ep_generate(xs, ys, n, 1);
+    ep_histogram(xs, ys, bins, n);
+    return ep_sx(xs, n) + ep_sy(ys, n);
+}
+"#,
+            entry: "ep_run",
+            setup: |mem| {
+                let xs = fill_f64(mem, 4 * N, 8);
+                let ys = fill_f64(mem, 4 * N, 9);
+                let bins = zeros_i32(mem, 10);
+                vec![Value::P(xs), Value::P(ys), Value::P(bins), Value::I(4 * N as i64)]
+            },
+            invocations: 1.0,
+            scale: 120_000.0,
+            covered: true,
+            lazy: false,
+        },
+        Benchmark {
+            name: "FT",
+            suite: Suite::Nas,
+            // FFT driver: 1 plain checksum reduction + 2 complex
+            // reductions with sin/cos kernels (IDL-only) + a dominant
+            // butterfly phase with strided, data-dependent twiddling.
+            source: r#"
+double ft_checksum(double* re, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += re[i];
+    return s;
+}
+double ft_twiddle_energy(double* re, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += re[i] * cos(re[i]);
+    return s;
+}
+double ft_phase(double* im, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += sin(im[i]);
+    return s;
+}
+void ft_butterfly(double* re, double* im, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 1; i < n; i++) {
+            re[i] = re[i] + 0.5 * im[i-1];
+            im[i] = im[i] - 0.5 * re[i-1];
+        }
+    }
+}
+double ft_run(double* re, double* im, int n) {
+    ft_butterfly(re, im, n, 45);
+    return ft_checksum(re, n) + ft_twiddle_energy(re, n) + ft_phase(im, n);
+}
+"#,
+            entry: "ft_run",
+            setup: |mem| {
+                let re = fill_f64(mem, N, 10);
+                let im = fill_f64(mem, N, 11);
+                vec![Value::P(re), Value::P(im), Value::I(N as i64)]
+            },
+            invocations: 6.0,
+            scale: 9000.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "IS",
+            suite: Suite::Nas,
+            // Integer sort: key-counting histogram + 1 plain integer
+            // reduction (Polly's second integer reduction). The histogram
+            // dominates; bucket scatter is data-dependent.
+            source: r#"
+void is_count(int* keys, int* counts, int n) {
+    for (int i = 0; i < n; i++) counts[keys[i]] = counts[keys[i]] + 1;
+}
+int is_keysum(int* keys, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += keys[i];
+    return s;
+}
+void is_scatter(int* keys, int* ranks, int* out, int n) {
+    for (int i = 0; i < n; i++) {
+        int slot = (keys[i] + i) % 256;
+        out[ranks[slot] % n] = keys[i];
+        ranks[slot] = ranks[slot] + 1;
+    }
+}
+int is_run(int* keys, int* counts, int* ranks, int* out, int n) {
+    is_count(keys, counts, n);
+    is_count(keys, counts, n);
+    is_count(keys, counts, n);
+    int s = is_keysum(keys, n);
+    is_scatter(keys, ranks, out, n);
+    return s;
+}
+"#,
+            entry: "is_run",
+            setup: |mem| {
+                let keys = fill_i32_mod(mem, 4 * N, 256, 12);
+                let counts = zeros_i32(mem, 256);
+                let ranks = zeros_i32(mem, 256);
+                let out = zeros_i32(mem, 4 * N);
+                vec![
+                    Value::P(keys),
+                    Value::P(counts),
+                    Value::P(ranks),
+                    Value::P(out),
+                    Value::I(4 * N as i64),
+                ]
+            },
+            invocations: 10.0,
+            scale: 40_000.0,
+            covered: true,
+            lazy: false,
+        },
+        Benchmark {
+            name: "LU",
+            suite: Suite::Nas,
+            // 6 reductions (4 plain + 2 with sqrt/fabs kernels) + a
+            // dominant SSOR sweep with forward/backward dependences.
+            source: r#"
+double lu_r1(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]; return s; }
+double lu_r2(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]*y[i]; return s; }
+double lu_r3(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]*x[i]; return s; }
+double lu_r4(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]-y[i]; return s; }
+double lu_rms(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += sqrt(fabs(x[i])); return s; }
+double lu_maxabs(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s = fmax(s, fabs(x[i])); return s; }
+void lu_ssor(double* v, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 1; i < n; i++) v[i] = v[i] - 0.4 * v[i-1];
+        for (int i = n - 2; i >= 0; i--) v[i] = v[i] - 0.4 * v[i+1];
+    }
+}
+double lu_run(double* v, double* w, int n) {
+    double s = lu_r1(v, n) + lu_r2(v, w, n) + lu_r3(w, n) + lu_r4(v, w, n);
+    s = s + lu_rms(v, n) + lu_maxabs(w, n);
+    lu_ssor(v, n, 70);
+    return s;
+}
+"#,
+            entry: "lu_run",
+            setup: |mem| {
+                let v = fill_f64(mem, N, 13);
+                let w = fill_f64(mem, N, 14);
+                vec![Value::P(v), Value::P(w), Value::I(N as i64)]
+            },
+            invocations: 250.0,
+            scale: 5000.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "MG",
+            suite: Suite::Nas,
+            // Multigrid: 3 stencils (2 affine Jacobi-style smoothers Polly
+            // also captures, 1 with a sqrt kernel that breaks the SCoP) +
+            // 1 complex norm reduction. Stencils dominate.
+            source: r#"
+void mg_smooth(double* out, double* in_, int n) {
+    for (int i = 1; i < n - 1; i++)
+        for (int j = 1; j < n - 1; j++)
+            out[i*n+j] = 0.25 * (in_[(i-1)*n+j] + in_[(i+1)*n+j]
+                                 + in_[i*n+(j-1)] + in_[i*n+(j+1)]);
+}
+void mg_resid(double* out, double* in_, int n) {
+    for (int i = 1; i < n - 1; i++)
+        for (int j = 1; j < n - 1; j++)
+            out[i*n+j] = in_[i*n+j] - 0.2 * (in_[(i-1)*n+j] + in_[(i+1)*n+j]
+                                             + in_[i*n+(j-1)] + in_[i*n+(j+1)] + in_[i*n+j]);
+}
+void mg_damped(double* out, double* in_, int n) {
+    for (int i = 1; i < n - 1; i++)
+        for (int j = 1; j < n - 1; j++)
+            out[i*n+j] = sqrt(fabs(0.5 * in_[i*n+j] + 0.25 * (in_[(i-1)*n+j] + in_[(i+1)*n+j])));
+}
+double mg_norm(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s = fmax(s, fabs(x[i]));
+    return s;
+}
+double mg_run(double* a, double* b, int n) {
+    mg_smooth(b, a, n);
+    mg_resid(a, b, n);
+    mg_damped(b, a, n);
+    return mg_norm(b, n * n);
+}
+"#,
+            entry: "mg_run",
+            setup: |mem| {
+                let a = fill_f64(mem, GRID * GRID, 15);
+                let b = zeros_f64(mem, GRID * GRID);
+                vec![Value::P(a), Value::P(b), Value::I(GRID as i64)]
+            },
+            invocations: 20.0,
+            scale: 60_000.0,
+            covered: true,
+            lazy: false,
+        },
+        Benchmark {
+            name: "SP",
+            suite: Suite::Nas,
+            // 6 reductions (4 plain, 2 complex) + dominant scalar
+            // pentadiagonal sweeps.
+            source: r#"
+double sp_r1(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]; return s; }
+double sp_r2(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]*x[i]; return s; }
+double sp_r3(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]*y[i]; return s; }
+double sp_r4(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += 2.0*x[i] + y[i]; return s; }
+double sp_err(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += pow(x[i]-y[i], 2.0); return s; }
+double sp_linf(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s = fmax(s, fabs(x[i])); return s; }
+void sp_sweep(double* v, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 2; i < n; i++) v[i] = v[i] - 0.2*v[i-1] - 0.1*v[i-2];
+    }
+}
+double sp_run(double* v, double* w, int n) {
+    double s = sp_r1(v, n) + sp_r2(w, n) + sp_r3(v, w, n) + sp_r4(v, w, n);
+    s = s + sp_err(v, w, n) + sp_linf(v, n);
+    sp_sweep(v, n, 90);
+    return s;
+}
+"#,
+            entry: "sp_run",
+            setup: |mem| {
+                let v = fill_f64(mem, N, 16);
+                let w = fill_f64(mem, N, 17);
+                vec![Value::P(v), Value::P(w), Value::I(N as i64)]
+            },
+            invocations: 400.0,
+            scale: 4500.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "UA",
+            suite: Suite::Nas,
+            // Unstructured adaptive mesh: 6 reductions (3 plain, 3
+            // complex) + dominant irregular gather/scatter over the mesh.
+            source: r#"
+double ua_r1(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]; return s; }
+double ua_r2(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]*y[i]; return s; }
+double ua_r3(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += x[i]*x[i]; return s; }
+double ua_c1(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += exp(x[i] * 0.01); return s; }
+double ua_c2(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s = fmax(s, x[i]); return s; }
+double ua_c3(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += log(1.5 + fabs(x[i])); return s; }
+void ua_gather(double* v, int* map, double* tmp, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 0; i < n; i++) tmp[i] = v[map[i]];
+        for (int i = 1; i < n; i++) v[i] = v[i] + 0.1 * tmp[i-1];
+    }
+}
+double ua_run(double* v, double* w, int* map, double* tmp, int n) {
+    double s = ua_r1(v, n) + ua_r2(v, w, n) + ua_r3(w, n);
+    s = s + ua_c1(v, n) + ua_c2(w, n) + ua_c3(v, n);
+    ua_gather(v, map, tmp, n, 35);
+    return s;
+}
+"#,
+            entry: "ua_run",
+            setup: |mem| {
+                let v = fill_f64(mem, N, 18);
+                let w = fill_f64(mem, N, 19);
+                let map = fill_i32_mod(mem, N, N as i32, 20);
+                let tmp = zeros_f64(mem, N);
+                vec![Value::P(v), Value::P(w), Value::P(map), Value::P(tmp), Value::I(N as i64)]
+            },
+            invocations: 120.0,
+            scale: 6000.0,
+            covered: false,
+            lazy: false,
+        },
+        // ----------------- Parboil -----------------
+        Benchmark {
+            name: "bfs",
+            suite: Suite::Parboil,
+            // 1 plain integer reduction (Polly's third) + dominant
+            // frontier expansion with indirect neighbour lists.
+            source: r#"
+int bfs_frontier_size(int* flags, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += flags[i];
+    return s;
+}
+void bfs_expand(int* edges, int* offsets, int* dist, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int u = 0; u < n; u++) {
+            for (int e = offsets[u]; e < offsets[u+1]; e++) {
+                int v = edges[e];
+                if (dist[v] > dist[u] + 1) { dist[v] = dist[u] + 1; }
+            }
+        }
+    }
+}
+int bfs_run(int* edges, int* offsets, int* dist, int* flags, int n) {
+    bfs_expand(edges, offsets, dist, n, 12);
+    return bfs_frontier_size(flags, n);
+}
+"#,
+            entry: "bfs_run",
+            setup: |mem| {
+                let rows = N;
+                let mut offs = Vec::with_capacity(rows + 1);
+                let mut edges = Vec::new();
+                offs.push(0i32);
+                for r in 0..rows {
+                    for j in 0..4 {
+                        edges.push(((r * 17 + j * 31 + 1) % rows) as i32);
+                    }
+                    offs.push(edges.len() as i32);
+                }
+                let e = mem.alloc_i32_slice(&edges);
+                let o = mem.alloc_i32_slice(&offs);
+                let dist: Vec<i32> = (0..rows as i32).map(|i| if i == 0 { 0 } else { 1000 }).collect();
+                let d = mem.alloc_i32_slice(&dist);
+                let flags = fill_i32_mod(mem, rows, 2, 21);
+                vec![Value::P(e), Value::P(o), Value::P(d), Value::P(flags), Value::I(rows as i64)]
+            },
+            invocations: 15.0,
+            scale: 2500.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "cutcp",
+            suite: Suite::Parboil,
+            // 1 complex reduction (1/sqrt potential kernel) + dominant
+            // cutoff-radius lattice loop with data-dependent control.
+            source: r#"
+double cutcp_energy(double* d2, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += 1.0 / sqrt(1.0 + d2[i]);
+    return s;
+}
+void cutcp_lattice(double* grid, double* atoms, int* cells, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 0; i < n; i++) {
+            int c = cells[i];
+            if (atoms[c] > 0.0) { grid[c] = atoms[i] * 0.01 + grid[i] * 0.5; }
+        }
+        for (int i = 1; i < n; i++) grid[i] = grid[i] + 0.05 * grid[i-1];
+    }
+}
+double cutcp_run(double* grid, double* atoms, double* d2, int* cells, int n) {
+    cutcp_lattice(grid, atoms, cells, n, 25);
+    return cutcp_energy(d2, n);
+}
+"#,
+            entry: "cutcp_run",
+            setup: |mem| {
+                let grid = zeros_f64(mem, N);
+                let atoms = fill_f64(mem, N, 22);
+                let d2 = fill_f64(mem, N, 23);
+                let cells = fill_i32_mod(mem, N, N as i32, 24);
+                vec![Value::P(grid), Value::P(atoms), Value::P(d2), Value::P(cells), Value::I(N as i64)]
+            },
+            invocations: 10.0,
+            scale: 7000.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "histo",
+            suite: Suite::Parboil,
+            // The canonical histogram benchmark: the binning loop IS the
+            // program.
+            source: r#"
+void histo_bin(int* img, int* bins, int n) {
+    for (int i = 0; i < n; i++) bins[img[i]] = bins[img[i]] + 1;
+}
+void histo_run(int* img, int* bins, int n) {
+    histo_bin(img, bins, n);
+    histo_bin(img, bins, n);
+    histo_bin(img, bins, n);
+    histo_bin(img, bins, n);
+}
+"#,
+            entry: "histo_run",
+            setup: |mem| {
+                let img = fill_i32_mod(mem, 8 * N, 1024, 25);
+                let bins = zeros_i32(mem, 1024);
+                vec![Value::P(img), Value::P(bins), Value::I(8 * N as i64)]
+            },
+            invocations: 4.0,
+            scale: 18_000.0,
+            covered: true,
+            lazy: false,
+        },
+        Benchmark {
+            name: "lbm",
+            suite: Suite::Parboil,
+            // Lattice-Boltzmann: two streaming stencils over distinct
+            // distributions (both affine: Polly sees them too). Iterative:
+            // lazy copying is what makes the GPU worthwhile (Figure 18).
+            source: r#"
+void lbm_stream_east(double* dst, double* src, int n) {
+    for (int i = 1; i < n - 1; i++)
+        dst[i] = 0.9 * src[i] + 0.05 * src[i-1] + 0.05 * src[i+1];
+}
+void lbm_collide(double* dst, double* src, int n) {
+    for (int i = 2; i < n - 2; i++)
+        dst[i] = src[i] + 0.1 * (src[i-2] - 2.0 * src[i] + src[i+2]);
+}
+void lbm_run(double* f0, double* f1, int n) {
+    lbm_stream_east(f1, f0, n);
+    lbm_collide(f0, f1, n);
+    lbm_stream_east(f1, f0, n);
+    lbm_collide(f0, f1, n);
+}
+"#,
+            entry: "lbm_run",
+            setup: |mem| {
+                let f0 = fill_f64(mem, 8 * N, 26);
+                let f1 = zeros_f64(mem, 8 * N);
+                vec![Value::P(f0), Value::P(f1), Value::I(8 * N as i64)]
+            },
+            invocations: 1000.0,
+            scale: 12_000.0,
+            covered: true,
+            lazy: true,
+        },
+        Benchmark {
+            name: "mri-g",
+            suite: Suite::Parboil,
+            // Gridding: 2 complex reductions (sin/cos phase kernels) +
+            // dominant irregular sample scatter.
+            source: r#"
+double mrig_phase_re(double* k, double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += cos(k[i] * x[i]);
+    return s;
+}
+double mrig_phase_im(double* k, double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += sin(k[i] * x[i]);
+    return s;
+}
+void mrig_scatter(double* grid, double* sam, int* pos, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 0; i < n; i++) grid[pos[i]] = grid[pos[i]] + sam[i] * (0.01 * (double)t);
+        for (int i = 1; i < n; i++) grid[i] = grid[i] * 0.99 + grid[i-1] * 0.01;
+    }
+}
+double mrig_run(double* grid, double* sam, double* k, double* x, int* pos, int n) {
+    mrig_scatter(grid, sam, pos, n, 18);
+    return mrig_phase_re(k, x, n) + mrig_phase_im(k, x, n);
+}
+"#,
+            entry: "mrig_run",
+            setup: |mem| {
+                let grid = zeros_f64(mem, N);
+                let sam = fill_f64(mem, N, 27);
+                let k = fill_f64(mem, N, 28);
+                let x = fill_f64(mem, N, 29);
+                let pos = fill_i32_mod(mem, N, N as i32, 30);
+                vec![
+                    Value::P(grid),
+                    Value::P(sam),
+                    Value::P(k),
+                    Value::P(x),
+                    Value::P(pos),
+                    Value::I(N as i64),
+                ]
+            },
+            invocations: 8.0,
+            scale: 8000.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "mri-q",
+            suite: Suite::Parboil,
+            // Q-matrix: 2 complex reductions (the phase accumulation) +
+            // dominant per-voxel loop with trigonometry over all samples.
+            source: r#"
+double mriq_re(double* phi, double* d, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += phi[i] * cos(d[i]);
+    return s;
+}
+double mriq_im(double* phi, double* d, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += phi[i] * sin(d[i]);
+    return s;
+}
+void mriq_voxels(double* q, double* phi, double* d, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 1; i < n; i++)
+            q[i] = q[i-1] * 0.5 + phi[i] * cos(d[i] * (double)t);
+    }
+}
+double mriq_run(double* q, double* phi, double* d, int n) {
+    mriq_voxels(q, phi, d, n, 14);
+    return mriq_re(phi, d, n) + mriq_im(phi, d, n);
+}
+"#,
+            entry: "mriq_run",
+            setup: |mem| {
+                let q = zeros_f64(mem, N);
+                let phi = fill_f64(mem, N, 31);
+                let d = fill_f64(mem, N, 32);
+                vec![Value::P(q), Value::P(phi), Value::P(d), Value::I(N as i64)]
+            },
+            invocations: 5.0,
+            scale: 10_000.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "sad",
+            suite: Suite::Parboil,
+            // Sum-of-absolute-differences: 2 reductions with select-based
+            // abs kernels (IDL takes them; ICC's recognizer does not) +
+            // dominant block search with data-dependent argmin.
+            source: r#"
+double sad_block(double* cur, double* ref_, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        double d = cur[i] - ref_[i];
+        s += d > 0.0 ? d : -d;
+    }
+    return s;
+}
+double sad_weighted(double* cur, double* ref_, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        double d = 2.0 * cur[i] - ref_[i];
+        s += d > 0.0 ? d : -d;
+    }
+    return s;
+}
+void sad_search(double* cur, double* ref_, double* best, int n, int rounds) {
+    for (int t = 0; t < rounds; t++) {
+        for (int i = 1; i < n; i++) {
+            double d = cur[i] - ref_[i-1];
+            if (d < best[i-1]) { best[i] = d; } else { best[i] = best[i-1] * 0.999; }
+        }
+    }
+}
+double sad_run(double* cur, double* ref_, double* best, int n) {
+    sad_search(cur, ref_, best, n, 30);
+    return sad_block(cur, ref_, n) + sad_weighted(cur, ref_, n);
+}
+"#,
+            entry: "sad_run",
+            setup: |mem| {
+                let cur = fill_f64(mem, N, 33);
+                let r = fill_f64(mem, N, 34);
+                let best = fill_f64(mem, N, 35);
+                vec![Value::P(cur), Value::P(r), Value::P(best), Value::I(N as i64)]
+            },
+            invocations: 12.0,
+            scale: 6000.0,
+            covered: false,
+            lazy: false,
+        },
+        Benchmark {
+            name: "sgemm",
+            suite: Suite::Parboil,
+            // The dense matrix multiplication (first form of Figure 8,
+            // stored accumulator): the whole program.
+            source: r#"
+void sgemm_kernel(double* A, double* B, double* C, int m, int n, int k) {
+    for (int mm = 0; mm < m; mm++) {
+        for (int nn = 0; nn < n; nn++) {
+            double c = 0.0;
+            for (int i = 0; i < k; i++)
+                c += A[mm + i * m] * B[nn + i * n];
+            C[mm + nn * m] = c;
+        }
+    }
+}
+void sgemm_run(double* A, double* B, double* C, int m) {
+    sgemm_kernel(A, B, C, m, m, m);
+}
+"#,
+            entry: "sgemm_run",
+            setup: |mem| {
+                let a = fill_f64(mem, GRID * GRID, 36);
+                let b = fill_f64(mem, GRID * GRID, 37);
+                let c = zeros_f64(mem, GRID * GRID);
+                vec![Value::P(a), Value::P(b), Value::P(c), Value::I(GRID as i64)]
+            },
+            invocations: 1.0,
+            scale: 20_000.0,
+            covered: true,
+            lazy: false,
+        },
+        Benchmark {
+            name: "spmv",
+            suite: Suite::Parboil,
+            // CSR sparse matrix-vector product (the paper notes its
+            // unusual format needed the custom libSPMV); iterative.
+            source: r#"
+void spmv_kernel(double* val, int* rowstr, int* colidx, double* x, double* y, int m) {
+    for (int j = 0; j < m; j++) {
+        double d = 0.0;
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+            d = d + val[k] * x[colidx[k]];
+        y[j] = d;
+    }
+}
+void spmv_run(double* val, int* rowstr, int* colidx, double* x, double* y, int m) {
+    spmv_kernel(val, rowstr, colidx, x, y, m);
+    spmv_kernel(val, rowstr, colidx, y, x, m);
+}
+"#,
+            entry: "spmv_run",
+            setup: |mem| {
+                let (vals, rs, ci) = csr(mem, N, 6);
+                let x = fill_f64(mem, N, 38);
+                let y = zeros_f64(mem, N);
+                vec![
+                    Value::P(vals),
+                    Value::P(rs),
+                    Value::P(ci),
+                    Value::P(x),
+                    Value::P(y),
+                    Value::I(N as i64),
+                ]
+            },
+            invocations: 500.0,
+            scale: 15_000.0,
+            covered: true,
+            lazy: true,
+        },
+        Benchmark {
+            name: "stencil",
+            suite: Suite::Parboil,
+            // The 7-point (here 5-point) Jacobi grid benchmark; iterative.
+            source: r#"
+void stencil_kernel(double* out, double* in_, int n) {
+    for (int i = 1; i < n - 1; i++)
+        for (int j = 1; j < n - 1; j++)
+            out[i*n+j] = 0.2 * (in_[i*n+j] + in_[(i-1)*n+j] + in_[(i+1)*n+j]
+                                + in_[i*n+(j-1)] + in_[i*n+(j+1)]);
+}
+void stencil_run(double* a, double* b, int n) {
+    stencil_kernel(b, a, n);
+    stencil_kernel(a, b, n);
+}
+"#,
+            entry: "stencil_run",
+            setup: |mem| {
+                let a = fill_f64(mem, GRID * GRID, 39);
+                let b = zeros_f64(mem, GRID * GRID);
+                vec![Value::P(a), Value::P(b), Value::I(GRID as i64)]
+            },
+            invocations: 500.0,
+            scale: 100_000.0,
+            covered: true,
+            lazy: true,
+        },
+        Benchmark {
+            name: "tpacf",
+            suite: Suite::Parboil,
+            // Two-point angular correlation: the bin-update histogram
+            // dominates; plus one sqrt-kernel reduction. The CPU wins in
+            // Figure 18 — transfers dominate the small kernels.
+            source: r#"
+void tpacf_bins(double* dots, int* bins, int n) {
+    for (int i = 0; i < n; i++) {
+        int b = (int)(fabs(dots[i]) * 31.0);
+        bins[b] = bins[b] + 1;
+    }
+}
+double tpacf_norm(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += sqrt(fabs(x[i]));
+    return s;
+}
+double tpacf_run(double* dots, int* bins, int n) {
+    tpacf_bins(dots, bins, n);
+    tpacf_bins(dots, bins, n);
+    return tpacf_norm(dots, n);
+}
+"#,
+            entry: "tpacf_run",
+            setup: |mem| {
+                let dots = fill_f64(mem, 4 * N, 40);
+                let bins = zeros_i32(mem, 32);
+                vec![Value::P(dots), Value::P(bins), Value::I(4 * N as i64)]
+            },
+            // tpacf issues one tiny kernel per point-pair batch: launch
+            // overhead is why the GPU loses here (paper §8.3).
+            invocations: 50_000.0,
+            scale: 400_000.0,
+            covered: true,
+            lazy: false,
+        },
+    ]
+}

@@ -1,0 +1,161 @@
+//! Functional executors for the fixed-function library entry points.
+//!
+//! These are the "vendor libraries" of the simulation: registering them
+//! with an [`interp::Machine`] makes transformed programs executable (the
+//! timing of the simulated devices is handled separately by
+//! [`crate::model`]).
+
+use interp::{Machine, Memory, Value};
+use std::rc::Rc;
+
+fn load_idx(mem: &Memory, base: u64, k: i64, width: i64) -> Result<i64, String> {
+    if width == 4 {
+        mem.load_i32(base + 4 * k as u64)
+    } else {
+        mem.load_i64(base + 8 * k as u64)
+    }
+}
+
+/// Registers `gemm_f64` and `csrmv_f64` with the machine.
+///
+/// `gemm_f64(a, b, c, m, n, k, sa, sb, sc, a_row_scaled, b_row_scaled,
+/// c_row_scaled, beta)` computes
+/// `C[addr(i0,i1)] = beta*C[...] + Σ_k A[addr(i0,k)] * B[addr(i1,k)]`
+/// where `addr(col,row) = row*stride+col` when row-scaled, else
+/// `col*stride+row` — mirroring the orientation facts the constraint
+/// solution provides (paper Figure 6 inserts solution variables into the
+/// call template the same way).
+///
+/// `csrmv_f64(vals, rowptr, colidx, x, y, m, rowptr_width, colidx_width)`
+/// is the cuSPARSE `csrmv` equivalent of the paper's Figure 6.
+pub fn register_all(vm: &mut Machine<'_>) {
+    vm.register_host(
+        "gemm_f64",
+        Rc::new(|mem, args| {
+            let (a, b, c) = (args[0].as_p(), args[1].as_p(), args[2].as_p());
+            let (m, n, k) = (args[3].as_i(), args[4].as_i(), args[5].as_i());
+            let (sa, sb, sc) = (args[6].as_i(), args[7].as_i(), args[8].as_i());
+            let (ar, br, cr) = (args[9].as_i(), args[10].as_i(), args[11].as_i());
+            let beta = args[12].as_f();
+            let addr = |base: u64, col: i64, row: i64, stride: i64, row_scaled: i64| {
+                let idx = if row_scaled != 0 { row * stride + col } else { col * stride + row };
+                base + 8 * idx as u64
+            };
+            for i0 in 0..m {
+                for i1 in 0..n {
+                    let mut acc = 0.0;
+                    for kk in 0..k {
+                        let av = mem.load_f64(addr(a, i0, kk, sa, ar))?;
+                        let bv = mem.load_f64(addr(b, i1, kk, sb, br))?;
+                        acc += av * bv;
+                    }
+                    let ca = addr(c, i0, i1, sc, cr);
+                    let old = if beta != 0.0 { mem.load_f64(ca)? * beta } else { 0.0 };
+                    mem.store_f64(ca, acc + old)?;
+                }
+            }
+            Ok(Value::I(0))
+        }),
+    );
+    vm.register_host(
+        "csrmv_f64",
+        Rc::new(|mem, args| {
+            let (vals, rowptr, colidx, x, y) =
+                (args[0].as_p(), args[1].as_p(), args[2].as_p(), args[3].as_p(), args[4].as_p());
+            let m = args[5].as_i();
+            let (rw, cw) = (args[6].as_i(), args[7].as_i());
+            for j in 0..m {
+                let lo = load_idx(mem, rowptr, j, rw)?;
+                let hi = load_idx(mem, rowptr, j + 1, rw)?;
+                let mut d = 0.0;
+                for kk in lo..hi {
+                    let col = load_idx(mem, colidx, kk, cw)?;
+                    d += mem.load_f64(vals + 8 * kk as u64)?
+                        * mem.load_f64(x + 8 * col as u64)?;
+                }
+                mem.store_f64(y + 8 * j as u64, d)?;
+            }
+            Ok(Value::I(0))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_host_matches_naive_oracle() {
+        let (mm, nn, kk) = (3usize, 4usize, 5usize);
+        let a: Vec<f64> = (0..mm * kk).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..nn * kk).map(|i| 1.0 - i as f64 * 0.25).collect();
+        // Layout facts passed to the entry point: all three matrices use
+        // idx = col*stride + row (row_scaled = 0), A/B stride k, C stride n.
+        // Oracle comparison through the public interpreter path:
+        let text = r#"
+define void @run(double* %a, double* %b, double* %c, i64 %m, i64 %n, i64 %k) {
+entry:
+  call void @gemm_f64(double* %a, double* %b, double* %c, i64 %m, i64 %n, i64 %k, i64 %k, i64 %k, i64 %n, i64 0, i64 0, i64 0, double 0.0)
+  ret void
+}
+"#;
+        let m2 = ssair::parser::parse_module(text).unwrap();
+        let mut vm3 = Machine::new(&m2);
+        register_all(&mut vm3);
+        let ap = vm3.mem.alloc_f64_slice(&a);
+        let bp = vm3.mem.alloc_f64_slice(&b);
+        let cp = vm3.mem.alloc_f64_slice(&vec![0.0; mm * nn]);
+        vm3.run(
+            "run",
+            &[
+                Value::P(ap),
+                Value::P(bp),
+                Value::P(cp),
+                Value::I(mm as i64),
+                Value::I(nn as i64),
+                Value::I(kk as i64),
+            ],
+        )
+        .unwrap();
+        let got = vm3.mem.read_f64_slice(cp, mm * nn);
+        for i0 in 0..mm {
+            for i1 in 0..nn {
+                let mut acc = 0.0;
+                for x in 0..kk {
+                    acc += a[i0 * kk + x] * b[i1 * kk + x];
+                }
+                assert!((got[i0 * nn + i1] - acc).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn csrmv_host_matches_naive_oracle() {
+        let text = r#"
+define void @run(double* %v, i32* %r, i32* %c, double* %x, double* %y, i64 %m) {
+entry:
+  call void @csrmv_f64(double* %v, i32* %r, i32* %c, double* %x, double* %y, i64 %m, i64 4, i64 4)
+  ret void
+}
+"#;
+        let m = ssair::parser::parse_module(text).unwrap();
+        let mut vm = Machine::new(&m);
+        register_all(&mut vm);
+        let rowstr = [0, 2, 3, 5];
+        let colidx = [0, 2, 1, 0, 2];
+        let vals = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let x = [0.5, -1.0, 2.0];
+        let vp = vm.mem.alloc_f64_slice(&vals);
+        let rp = vm.mem.alloc_i32_slice(&rowstr);
+        let cp = vm.mem.alloc_i32_slice(&colidx);
+        let xp = vm.mem.alloc_f64_slice(&x);
+        let yp = vm.mem.alloc_f64_slice(&[0.0; 3]);
+        vm.run(
+            "run",
+            &[Value::P(vp), Value::P(rp), Value::P(cp), Value::P(xp), Value::P(yp), Value::I(3)],
+        )
+        .unwrap();
+        let y = vm.mem.read_f64_slice(yp, 3);
+        assert_eq!(y, vec![1.0 * 0.5 + 2.0 * 2.0, 3.0 * -1.0, 4.0 * 0.5 + 5.0 * 2.0]);
+    }
+}

@@ -1,0 +1,336 @@
+//! The platform/API performance model.
+//!
+//! Calibration (documented in DESIGN.md): the sequential baseline charges
+//! abstract cost units (from `interp::Profile`) at 3.7 G units/s — a
+//! single A10-7850K core. Devices are rooflines; APIs scale them with
+//! per-idiom efficiency factors. Absolute numbers are a simulation; the
+//! *shape* — platform winners, crossovers, the importance of lazy copying
+//! — is what reproduces Table 3 / Figures 18-19.
+
+use idioms::IdiomKind;
+use serde::Serialize;
+
+/// Execution platforms of the paper's evaluation (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Platform {
+    /// 4-core AMD A10-7850K CPU.
+    Cpu,
+    /// The integrated Radeon R7 (shared memory, zero-copy capable).
+    IGpu,
+    /// Nvidia GTX Titan X over PCIe.
+    Gpu,
+}
+
+impl Platform {
+    /// All platforms, CPU first.
+    pub const ALL: [Platform; 3] = [Platform::Cpu, Platform::IGpu, Platform::Gpu];
+
+    /// Display label used in tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::Cpu => "CPU",
+            Platform::IGpu => "iGPU",
+            Platform::Gpu => "GPU",
+        }
+    }
+
+    /// (peak GFLOP/s, memory bandwidth GB/s, transfer bandwidth GB/s or
+    /// `None` for shared memory, launch overhead µs).
+    fn specs(self) -> (f64, f64, Option<f64>, f64) {
+        match self {
+            Platform::Cpu => (40.0, 20.0, None, 2.0),
+            Platform::IGpu => (300.0, 15.0, None, 20.0),
+            Platform::Gpu => (3000.0, 280.0, Some(12.0), 30.0),
+        }
+    }
+}
+
+/// Heterogeneous APIs (paper §5): vendor libraries, the custom libSPMV,
+/// the two DSLs, and the handwritten reference implementations used by
+/// Figure 19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Api {
+    /// Intel MKL (CPU linear algebra).
+    Mkl,
+    /// Nvidia cuBLAS (GPU GEMM).
+    CuBlas,
+    /// AMD clBLAS (OpenCL GEMM).
+    ClBlas,
+    /// CLBlast (OpenCL GEMM).
+    ClBlast,
+    /// Nvidia cuSPARSE (GPU SPMV).
+    CuSparse,
+    /// clSPARSE (OpenCL SPMV).
+    ClSparse,
+    /// The paper's custom SPMV library for the unusual sparse format.
+    LibSpmv,
+    /// Halide (stencils/histograms; CPU only — the paper's Halide version
+    /// "failed to generate valid GPU code", Table 3).
+    Halide,
+    /// Lift (reductions, stencils, linear algebra; all platforms).
+    Lift,
+    /// Handwritten OpenMP reference (Figure 19, CPU).
+    OpenMpRef,
+    /// Handwritten OpenCL reference (Figure 19, GPU).
+    OpenClRef,
+}
+
+impl Api {
+    /// All automatically-targetable APIs (the Figure 19 references are
+    /// queried explicitly).
+    pub const AUTO: [Api; 9] = [
+        Api::Mkl,
+        Api::CuBlas,
+        Api::ClBlas,
+        Api::ClBlast,
+        Api::CuSparse,
+        Api::ClSparse,
+        Api::LibSpmv,
+        Api::Halide,
+        Api::Lift,
+    ];
+
+    /// Display label used in tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Api::Mkl => "MKL",
+            Api::CuBlas => "cuBLAS",
+            Api::ClBlas => "clBLAS",
+            Api::ClBlast => "CLBlast",
+            Api::CuSparse => "cuSPARSE",
+            Api::ClSparse => "clSPARSE",
+            Api::LibSpmv => "libSPMV",
+            Api::Halide => "Halide",
+            Api::Lift => "Lift",
+            Api::OpenMpRef => "OpenMP",
+            Api::OpenClRef => "OpenCL",
+        }
+    }
+}
+
+/// The idiom-class groups the model distinguishes.
+fn class(kind: IdiomKind) -> &'static str {
+    match kind {
+        IdiomKind::Gemm => "gemm",
+        IdiomKind::Spmv => "spmv",
+        IdiomKind::Stencil1D | IdiomKind::Stencil2D => "stencil",
+        IdiomKind::Histogram => "histogram",
+        IdiomKind::Reduction => "reduction",
+    }
+}
+
+/// Efficiency (fraction of the platform roofline achieved) of `api`
+/// running idiom `kind` on `platform`, or `None` when the combination is
+/// unsupported. Each entry encodes a Table-3 observation; see the crate
+/// docs.
+#[must_use]
+pub fn supported(api: Api, platform: Platform, kind: IdiomKind) -> Option<f64> {
+    use Api::*;
+    use Platform::*;
+    let c = class(kind);
+    let eff = match (api, platform, c) {
+        // MKL: best CPU linear algebra (Table 3: sgemm CPU 53.5ms vs
+        // clBLAS-class numbers; CG CPU row).
+        (Mkl, Cpu, "gemm") => 0.85,
+        (Mkl, Cpu, "spmv") => 0.60,
+        // cuBLAS: dominant GPU GEMM (sgemm 5.99 ms).
+        (CuBlas, Gpu, "gemm") => 0.95,
+        // clBLAS beats CLBlast on the iGPU (14.73 vs 19.03), CLBlast is
+        // ahead on the discrete GPU.
+        (ClBlas, IGpu, "gemm") => 0.70,
+        (ClBlas, Gpu, "gemm") => 0.45,
+        (ClBlast, IGpu, "gemm") => 0.55,
+        (ClBlast, Gpu, "gemm") => 0.55,
+        // Sparse libraries (CG: cuSPARSE 113.5 ms vs clSPARSE 644).
+        (CuSparse, Gpu, "spmv") => 0.90,
+        (ClSparse, IGpu, "spmv") => 0.70,
+        // The custom libSPMV runs on all three platforms (spmv row).
+        (LibSpmv, Cpu, "spmv") => 0.50,
+        (LibSpmv, IGpu, "spmv") => 0.65,
+        (LibSpmv, Gpu, "spmv") => 0.80,
+        // Halide: CPU-only; stencils vectorize better than Lift's CPU
+        // code (stencil CPU 5760 vs 21951); also used for the IS
+        // bucket-style histogram (IS CPU 426.95).
+        (Halide, Cpu, "stencil") => 0.80,
+        (Halide, Cpu, "histogram") => 0.30,
+        (Halide, Cpu, "gemm") => 0.30,
+        // Lift: everywhere, strongest on GPU reductions/stencils
+        // (IS GPU 99.95, stencil GPU 279).
+        (Lift, Cpu, "reduction") => 0.50,
+        (Lift, Cpu, "histogram") => 0.25,
+        (Lift, Cpu, "stencil") => 0.25,
+        (Lift, Cpu, "gemm") => 0.15,
+        (Lift, IGpu, "reduction") => 0.60,
+        (Lift, IGpu, "histogram") => 0.55,
+        (Lift, IGpu, "stencil") => 0.55,
+        (Lift, IGpu, "gemm") => 0.45,
+        (Lift, Gpu, "reduction") => 0.75,
+        (Lift, Gpu, "histogram") => 0.65,
+        (Lift, Gpu, "stencil") => 0.70,
+        (Lift, Gpu, "gemm") => 0.60,
+        // Figure 19 references.
+        (OpenMpRef, Cpu, _) => 0.75,
+        (OpenClRef, Gpu, _) => 0.70,
+        _ => return None,
+    };
+    Some(eff)
+}
+
+/// The dynamic work of one idiom region over the whole program run.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Workload {
+    /// Floating-point operations executed in the region (total).
+    pub flops: f64,
+    /// Bytes moved by region loads/stores (total).
+    pub bytes: f64,
+    /// Bytes that must cross to the device per transfer (array footprint).
+    pub transfer_bytes: f64,
+    /// Number of kernel launches (region entries over the program run).
+    pub launches: f64,
+}
+
+/// Modeled kernel time in milliseconds for the given configuration, or
+/// `None` if unsupported. `lazy_copy` pays the transfer once instead of
+/// per launch (the paper's §8.3 runtime optimization).
+#[must_use]
+pub fn kernel_time_ms(
+    api: Api,
+    platform: Platform,
+    kind: IdiomKind,
+    w: &Workload,
+    lazy_copy: bool,
+) -> Option<f64> {
+    let eff = supported(api, platform, kind)?;
+    let (gflops, gbs, pcie, launch_us) = platform.specs();
+    let t_compute = w.flops / (eff * gflops * 1e9);
+    let t_mem = w.bytes / (eff * gbs * 1e9);
+    let t_kernel = t_compute.max(t_mem);
+    let t_launch = w.launches * launch_us * 1e-6;
+    let t_transfer = match pcie {
+        Some(bw) => {
+            let per_phase = 2.0 * w.transfer_bytes / (bw * 1e9); // to + from device
+            if lazy_copy {
+                per_phase
+            } else {
+                per_phase * w.launches.max(1.0)
+            }
+        }
+        None => 0.0, // shared memory: zero copy
+    };
+    Some((t_kernel + t_launch + t_transfer) * 1e3)
+}
+
+/// Sequential milliseconds for `cost_units` abstract units (one 3.7 GHz
+/// scalar core retiring one unit per cycle).
+#[must_use]
+pub fn sequential_time_ms(cost_units: f64) -> f64 {
+    cost_units / 3.7e6
+}
+
+/// The fastest (api, time) for `kind` on `platform`, if any API applies.
+#[must_use]
+pub fn best_configuration(
+    platform: Platform,
+    kind: IdiomKind,
+    w: &Workload,
+    lazy_copy: bool,
+) -> Option<(Api, f64)> {
+    Api::AUTO
+        .iter()
+        .filter_map(|&api| kernel_time_ms(api, platform, kind, w, lazy_copy).map(|t| (api, t)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_workload() -> Workload {
+        // 1024^3 MACs, called once.
+        let n = 1024.0_f64;
+        Workload {
+            flops: 2.0 * n * n * n,
+            bytes: 3.0 * n * n * 8.0 * 8.0, // tiled traffic proxy
+            transfer_bytes: 3.0 * n * n * 8.0,
+            launches: 1.0,
+        }
+    }
+
+    #[test]
+    fn api_support_matrix_matches_the_paper() {
+        use idioms::IdiomKind::*;
+        // Halide has no GPU backend (Table 3 note).
+        assert!(supported(Api::Halide, Platform::Gpu, Stencil2D).is_none());
+        assert!(supported(Api::Halide, Platform::Cpu, Stencil2D).is_some());
+        // cuSPARSE only targets the Nvidia GPU.
+        assert!(supported(Api::CuSparse, Platform::IGpu, Spmv).is_none());
+        assert!(supported(Api::CuSparse, Platform::Gpu, Spmv).is_some());
+        // libSPMV runs on all three platforms.
+        for p in Platform::ALL {
+            assert!(supported(Api::LibSpmv, p, Spmv).is_some());
+        }
+        // MKL is CPU-only.
+        assert!(supported(Api::Mkl, Platform::Gpu, Gemm).is_none());
+    }
+
+    #[test]
+    fn gemm_winners_per_platform() {
+        let w = gemm_workload();
+        let (cpu_api, cpu_t) =
+            best_configuration(Platform::Cpu, idioms::IdiomKind::Gemm, &w, true).unwrap();
+        let (igpu_api, igpu_t) =
+            best_configuration(Platform::IGpu, idioms::IdiomKind::Gemm, &w, true).unwrap();
+        let (gpu_api, gpu_t) =
+            best_configuration(Platform::Gpu, idioms::IdiomKind::Gemm, &w, true).unwrap();
+        assert_eq!(cpu_api, Api::Mkl, "MKL wins CPU linear algebra");
+        assert_eq!(igpu_api, Api::ClBlas, "clBLAS wins iGPU GEMM");
+        assert_eq!(gpu_api, Api::CuBlas, "cuBLAS wins GPU GEMM");
+        assert!(gpu_t < igpu_t && igpu_t < cpu_t, "compute-bound GEMM loves the dGPU");
+    }
+
+    #[test]
+    fn transfer_bound_kernels_prefer_near_memory_and_lazy_copy_matters() {
+        // A small reduction launched many times (CG-style iteration).
+        let w = Workload {
+            flops: 2e6,
+            bytes: 1.6e7,
+            transfer_bytes: 8e6,
+            launches: 1000.0,
+        };
+        let eager = kernel_time_ms(Api::Lift, Platform::Gpu, idioms::IdiomKind::Reduction, &w, false)
+            .unwrap();
+        let lazy = kernel_time_ms(Api::Lift, Platform::Gpu, idioms::IdiomKind::Reduction, &w, true)
+            .unwrap();
+        assert!(eager / lazy > 20.0, "lazy copying is crucial: {eager} vs {lazy}");
+        // Without lazy copy, the iGPU (zero-copy) beats the dGPU.
+        let igpu = kernel_time_ms(Api::Lift, Platform::IGpu, idioms::IdiomKind::Reduction, &w, false)
+            .unwrap();
+        assert!(igpu < eager, "shared memory avoids the PCIe tax");
+    }
+
+    #[test]
+    fn sequential_scale_is_sane() {
+        // 3.7e9 units ≈ one second of one core.
+        assert!((sequential_time_ms(3.7e9) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speedup_shape_for_spmv_matches_cg() {
+        // CG-like: SPMV dominates; modeled GPU speedup lands in the same
+        // decade as the paper's 17x.
+        let w = Workload {
+            flops: 3.8e9,
+            bytes: 3.0e10,
+            transfer_bytes: 2.3e8,
+            launches: 1900.0,
+        };
+        let seq_ms = sequential_time_ms(2.4e10);
+        let (api, gpu_ms) =
+            best_configuration(Platform::Gpu, idioms::IdiomKind::Spmv, &w, true).unwrap();
+        assert_eq!(api, Api::CuSparse);
+        let speedup = seq_ms / gpu_ms;
+        assert!(speedup > 5.0 && speedup < 60.0, "speedup {speedup}");
+    }
+}

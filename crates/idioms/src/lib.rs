@@ -1,0 +1,286 @@
+//! # idioms — the idiom library (paper §4)
+//!
+//! This crate ships the IDL sources of every idiom the paper detects —
+//! generalized matrix multiplication, sparse matrix-vector multiplication
+//! over CSR, generalized scalar reductions, generalized histograms, and
+//! 1D/2D stencils — together with the building blocks they inherit
+//! (`For`, `ForNest`, `VectorRead/Store`, `MatrixRead/Store`, `ReadRange`,
+//! `DotProductLoop`, index/offset chains). The whole library is plain IDL
+//! text (see `idl/*.idl`), staying within the paper's "≈500 lines of IDL"
+//! budget, and is compiled through the `idl` crate and searched with the
+//! `solver` crate.
+//!
+//! [`detect`] runs every idiom over a function and post-processes raw
+//! solver solutions into deduplicated [`IdiomInstance`]s:
+//!
+//! * solver symmetries (commuted operands, transposed matrix roles)
+//!   collapse onto one instance per anchor instruction;
+//! * structurally-contained matches of lower-priority idioms are
+//!   suppressed (the dot-product loop inside a GEMM *is* a scalar
+//!   reduction, but the paper reports it as GEMM).
+
+use idl::{CompiledConstraint, Library};
+use solver::{SolveOptions, Solution, Solver};
+use ssair::{BlockId, Function, ValueId};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// The building-block IDL source (paper §4.1).
+pub const BUILDING_BLOCKS_IDL: &str = include_str!("../idl/building_blocks.idl");
+/// The top-level idiom IDL source (paper §4.2, Figures 10–14).
+pub const IDIOMS_IDL: &str = include_str!("../idl/idioms.idl");
+
+/// The idiom classes of the paper's evaluation (Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IdiomKind {
+    /// Dense matrix multiplication (`GEMM`).
+    Gemm,
+    /// Sparse matrix-vector multiplication over CSR (`SPMV`).
+    Spmv,
+    /// Two-dimensional stencil.
+    Stencil2D,
+    /// One-dimensional stencil.
+    Stencil1D,
+    /// Generalized histogram (indirect read-modify-write).
+    Histogram,
+    /// Generalized scalar reduction.
+    Reduction,
+}
+
+impl IdiomKind {
+    /// All kinds in detection-priority order (most specific first).
+    pub const ALL: [IdiomKind; 6] = [
+        IdiomKind::Gemm,
+        IdiomKind::Spmv,
+        IdiomKind::Stencil2D,
+        IdiomKind::Stencil1D,
+        IdiomKind::Histogram,
+        IdiomKind::Reduction,
+    ];
+
+    /// The IDL constraint name.
+    #[must_use]
+    pub fn constraint_name(self) -> &'static str {
+        match self {
+            IdiomKind::Gemm => "GEMM",
+            IdiomKind::Spmv => "SPMV",
+            IdiomKind::Stencil2D => "Stencil2D",
+            IdiomKind::Stencil1D => "Stencil1D",
+            IdiomKind::Histogram => "Histogram",
+            IdiomKind::Reduction => "Reduction",
+        }
+    }
+
+    /// The idiom class label used in Table 1 / Figure 16.
+    #[must_use]
+    pub fn class_label(self) -> &'static str {
+        match self {
+            IdiomKind::Gemm => "Matrix Op.",
+            IdiomKind::Spmv => "Sparse Matrix Op.",
+            IdiomKind::Stencil1D | IdiomKind::Stencil2D => "Stencil",
+            IdiomKind::Histogram => "Histogram Reduction",
+            IdiomKind::Reduction => "Scalar Reduction",
+        }
+    }
+
+    fn anchor_var(self) -> &'static str {
+        match self {
+            IdiomKind::Gemm => "output.store",
+            IdiomKind::Spmv => "output.store",
+            IdiomKind::Stencil2D | IdiomKind::Stencil1D => "write.store",
+            IdiomKind::Histogram => "store",
+            IdiomKind::Reduction => "acc",
+        }
+    }
+
+    fn outer_iterator_var(self) -> &'static str {
+        match self {
+            IdiomKind::Gemm | IdiomKind::Stencil2D => "loop[0].iterator",
+            _ => "iterator",
+        }
+    }
+}
+
+/// The parsed idiom library (building blocks + idioms), shared process-wide.
+pub fn library() -> &'static Library {
+    static LIB: OnceLock<Library> = OnceLock::new();
+    LIB.get_or_init(|| {
+        let mut src = String::from(BUILDING_BLOCKS_IDL);
+        src.push('\n');
+        src.push_str(IDIOMS_IDL);
+        idl::parse_library(&src).expect("the bundled idiom library parses")
+    })
+}
+
+/// The compiled constraint for one idiom kind (compiled once, process-wide).
+pub fn compiled(kind: IdiomKind) -> &'static CompiledConstraint {
+    static CACHE: OnceLock<BTreeMap<IdiomKind, CompiledConstraint>> = OnceLock::new();
+    let map = CACHE.get_or_init(|| {
+        IdiomKind::ALL
+            .iter()
+            .map(|&k| {
+                let c = idl::compile(library(), k.constraint_name())
+                    .expect("the bundled idiom library compiles");
+                (k, c)
+            })
+            .collect()
+    });
+    &map[&kind]
+}
+
+/// Total line count of the bundled IDL (the paper reports ≈500 lines for
+/// its full idiom set; ours is kept in the same budget).
+#[must_use]
+pub fn idl_line_count() -> usize {
+    BUILDING_BLOCKS_IDL.lines().count() + IDIOMS_IDL.lines().count()
+}
+
+/// One detected idiom instance in a function.
+#[derive(Debug, Clone)]
+pub struct IdiomInstance {
+    /// The idiom class.
+    pub kind: IdiomKind,
+    /// Function the instance was found in.
+    pub function: String,
+    /// The full solver bindings (Figure 5 of the paper).
+    pub bindings: BTreeMap<String, ValueId>,
+    /// The anchoring instruction (the store that is deleted on
+    /// replacement, or the accumulator phi for scalar reductions).
+    pub anchor: ValueId,
+    /// Blocks of the outermost matched loop — the replacement region and
+    /// the unit of runtime-coverage accounting.
+    pub blocks: Vec<BlockId>,
+}
+
+impl IdiomInstance {
+    /// Binding lookup.
+    #[must_use]
+    pub fn value(&self, var: &str) -> Option<ValueId> {
+        self.bindings.get(var).copied()
+    }
+
+    /// All bound members of the family `name` (e.g. `read_value`), in
+    /// index order.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Vec<ValueId> {
+        let prefix = format!("{name}[");
+        let mut found: Vec<(usize, ValueId)> = Vec::new();
+        for (k, &v) in &self.bindings {
+            if let Some(rest) = k.strip_prefix(&prefix) {
+                if let Some(close) = rest.find(']') {
+                    if rest[close + 1..].is_empty() {
+                        if let Ok(i) = rest[..close].parse() {
+                            found.push((i, v));
+                        }
+                    }
+                }
+            }
+        }
+        found.sort_by_key(|&(i, _)| i);
+        found.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// Detection limits.
+#[derive(Debug, Clone)]
+pub struct DetectOptions {
+    /// Per-idiom cap on raw solver solutions.
+    pub max_solutions: usize,
+    /// Solver step budget per idiom per function.
+    pub max_steps: u64,
+    /// Suppress lower-priority matches contained in higher-priority ones
+    /// (paper reports the most specific idiom per region).
+    pub suppress_contained: bool,
+}
+
+impl Default for DetectOptions {
+    fn default() -> DetectOptions {
+        DetectOptions { max_solutions: 128, max_steps: 20_000_000, suppress_contained: true }
+    }
+}
+
+/// Runs the full idiom library over `f` and returns deduplicated,
+/// priority-filtered instances.
+#[must_use]
+pub fn detect(f: &Function) -> Vec<IdiomInstance> {
+    detect_with(f, &DetectOptions::default())
+}
+
+/// [`detect`] with explicit limits.
+#[must_use]
+pub fn detect_with(f: &Function, opts: &DetectOptions) -> Vec<IdiomInstance> {
+    let solver = Solver::new(f);
+    let solve_opts =
+        SolveOptions { max_solutions: opts.max_solutions, max_steps: opts.max_steps };
+    let an = ssair::analysis::Analyses::new(f);
+    let mut out: Vec<IdiomInstance> = Vec::new();
+    for &kind in &IdiomKind::ALL {
+        let c = compiled(kind);
+        let sols = solver.solve(c, &solve_opts);
+        let mut seen_anchor: Vec<ValueId> = Vec::new();
+        for sol in &sols {
+            let Some(inst) = instance_from_solution(f, &an, kind, sol) else { continue };
+            if seen_anchor.contains(&inst.anchor) {
+                continue; // operand-order / transposition symmetry
+            }
+            if opts.suppress_contained
+                && out.iter().any(|prev| {
+                    prev.kind != kind && inst.blocks.iter().all(|b| prev.blocks.contains(b))
+                })
+            {
+                continue; // e.g. the dot-product reduction inside a GEMM
+            }
+            seen_anchor.push(inst.anchor);
+            out.push(inst);
+        }
+    }
+    out
+}
+
+fn instance_from_solution(
+    f: &Function,
+    an: &ssair::analysis::Analyses,
+    kind: IdiomKind,
+    sol: &Solution,
+) -> Option<IdiomInstance> {
+    let anchor = *sol.bindings.get(kind.anchor_var())?;
+    let outer_iter = *sol.bindings.get(kind.outer_iterator_var())?;
+    let header = an.layout.block_of(outer_iter)?;
+    let blocks = an
+        .loops
+        .loop_with_header(header)
+        .map(|l| l.blocks.clone())
+        .unwrap_or_else(|| vec![header]);
+    Some(IdiomInstance {
+        kind,
+        function: f.name.clone(),
+        bindings: sol.bindings.clone(),
+        anchor,
+        blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_parses_and_compiles() {
+        let lib = library();
+        assert!(lib.get("For").is_some());
+        assert!(lib.get("GEMM").is_some());
+        for kind in IdiomKind::ALL {
+            let c = compiled(kind);
+            assert!(!c.variables.is_empty(), "{kind:?} has variables");
+        }
+    }
+
+    #[test]
+    fn idl_budget_is_paper_sized() {
+        let lines = idl_line_count();
+        assert!(
+            lines <= 520,
+            "idiom library must stay near the paper's ~500 lines, got {lines}"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Edge-case detection tests: robustness properties the paper claims
+//! (§3 "work in the presence of ... the myriad different ways users can
+//! write the same, common algorithms") and deliberate non-matches.
+
+use idioms::{detect, IdiomKind};
+
+fn kinds_in(src: &str) -> Vec<IdiomKind> {
+    let m = minicc::compile(src, "t").expect("compiles");
+    m.functions.iter().flat_map(|f| detect(f).into_iter().map(|i| i.kind)).collect()
+}
+
+#[test]
+fn reversed_comparison_still_matches() {
+    // `n > i` instead of `i < n`.
+    let kinds = kinds_in(
+        "double s(double* x, int n) {
+            double a = 0.0;
+            for (int i = 0; n > i; i++) a += x[i];
+            return a;
+        }",
+    );
+    assert_eq!(kinds, vec![IdiomKind::Reduction]);
+}
+
+#[test]
+fn long_iterators_match_without_sext() {
+    let kinds = kinds_in(
+        "double s(double* x, long n) {
+            double a = 0.0;
+            for (long i = 0; i < n; i++) a += x[i];
+            return a;
+        }",
+    );
+    assert_eq!(kinds, vec![IdiomKind::Reduction]);
+}
+
+#[test]
+fn strided_loops_are_still_counted_loops() {
+    // Non-unit compile-time step: the For block accepts it (detection);
+    // the replacement backend separately refuses (see xform tests).
+    let kinds = kinds_in(
+        "double s(double* x, int n) {
+            double a = 0.0;
+            for (int i = 0; i < n; i += 2) a += x[i];
+            return a;
+        }",
+    );
+    assert_eq!(kinds, vec![IdiomKind::Reduction]);
+}
+
+#[test]
+fn while_loop_spelling_matches_too() {
+    let kinds = kinds_in(
+        "double s(double* x, int n) {
+            double a = 0.0;
+            int i = 0;
+            while (i < n) { a += x[i]; i++; }
+            return a;
+        }",
+    );
+    assert_eq!(kinds, vec![IdiomKind::Reduction]);
+}
+
+#[test]
+fn float_typed_reduction_matches() {
+    let kinds = kinds_in(
+        "float s(float* x, int n) {
+            float a = 0.0f;
+            for (int i = 0; i < n; i++) a += x[i];
+            return a;
+        }",
+    );
+    assert_eq!(kinds, vec![IdiomKind::Reduction]);
+}
+
+#[test]
+fn downward_loops_do_not_match_the_for_block() {
+    // The canonical For requires an add increment; `i--` sweeps are the
+    // non-idiomatic recurrences of the benchmark fillers.
+    let kinds = kinds_in(
+        "double s(double* x, int n) {
+            double a = 0.0;
+            for (int i = n - 1; i >= 0; i--) a += x[i];
+            return a;
+        }",
+    );
+    assert!(kinds.is_empty(), "got {kinds:?}");
+}
+
+#[test]
+fn guarded_accumulation_does_not_match_pure_reduction() {
+    // An if-guarded update produces a merge phi: the kernel slice is not
+    // pure, so the generalized reduction does not fire (ternary selects
+    // do match — see the sad benchmark).
+    let kinds = kinds_in(
+        "double s(double* x, int n) {
+            double a = 0.0;
+            for (int i = 0; i < n; i++) { if (x[i] > 0.0) { a += x[i]; } }
+            return a;
+        }",
+    );
+    assert!(!kinds.contains(&IdiomKind::Reduction), "got {kinds:?}");
+}
+
+#[test]
+fn select_based_accumulation_does_match() {
+    let kinds = kinds_in(
+        "double s(double* x, int n) {
+            double a = 0.0;
+            for (int i = 0; i < n; i++) a += x[i] > 0.0 ? x[i] : 0.0;
+            return a;
+        }",
+    );
+    assert_eq!(kinds, vec![IdiomKind::Reduction]);
+}
+
+#[test]
+fn transposed_gemm_matches() {
+    // B accessed transposed relative to Figure 8's forms.
+    let kinds = kinds_in(
+        "void g(double* A, double* B, double* C, int n) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++) {
+                    double c = 0.0;
+                    for (int k = 0; k < n; k++) c += A[i*n+k] * B[j*n+k];
+                    C[i*n+j] = c;
+                }
+        }",
+    );
+    assert!(kinds.contains(&IdiomKind::Gemm), "got {kinds:?}");
+}
+
+#[test]
+fn five_point_asymmetric_stencil_matches() {
+    let kinds = kinds_in(
+        "void st(double* o, double* a, int n) {
+            for (int i = 2; i < n - 2; i++)
+                o[i] = 0.1*a[i-2] + 0.2*a[i-1] + 0.4*a[i] + 0.2*a[i+1] + 0.1*a[i+2];
+        }",
+    );
+    assert!(kinds.contains(&IdiomKind::Stencil1D), "got {kinds:?}");
+}
+
+#[test]
+fn in_place_stencil_is_rejected() {
+    // Reading the written array breaks the stencil's dataflow contract.
+    let kinds = kinds_in(
+        "void st(double* a, int n) {
+            for (int i = 1; i < n - 1; i++) a[i] = 0.5 * (a[i-1] + a[i+1]);
+        }",
+    );
+    assert!(!kinds.contains(&IdiomKind::Stencil1D), "got {kinds:?}");
+}
+
+#[test]
+fn histogram_with_computed_kernel_matches() {
+    let kinds = kinds_in(
+        "void h(double* v, int* bins, int n) {
+            for (int i = 0; i < n; i++) {
+                int b = (int)(fabs(v[i]) * 10.0);
+                bins[b] = bins[b] + 2;
+            }
+        }",
+    );
+    assert_eq!(kinds, vec![IdiomKind::Histogram]);
+}
+
+#[test]
+fn histogram_indexed_by_iterator_is_not_a_histogram() {
+    // bins[i] += v[i] is a plain parallel update, not an indirect
+    // read-modify-write; the index kernel must be a function of the reads.
+    let kinds = kinds_in(
+        "void h(double* v, double* bins, int n) {
+            for (int i = 0; i < n; i++) bins[i] = bins[i] + v[i];
+        }",
+    );
+    assert!(!kinds.contains(&IdiomKind::Histogram), "got {kinds:?}");
+}
+
+#[test]
+fn the_paper_sese_building_block_solves() {
+    // Figure 9: the single-entry single-exit region constraint, run
+    // directly against a canonical loop. The loop body span (first body
+    // instruction .. latch branch) forms a SESE region between the
+    // preheader branch and the loop successor.
+    let src = r#"
+Constraint SESE
+( {precursor} is branch instruction and
+  {precursor} has control flow to {begin} and
+  {end} is branch instruction and
+  {end} has control flow to {successor} and
+  {begin} control flow dominates {end} and
+  {end} control flow post dominates {begin} and
+  {precursor} strictly control flow dominates {begin} and
+  {successor} strictly control flow post dominates {end} and
+  all control flow from {begin} to {precursor} passes through {end} and
+  all control flow from {successor} to {end} passes through {begin})
+End
+"#;
+    let lib = idl::parse_library(src).unwrap();
+    let c = idl::compile(&lib, "SESE").unwrap();
+    let m = minicc::compile(
+        "double s(double* x, int n) {
+            double a = 0.0;
+            for (int i = 0; i < n; i++) a += x[i];
+            return a;
+        }",
+        "t",
+    )
+    .unwrap();
+    let f = m.function("s").unwrap();
+    let sols = solver::Solver::new(f).solve(&c, &solver::SolveOptions::default());
+    assert!(!sols.is_empty(), "the loop contains at least one SESE region");
+    // Every reported region satisfies the definition's dominance facts.
+    let an = ssair::analysis::Analyses::new(f);
+    for s in &sols {
+        let begin = s.bindings["begin"];
+        let end = s.bindings["end"];
+        assert!(an.inst_dominates(begin, end));
+        assert!(an.inst_post_dominates(end, begin));
+    }
+}

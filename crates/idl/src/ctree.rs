@@ -1,0 +1,371 @@
+//! Compiled constraint trees.
+//!
+//! After macro expansion (`inherits`, quantifiers, renaming — §4.4 of the
+//! paper) an idiom definition is a tree of conjunctions and disjunctions
+//! over atomic constraints, plus `collect` nodes. Variables are flattened
+//! dotted strings (`"inner.iter_begin"`, `"read[2].value"`); the solver
+//! assigns each one an IR value, exactly like the paper's Figure 5
+//! solution table.
+
+use ssair::Opcode;
+
+/// Type classes testable by `is integer/float/pointer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeClass {
+    /// `i1`/`i32`/`i64`.
+    Integer,
+    /// `f32`/`f64`.
+    Float,
+    /// Any pointer.
+    Pointer,
+}
+
+/// Edge kinds for `has ... to` atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Operand-to-user SSA edge.
+    Data,
+    /// Direct instruction-level control-flow edge.
+    Control,
+    /// May-dependence between memory instructions.
+    Dependence,
+}
+
+/// Dominance direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomKind {
+    /// Forward dominance.
+    Dom,
+    /// Post-dominance.
+    PostDom,
+}
+
+/// Opcode classes for `is <opcode> instruction`. `Branch` covers both the
+/// conditional and unconditional forms, `ICmp`/`FCmp` cover all predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpcodeClass {
+    /// `store`.
+    Store,
+    /// `load`.
+    Load,
+    /// `ret`.
+    Return,
+    /// `br` / conditional `br`.
+    Branch,
+    /// `add`.
+    Add,
+    /// `sub`.
+    Sub,
+    /// `mul`.
+    Mul,
+    /// `sdiv`.
+    SDiv,
+    /// `srem`.
+    SRem,
+    /// `fadd`.
+    FAdd,
+    /// `fsub`.
+    FSub,
+    /// `fmul`.
+    FMul,
+    /// `fdiv`.
+    FDiv,
+    /// `select`.
+    Select,
+    /// `getelementptr`.
+    Gep,
+    /// `icmp` (any predicate).
+    ICmp,
+    /// `fcmp` (any predicate).
+    FCmp,
+    /// `phi`.
+    Phi,
+    /// `sext`.
+    SExt,
+    /// `zext`.
+    ZExt,
+    /// `trunc`.
+    Trunc,
+    /// `sitofp`.
+    SIToFP,
+    /// `fptosi`.
+    FPToSI,
+    /// `fpext`.
+    FPExt,
+    /// `fptrunc`.
+    FPTrunc,
+    /// `call`.
+    Call,
+    /// `alloca`.
+    Alloca,
+}
+
+impl OpcodeClass {
+    /// Parses the surface spelling used in IDL sources.
+    #[must_use]
+    pub fn from_word(w: &str) -> Option<OpcodeClass> {
+        Some(match w {
+            "store" => OpcodeClass::Store,
+            "load" => OpcodeClass::Load,
+            "return" => OpcodeClass::Return,
+            "branch" => OpcodeClass::Branch,
+            "add" => OpcodeClass::Add,
+            "sub" => OpcodeClass::Sub,
+            "mul" => OpcodeClass::Mul,
+            "sdiv" => OpcodeClass::SDiv,
+            "srem" => OpcodeClass::SRem,
+            "fadd" => OpcodeClass::FAdd,
+            "fsub" => OpcodeClass::FSub,
+            "fmul" => OpcodeClass::FMul,
+            "fdiv" => OpcodeClass::FDiv,
+            "select" => OpcodeClass::Select,
+            "gep" => OpcodeClass::Gep,
+            "icmp" => OpcodeClass::ICmp,
+            "fcmp" => OpcodeClass::FCmp,
+            "phi" => OpcodeClass::Phi,
+            "sext" => OpcodeClass::SExt,
+            "zext" => OpcodeClass::ZExt,
+            "trunc" => OpcodeClass::Trunc,
+            "sitofp" => OpcodeClass::SIToFP,
+            "fptosi" => OpcodeClass::FPToSI,
+            "fpext" => OpcodeClass::FPExt,
+            "fptrunc" => OpcodeClass::FPTrunc,
+            "call" => OpcodeClass::Call,
+            "alloca" => OpcodeClass::Alloca,
+            _ => return None,
+        })
+    }
+
+    /// `true` if `op` belongs to this class.
+    #[must_use]
+    pub fn matches(self, op: Opcode) -> bool {
+        match self {
+            OpcodeClass::Store => op == Opcode::Store,
+            OpcodeClass::Load => op == Opcode::Load,
+            OpcodeClass::Return => op == Opcode::Ret,
+            OpcodeClass::Branch => matches!(op, Opcode::Br | Opcode::CondBr),
+            OpcodeClass::Add => op == Opcode::Add,
+            OpcodeClass::Sub => op == Opcode::Sub,
+            OpcodeClass::Mul => op == Opcode::Mul,
+            OpcodeClass::SDiv => op == Opcode::SDiv,
+            OpcodeClass::SRem => op == Opcode::SRem,
+            OpcodeClass::FAdd => op == Opcode::FAdd,
+            OpcodeClass::FSub => op == Opcode::FSub,
+            OpcodeClass::FMul => op == Opcode::FMul,
+            OpcodeClass::FDiv => op == Opcode::FDiv,
+            OpcodeClass::Select => op == Opcode::Select,
+            OpcodeClass::Gep => op == Opcode::Gep,
+            OpcodeClass::ICmp => matches!(op, Opcode::ICmp(_)),
+            OpcodeClass::FCmp => matches!(op, Opcode::FCmp(_)),
+            OpcodeClass::Phi => op == Opcode::Phi,
+            OpcodeClass::SExt => op == Opcode::SExt,
+            OpcodeClass::ZExt => op == Opcode::ZExt,
+            OpcodeClass::Trunc => op == Opcode::Trunc,
+            OpcodeClass::SIToFP => op == Opcode::SIToFP,
+            OpcodeClass::FPToSI => op == Opcode::FPToSI,
+            OpcodeClass::FPExt => op == Opcode::FPExt,
+            OpcodeClass::FPTrunc => op == Opcode::FPTrunc,
+            OpcodeClass::Call => op == Opcode::Call,
+            OpcodeClass::Alloca => op == Opcode::Alloca,
+        }
+    }
+}
+
+/// An atomic constraint over flattened variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomKind {
+    /// `is integer/float/pointer [constant zero]`.
+    TypeIs {
+        /// The tested class.
+        class: TypeClass,
+        /// Also require a zero constant.
+        constant_zero: bool,
+    },
+    /// No users.
+    Unused,
+    /// Integer/float constant.
+    IsConstant,
+    /// Constant or function argument ("compile time value").
+    IsPreexecution,
+    /// Function argument.
+    IsArgument,
+    /// Any instruction.
+    IsInstruction,
+    /// Specific opcode class.
+    OpcodeIs(OpcodeClass),
+    /// Variable equality (or inequality with `negated`).
+    Same {
+        /// `is not the same as`.
+        negated: bool,
+    },
+    /// `has <kind> to` edge.
+    HasEdge(EdgeKind),
+    /// Operand position: `vars[0]` is operand `pos` of `vars[1]`.
+    ArgumentOf {
+        /// Zero-based operand index.
+        pos: usize,
+    },
+    /// `vars[0]` is the incoming value of phi `vars[1]` for the edge whose
+    /// terminator is `vars[2]`.
+    ReachesPhi,
+    /// Instruction-granularity dominance between `vars[0]` and `vars[1]`.
+    Dominates {
+        /// Strict form.
+        strict: bool,
+        /// Post-dominance.
+        post: bool,
+        /// `does not` form.
+        negated: bool,
+    },
+    /// Every path `vars[0] → vars[1]` passes through `vars[2]`.
+    AllFlowThrough {
+        /// `true` for data-flow paths, `false` for control flow.
+        data: bool,
+    },
+    /// Kernel purity: the backward slice of `vars[0]` terminates at the
+    /// `families` members (or constants/arguments) crossing only pure
+    /// instructions.
+    KilledBy,
+    /// Family binding: `families[0] = families[1] ++ families[2]`.
+    Concat,
+}
+
+/// An atom with its variable references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The kind.
+    pub kind: AtomKind,
+    /// Searchable variable names (assigned by the solver).
+    pub vars: Vec<String>,
+    /// Family/reference names resolved against the assignment at
+    /// evaluation time (`KilledBy` killers, `Concat` operands).
+    pub families: Vec<String>,
+}
+
+/// A compiled constraint tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CTree {
+    /// Conjunction (empty = true).
+    And(Vec<CTree>),
+    /// Disjunction (empty = false).
+    Or(Vec<CTree>),
+    /// Atomic constraint.
+    Atom(Atom),
+    /// All-solutions sub-search. `instances[k]` is the body with the
+    /// collect index substituted by `k`; solution `k` of the sub-search is
+    /// bound to the names of instance `k`.
+    Collect {
+        /// Pre-instantiated bodies, index 0..max.
+        instances: Vec<CTree>,
+    },
+}
+
+impl CTree {
+    /// All searchable variables in first-occurrence order (excluding
+    /// variables internal to `collect` bodies).
+    #[must_use]
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk_vars(&mut out, true);
+        out
+    }
+
+    /// All variables including collect-internal ones (used to align
+    /// collect instances positionally).
+    #[must_use]
+    pub fn variables_deep(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk_vars(&mut out, false);
+        out
+    }
+
+    fn walk_vars(&self, out: &mut Vec<String>, skip_collect: bool) {
+        match self {
+            CTree::And(cs) | CTree::Or(cs) => {
+                for c in cs {
+                    c.walk_vars(out, skip_collect);
+                }
+            }
+            CTree::Atom(a) => {
+                // Family references (`KilledBy` killers, `Concat` operands)
+                // are resolved against the assignment at evaluation time;
+                // they are NOT search variables.
+                for v in &a.vars {
+                    if !out.contains(v) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+            CTree::Collect { instances } => {
+                if !skip_collect {
+                    for i in instances {
+                        i.walk_vars(out, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of atoms in the tree (collect bodies counted once).
+    #[must_use]
+    pub fn atom_count(&self) -> usize {
+        match self {
+            CTree::And(cs) | CTree::Or(cs) => cs.iter().map(CTree::atom_count).sum(),
+            CTree::Atom(_) => 1,
+            CTree::Collect { instances } => {
+                instances.first().map_or(0, CTree::atom_count)
+            }
+        }
+    }
+}
+
+/// A fully compiled, solver-ready idiom definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledConstraint {
+    /// Idiom name (the `Constraint <name>` header).
+    pub name: String,
+    /// The constraint tree.
+    pub tree: CTree,
+    /// Searchable variables in first-occurrence order.
+    pub variables: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_classes_match() {
+        assert!(OpcodeClass::Branch.matches(Opcode::Br));
+        assert!(OpcodeClass::Branch.matches(Opcode::CondBr));
+        assert!(!OpcodeClass::Branch.matches(Opcode::Ret));
+        assert!(OpcodeClass::ICmp.matches(Opcode::ICmp(ssair::ICmpPred::Slt)));
+        assert!(OpcodeClass::from_word("gep") == Some(OpcodeClass::Gep));
+        assert!(OpcodeClass::from_word("bogus").is_none());
+    }
+
+    #[test]
+    fn variable_collection_order_and_dedup() {
+        let t = CTree::And(vec![
+            CTree::Atom(Atom {
+                kind: AtomKind::OpcodeIs(OpcodeClass::Add),
+                vars: vec!["sum".into()],
+                families: vec![],
+            }),
+            CTree::Or(vec![
+                CTree::Atom(Atom {
+                    kind: AtomKind::ArgumentOf { pos: 0 },
+                    vars: vec!["factor".into(), "sum".into()],
+                    families: vec![],
+                }),
+                CTree::Atom(Atom {
+                    kind: AtomKind::ArgumentOf { pos: 1 },
+                    vars: vec!["factor".into(), "sum".into()],
+                    families: vec![],
+                }),
+            ]),
+        ]);
+        assert_eq!(t.variables(), vec!["sum".to_owned(), "factor".to_owned()]);
+        assert_eq!(t.atom_count(), 3);
+    }
+}

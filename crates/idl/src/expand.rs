@@ -1,0 +1,498 @@
+//! Macro expansion: AST → [`CTree`].
+//!
+//! Implements the compilation process of §4.4: `inherits`, `for all`,
+//! `for some`, `for`, `if`, renaming and rebasing are eliminated, leaving
+//! conjunctions/disjunctions of atomics with flattened variable names.
+//! `collect` bodies are pre-instantiated for each index value.
+
+use crate::ast::*;
+use crate::ctree::*;
+use std::collections::HashMap;
+
+/// An expansion failure (unknown definition, unbound parameter, cyclic
+/// inheritance, malformed atom).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandError {
+    /// Human-readable description with definition context.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IDL expansion: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+type Result<T> = std::result::Result<T, ExpandError>;
+
+/// Compiles the definition `name` from `lib` into a solver-ready
+/// constraint.
+pub fn compile(lib: &Library, name: &str) -> Result<CompiledConstraint> {
+    let def = lib
+        .get(name)
+        .ok_or_else(|| ExpandError { message: format!("no definition named {name:?}") })?;
+    let mut cx = Cx { lib, stack: vec![name.to_owned()] };
+    let env = HashMap::new();
+    let tree = cx.expand(&def.body, &env)?;
+    let variables = tree.variables();
+    Ok(CompiledConstraint { name: name.to_owned(), tree, variables })
+}
+
+struct Cx<'l> {
+    lib: &'l Library,
+    stack: Vec<String>,
+}
+
+/// A variable-name rewrite: exact-or-prefix renames plus an optional
+/// rebase prefix for unmapped names.
+struct Rewrite {
+    /// (inner prefix, outer replacement).
+    renames: Vec<(String, String)>,
+    rebase: Option<String>,
+}
+
+impl Rewrite {
+    fn apply(&self, name: &str) -> String {
+        for (inner, outer) in &self.renames {
+            if name == inner {
+                return outer.clone();
+            }
+            if let Some(rest) = name.strip_prefix(inner.as_str()) {
+                if rest.starts_with('.') || rest.starts_with('[') {
+                    return format!("{outer}{rest}");
+                }
+            }
+        }
+        match &self.rebase {
+            Some(p) => format!("{p}.{name}"),
+            None => name.to_owned(),
+        }
+    }
+}
+
+fn rewrite_tree(tree: &mut CTree, rw: &Rewrite) {
+    match tree {
+        CTree::And(cs) | CTree::Or(cs) => {
+            for c in cs {
+                rewrite_tree(c, rw);
+            }
+        }
+        CTree::Atom(a) => {
+            for v in a.vars.iter_mut().chain(a.families.iter_mut()) {
+                *v = rw.apply(v);
+            }
+        }
+        CTree::Collect { instances } => {
+            for i in instances {
+                rewrite_tree(i, rw);
+            }
+        }
+    }
+}
+
+impl<'l> Cx<'l> {
+    fn err(&self, msg: impl Into<String>) -> ExpandError {
+        ExpandError {
+            message: format!("{} (while expanding {})", msg.into(), self.stack.join(" -> ")),
+        }
+    }
+
+    fn flatten(&self, v: &VarName, env: &HashMap<String, i64>) -> Result<String> {
+        v.flatten(env).map_err(|e| self.err(e))
+    }
+
+    fn expand(&mut self, c: &Constraint, env: &HashMap<String, i64>) -> Result<CTree> {
+        match c {
+            Constraint::And(cs) => Ok(CTree::And(
+                cs.iter().map(|x| self.expand(x, env)).collect::<Result<Vec<_>>>()?,
+            )),
+            Constraint::Or(cs) => Ok(CTree::Or(
+                cs.iter().map(|x| self.expand(x, env)).collect::<Result<Vec<_>>>()?,
+            )),
+            Constraint::Atom(a) => self.expand_atom(a, env),
+            Constraint::ForAll { body, index, lo, hi } => {
+                let lo = lo.eval(env).map_err(|e| self.err(e))?;
+                let hi = hi.eval(env).map_err(|e| self.err(e))?;
+                let mut items = Vec::new();
+                for i in lo..=hi {
+                    let mut env2 = env.clone();
+                    env2.insert(index.clone(), i);
+                    items.push(self.expand(body, &env2)?);
+                }
+                Ok(CTree::And(items))
+            }
+            Constraint::ForSome { body, index, lo, hi } => {
+                let lo = lo.eval(env).map_err(|e| self.err(e))?;
+                let hi = hi.eval(env).map_err(|e| self.err(e))?;
+                let mut items = Vec::new();
+                for i in lo..=hi {
+                    let mut env2 = env.clone();
+                    env2.insert(index.clone(), i);
+                    items.push(self.expand(body, &env2)?);
+                }
+                Ok(CTree::Or(items))
+            }
+            Constraint::ForOne { body, index, value } => {
+                let v = value.eval(env).map_err(|e| self.err(e))?;
+                let mut env2 = env.clone();
+                env2.insert(index.clone(), v);
+                self.expand(body, &env2)
+            }
+            Constraint::If { a, b, then, other } => {
+                let av = a.eval(env).map_err(|e| self.err(e))?;
+                let bv = b.eval(env).map_err(|e| self.err(e))?;
+                if av == bv {
+                    self.expand(then, env)
+                } else {
+                    self.expand(other, env)
+                }
+            }
+            Constraint::Collect { index, max, body } => {
+                let mut instances = Vec::new();
+                for k in 0..*max {
+                    let mut env2 = env.clone();
+                    env2.insert(index.clone(), k as i64);
+                    instances.push(self.expand(body, &env2)?);
+                }
+                Ok(CTree::Collect { instances })
+            }
+            Constraint::Adapted { inner, adapt } => {
+                let mut tree = self.expand(inner, env)?;
+                let rw = self.build_rewrite(adapt, env)?;
+                rewrite_tree(&mut tree, &rw);
+                Ok(tree)
+            }
+            Constraint::Inherits { name, params, adapt } => {
+                if self.stack.contains(name) {
+                    return Err(self.err(format!("cyclic inheritance of {name:?}")));
+                }
+                let def = self
+                    .lib
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("no definition named {name:?}")))?;
+                // Inner environment: only the declared parameters.
+                let mut inner_env = HashMap::new();
+                for (pname, calc) in params {
+                    inner_env.insert(pname.clone(), calc.eval(env).map_err(|e| self.err(e))?);
+                }
+                self.stack.push(name.clone());
+                let body = def.body.clone();
+                let mut tree = self.expand(&body, &inner_env)?;
+                self.stack.pop();
+                let rw = self.build_rewrite_mixed(adapt, env, &inner_env)?;
+                rewrite_tree(&mut tree, &rw);
+                Ok(tree)
+            }
+        }
+    }
+
+    /// Builds a rewrite where both sides are flattened under the same env
+    /// (used by `Adapted` groups, whose inner names live in the current
+    /// scope).
+    fn build_rewrite(&self, adapt: &Adaptation, env: &HashMap<String, i64>) -> Result<Rewrite> {
+        self.build_rewrite_mixed(adapt, env, env)
+    }
+
+    /// Builds a rewrite for `inherits`: outer names evaluate under the
+    /// caller's environment, inner names under the inherited definition's
+    /// parameter environment.
+    fn build_rewrite_mixed(
+        &self,
+        adapt: &Adaptation,
+        outer_env: &HashMap<String, i64>,
+        inner_env: &HashMap<String, i64>,
+    ) -> Result<Rewrite> {
+        let mut renames = Vec::new();
+        for (outer, inner) in &adapt.renames {
+            renames.push((self.flatten(inner, inner_env)?, self.flatten(outer, outer_env)?));
+        }
+        let rebase = match &adapt.rebase {
+            Some(p) => Some(self.flatten(p, outer_env)?),
+            None => None,
+        };
+        Ok(Rewrite { renames, rebase })
+    }
+
+    fn expand_atom(&self, a: &RawAtom, env: &HashMap<String, i64>) -> Result<CTree> {
+        let atom = match a {
+            RawAtom::TypeIs { var, class, constant_zero } => {
+                let class = match class.as_str() {
+                    "integer" => TypeClass::Integer,
+                    "float" => TypeClass::Float,
+                    "pointer" => TypeClass::Pointer,
+                    other => return Err(self.err(format!("unknown type class {other:?}"))),
+                };
+                Atom {
+                    kind: AtomKind::TypeIs { class, constant_zero: *constant_zero },
+                    vars: vec![self.flatten(var, env)?],
+                    families: vec![],
+                }
+            }
+            RawAtom::Unused(v) => Atom {
+                kind: AtomKind::Unused,
+                vars: vec![self.flatten(v, env)?],
+                families: vec![],
+            },
+            RawAtom::IsConstant(v) => Atom {
+                kind: AtomKind::IsConstant,
+                vars: vec![self.flatten(v, env)?],
+                families: vec![],
+            },
+            RawAtom::IsPreexecution(v) => Atom {
+                kind: AtomKind::IsPreexecution,
+                vars: vec![self.flatten(v, env)?],
+                families: vec![],
+            },
+            RawAtom::IsArgument(v) => Atom {
+                kind: AtomKind::IsArgument,
+                vars: vec![self.flatten(v, env)?],
+                families: vec![],
+            },
+            RawAtom::IsInstruction(v) => Atom {
+                kind: AtomKind::IsInstruction,
+                vars: vec![self.flatten(v, env)?],
+                families: vec![],
+            },
+            RawAtom::OpcodeIs { var, opcode } => {
+                let class = OpcodeClass::from_word(opcode)
+                    .ok_or_else(|| self.err(format!("unknown opcode {opcode:?}")))?;
+                Atom {
+                    kind: AtomKind::OpcodeIs(class),
+                    vars: vec![self.flatten(var, env)?],
+                    families: vec![],
+                }
+            }
+            RawAtom::Same { a, b, negated } => Atom {
+                kind: AtomKind::Same { negated: *negated },
+                vars: vec![self.flatten(a, env)?, self.flatten(b, env)?],
+                families: vec![],
+            },
+            RawAtom::HasEdge { from, to, kind } => {
+                let kind = match kind.as_str() {
+                    "data" => EdgeKind::Data,
+                    "control" => EdgeKind::Control,
+                    "dependence" => EdgeKind::Dependence,
+                    other => return Err(self.err(format!("unknown edge kind {other:?}"))),
+                };
+                Atom {
+                    kind: AtomKind::HasEdge(kind),
+                    vars: vec![self.flatten(from, env)?, self.flatten(to, env)?],
+                    families: vec![],
+                }
+            }
+            RawAtom::ArgumentOf { child, parent, pos } => Atom {
+                kind: AtomKind::ArgumentOf { pos: *pos },
+                vars: vec![self.flatten(child, env)?, self.flatten(parent, env)?],
+                families: vec![],
+            },
+            RawAtom::ReachesPhi { value, phi, from } => Atom {
+                kind: AtomKind::ReachesPhi,
+                vars: vec![
+                    self.flatten(value, env)?,
+                    self.flatten(phi, env)?,
+                    self.flatten(from, env)?,
+                ],
+                families: vec![],
+            },
+            RawAtom::Dominates { a, b, strict, post, negated } => Atom {
+                kind: AtomKind::Dominates { strict: *strict, post: *post, negated: *negated },
+                vars: vec![self.flatten(a, env)?, self.flatten(b, env)?],
+                families: vec![],
+            },
+            RawAtom::AllFlowThrough { from, to, through, kind } => Atom {
+                kind: AtomKind::AllFlowThrough { data: kind == "data" },
+                vars: vec![
+                    self.flatten(from, env)?,
+                    self.flatten(to, env)?,
+                    self.flatten(through, env)?,
+                ],
+                families: vec![],
+            },
+            RawAtom::KilledBy { sink, killers } => Atom {
+                kind: AtomKind::KilledBy,
+                vars: vec![self.flatten(sink, env)?],
+                families: killers
+                    .iter()
+                    .map(|k| self.flatten(k, env))
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            RawAtom::Concat { out, in1, in2 } => Atom {
+                kind: AtomKind::Concat,
+                vars: vec![],
+                families: vec![
+                    self.flatten(out, env)?,
+                    self.flatten(in1, env)?,
+                    self.flatten(in2, env)?,
+                ],
+            },
+        };
+        Ok(CTree::Atom(atom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_library;
+
+    #[test]
+    fn compiles_figure2() {
+        let lib = parse_library(
+            r#"
+Constraint Factorization
+( {sum} is add instruction and
+  {left} is first argument of {sum} and
+  ( {factor} is first argument of {left} or
+    {factor} is second argument of {left} ))
+End
+"#,
+        )
+        .unwrap();
+        let c = compile(&lib, "Factorization").unwrap();
+        assert_eq!(c.variables, vec!["sum", "left", "factor"]);
+        assert_eq!(c.tree.atom_count(), 4);
+    }
+
+    #[test]
+    fn inheritance_renames_and_rebases() {
+        let lib = parse_library(
+            r#"
+Constraint Read
+( {address} is gep instruction and
+  {value} is load instruction and
+  {address} is first argument of {value} and
+  {idx} is second argument of {address} )
+End
+
+Constraint Outer
+( inherits Read with {iterator} as {idx} at {src} and
+  {iterator} is phi instruction )
+End
+"#,
+        )
+        .unwrap();
+        let c = compile(&lib, "Outer").unwrap();
+        // idx is renamed to the outer iterator; others get the src prefix.
+        assert!(c.variables.contains(&"src.address".to_owned()));
+        assert!(c.variables.contains(&"src.value".to_owned()));
+        assert!(c.variables.contains(&"iterator".to_owned()));
+        assert!(!c.variables.iter().any(|v| v == "idx" || v == "src.idx"));
+    }
+
+    #[test]
+    fn forall_duplicates_with_index_substitution() {
+        let lib = parse_library(
+            r#"
+Constraint Nest
+( ( {loop[i].header} is phi instruction ) for all i = 0 .. N-1 )
+End
+
+Constraint Three
+( inherits Nest(N=3) )
+End
+"#,
+        )
+        .unwrap();
+        let c = compile(&lib, "Three").unwrap();
+        assert_eq!(
+            c.variables,
+            vec!["loop[0].header", "loop[1].header", "loop[2].header"]
+        );
+    }
+
+    #[test]
+    fn forsome_becomes_disjunction() {
+        let lib = parse_library(
+            r#"
+Constraint S
+( ( {x[i]} is load instruction ) for some i = 0 .. 1 )
+End
+"#,
+        )
+        .unwrap();
+        let c = compile(&lib, "S").unwrap();
+        assert!(matches!(c.tree, CTree::Or(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn if_selects_branch_at_compile_time() {
+        let lib = parse_library(
+            r#"
+Constraint C
+( if N = 1 then {a} is unused else {a} is an instruction endif )
+End
+
+Constraint D ( inherits C(N=1) )
+End
+
+Constraint E ( inherits C(N=2) )
+End
+"#,
+        )
+        .unwrap();
+        let d = compile(&lib, "D").unwrap();
+        let e = compile(&lib, "E").unwrap();
+        assert!(matches!(d.tree, CTree::Atom(Atom { kind: AtomKind::Unused, .. })));
+        assert!(matches!(e.tree, CTree::Atom(Atom { kind: AtomKind::IsInstruction, .. })));
+    }
+
+    #[test]
+    fn collect_preinstantiates() {
+        let lib = parse_library(
+            r#"
+Constraint C
+( collect i 3 ( {read[i].value} is load instruction and
+                {iterator} has data flow to {read[i].value} ) )
+End
+"#,
+        )
+        .unwrap();
+        let c = compile(&lib, "C").unwrap();
+        let CTree::Collect { instances } = &c.tree else { panic!("expected collect") };
+        assert_eq!(instances.len(), 3);
+        // Outer variables exclude collect internals.
+        assert!(c.variables.is_empty());
+        let deep = instances[2].variables_deep();
+        assert!(deep.contains(&"read[2].value".to_owned()));
+        assert!(deep.contains(&"iterator".to_owned()));
+    }
+
+    #[test]
+    fn cyclic_inheritance_is_an_error() {
+        let lib = parse_library(
+            "Constraint A ( inherits B ) End Constraint B ( inherits A ) End",
+        )
+        .unwrap();
+        let err = compile(&lib, "A").unwrap_err();
+        assert!(err.message.contains("cyclic"));
+    }
+
+    #[test]
+    fn unknown_definition_is_an_error() {
+        let lib = parse_library("Constraint A ( inherits Missing ) End").unwrap();
+        assert!(compile(&lib, "A").is_err());
+        assert!(compile(&lib, "Nope").is_err());
+    }
+
+    #[test]
+    fn family_prefix_renaming() {
+        let lib = parse_library(
+            r#"
+Constraint Inner
+( all flow to {out} is killed by {input} )
+End
+
+Constraint Outer
+( inherits Inner with {reads} as {input} and {result} as {out} at {k} )
+End
+"#,
+        )
+        .unwrap();
+        let c = compile(&lib, "Outer").unwrap();
+        let CTree::Atom(a) = &c.tree else { panic!() };
+        assert_eq!(a.vars[0], "result");
+        assert_eq!(a.families[0], "reads");
+    }
+}

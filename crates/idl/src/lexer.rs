@@ -1,0 +1,166 @@
+//! IDL lexer.
+
+/// IDL tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Bare word (keywords, idiom names, opcode mnemonics).
+    Word(String),
+    /// Integer literal.
+    Num(i64),
+    /// `{`-delimited variable reference content, raw (parsed further by
+    /// the parser), e.g. `loop[N-1].iterator` or `a, b, c` for varlists.
+    Braced(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `=`.
+    Equals,
+    /// `,`.
+    Comma,
+    /// `..`.
+    DotDot,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// End of input.
+    Eof,
+}
+
+/// A token with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Lexes IDL source (with `#`- or `--`-style comments to end of line).
+pub fn lex(src: &str) -> Result<Vec<Spanned>, (usize, String)> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < chars.len() && chars[i + 1] == '-' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '}' {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err((line, "unterminated variable brace".into()));
+                }
+                let content: String = chars[start..j].iter().collect();
+                out.push(Spanned { tok: Tok::Braced(content.trim().to_owned()), line });
+                i = j + 1;
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, line });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Equals, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, line });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { tok: Tok::Plus, line });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned { tok: Tok::Minus, line });
+                i += 1;
+            }
+            '.' if i + 1 < chars.len() && chars[i + 1] == '.' => {
+                out.push(Spanned { tok: Tok::DotDot, line });
+                i += 2;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: i64 =
+                    text.parse().map_err(|_| (line, format!("bad number {text:?}")))?;
+                out.push(Spanned { tok: Tok::Num(n), line });
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Spanned { tok: Tok::Word(chars[start..i].iter().collect()), line });
+            }
+            other => return Err((line, format!("unexpected character {other:?}"))),
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_constraint_header_and_braces() {
+        let toks = lex("Constraint X\n( {sum} is add instruction )\nEnd").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Word(w) if w == "Constraint"));
+        assert!(matches!(kinds[2], Tok::LParen));
+        assert!(matches!(kinds[3], Tok::Braced(b) if b == "sum"));
+    }
+
+    #[test]
+    fn lexes_ranges_params_and_comments() {
+        let toks =
+            lex("# comment\nForNest(N=3) for all i = 0 .. N-1 -- trailing").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::DotDot));
+        assert!(toks.iter().any(|t| t.tok == Tok::Equals));
+        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Num(3))));
+        assert!(!toks.iter().any(|t| matches!(&t.tok, Tok::Word(w) if w == "comment" || w == "trailing")));
+    }
+
+    #[test]
+    fn brace_content_is_raw() {
+        let toks = lex("{loop[N-1].iterator}").unwrap();
+        assert!(matches!(&toks[0].tok, Tok::Braced(b) if b == "loop[N-1].iterator"));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\nc").unwrap();
+        assert_eq!(toks[2].line, 3);
+    }
+}

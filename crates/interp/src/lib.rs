@@ -1,0 +1,27 @@
+//! # interp — an interpreter and profiler for ssair modules
+//!
+//! The reproduction needs to *execute* the benchmark programs for three
+//! purposes:
+//!
+//! 1. **correctness validation** — after the idiom replacement phase, the
+//!    transformed program (with heterogeneous API calls) must compute the
+//!    same results as the original (tested end-to-end in `/tests`);
+//! 2. **runtime coverage** (paper Figure 17) — the per-instruction
+//!    execution counts of the [`Profile`] determine what fraction of the
+//!    sequential work happens inside detected idiom regions;
+//! 3. **the sequential cost model** (paper Figure 18 / Table 3 baselines)
+//!    — the `hetero` crate converts profile counts into modeled sequential
+//!    milliseconds.
+//!
+//! The machine is a straightforward SSA evaluator over a byte-addressable
+//! memory. Calls resolve in order to: registered *host functions* (the
+//! simulated heterogeneous APIs installed by the `hetero` crate), the math
+//! intrinsics, then module functions.
+
+mod machine;
+mod memory;
+mod profile;
+
+pub use machine::{ExecError, HostFn, Machine, Value};
+pub use memory::Memory;
+pub use profile::Profile;

@@ -1,0 +1,228 @@
+//! Byte-addressable linear memory with typed accessors.
+//!
+//! Address 0 is reserved as null; allocations are 8-byte aligned. The
+//! memory is the single shared address space of a simulated run — the
+//! "host" arrays of a benchmark live here, and the simulated heterogeneous
+//! APIs read and write them directly (data-transfer *cost* is modeled
+//! separately by `hetero`; correctness uses this one space).
+
+use ssair::Type;
+
+/// Linear memory.
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+impl Memory {
+    /// Creates an empty memory (address 0 reserved).
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory { bytes: vec![0; 8] }
+    }
+
+    /// Current size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Allocates `n` bytes, zero-initialized, 8-byte aligned.
+    pub fn alloc_bytes(&mut self, n: usize) -> u64 {
+        let addr = (self.bytes.len() + 7) & !7;
+        self.bytes.resize(addr + n, 0);
+        addr as u64
+    }
+
+    /// Allocates an array of `n` elements of `ty`.
+    pub fn alloc(&mut self, ty: &Type, n: usize) -> u64 {
+        self.alloc_bytes(ty.size_bytes() * n)
+    }
+
+    fn check(&self, addr: u64, n: usize) -> Result<usize, String> {
+        let a = addr as usize;
+        if addr == 0 {
+            return Err("null pointer access".into());
+        }
+        if a + n > self.bytes.len() {
+            return Err(format!("out-of-bounds access at {addr} (+{n})"));
+        }
+        Ok(a)
+    }
+
+    /// Loads an `i64` (or pointer) value.
+    pub fn load_i64(&self, addr: u64) -> Result<i64, String> {
+        let a = self.check(addr, 8)?;
+        Ok(i64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("8 bytes")))
+    }
+
+    /// Stores an `i64` (or pointer) value.
+    pub fn store_i64(&mut self, addr: u64, v: i64) -> Result<(), String> {
+        let a = self.check(addr, 8)?;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Loads an `i32` value (sign-preserved in `i64`).
+    pub fn load_i32(&self, addr: u64) -> Result<i64, String> {
+        let a = self.check(addr, 4)?;
+        Ok(i64::from(i32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("4 bytes"))))
+    }
+
+    /// Stores an `i32` value (truncating).
+    pub fn store_i32(&mut self, addr: u64, v: i64) -> Result<(), String> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&(v as i32).to_le_bytes());
+        Ok(())
+    }
+
+    /// Loads an `i1` value.
+    pub fn load_i8(&self, addr: u64) -> Result<i64, String> {
+        let a = self.check(addr, 1)?;
+        Ok(i64::from(self.bytes[a]))
+    }
+
+    /// Stores an `i1` value.
+    pub fn store_i8(&mut self, addr: u64, v: i64) -> Result<(), String> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = (v & 1) as u8;
+        Ok(())
+    }
+
+    /// Loads an `f64`.
+    pub fn load_f64(&self, addr: u64) -> Result<f64, String> {
+        let a = self.check(addr, 8)?;
+        Ok(f64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("8 bytes")))
+    }
+
+    /// Stores an `f64`.
+    pub fn store_f64(&mut self, addr: u64, v: f64) -> Result<(), String> {
+        let a = self.check(addr, 8)?;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Loads an `f32` widened to `f64`.
+    pub fn load_f32(&self, addr: u64) -> Result<f64, String> {
+        let a = self.check(addr, 4)?;
+        Ok(f64::from(f32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("4 bytes"))))
+    }
+
+    /// Stores an `f32` (narrowing).
+    pub fn store_f32(&mut self, addr: u64, v: f64) -> Result<(), String> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&(v as f32).to_le_bytes());
+        Ok(())
+    }
+
+    // ----- bulk helpers for harnesses and tests -----
+
+    /// Allocates and fills an `f64` array; returns its address.
+    pub fn alloc_f64_slice(&mut self, data: &[f64]) -> u64 {
+        let addr = self.alloc(&Type::F64, data.len());
+        for (i, &v) in data.iter().enumerate() {
+            self.store_f64(addr + 8 * i as u64, v).expect("in bounds");
+        }
+        addr
+    }
+
+    /// Allocates and fills an `f32` array; returns its address.
+    pub fn alloc_f32_slice(&mut self, data: &[f32]) -> u64 {
+        let addr = self.alloc(&Type::F32, data.len());
+        for (i, &v) in data.iter().enumerate() {
+            self.store_f32(addr + 4 * i as u64, f64::from(v)).expect("in bounds");
+        }
+        addr
+    }
+
+    /// Allocates and fills an `i32` array; returns its address.
+    pub fn alloc_i32_slice(&mut self, data: &[i32]) -> u64 {
+        let addr = self.alloc(&Type::I32, data.len());
+        for (i, &v) in data.iter().enumerate() {
+            self.store_i32(addr + 4 * i as u64, i64::from(v)).expect("in bounds");
+        }
+        addr
+    }
+
+    /// Allocates and fills an `i64` array; returns its address.
+    pub fn alloc_i64_slice(&mut self, data: &[i64]) -> u64 {
+        let addr = self.alloc(&Type::I64, data.len());
+        for (i, &v) in data.iter().enumerate() {
+            self.store_i64(addr + 8 * i as u64, v).expect("in bounds");
+        }
+        addr
+    }
+
+    /// Reads back an `f64` array.
+    pub fn read_f64_slice(&self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.load_f64(addr + 8 * i as u64).expect("in bounds")).collect()
+    }
+
+    /// Reads back an `f32` array (widened).
+    pub fn read_f32_slice(&self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.load_f32(addr + 4 * i as u64).expect("in bounds")).collect()
+    }
+
+    /// Reads back an `i32` array.
+    pub fn read_i32_slice(&self, addr: u64, n: usize) -> Vec<i64> {
+        (0..n).map(|i| self.load_i32(addr + 4 * i as u64).expect("in bounds")).collect()
+    }
+
+    /// Reads back an `i64` array.
+    pub fn read_i64_slice(&self, addr: u64, n: usize) -> Vec<i64> {
+        (0..n).map(|i| self.load_i64(addr + 8 * i as u64).expect("in bounds")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        let mut m = Memory::new();
+        let a = m.alloc(&Type::F64, 2);
+        m.store_f64(a, 1.5).unwrap();
+        m.store_f64(a + 8, -2.5).unwrap();
+        assert_eq!(m.load_f64(a).unwrap(), 1.5);
+        assert_eq!(m.load_f64(a + 8).unwrap(), -2.5);
+        let b = m.alloc(&Type::I32, 1);
+        m.store_i32(b, -7).unwrap();
+        assert_eq!(m.load_i32(b).unwrap(), -7);
+    }
+
+    #[test]
+    fn rejects_null_and_out_of_bounds() {
+        let mut m = Memory::new();
+        assert!(m.load_f64(0).is_err());
+        let a = m.alloc(&Type::F64, 1);
+        assert!(m.load_f64(a + 8).is_err());
+        assert!(m.store_i64(0, 1).is_err());
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut m = Memory::new();
+        let a = m.alloc(&Type::I32, 3); // 12 bytes
+        let b = m.alloc(&Type::F64, 1);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert!(b >= a + 12);
+    }
+
+    #[test]
+    fn slice_helpers_round_trip() {
+        let mut m = Memory::new();
+        let a = m.alloc_f64_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.read_f64_slice(a, 3), vec![1.0, 2.0, 3.0]);
+        let b = m.alloc_i32_slice(&[-1, 5]);
+        assert_eq!(m.read_i32_slice(b, 2), vec![-1, 5]);
+        let c = m.alloc_f32_slice(&[0.5]);
+        assert_eq!(m.read_f32_slice(c, 1), vec![0.5]);
+    }
+}

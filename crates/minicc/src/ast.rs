@@ -1,0 +1,222 @@
+//! Abstract syntax tree of the minicc C subset.
+
+/// Source-level types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `int`: 32-bit signed.
+    Int,
+    /// `long`: 64-bit signed.
+    Long,
+    /// `float`: 32-bit IEEE.
+    Float,
+    /// `double`: 64-bit IEEE.
+    Double,
+    /// `void` (function returns only).
+    Void,
+    /// Pointer.
+    Ptr(Box<CType>),
+}
+
+impl CType {
+    /// Pointer to `self`.
+    #[must_use]
+    pub fn ptr_to(self) -> CType {
+        CType::Ptr(Box::new(self))
+    }
+
+    /// `true` for `int`/`long`.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        matches!(self, CType::Int | CType::Long)
+    }
+
+    /// `true` for `float`/`double`.
+    #[must_use]
+    pub fn is_float(&self) -> bool {
+        matches!(self, CType::Float | CType::Double)
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal (`1.0`, `2.5e-3`, `1.0f`).
+    FloatLit(f64, /*is_f32:*/ bool),
+    /// Variable reference.
+    Var(String),
+    /// Arithmetic binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison, result is boolean.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical and (bitwise on `i1`; both sides evaluated).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or (bitwise on `i1`; both sides evaluated).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Array / pointer subscript with one or more indices
+    /// (`a[i]`, `A[i][j]` for local multi-dim arrays).
+    Index {
+        /// The array variable name.
+        base: String,
+        /// One index per dimension.
+        indices: Vec<Expr>,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Ternary conditional, lowered to `select` (both sides evaluated).
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        other: Box<Expr>,
+    },
+    /// Explicit cast `(type) expr`.
+    Cast {
+        /// Target type.
+        ty: CType,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index {
+        /// Array variable name.
+        base: String,
+        /// One index per dimension.
+        indices: Vec<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration, optionally with array dimensions and initializer.
+    Decl {
+        /// Declared name.
+        name: String,
+        /// Element type.
+        ty: CType,
+        /// Array dimensions; empty for scalars.
+        dims: Vec<usize>,
+        /// Scalar initializer.
+        init: Option<Expr>,
+        /// Source line (for diagnostics).
+        line: usize,
+    },
+    /// Assignment `target = value` or compound `target op= value`.
+    Assign {
+        /// Destination.
+        target: LValue,
+        /// `Some(op)` for compound assignment.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// Bare expression (usually a call).
+    Expr(Expr, usize),
+    /// `if` with optional `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        other: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for` loop.
+    For {
+        /// Init statement (declaration or assignment).
+        init: Option<Box<Stmt>>,
+        /// Condition; `None` means `1`.
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return` with optional value.
+    Return(Option<Expr>, usize),
+    /// Braced block (scope is flat; shadowing is rejected at lowering).
+    Block(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, CType)>,
+    /// Return type.
+    pub ret: CType,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: usize,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Function definitions in source order.
+    pub funcs: Vec<FuncDef>,
+}

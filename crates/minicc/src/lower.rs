@@ -1,0 +1,1179 @@
+//! AST → SSA lowering.
+//!
+//! Scalars are lowered with on-the-fly SSA construction (Braun et al.,
+//! "Simple and Efficient Construction of Static Single Assignment Form",
+//! CC'13): each block keeps a per-variable definition map, loop headers are
+//! left unsealed until their latch exists, and trivial phis are removed as
+//! they are discovered. The result is the same canonical loop shape that
+//! clang -O2 (mem2reg + loop rotation) produces, which is the shape the IDL
+//! idiom library is written against:
+//!
+//! ```text
+//! preheader:  ...init...            br header
+//! header:     %i = phi [init, preheader], [%i.next, latch]
+//!             %cond = icmp slt %i, %n
+//!             br %cond, body, exit
+//! body:       ...                    br latch
+//! latch:      %i.next = add %i, 1    br header
+//! ```
+//!
+//! Local arrays are `alloca`s indexed through single-index `gep`s
+//! (multi-dimensional arrays are flattened row-major, as clang does for
+//! constant-size arrays after instcombine).
+
+use crate::ast::*;
+use crate::CompileError;
+use ssair::pass::{remove_instruction, replace_all_uses};
+use ssair::{BlockId, FCmpPred, Function, ICmpPred, Module, Opcode, Type, ValueId};
+use std::collections::HashMap;
+
+type Result<T> = std::result::Result<T, CompileError>;
+
+/// Math intrinsics callable from minicc source. The interpreter and the
+/// kernel-extraction purity check both treat these as pure.
+pub const MATH_INTRINSICS: &[(&str, usize)] = &[
+    ("sqrt", 1),
+    ("fabs", 1),
+    ("exp", 1),
+    ("log", 1),
+    ("sin", 1),
+    ("cos", 1),
+    ("pow", 2),
+    ("fmin", 2),
+    ("fmax", 2),
+];
+
+/// Lowers a parsed program to an SSA module.
+pub fn lower_program(prog: &Program, name: &str) -> Result<Module> {
+    let mut module = Module::new(name);
+    let signatures: HashMap<String, (Vec<CType>, CType)> = prog
+        .funcs
+        .iter()
+        .map(|f| {
+            (
+                f.name.clone(),
+                (f.params.iter().map(|(_, t)| t.clone()).collect(), f.ret.clone()),
+            )
+        })
+        .collect();
+    for func in &prog.funcs {
+        let lowered = FuncLower::new(func, &signatures)?.run(func)?;
+        module.add_function(lowered);
+    }
+    Ok(module)
+}
+
+fn ir_type(ty: &CType) -> Type {
+    match ty {
+        CType::Int => Type::I32,
+        CType::Long => Type::I64,
+        CType::Float => Type::F32,
+        CType::Double => Type::F64,
+        CType::Void => Type::Void,
+        CType::Ptr(p) => ir_type(p).ptr_to(),
+    }
+}
+
+/// A typed value during lowering: either a C-typed value or a boolean
+/// (`i1`, produced by comparisons and logic).
+#[derive(Debug, Clone, PartialEq)]
+enum Ty {
+    Bool,
+    C(CType),
+}
+
+#[derive(Debug, Clone)]
+enum VarKind {
+    /// SSA scalar (including pointer-typed parameters).
+    Scalar(CType),
+    /// Local array backed by an alloca; dims in row-major order.
+    Array { alloca: ValueId, elem: CType, dims: Vec<usize> },
+}
+
+struct FuncLower<'a> {
+    f: Function,
+    signatures: &'a HashMap<String, (Vec<CType>, CType)>,
+    /// Scope stack: source name → unique internal name.
+    scopes: Vec<HashMap<String, String>>,
+    /// Internal name → kind.
+    vars: HashMap<String, VarKind>,
+    /// SSA defs: internal name → per-block value.
+    defs: HashMap<String, HashMap<BlockId, ValueId>>,
+    sealed: Vec<bool>,
+    incomplete: HashMap<BlockId, Vec<(String, ValueId)>>,
+    /// Current insertion block; `None` after a terminator.
+    cur: Option<BlockId>,
+    unique: u32,
+    ret: CType,
+}
+
+impl<'a> FuncLower<'a> {
+    fn new(def: &FuncDef, signatures: &'a HashMap<String, (Vec<CType>, CType)>) -> Result<Self> {
+        let params: Vec<(String, Type)> =
+            def.params.iter().map(|(n, t)| (n.clone(), ir_type(t))).collect();
+        let f = Function::new(def.name.clone(), &params, ir_type(&def.ret));
+        let mut this = FuncLower {
+            f,
+            signatures,
+            scopes: vec![HashMap::new()],
+            vars: HashMap::new(),
+            defs: HashMap::new(),
+            sealed: vec![true], // entry block has no predecessors
+            incomplete: HashMap::new(),
+            cur: Some(BlockId(0)),
+            unique: 0,
+            ret: def.ret.clone(),
+        };
+        for (i, (pname, pty)) in def.params.iter().enumerate() {
+            let internal = this.declare(pname, def.line)?;
+            this.vars.insert(internal.clone(), VarKind::Scalar(pty.clone()));
+            let arg = this.f.params[i];
+            this.write_var(&internal, BlockId(0), arg);
+        }
+        Ok(this)
+    }
+
+    fn run(mut self, def: &FuncDef) -> Result<Function> {
+        self.stmts(&def.body)?;
+        if let Some(b) = self.cur {
+            match self.ret {
+                CType::Void => {
+                    self.f.append_ret(b, None);
+                }
+                ref other => {
+                    // Falling off the end of a value-returning function is
+                    // undefined behaviour in C; return zero for determinism.
+                    let zero = self.zero_const(other.clone());
+                    self.f.append_ret(b, Some(zero));
+                }
+            }
+        }
+        Ok(self.f)
+    }
+
+    // ----- naming & scopes -----
+
+    fn declare(&mut self, name: &str, line: usize) -> Result<String> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return Err(CompileError {
+                line,
+                message: format!("redeclaration of {name:?} in the same scope"),
+            });
+        }
+        let internal = if self.vars.contains_key(name) || self.defs.contains_key(name) {
+            self.unique += 1;
+            format!("{name}.{}", self.unique)
+        } else {
+            name.to_owned()
+        };
+        scope.insert(name.to_owned(), internal.clone());
+        Ok(internal)
+    }
+
+    fn resolve(&self, name: &str, line: usize) -> Result<String> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(internal) = scope.get(name) {
+                return Ok(internal.clone());
+            }
+        }
+        Err(CompileError { line, message: format!("use of undeclared variable {name:?}") })
+    }
+
+    // ----- SSA construction (Braun et al.) -----
+
+    fn scalar_type(&self, internal: &str) -> CType {
+        match &self.vars[internal] {
+            VarKind::Scalar(t) => t.clone(),
+            VarKind::Array { .. } => unreachable!("arrays are not SSA variables"),
+        }
+    }
+
+    fn write_var(&mut self, internal: &str, block: BlockId, value: ValueId) {
+        self.defs.entry(internal.to_owned()).or_default().insert(block, value);
+    }
+
+    fn read_var(&mut self, internal: &str, block: BlockId) -> ValueId {
+        if let Some(&v) = self.defs.get(internal).and_then(|m| m.get(&block)) {
+            return v;
+        }
+        self.read_var_recursive(internal, block)
+    }
+
+    fn preds(&self, block: BlockId) -> Vec<BlockId> {
+        let mut ps = Vec::new();
+        for b in self.f.block_ids() {
+            if self.f.successors(b).contains(&block) {
+                ps.push(b);
+            }
+        }
+        ps
+    }
+
+    fn read_var_recursive(&mut self, internal: &str, block: BlockId) -> ValueId {
+        let ty = ir_type(&self.scalar_type(internal));
+        let val = if !self.sealed[block.0 as usize] {
+            let phi = self.f.append_phi(block, ty);
+            self.f.set_name(phi, internal);
+            self.incomplete.entry(block).or_default().push((internal.to_owned(), phi));
+            phi
+        } else {
+            let preds = self.preds(block);
+            if preds.len() == 1 {
+                self.read_var(internal, preds[0])
+            } else {
+                let phi = self.f.append_phi(block, ty);
+                self.f.set_name(phi, internal);
+                self.write_var(internal, block, phi);
+                self.add_phi_operands(internal, phi, block)
+            }
+        };
+        self.write_var(internal, block, val);
+        val
+    }
+
+    fn add_phi_operands(&mut self, internal: &str, phi: ValueId, block: BlockId) -> ValueId {
+        for pred in self.preds(block) {
+            let v = self.read_var(internal, pred);
+            self.f.add_phi_incoming(phi, v, pred);
+        }
+        self.try_remove_trivial_phi(phi)
+    }
+
+    fn try_remove_trivial_phi(&mut self, phi: ValueId) -> ValueId {
+        let operands = self.f.instr(phi).expect("phi").operands.clone();
+        let mut same: Option<ValueId> = None;
+        for op in operands {
+            if op == phi || Some(op) == same {
+                continue;
+            }
+            if same.is_some() {
+                return phi; // merges at least two distinct values
+            }
+            same = Some(op);
+        }
+        let Some(same) = same else { return phi };
+        // Collect phi users before rewiring.
+        let du = ssair::analysis::DefUse::new(&self.f);
+        let users: Vec<ValueId> = du
+            .users(phi)
+            .iter()
+            .copied()
+            .filter(|&u| u != phi && self.f.opcode(u) == Some(Opcode::Phi))
+            .collect();
+        replace_all_uses(&mut self.f, phi, same);
+        remove_instruction(&mut self.f, phi);
+        // Fix definition tables that still point at the removed phi.
+        for per_block in self.defs.values_mut() {
+            for v in per_block.values_mut() {
+                if *v == phi {
+                    *v = same;
+                }
+            }
+        }
+        for u in users {
+            // A user phi may have become trivial in turn.
+            if self.f.opcode(u) == Some(Opcode::Phi) {
+                self.try_remove_trivial_phi(u);
+            }
+        }
+        same
+    }
+
+    fn seal_block(&mut self, block: BlockId) {
+        if self.sealed[block.0 as usize] {
+            return;
+        }
+        self.sealed[block.0 as usize] = true;
+        for (name, phi) in self.incomplete.remove(&block).unwrap_or_default() {
+            self.add_phi_operands(&name, phi, block);
+        }
+    }
+
+    fn new_block(&mut self, name: &str, sealed: bool) -> BlockId {
+        let b = self.f.add_block(name);
+        self.sealed.push(sealed);
+        debug_assert_eq!(self.sealed.len(), self.f.num_blocks());
+        b
+    }
+
+    // ----- constants & conversions -----
+
+    fn zero_const(&mut self, ty: CType) -> ValueId {
+        match ty {
+            CType::Float | CType::Double => self.f.const_float(ir_type(&ty), 0.0),
+            _ => self.f.const_int(ir_type(&ty), 0),
+        }
+    }
+
+    /// Converts `v` of type `from` to C type `to`, folding constants.
+    fn convert(&mut self, v: ValueId, from: &Ty, to: &CType, line: usize) -> Result<ValueId> {
+        let b = self.block(line)?;
+        // Constant folding first.
+        match (&self.f.value(v).kind, to) {
+            (ssair::ValueKind::ConstInt(c), CType::Int | CType::Long) => {
+                return Ok(self.f.const_int(ir_type(to), *c));
+            }
+            (ssair::ValueKind::ConstInt(c), CType::Float | CType::Double) => {
+                let c = *c;
+                return Ok(self.f.const_float(ir_type(to), c as f64));
+            }
+            (ssair::ValueKind::ConstFloat(c), CType::Float | CType::Double) => {
+                let c = *c;
+                let c = if *to == CType::Float { c as f32 as f64 } else { c };
+                return Ok(self.f.const_float(ir_type(to), c));
+            }
+            (ssair::ValueKind::ConstFloat(c), CType::Int | CType::Long) => {
+                let c = *c;
+                return Ok(self.f.const_int(ir_type(to), c as i64));
+            }
+            _ => {}
+        }
+        let from_c = match from {
+            Ty::Bool => {
+                // Bool → integer via zext (then to float if needed).
+                if to.is_integer() {
+                    return Ok(self.f.append_simple(b, ir_type(to), Opcode::ZExt, vec![v]));
+                }
+                let widened = self.f.append_simple(b, Type::I32, Opcode::ZExt, vec![v]);
+                return self.convert(widened, &Ty::C(CType::Int), to, line);
+            }
+            Ty::C(c) => c.clone(),
+        };
+        if from_c == *to {
+            return Ok(v);
+        }
+        let out = ir_type(to);
+        let instr = match (&from_c, to) {
+            (CType::Int, CType::Long) => self.f.append_simple(b, out, Opcode::SExt, vec![v]),
+            (CType::Long, CType::Int) => self.f.append_simple(b, out, Opcode::Trunc, vec![v]),
+            (CType::Int | CType::Long, CType::Float | CType::Double) => {
+                self.f.append_simple(b, out, Opcode::SIToFP, vec![v])
+            }
+            (CType::Float | CType::Double, CType::Int | CType::Long) => {
+                self.f.append_simple(b, out, Opcode::FPToSI, vec![v])
+            }
+            (CType::Float, CType::Double) => self.f.append_simple(b, out, Opcode::FPExt, vec![v]),
+            (CType::Double, CType::Float) => {
+                self.f.append_simple(b, out, Opcode::FPTrunc, vec![v])
+            }
+            (CType::Ptr(_), CType::Ptr(_)) => v, // pointer casts are free
+            _ => {
+                return Err(CompileError {
+                    line,
+                    message: format!("cannot convert {from_c:?} to {to:?}"),
+                })
+            }
+        };
+        Ok(instr)
+    }
+
+    /// The common type of a binary arithmetic operation (usual C
+    /// conversions restricted to our types).
+    fn common_type(a: &CType, b: &CType) -> CType {
+        use CType::*;
+        match (a, b) {
+            (Double, _) | (_, Double) => Double,
+            (Float, _) | (_, Float) => Float,
+            (Long, _) | (_, Long) => Long,
+            _ => Int,
+        }
+    }
+
+    fn block(&self, line: usize) -> Result<BlockId> {
+        self.cur.ok_or(CompileError { line, message: "statement is unreachable".into() })
+    }
+
+    // ----- statements -----
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<()> {
+        for s in stmts {
+            if self.cur.is_none() {
+                // Dead code after return — C allows it; skip.
+                return Ok(());
+            }
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<()> {
+        match s {
+            Stmt::Decl { name, ty, dims, init, line } => self.decl(name, ty, dims, init, *line),
+            Stmt::Assign { target, op, value, line } => self.assign(target, *op, value, *line),
+            Stmt::Expr(e, line) => {
+                self.expr(e, *line)?;
+                Ok(())
+            }
+            Stmt::Return(e, line) => self.ret_stmt(e.as_ref(), *line),
+            Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                self.stmts(stmts)?;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::If { cond, then, other } => self.if_stmt(cond, then, other),
+            Stmt::While { cond, body } => self.loop_stmt(None, Some(cond), None, body),
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                self.loop_stmt(None, cond.as_ref(), step.as_deref(), body)?;
+                self.scopes.pop();
+                Ok(())
+            }
+        }
+    }
+
+    fn decl(
+        &mut self,
+        name: &str,
+        ty: &CType,
+        dims: &[usize],
+        init: &Option<Expr>,
+        line: usize,
+    ) -> Result<()> {
+        let internal = self.declare(name, line)?;
+        if dims.is_empty() {
+            self.vars.insert(internal.clone(), VarKind::Scalar(ty.clone()));
+            let value = match init {
+                Some(e) => {
+                    let (v, vty) = self.expr(e, line)?;
+                    self.convert(v, &vty, ty, line)?
+                }
+                None => self.zero_const(ty.clone()),
+            };
+            let b = self.block(line)?;
+            self.write_var(&internal, b, value);
+        } else {
+            let total: usize = dims.iter().product();
+            let count = self.f.const_int(Type::I64, total as i64);
+            // Allocas live in the entry block, like clang's.
+            let entry = BlockId(0);
+            let ptr_ty = ir_type(ty).ptr_to();
+            let alloca = {
+                // Insert before the entry terminator if one exists already.
+                let v = self.f.append_simple(entry, ptr_ty, Opcode::Alloca, vec![count]);
+                let instrs = &mut self.f.block_mut(entry).instrs;
+                if instrs.len() >= 2 {
+                    let last = instrs.len() - 1;
+                    if let Some(&term) = instrs.get(last - 1) {
+                        let term_is_terminator = matches!(
+                            self.f.opcode(term),
+                            Some(op) if op.is_terminator()
+                        );
+                        if term_is_terminator {
+                            let instrs = &mut self.f.block_mut(entry).instrs;
+                            instrs.swap(last - 1, last);
+                        }
+                    }
+                }
+                v
+            };
+            self.f.set_name(alloca, internal.clone());
+            self.vars.insert(
+                internal,
+                VarKind::Array { alloca, elem: ty.clone(), dims: dims.to_vec() },
+            );
+            if init.is_some() {
+                return Err(CompileError { line, message: "array initializers unsupported".into() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the address of `base[indices...]` and returns
+    /// `(gep, element type)`.
+    fn element_address(
+        &mut self,
+        base: &str,
+        indices: &[Expr],
+        line: usize,
+    ) -> Result<(ValueId, CType)> {
+        let internal = self.resolve(base, line)?;
+        let kind = self.vars[&internal].clone();
+        match kind {
+            VarKind::Scalar(CType::Ptr(elem)) => {
+                if indices.len() != 1 {
+                    return Err(CompileError {
+                        line,
+                        message: format!("pointer {base:?} takes exactly one subscript"),
+                    });
+                }
+                let (iv, ity) = self.expr(&indices[0], line)?;
+                let idx = self.index_to_i64(iv, &ity, line)?;
+                let b = self.block(line)?;
+                let ptr = self.read_var(&internal, b);
+                let ptr_ty = self.f.value(ptr).ty.clone();
+                let gep = self.f.append_simple(b, ptr_ty, Opcode::Gep, vec![ptr, idx]);
+                Ok((gep, (*elem).clone()))
+            }
+            VarKind::Scalar(other) => Err(CompileError {
+                line,
+                message: format!("cannot subscript non-pointer {base:?} of type {other:?}"),
+            }),
+            VarKind::Array { alloca, elem, dims } => {
+                if indices.len() != dims.len() {
+                    return Err(CompileError {
+                        line,
+                        message: format!(
+                            "array {base:?} has {} dimensions, {} indices given",
+                            dims.len(),
+                            indices.len()
+                        ),
+                    });
+                }
+                // Row-major flattening: ((i0*d1 + i1)*d2 + i2)...
+                let mut flat: Option<ValueId> = None;
+                for (k, idx_expr) in indices.iter().enumerate() {
+                    let (iv, ity) = self.expr(idx_expr, line)?;
+                    let idx = self.index_to_i64(iv, &ity, line)?;
+                    flat = Some(match flat {
+                        None => idx,
+                        Some(acc) => {
+                            let b = self.block(line)?;
+                            let dim = self.f.const_int(Type::I64, dims[k] as i64);
+                            let scaled =
+                                self.f.append_simple(b, Type::I64, Opcode::Mul, vec![acc, dim]);
+                            self.f.append_simple(b, Type::I64, Opcode::Add, vec![scaled, idx])
+                        }
+                    });
+                }
+                let idx = flat.expect("at least one index");
+                let b = self.block(line)?;
+                let ptr_ty = ir_type(&elem).ptr_to();
+                let gep = self.f.append_simple(b, ptr_ty, Opcode::Gep, vec![alloca, idx]);
+                Ok((gep, elem))
+            }
+        }
+    }
+
+    fn index_to_i64(&mut self, v: ValueId, ty: &Ty, line: usize) -> Result<ValueId> {
+        match ty {
+            Ty::C(c) if c.is_integer() => self.convert(v, ty, &CType::Long, line),
+            Ty::Bool => self.convert(v, ty, &CType::Long, line),
+            other => {
+                Err(CompileError { line, message: format!("array index has type {other:?}") })
+            }
+        }
+    }
+
+    fn assign(
+        &mut self,
+        target: &LValue,
+        op: Option<BinOp>,
+        value: &Expr,
+        line: usize,
+    ) -> Result<()> {
+        match target {
+            LValue::Var(name) => {
+                let internal = self.resolve(name, line)?;
+                if matches!(self.vars[&internal], VarKind::Array { .. }) {
+                    return Err(CompileError {
+                        line,
+                        message: format!("cannot assign to array {name:?}"),
+                    });
+                }
+                let ty = self.scalar_type(&internal);
+                let new_value = match op {
+                    None => {
+                        let (v, vty) = self.expr(value, line)?;
+                        self.convert(v, &vty, &ty, line)?
+                    }
+                    Some(binop) => {
+                        let b = self.block(line)?;
+                        let old = self.read_var(&internal, b);
+                        let (rhs, rty) = self.expr(value, line)?;
+                        self.binary_values(binop, old, &Ty::C(ty.clone()), rhs, &rty, line)?.0
+                    }
+                };
+                // Compound assignment on e.g. int keeps the variable's type.
+                let final_value = {
+                    let vty = self.f.value(new_value).ty.clone();
+                    if vty == ir_type(&ty) {
+                        new_value
+                    } else {
+                        let approx = self.ssair_ty_to_c(&vty, line)?;
+                        self.convert(new_value, &Ty::C(approx), &ty, line)?
+                    }
+                };
+                let b = self.block(line)?;
+                self.write_var(&internal, b, final_value);
+                if let Some(n) = self.f.value(final_value).name.clone() {
+                    let _ = n; // keep any existing name
+                } else {
+                    self.f.set_name(final_value, format!("{internal}.v"));
+                }
+                Ok(())
+            }
+            LValue::Index { base, indices } => {
+                let (addr, elem) = self.element_address(base, indices, line)?;
+                let stored = match op {
+                    None => {
+                        let (v, vty) = self.expr(value, line)?;
+                        self.convert(v, &vty, &elem, line)?
+                    }
+                    Some(binop) => {
+                        let b = self.block(line)?;
+                        let old =
+                            self.f.append_simple(b, ir_type(&elem), Opcode::Load, vec![addr]);
+                        let (rhs, rty) = self.expr(value, line)?;
+                        let (res, rty2) =
+                            self.binary_values(binop, old, &Ty::C(elem.clone()), rhs, &rty, line)?;
+                        self.convert(res, &rty2, &elem, line)?
+                    }
+                };
+                let b = self.block(line)?;
+                self.f.append_simple(b, Type::Void, Opcode::Store, vec![stored, addr]);
+                Ok(())
+            }
+        }
+    }
+
+    fn ssair_ty_to_c(&self, ty: &Type, line: usize) -> Result<CType> {
+        Ok(match ty {
+            Type::I1 | Type::I32 => CType::Int,
+            Type::I64 => CType::Long,
+            Type::F32 => CType::Float,
+            Type::F64 => CType::Double,
+            Type::Ptr(p) => self.ssair_ty_to_c(p, line)?.ptr_to(),
+            Type::Void => {
+                return Err(CompileError { line, message: "void value used".into() });
+            }
+        })
+    }
+
+    fn ret_stmt(&mut self, e: Option<&Expr>, line: usize) -> Result<()> {
+        let b = self.block(line)?;
+        match (e, self.ret.clone()) {
+            (None, CType::Void) => {
+                self.f.append_ret(b, None);
+            }
+            (Some(e), ret_ty) if ret_ty != CType::Void => {
+                let (v, vty) = self.expr(e, line)?;
+                let v = self.convert(v, &vty, &ret_ty, line)?;
+                let b = self.block(line)?;
+                self.f.append_ret(b, Some(v));
+            }
+            _ => {
+                return Err(CompileError {
+                    line,
+                    message: "return value does not match function return type".into(),
+                })
+            }
+        }
+        self.cur = None;
+        Ok(())
+    }
+
+    fn if_stmt(&mut self, cond: &Expr, then: &[Stmt], other: &[Stmt]) -> Result<()> {
+        let line = 0;
+        let c = self.condition(cond, line)?;
+        let b = self.block(line)?;
+        let then_bb = self.new_block("if.then", true);
+        // The false edge is patched below once we know whether an else block
+        // or a merge block receives it (both targets temporarily point at
+        // then_bb; duplicate targets to one block yield a single CFG edge).
+        let condbr = self.f.append_condbr(b, c, then_bb, then_bb);
+        self.cur = Some(then_bb);
+        self.scoped_stmts(then)?;
+        let then_end = self.cur;
+        let else_end = if other.is_empty() {
+            None
+        } else {
+            let else_bb = self.new_block("if.else", true);
+            self.f.instr_mut(condbr).expect("condbr").targets[1] = else_bb;
+            self.cur = Some(else_bb);
+            self.scoped_stmts(other)?;
+            self.cur
+        };
+        let false_edge_needs_merge = other.is_empty();
+        if then_end.is_none() && else_end.is_none() && !false_edge_needs_merge {
+            // Both arms returned: no merge block exists.
+            self.cur = None;
+            return Ok(());
+        }
+        let merge_bb = self.new_block("if.end", false);
+        if false_edge_needs_merge {
+            self.f.instr_mut(condbr).expect("condbr").targets[1] = merge_bb;
+        }
+        if let Some(end) = then_end {
+            self.f.append_br(end, merge_bb);
+        }
+        if let Some(end) = else_end {
+            self.f.append_br(end, merge_bb);
+        }
+        self.seal_block(merge_bb);
+        self.cur = Some(merge_bb);
+        Ok(())
+    }
+
+    fn scoped_stmts(&mut self, stmts: &[Stmt]) -> Result<()> {
+        self.scopes.push(HashMap::new());
+        self.stmts(stmts)?;
+        self.scopes.pop();
+        Ok(())
+    }
+
+    /// Shared lowering of `while` (no step) and `for` (init already done).
+    fn loop_stmt(
+        &mut self,
+        _unused: Option<()>,
+        cond: Option<&Expr>,
+        step: Option<&Stmt>,
+        body: &[Stmt],
+    ) -> Result<()> {
+        let line = 0;
+        let pre = self.block(line)?;
+        let header = self.new_block("loop.header", false);
+        self.f.append_br(pre, header);
+        self.cur = Some(header);
+        let c = match cond {
+            Some(e) => self.condition(e, line)?,
+            None => self.f.const_int(Type::I1, 1),
+        };
+        let header_end = self.block(line)?;
+        let body_bb = self.new_block("loop.body", false);
+        let latch = self.new_block("loop.latch", false);
+        let exit = self.new_block("loop.exit", false);
+        self.f.append_condbr(header_end, c, body_bb, exit);
+        self.seal_block(body_bb); // single pred: the header chain
+        self.cur = Some(body_bb);
+        self.scoped_stmts(body)?;
+        match self.cur {
+            Some(end) => {
+                self.f.append_br(end, latch);
+            }
+            None => {
+                return Err(CompileError {
+                    line,
+                    message: "loop body never reaches the loop latch (unconditional return inside loop)"
+                        .into(),
+                })
+            }
+        }
+        self.seal_block(latch);
+        self.cur = Some(latch);
+        if let Some(s) = step {
+            self.scopes.push(HashMap::new());
+            self.stmt(s)?;
+            self.scopes.pop();
+        }
+        let latch_end = self.block(line)?;
+        self.f.append_br(latch_end, header);
+        self.seal_block(header);
+        self.seal_block(exit);
+        self.cur = Some(exit);
+        Ok(())
+    }
+
+    // ----- expressions -----
+
+    fn condition(&mut self, e: &Expr, line: usize) -> Result<ValueId> {
+        let (v, ty) = self.expr(e, line)?;
+        match ty {
+            Ty::Bool => Ok(v),
+            Ty::C(c) if c.is_integer() => {
+                let b = self.block(line)?;
+                let zero = self.f.const_int(ir_type(&c), 0);
+                Ok(self
+                    .f
+                    .append_simple(b, Type::I1, Opcode::ICmp(ICmpPred::Ne), vec![v, zero]))
+            }
+            Ty::C(c) if c.is_float() => {
+                let b = self.block(line)?;
+                let zero = self.f.const_float(ir_type(&c), 0.0);
+                Ok(self
+                    .f
+                    .append_simple(b, Type::I1, Opcode::FCmp(FCmpPred::One), vec![v, zero]))
+            }
+            other => Err(CompileError {
+                line,
+                message: format!("condition has non-scalar type {other:?}"),
+            }),
+        }
+    }
+
+    fn binary_values(
+        &mut self,
+        op: BinOp,
+        lv: ValueId,
+        lt: &Ty,
+        rv: ValueId,
+        rt: &Ty,
+        line: usize,
+    ) -> Result<(ValueId, Ty)> {
+        let lc = self.as_arith(lt, line)?;
+        let rc = self.as_arith(rt, line)?;
+        let common = Self::common_type(&lc, &rc);
+        let lv = self.convert(lv, lt, &common, line)?;
+        let rv = self.convert(rv, rt, &common, line)?;
+        let b = self.block(line)?;
+        let opcode = match (op, common.is_float()) {
+            (BinOp::Add, false) => Opcode::Add,
+            (BinOp::Sub, false) => Opcode::Sub,
+            (BinOp::Mul, false) => Opcode::Mul,
+            (BinOp::Div, false) => Opcode::SDiv,
+            (BinOp::Rem, false) => Opcode::SRem,
+            (BinOp::Add, true) => Opcode::FAdd,
+            (BinOp::Sub, true) => Opcode::FSub,
+            (BinOp::Mul, true) => Opcode::FMul,
+            (BinOp::Div, true) => Opcode::FDiv,
+            (BinOp::Rem, true) => {
+                return Err(CompileError {
+                    line,
+                    message: "% is not defined for floating types".into(),
+                })
+            }
+        };
+        let v = self.f.append_simple(b, ir_type(&common), opcode, vec![lv, rv]);
+        Ok((v, Ty::C(common)))
+    }
+
+    fn as_arith(&self, ty: &Ty, line: usize) -> Result<CType> {
+        match ty {
+            Ty::Bool => Ok(CType::Int),
+            Ty::C(c) if c.is_integer() || c.is_float() => Ok(c.clone()),
+            Ty::C(other) => Err(CompileError {
+                line,
+                message: format!("{other:?} is not an arithmetic type"),
+            }),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, line: usize) -> Result<(ValueId, Ty)> {
+        match e {
+            Expr::IntLit(v) => Ok((self.f.const_int(Type::I32, *v), Ty::C(CType::Int))),
+            Expr::FloatLit(v, is_f32) => {
+                let (ty, cty) = if *is_f32 {
+                    (Type::F32, CType::Float)
+                } else {
+                    (Type::F64, CType::Double)
+                };
+                Ok((self.f.const_float(ty, *v), Ty::C(cty)))
+            }
+            Expr::Var(name) => {
+                let internal = self.resolve(name, line)?;
+                match &self.vars[&internal] {
+                    VarKind::Scalar(ty) => {
+                        let ty = ty.clone();
+                        let b = self.block(line)?;
+                        let v = self.read_var(&internal, b);
+                        Ok((v, Ty::C(ty)))
+                    }
+                    VarKind::Array { alloca, elem, .. } => {
+                        // Array decays to pointer (single-dim only).
+                        Ok(((*alloca), Ty::C(elem.clone().ptr_to())))
+                    }
+                }
+            }
+            Expr::Index { base, indices } => {
+                let (addr, elem) = self.element_address(base, indices, line)?;
+                let b = self.block(line)?;
+                let v = self.f.append_simple(b, ir_type(&elem), Opcode::Load, vec![addr]);
+                Ok((v, Ty::C(elem)))
+            }
+            Expr::Bin(op, l, r) => {
+                let (lv, lt) = self.expr(l, line)?;
+                let (rv, rt) = self.expr(r, line)?;
+                self.binary_values(*op, lv, &lt, rv, &rt, line)
+            }
+            Expr::Cmp(op, l, r) => {
+                let (lv, lt) = self.expr(l, line)?;
+                let (rv, rt) = self.expr(r, line)?;
+                let lc = self.as_arith(&lt, line)?;
+                let rc = self.as_arith(&rt, line)?;
+                let common = Self::common_type(&lc, &rc);
+                let lv = self.convert(lv, &lt, &common, line)?;
+                let rv = self.convert(rv, &rt, &common, line)?;
+                let b = self.block(line)?;
+                let v = if common.is_float() {
+                    let pred = match op {
+                        CmpOp::Eq => FCmpPred::Oeq,
+                        CmpOp::Ne => FCmpPred::One,
+                        CmpOp::Lt => FCmpPred::Olt,
+                        CmpOp::Le => FCmpPred::Ole,
+                        CmpOp::Gt => FCmpPred::Ogt,
+                        CmpOp::Ge => FCmpPred::Oge,
+                    };
+                    self.f.append_simple(b, Type::I1, Opcode::FCmp(pred), vec![lv, rv])
+                } else {
+                    let pred = match op {
+                        CmpOp::Eq => ICmpPred::Eq,
+                        CmpOp::Ne => ICmpPred::Ne,
+                        CmpOp::Lt => ICmpPred::Slt,
+                        CmpOp::Le => ICmpPred::Sle,
+                        CmpOp::Gt => ICmpPred::Sgt,
+                        CmpOp::Ge => ICmpPred::Sge,
+                    };
+                    self.f.append_simple(b, Type::I1, Opcode::ICmp(pred), vec![lv, rv])
+                };
+                Ok((v, Ty::Bool))
+            }
+            Expr::And(l, r) => {
+                let lc = self.condition(l, line)?;
+                let rc = self.condition(r, line)?;
+                let b = self.block(line)?;
+                Ok((self.f.append_simple(b, Type::I1, Opcode::And, vec![lc, rc]), Ty::Bool))
+            }
+            Expr::Or(l, r) => {
+                let lc = self.condition(l, line)?;
+                let rc = self.condition(r, line)?;
+                let b = self.block(line)?;
+                Ok((self.f.append_simple(b, Type::I1, Opcode::Or, vec![lc, rc]), Ty::Bool))
+            }
+            Expr::Not(x) => {
+                let c = self.condition(x, line)?;
+                let b = self.block(line)?;
+                let one = self.f.const_int(Type::I1, 1);
+                Ok((self.f.append_simple(b, Type::I1, Opcode::Xor, vec![c, one]), Ty::Bool))
+            }
+            Expr::Neg(x) => {
+                let (v, ty) = self.expr(x, line)?;
+                let c = self.as_arith(&ty, line)?;
+                let zero = self.zero_const(c.clone());
+                self.binary_values(BinOp::Sub, zero, &Ty::C(c.clone()), v, &ty, line)
+            }
+            Expr::Ternary { cond, then, other } => {
+                let c = self.condition(cond, line)?;
+                let (tv, tt) = self.expr(then, line)?;
+                let (ov, ot) = self.expr(other, line)?;
+                let tc = self.as_arith(&tt, line)?;
+                let oc = self.as_arith(&ot, line)?;
+                let common = Self::common_type(&tc, &oc);
+                let tv = self.convert(tv, &tt, &common, line)?;
+                let ov = self.convert(ov, &ot, &common, line)?;
+                let b = self.block(line)?;
+                let v = self.f.append_simple(b, ir_type(&common), Opcode::Select, vec![c, tv, ov]);
+                Ok((v, Ty::C(common)))
+            }
+            Expr::Cast { ty, expr } => {
+                let (v, vty) = self.expr(expr, line)?;
+                let v = self.convert(v, &vty, ty, line)?;
+                Ok((v, Ty::C(ty.clone())))
+            }
+            Expr::Call { name, args } => self.call(name, args, line),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], line: usize) -> Result<(ValueId, Ty)> {
+        // Math intrinsics take and return double.
+        if let Some((_, arity)) = MATH_INTRINSICS.iter().find(|(n, _)| *n == name) {
+            if args.len() != *arity {
+                return Err(CompileError {
+                    line,
+                    message: format!("{name} expects {arity} argument(s), got {}", args.len()),
+                });
+            }
+            let mut vals = Vec::new();
+            for a in args {
+                let (v, vty) = self.expr(a, line)?;
+                vals.push(self.convert(v, &vty, &CType::Double, line)?);
+            }
+            let b = self.block(line)?;
+            let v = self.f.append_call(b, Type::F64, name, vals);
+            return Ok((v, Ty::C(CType::Double)));
+        }
+        let Some((param_tys, ret_ty)) = self.signatures.get(name).cloned() else {
+            return Err(CompileError { line, message: format!("call to unknown function {name:?}") });
+        };
+        if param_tys.len() != args.len() {
+            return Err(CompileError {
+                line,
+                message: format!(
+                    "{name} expects {} argument(s), got {}",
+                    param_tys.len(),
+                    args.len()
+                ),
+            });
+        }
+        let mut vals = Vec::new();
+        for (a, pty) in args.iter().zip(&param_tys) {
+            let (v, vty) = self.expr(a, line)?;
+            vals.push(self.convert(v, &vty, pty, line)?);
+        }
+        let b = self.block(line)?;
+        let v = self.f.append_call(b, ir_type(&ret_ty), name, vals);
+        Ok((v, Ty::C(ret_ty)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile_unoptimized;
+    use ssair::Opcode;
+
+    #[test]
+    fn lowers_straight_line_code() {
+        let m = compile_unoptimized("int f(int a, int b) { return a * b + a; }", "t").unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_blocks(), 1);
+        let ops: Vec<_> = f.block(ssair::BlockId(0)).instrs.iter().map(|&v| f.opcode(v).unwrap()).collect();
+        assert_eq!(ops, vec![Opcode::Mul, Opcode::Add, Opcode::Ret]);
+    }
+
+    #[test]
+    fn lowers_canonical_for_loop_with_phi() {
+        let m = compile_unoptimized(
+            "long sum(long n) { long acc = 0; for (long i = 0; i < n; i++) acc = acc + i; return acc; }",
+            "t",
+        )
+        .unwrap();
+        let f = m.function("sum").unwrap();
+        // preheader(entry), header, body, latch, exit
+        assert_eq!(f.num_blocks(), 5);
+        let header = ssair::BlockId(1);
+        let phis: Vec<_> = f
+            .block(header)
+            .instrs
+            .iter()
+            .filter(|&&v| f.opcode(v) == Some(Opcode::Phi))
+            .collect();
+        assert_eq!(phis.len(), 2, "iterator and accumulator phis");
+    }
+
+    #[test]
+    fn trivial_phis_are_removed() {
+        // `n` is never assigned in the loop, so no phi for it may survive.
+        let m = compile_unoptimized(
+            "long f(long n) { long s = 0; for (long i = 0; i < n; i++) s = s + n; return s; }",
+            "t",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        let header = ssair::BlockId(1);
+        let phis = f
+            .block(header)
+            .instrs
+            .iter()
+            .filter(|&&v| f.opcode(v) == Some(Opcode::Phi))
+            .count();
+        assert_eq!(phis, 2, "only i and s get phis, not n");
+    }
+
+    #[test]
+    fn if_else_merges_with_phi() {
+        let m = compile_unoptimized(
+            "int f(int a) { int r = 0; if (a > 0) { r = 1; } else { r = 2; } return r; }",
+            "t",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        let merge = ssair::BlockId(3);
+        assert_eq!(f.opcode(f.block(merge).instrs[0]), Some(Opcode::Phi));
+    }
+
+    #[test]
+    fn pointer_subscript_becomes_gep_load() {
+        let m = compile_unoptimized("double f(double* x, int i) { return x[i]; }", "t").unwrap();
+        let f = m.function("f").unwrap();
+        let ops: Vec<_> = f.block(ssair::BlockId(0)).instrs.iter().map(|&v| f.opcode(v).unwrap()).collect();
+        // sext(i) to i64, gep, load, ret
+        assert_eq!(ops, vec![Opcode::SExt, Opcode::Gep, Opcode::Load, Opcode::Ret]);
+    }
+
+    #[test]
+    fn local_2d_array_flattens_row_major() {
+        let m = compile_unoptimized(
+            "double f() { double A[4][8]; A[1][2] = 5.0; return A[1][2]; }",
+            "t",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        let text = format!("{f}");
+        assert!(text.contains("alloca double, i64 32"), "4*8 elements: {text}");
+        // Flattened index 1*8+2 = 10 is computed with mul/add on constants
+        // (not folded in the unoptimized pipeline).
+        assert!(text.contains("mul i64"), "{text}");
+    }
+
+    #[test]
+    fn long_long_index_has_no_sext() {
+        let m =
+            compile_unoptimized("double f(double* x, long i) { return x[i]; }", "t").unwrap();
+        let f = m.function("f").unwrap();
+        let ops: Vec<_> = f.block(ssair::BlockId(0)).instrs.iter().map(|&v| f.opcode(v).unwrap()).collect();
+        assert_eq!(ops, vec![Opcode::Gep, Opcode::Load, Opcode::Ret]);
+    }
+
+    #[test]
+    fn shadowing_in_nested_loops_is_allowed() {
+        let m = compile_unoptimized(
+            "long f(long n) { long s = 0; for (int i = 0; i < n; i++) { s += i; } for (int i = 0; i < n; i++) { s += 2 * i; } return s; }",
+            "t",
+        )
+        .unwrap();
+        assert!(m.function("f").is_some());
+    }
+
+    #[test]
+    fn ternary_lowers_to_select() {
+        let m = compile_unoptimized("double f(double x) { return x > 0.0 ? x : -x; }", "t")
+            .unwrap();
+        let f = m.function("f").unwrap();
+        let has_select = f
+            .block(ssair::BlockId(0))
+            .instrs
+            .iter()
+            .any(|&v| f.opcode(v) == Some(Opcode::Select));
+        assert!(has_select);
+    }
+
+    #[test]
+    fn intrinsic_calls_and_conversions() {
+        let m = compile_unoptimized("double f(int a) { return sqrt(a); }", "t").unwrap();
+        let f = m.function("f").unwrap();
+        let text = format!("{f}");
+        assert!(text.contains("sitofp i32"));
+        assert!(text.contains("call double @sqrt"));
+    }
+
+    #[test]
+    fn rejects_undeclared_and_redeclared() {
+        assert!(compile_unoptimized("int f() { return x; }", "t").is_err());
+        assert!(compile_unoptimized("int f() { int a = 1; int a = 2; return a; }", "t").is_err());
+    }
+
+    #[test]
+    fn void_function_gets_implicit_return() {
+        let m = compile_unoptimized("void f(double* p) { p[0] = 1.0; }", "t").unwrap();
+        let f = m.function("f").unwrap();
+        let last = *f.block(ssair::BlockId(0)).instrs.last().unwrap();
+        assert_eq!(f.opcode(last), Some(Opcode::Ret));
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let m = compile_unoptimized(
+            "long f(long n) { long i = 0; while (i < n) { i = i + 2; } return i; }",
+            "t",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_blocks(), 5, "entry, header, body, latch, exit");
+        let header = ssair::BlockId(1);
+        assert_eq!(f.opcode(f.block(header).instrs[0]), Some(Opcode::Phi));
+    }
+
+    #[test]
+    fn bool_arith_zext() {
+        let m = compile_unoptimized("int f(int a) { return (a > 0) + 1; }", "t").unwrap();
+        let text = format!("{}", m.function("f").unwrap());
+        assert!(text.contains("zext"), "{text}");
+    }
+
+    #[test]
+    fn int_index_into_2d_uses_i64_math() {
+        let m = compile_unoptimized(
+            "double f(double* a, int i, int j, int n) { return a[i * n + j]; }",
+            "t",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        let text = format!("{f}");
+        // i*n+j computed in i32 then sext'd for the gep, like clang.
+        assert!(text.contains("mul i32"));
+        assert!(text.contains("sext i32"));
+    }
+}

@@ -1,0 +1,797 @@
+//! The search engine.
+
+use idl::{Atom, AtomKind, CTree, CompiledConstraint, EdgeKind, TypeClass};
+use ssair::analysis::{
+    all_control_flow_passes_through, all_data_flow_passes_through, kernel_slice, Analyses,
+};
+use ssair::{Function, Opcode, ValueId, ValueKind};
+use std::collections::{BTreeMap, HashSet};
+
+/// Pure math callees allowed inside extracted kernel functions (matches
+/// the minicc intrinsic set).
+pub const PURE_CALLS: &[&str] =
+    &["sqrt", "fabs", "exp", "log", "sin", "cos", "pow", "fmin", "fmax"];
+
+/// One satisfying assignment: flattened variable name → IR value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// The bindings, including family members produced by `collect` and
+    /// `Concat`.
+    pub bindings: BTreeMap<String, ValueId>,
+}
+
+/// Search limits.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Stop after this many solutions.
+    pub max_solutions: usize,
+    /// Abort the search after this many assignment steps (guards
+    /// pathological formulas; generously above anything the idiom library
+    /// needs on benchmark-sized functions).
+    pub max_steps: u64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> SolveOptions {
+        SolveOptions { max_solutions: 256, max_steps: 20_000_000 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+impl Tri {
+    fn from_bool(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+}
+
+type Assignment = BTreeMap<String, ValueId>;
+
+/// A solver instance for one function (analyses and value buckets are
+/// computed once and reused across idiom queries, as the paper's compiler
+/// does per compilation unit).
+pub struct Solver<'f> {
+    f: &'f Function,
+    an: Analyses,
+    all_values: Vec<ValueId>,
+    instructions: Vec<ValueId>,
+    constants: Vec<ValueId>,
+    arguments: Vec<ValueId>,
+}
+
+impl<'f> Solver<'f> {
+    /// Builds a solver (computing all analyses) for `f`.
+    #[must_use]
+    pub fn new(f: &'f Function) -> Solver<'f> {
+        let an = Analyses::new(f);
+        let mut instructions = Vec::new();
+        let mut constants = Vec::new();
+        let mut arguments = Vec::new();
+        // Only instructions currently placed in blocks participate.
+        let mut placed: HashSet<ValueId> = HashSet::new();
+        for b in f.block_ids() {
+            for &v in &f.block(b).instrs {
+                placed.insert(v);
+                instructions.push(v);
+            }
+        }
+        for v in f.value_ids() {
+            match f.value(v).kind {
+                ValueKind::ConstInt(_) | ValueKind::ConstFloat(_) => constants.push(v),
+                ValueKind::Argument { .. } => arguments.push(v),
+                ValueKind::Instr(_) => {}
+            }
+        }
+        let all_values: Vec<ValueId> = arguments
+            .iter()
+            .chain(constants.iter())
+            .chain(instructions.iter())
+            .copied()
+            .collect();
+        Solver { f, an, all_values, instructions, constants, arguments }
+    }
+
+    /// Enumerates all solutions of `c` (deduplicated), subject to `opts`.
+    #[must_use]
+    pub fn solve(&self, c: &CompiledConstraint, opts: &SolveOptions) -> Vec<Solution> {
+        self.solve_with(&c.tree, Assignment::new(), opts)
+    }
+
+    /// Solves `tree` starting from a partial assignment (used for `collect`
+    /// sub-searches, where context variables are pre-bound).
+    #[must_use]
+    pub fn solve_with(
+        &self,
+        tree: &CTree,
+        initial: Assignment,
+        opts: &SolveOptions,
+    ) -> Vec<Solution> {
+        let vars: Vec<String> = tree
+            .variables()
+            .into_iter()
+            .filter(|v| !initial.contains_key(v))
+            .collect();
+        let order = order_variables(tree, &vars);
+        let mut cx = SearchCx {
+            solver: self,
+            tree,
+            order,
+            opts,
+            steps: 0,
+            out: Vec::new(),
+            seen: HashSet::new(),
+        };
+        let mut asg = initial;
+        cx.search(0, &mut asg);
+        cx.out
+    }
+
+    // ----- atom evaluation -----
+
+    fn opcode_of(&self, v: ValueId) -> Option<Opcode> {
+        self.f.opcode(v)
+    }
+
+    fn eval_atom(&self, atom: &Atom, asg: &Assignment) -> Tri {
+        use AtomKind::*;
+        // Deferred constraints are resolved in the finalize stage.
+        if matches!(atom.kind, KilledBy | Concat) {
+            return Tri::Unknown;
+        }
+        let mut vals = Vec::with_capacity(atom.vars.len());
+        for v in &atom.vars {
+            match asg.get(v) {
+                Some(&x) => vals.push(x),
+                None => return Tri::Unknown,
+            }
+        }
+        Tri::from_bool(self.eval_ground(atom, &vals))
+    }
+
+    fn eval_ground(&self, atom: &Atom, vals: &[ValueId]) -> bool {
+        use AtomKind::*;
+        let f = self.f;
+        match &atom.kind {
+            TypeIs { class, constant_zero } => {
+                let ty = &f.value(vals[0]).ty;
+                let class_ok = match class {
+                    TypeClass::Integer => ty.is_integer(),
+                    TypeClass::Float => ty.is_float(),
+                    TypeClass::Pointer => ty.is_pointer(),
+                };
+                let zero_ok = !constant_zero
+                    || matches!(f.value(vals[0]).kind, ValueKind::ConstInt(0))
+                    || matches!(f.value(vals[0]).kind,
+                        ValueKind::ConstFloat(x) if x == 0.0);
+                class_ok && zero_ok
+            }
+            Unused => self.an.defuse.is_unused(vals[0]),
+            IsConstant => f.is_constant(vals[0]),
+            IsPreexecution => f.is_constant(vals[0]) || f.is_argument(vals[0]),
+            IsArgument => f.is_argument(vals[0]),
+            IsInstruction => f.is_instruction(vals[0]),
+            OpcodeIs(class) => self.opcode_of(vals[0]).is_some_and(|op| class.matches(op)),
+            Same { negated } => (vals[0] == vals[1]) != *negated,
+            HasEdge(EdgeKind::Data) => f
+                .instr(vals[1])
+                .is_some_and(|i| i.operands.contains(&vals[0])),
+            HasEdge(EdgeKind::Control) => self.an.has_control_flow_edge(f, vals[0], vals[1]),
+            HasEdge(EdgeKind::Dependence) => self.may_depend(vals[0], vals[1]),
+            ArgumentOf { pos } => f
+                .instr(vals[1])
+                .is_some_and(|i| i.operands.get(*pos) == Some(&vals[0])),
+            ReachesPhi => {
+                let Some(i) = f.instr(vals[1]) else { return false };
+                if i.opcode != Opcode::Phi {
+                    return false;
+                }
+                i.operands.iter().zip(&i.incoming).any(|(&v, &b)| {
+                    v == vals[0] && f.terminator(b) == Some(vals[2])
+                })
+            }
+            Dominates { strict, post, negated } => {
+                let (a, b) = (vals[0], vals[1]);
+                let result = if !f.is_instruction(a) || !f.is_instruction(b) {
+                    // Constants and arguments are available everywhere:
+                    // they dominate every instruction and post-dominate
+                    // nothing.
+                    !*post && !f.is_instruction(a)
+                } else {
+                    match (post, strict) {
+                        (false, false) => self.an.inst_dominates(a, b),
+                        (false, true) => self.an.inst_strictly_dominates(a, b),
+                        (true, false) => self.an.inst_post_dominates(a, b),
+                        (true, true) => self.an.inst_strictly_post_dominates(a, b),
+                    }
+                };
+                result != *negated
+            }
+            AllFlowThrough { data } => {
+                if *data {
+                    all_data_flow_passes_through(self.f, &self.an, vals[0], vals[1], vals[2])
+                } else {
+                    all_control_flow_passes_through(self.f, &self.an, vals[0], vals[1], vals[2])
+                }
+            }
+            KilledBy | Concat => unreachable!("deferred"),
+        }
+    }
+
+    /// Conservative may-dependence between two memory instructions: both
+    /// touch memory and their addresses share a root object.
+    fn may_depend(&self, a: ValueId, b: ValueId) -> bool {
+        let addr = |v: ValueId| -> Option<ValueId> {
+            let i = self.f.instr(v)?;
+            match i.opcode {
+                Opcode::Load => Some(i.operands[0]),
+                Opcode::Store => Some(i.operands[1]),
+                _ => None,
+            }
+        };
+        let (Some(mut ra), Some(mut rb)) = (addr(a), addr(b)) else { return false };
+        loop {
+            match self.f.instr(ra) {
+                Some(i) if i.opcode == Opcode::Gep => ra = i.operands[0],
+                _ => break,
+            }
+        }
+        loop {
+            match self.f.instr(rb) {
+                Some(i) if i.opcode == Opcode::Gep => rb = i.operands[0],
+                _ => break,
+            }
+        }
+        ra == rb
+    }
+
+    // ----- candidate generation -----
+
+    fn bucket(&self, kind: &AtomKind) -> Option<Vec<ValueId>> {
+        use AtomKind::*;
+        Some(match kind {
+            OpcodeIs(class) => self
+                .instructions
+                .iter()
+                .copied()
+                .filter(|&v| self.opcode_of(v).is_some_and(|op| class.matches(op)))
+                .collect(),
+            IsConstant => self.constants.clone(),
+            IsArgument => self.arguments.clone(),
+            IsPreexecution => {
+                self.constants.iter().chain(self.arguments.iter()).copied().collect()
+            }
+            IsInstruction => self.instructions.clone(),
+            TypeIs { class, constant_zero } => self
+                .all_values
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    self.eval_ground(
+                        &Atom {
+                            kind: TypeIs { class: *class, constant_zero: *constant_zero },
+                            vars: vec![String::new()],
+                            families: vec![],
+                        },
+                        &[v],
+                    )
+                })
+                .collect(),
+            _ => return None,
+        })
+    }
+
+    /// Candidates for `var` implied by `atom` under `asg`, if the atom can
+    /// act as a generator in this direction.
+    fn gen_atom(&self, atom: &Atom, var: &str, asg: &Assignment) -> Option<Vec<ValueId>> {
+        use AtomKind::*;
+        let f = self.f;
+        let pos_of = |name: &str| atom.vars.iter().position(|v| v == name);
+        let slot = pos_of(var)?;
+        let get = |k: usize| asg.get(&atom.vars[k]).copied();
+        match &atom.kind {
+            OpcodeIs(_) | IsConstant | IsArgument | IsPreexecution | IsInstruction
+            | TypeIs { .. } => self.bucket(&atom.kind),
+            Same { negated: false } => {
+                let other = if slot == 0 { get(1) } else { get(0) };
+                other.map(|v| vec![v])
+            }
+            ArgumentOf { pos } => {
+                if slot == 0 {
+                    // child from parent
+                    let parent = get(1)?;
+                    f.instr(parent)?.operands.get(*pos).map(|&v| vec![v])
+                } else {
+                    // parent from child: users with child at position pos
+                    let child = get(0)?;
+                    Some(
+                        self.an
+                            .defuse
+                            .users(child)
+                            .iter()
+                            .copied()
+                            .filter(|&u| {
+                                f.instr(u)
+                                    .is_some_and(|i| i.operands.get(*pos) == Some(&child))
+                            })
+                            .collect(),
+                    )
+                }
+            }
+            HasEdge(EdgeKind::Data) => {
+                if slot == 1 {
+                    let from = get(0)?;
+                    Some(self.an.defuse.users(from).to_vec())
+                } else {
+                    let to = get(1)?;
+                    f.instr(to).map(|i| i.operands.clone())
+                }
+            }
+            HasEdge(EdgeKind::Control) => {
+                if slot == 1 {
+                    let from = get(0)?;
+                    Some(self.an.control_flow_successors(f, from))
+                } else {
+                    let to = get(1)?;
+                    Some(self.an.control_flow_predecessors(f, to))
+                }
+            }
+            ReachesPhi => {
+                // vars: [value, phi, branch]
+                match slot {
+                    0 => {
+                        let phi = get(1)?;
+                        let from = get(2);
+                        let i = f.instr(phi)?;
+                        if i.opcode != Opcode::Phi {
+                            return Some(Vec::new());
+                        }
+                        Some(match from {
+                            Some(br) => i
+                                .operands
+                                .iter()
+                                .zip(&i.incoming)
+                                .filter(|(_, &b)| f.terminator(b) == Some(br))
+                                .map(|(&v, _)| v)
+                                .collect(),
+                            None => i.operands.clone(),
+                        })
+                    }
+                    1 => {
+                        let value = get(0)?;
+                        Some(
+                            self.an
+                                .defuse
+                                .users(value)
+                                .iter()
+                                .copied()
+                                .filter(|&u| f.opcode(u) == Some(Opcode::Phi))
+                                .collect(),
+                        )
+                    }
+                    2 => {
+                        let phi = get(1)?;
+                        let i = f.instr(phi)?;
+                        if i.opcode != Opcode::Phi {
+                            return Some(Vec::new());
+                        }
+                        Some(i.incoming.iter().filter_map(|&b| f.terminator(b)).collect())
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn gen_tree(&self, tree: &CTree, var: &str, asg: &Assignment) -> Option<Vec<ValueId>> {
+        match tree {
+            CTree::Atom(a) => self.gen_atom(a, var, asg),
+            CTree::And(cs) => {
+                let mut acc: Option<Vec<ValueId>> = None;
+                for c in cs {
+                    if let Some(g) = self.gen_tree(c, var, asg) {
+                        acc = Some(match acc {
+                            None => g,
+                            Some(prev) => {
+                                let set: HashSet<ValueId> = g.into_iter().collect();
+                                prev.into_iter().filter(|v| set.contains(v)).collect()
+                            }
+                        });
+                        if acc.as_ref().is_some_and(Vec::is_empty) {
+                            return acc; // empty intersection, prune hard
+                        }
+                    }
+                }
+                acc
+            }
+            CTree::Or(cs) => {
+                // A union is only a sound generator if EVERY branch
+                // generates (otherwise an ungenerated branch might admit
+                // other values).
+                let mut union: Vec<ValueId> = Vec::new();
+                for c in cs {
+                    let g = self.gen_tree(c, var, asg)?;
+                    for v in g {
+                        if !union.contains(&v) {
+                            union.push(v);
+                        }
+                    }
+                }
+                Some(union)
+            }
+            CTree::Collect { .. } => None,
+        }
+    }
+
+    // ----- 3-valued evaluation -----
+
+    fn eval3(&self, tree: &CTree, asg: &Assignment) -> Tri {
+        match tree {
+            CTree::Atom(a) => self.eval_atom(a, asg),
+            CTree::And(cs) => {
+                let mut result = Tri::True;
+                for c in cs {
+                    match self.eval3(c, asg) {
+                        Tri::False => return Tri::False,
+                        Tri::Unknown => result = Tri::Unknown,
+                        Tri::True => {}
+                    }
+                }
+                result
+            }
+            CTree::Or(cs) => {
+                if cs.is_empty() {
+                    return Tri::False;
+                }
+                let mut result = Tri::False;
+                for c in cs {
+                    match self.eval3(c, asg) {
+                        Tri::True => return Tri::True,
+                        Tri::Unknown => result = Tri::Unknown,
+                        Tri::False => {}
+                    }
+                }
+                result
+            }
+            CTree::Collect { .. } => Tri::Unknown,
+        }
+    }
+
+    /// `true` if assigning `var` can still influence the truth of `tree`
+    /// under the partial assignment `asg` (see don't-care elimination in
+    /// the search loop).
+    fn is_relevant(&self, tree: &CTree, var: &str, asg: &Assignment) -> bool {
+        match tree {
+            CTree::And(cs) => cs.iter().any(|c| self.is_relevant(c, var, asg)),
+            CTree::Or(cs) => {
+                if self.eval3(tree, asg) == Tri::True {
+                    return false;
+                }
+                cs.iter().any(|c| self.is_relevant(c, var, asg))
+            }
+            CTree::Atom(a) => a.vars.iter().any(|v| v == var),
+            CTree::Collect { .. } => false,
+        }
+    }
+
+    // ----- finalization: collects, concats, purity -----
+
+    /// Resolves a family reference against an assignment: the scalar
+    /// binding if present, else all `name[k]...` bindings in index order.
+    fn resolve_family(asg: &Assignment, name: &str) -> Vec<ValueId> {
+        if let Some(&v) = asg.get(name) {
+            return vec![v];
+        }
+        let prefix = format!("{name}[");
+        let mut found: Vec<(usize, ValueId)> = Vec::new();
+        for (k, &v) in asg.range(prefix.clone()..) {
+            if !k.starts_with(&prefix) {
+                break;
+            }
+            let rest = &k[prefix.len()..];
+            let Some(close) = rest.find(']') else { continue };
+            // Only direct family elements (no trailing sub-path) qualify.
+            if !rest[close + 1..].is_empty() {
+                continue;
+            }
+            if let Ok(idx) = rest[..close].parse::<usize>() {
+                found.push((idx, v));
+            }
+        }
+        found.sort_by_key(|&(i, _)| i);
+        found.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Runs collects/concats and checks deferred atoms. Returns the
+    /// completed assignment or `None` if some deferred constraint fails.
+    fn finalize(&self, tree: &CTree, asg: &Assignment, opts: &SolveOptions) -> Option<Assignment> {
+        let mut full = asg.clone();
+        self.run_bindings(tree, &mut full, opts)?;
+        if self.eval_final(tree, &full) { Some(full) } else { None }
+    }
+
+    /// Executes `collect` and `Concat` nodes along the conjunctive spine.
+    fn run_bindings(
+        &self,
+        tree: &CTree,
+        full: &mut Assignment,
+        opts: &SolveOptions,
+    ) -> Option<()> {
+        match tree {
+            CTree::And(cs) => {
+                for c in cs {
+                    self.run_bindings(c, full, opts)?;
+                }
+                Some(())
+            }
+            CTree::Or(_) | CTree::Atom(Atom { kind: AtomKind::KilledBy, .. }) => Some(()),
+            CTree::Atom(a) if a.kind == AtomKind::Concat => {
+                let out = &a.families[0];
+                let mut members = Self::resolve_family(full, &a.families[1]);
+                members.extend(Self::resolve_family(full, &a.families[2]));
+                for (k, v) in members.into_iter().enumerate() {
+                    full.insert(format!("{out}[{k}]"), v);
+                }
+                Some(())
+            }
+            CTree::Atom(_) => Some(()),
+            CTree::Collect { instances } => {
+                if instances.is_empty() {
+                    return Some(());
+                }
+                let sub_opts = SolveOptions {
+                    max_solutions: instances.len(),
+                    max_steps: opts.max_steps,
+                };
+                let sols = self.solve_with(&instances[0], full.clone(), &sub_opts);
+                let v0 = instances[0].variables_deep();
+                for (k, sol) in sols.iter().enumerate() {
+                    if k >= instances.len() {
+                        break;
+                    }
+                    let vk = instances[k].variables_deep();
+                    for (name0, namek) in v0.iter().zip(&vk) {
+                        if let Some(&val) = sol.bindings.get(name0) {
+                            full.entry(namek.clone()).or_insert(val);
+                        }
+                    }
+                }
+                Some(())
+            }
+        }
+    }
+
+    /// Final evaluation: everything must be true; `collect` counts as
+    /// satisfied, `Concat` as executed, `KilledBy` is checked against the
+    /// bound families.
+    fn eval_final(&self, tree: &CTree, full: &Assignment) -> bool {
+        match tree {
+            CTree::And(cs) => cs.iter().all(|c| self.eval_final(c, full)),
+            CTree::Or(cs) => cs.iter().any(|c| self.eval_final(c, full)),
+            CTree::Collect { .. } => true,
+            CTree::Atom(a) => match a.kind {
+                AtomKind::Concat => true,
+                AtomKind::KilledBy => {
+                    let Some(&sink) = full.get(&a.vars[0]) else { return false };
+                    let mut killers = Vec::new();
+                    for fam in &a.families {
+                        killers.extend(Self::resolve_family(full, fam));
+                    }
+                    kernel_slice(self.f, sink, &killers, PURE_CALLS).is_some()
+                }
+                _ => {
+                    let mut vals = Vec::with_capacity(a.vars.len());
+                    for v in &a.vars {
+                        match full.get(v) {
+                            Some(&x) => vals.push(x),
+                            None => return false,
+                        }
+                    }
+                    self.eval_ground(a, &vals)
+                }
+            },
+        }
+    }
+}
+
+struct SearchCx<'a, 'f> {
+    solver: &'a Solver<'f>,
+    tree: &'a CTree,
+    order: Vec<String>,
+    opts: &'a SolveOptions,
+    steps: u64,
+    out: Vec<Solution>,
+    seen: HashSet<Vec<(String, u32)>>,
+}
+
+impl SearchCx<'_, '_> {
+    fn search(&mut self, k: usize, asg: &mut Assignment) {
+        if self.out.len() >= self.opts.max_solutions || self.steps > self.opts.max_steps {
+            return;
+        }
+        if k == self.order.len() {
+            if let Some(full) = self.solver.finalize(self.tree, asg, self.opts) {
+                let key: Vec<(String, u32)> =
+                    full.iter().map(|(n, v)| (n.clone(), v.0)).collect();
+                if self.seen.insert(key) {
+                    self.out.push(Solution { bindings: full });
+                }
+            }
+            return;
+        }
+        let var = self.order[k].clone();
+        // Don't-care elimination: if every atom mentioning this variable
+        // sits under a disjunction that is already satisfied, the variable
+        // cannot influence the formula — bind it canonically instead of
+        // enumerating (this is what keeps helper variables of untaken
+        // `or` branches, e.g. the offset of an identity OffsetChain, from
+        // multiplying solutions).
+        if !self.solver.is_relevant(self.tree, &var, asg) {
+            asg.insert(var.clone(), ValueId(0));
+            self.search(k + 1, asg);
+            asg.remove(&var);
+            return;
+        }
+        let candidates = self
+            .solver
+            .gen_tree(self.tree, &var, asg)
+            .unwrap_or_else(|| self.solver.all_values.clone());
+        for c in candidates {
+            self.steps += 1;
+            if self.steps > self.opts.max_steps {
+                return;
+            }
+            asg.insert(var.clone(), c);
+            if self.solver.eval3(self.tree, asg) != Tri::False {
+                self.search(k + 1, asg);
+            }
+            asg.remove(&var);
+            if self.out.len() >= self.opts.max_solutions {
+                return;
+            }
+        }
+    }
+}
+
+/// Orders variables so that each one (after the first) is connected to an
+/// already-ordered variable through a generator-capable atom — the §4.4
+/// "variables are collected and ordered to assist constraint solving".
+fn order_variables(tree: &CTree, vars: &[String]) -> Vec<String> {
+    let mut atoms = Vec::new();
+    collect_atoms(tree, &mut atoms);
+    let has_anchor = |v: &String| {
+        atoms.iter().any(|a| {
+            a.vars.first() == Some(v)
+                && matches!(
+                    a.kind,
+                    AtomKind::OpcodeIs(_)
+                        | AtomKind::IsConstant
+                        | AtomKind::IsArgument
+                        | AtomKind::IsInstruction
+                        | AtomKind::IsPreexecution
+                )
+        })
+    };
+    let connected = |v: &String, ordered: &[String]| {
+        atoms.iter().any(|a| {
+            matches!(
+                a.kind,
+                AtomKind::ArgumentOf { .. }
+                    | AtomKind::HasEdge(_)
+                    | AtomKind::ReachesPhi
+                    | AtomKind::Same { negated: false }
+            ) && a.vars.contains(v)
+                && a.vars.iter().any(|w| ordered.contains(w))
+        })
+    };
+    let mut remaining: Vec<String> = vars.to_vec();
+    let mut order: Vec<String> = Vec::new();
+    // Seed: an anchored variable if possible.
+    if let Some(i) = remaining.iter().position(has_anchor) {
+        order.push(remaining.remove(i));
+    } else if !remaining.is_empty() {
+        order.push(remaining.remove(0));
+    }
+    while !remaining.is_empty() {
+        let next = remaining
+            .iter()
+            .position(|v| connected(v, &order) && has_anchor(v))
+            .or_else(|| remaining.iter().position(|v| connected(v, &order)))
+            .or_else(|| remaining.iter().position(has_anchor))
+            .unwrap_or(0);
+        order.push(remaining.remove(next));
+    }
+    order
+}
+
+fn collect_atoms<'t>(tree: &'t CTree, out: &mut Vec<&'t Atom>) {
+    match tree {
+        CTree::And(cs) | CTree::Or(cs) => {
+            for c in cs {
+                collect_atoms(c, out);
+            }
+        }
+        CTree::Atom(a) => out.push(a),
+        CTree::Collect { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idl::{compile, parse_library};
+    use ssair::parser::parse_function_text;
+
+    #[test]
+    fn ordering_prefers_anchored_connected_variables() {
+        let lib = parse_library(
+            r#"
+Constraint X
+( {b} is first argument of {a} and
+  {a} is add instruction and
+  {c} is first argument of {b} )
+End
+"#,
+        )
+        .unwrap();
+        let c = compile(&lib, "X").unwrap();
+        let order = order_variables(&c.tree, &c.variables);
+        assert_eq!(order[0], "a", "anchored variable first");
+        assert_eq!(order[1], "b", "connected to a");
+        assert_eq!(order[2], "c");
+    }
+
+    #[test]
+    fn family_resolution_orders_indices_numerically() {
+        let f = parse_function_text(
+            "define void @f() {\nentry:\n  ret void\n}\n",
+        )
+        .unwrap();
+        let _solver = Solver::new(&f);
+        let mut asg = Assignment::new();
+        for k in [0usize, 2, 10, 1] {
+            asg.insert(format!("fam[{k}]"), ValueId(k as u32));
+        }
+        asg.insert("fam[0].sub".into(), ValueId(99)); // must be ignored
+        let got = Solver::resolve_family(&asg, "fam");
+        assert_eq!(got, vec![ValueId(0), ValueId(1), ValueId(2), ValueId(10)]);
+        // Scalar binding takes priority.
+        asg.insert("fam".into(), ValueId(7));
+        assert_eq!(Solver::resolve_family(&asg, "fam"), vec![ValueId(7)]);
+    }
+
+    #[test]
+    fn dependence_edges_use_address_roots() {
+        let f = parse_function_text(
+            r#"
+define void @f(double* %p, double* %q, i64 %i) {
+entry:
+  %a = getelementptr double, double* %p, i64 %i
+  %x = load double, double* %a
+  %b = getelementptr double, double* %p, i64 0
+  store double %x, double* %b
+  %c = getelementptr double, double* %q, i64 %i
+  store double %x, double* %c
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let s = Solver::new(&f);
+        let e = ssair::BlockId(0);
+        let load = f.block(e).instrs[1];
+        let store_p = f.block(e).instrs[3];
+        let store_q = f.block(e).instrs[5];
+        assert!(s.may_depend(load, store_p), "same root p");
+        assert!(!s.may_depend(load, store_q), "distinct roots p vs q");
+    }
+}

@@ -1,0 +1,68 @@
+//! Def-use chains: for every value, the instructions that use it as an
+//! operand. This is the data-flow edge relation of the IDL atomic
+//! `{a} has data flow to {b}`.
+
+use crate::function::{Function, ValueId, ValueKind};
+use std::collections::HashMap;
+
+/// Def-use chains for one function.
+pub struct DefUse {
+    users: HashMap<ValueId, Vec<ValueId>>,
+}
+
+impl DefUse {
+    /// Builds the chains for `f`. Only instructions currently placed in a
+    /// block count as users (retired arena slots are ignored).
+    #[must_use]
+    pub fn new(f: &Function) -> DefUse {
+        let mut users: HashMap<ValueId, Vec<ValueId>> = HashMap::new();
+        for b in f.block_ids() {
+            for &v in &f.block(b).instrs {
+                if let ValueKind::Instr(i) = &f.value(v).kind {
+                    for &op in &i.operands {
+                        let us = users.entry(op).or_default();
+                        if !us.contains(&v) {
+                            us.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        DefUse { users }
+    }
+
+    /// The instructions using `v` as an operand (deduplicated, in
+    /// instruction creation order).
+    #[must_use]
+    pub fn users(&self, v: ValueId) -> &[ValueId] {
+        self.users.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// `true` if no instruction uses `v` (the IDL atomic `is unused`).
+    #[must_use]
+    pub fn is_unused(&self, v: ValueId) -> bool {
+        self.users(v).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function_text;
+
+    #[test]
+    fn users_are_tracked_and_deduplicated() {
+        let f = parse_function_text(
+            "define i32 @f(i32 %a) {\nentry:\n  %sq = mul i32 %a, %a\n  %dead = add i32 %a, 1\n  ret i32 %sq\n}\n",
+        )
+        .unwrap();
+        let du = DefUse::new(&f);
+        let a = f.params[0];
+        let entry = crate::BlockId(0);
+        let sq = f.block(entry).instrs[0];
+        let dead = f.block(entry).instrs[1];
+        assert_eq!(du.users(a), &[sq, dead], "a used by mul (once) and add");
+        assert!(du.is_unused(dead));
+        assert!(!du.is_unused(sq), "sq is returned");
+    }
+}

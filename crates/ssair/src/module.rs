@@ -1,0 +1,55 @@
+//! Modules: named collections of functions, the unit of compilation,
+//! detection and transformation.
+
+use crate::function::Function;
+
+/// A translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name (usually the source file stem).
+    pub name: String,
+    /// The functions, in definition order.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Module {
+        Module { name: name.into(), functions: Vec::new() }
+    }
+
+    /// Adds a function and returns its index.
+    pub fn add_function(&mut self, f: Function) -> usize {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    /// Looks up a function by symbol name.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable lookup by symbol name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new("unit");
+        m.add_function(Function::new("alpha", &[], Type::Void));
+        m.add_function(Function::new("beta", &[], Type::I32));
+        assert!(m.function("alpha").is_some());
+        assert!(m.function("gamma").is_none());
+        m.function_mut("beta").unwrap().name = "gamma".into();
+        assert!(m.function("gamma").is_some());
+    }
+}

@@ -1,0 +1,218 @@
+//! Small transformation utilities shared by the frontend optimizer and the
+//! idiom replacement phase: value replacement and dead-code elimination.
+//!
+//! The paper's replacement scheme (§6.1) deletes only the anchoring store
+//! of a matched idiom "and the remaining cleanup is left to the standard
+//! dead code elimination pass" — [`eliminate_dead_code`] is that pass.
+
+use crate::analysis::DefUse;
+use crate::function::{Function, Opcode, ValueId, ValueKind};
+use std::collections::HashSet;
+
+/// Replaces every use of `from` with `to` in `f`.
+pub fn replace_all_uses(f: &mut Function, from: ValueId, to: ValueId) {
+    for v in f.value_ids().collect::<Vec<_>>() {
+        if let ValueKind::Instr(_) = f.value(v).kind {
+            let instr = f.instr_mut(v).expect("instruction");
+            for op in &mut instr.operands {
+                if *op == from {
+                    *op = to;
+                }
+            }
+        }
+    }
+}
+
+/// Removes the instruction `v` from its block (its value-arena slot is
+/// retired but ids of other values remain stable).
+pub fn remove_instruction(f: &mut Function, v: ValueId) {
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let blk = f.block_mut(b);
+        blk.instrs.retain(|&i| i != v);
+    }
+    // Neutralize the payload so later passes do not see ghost operands.
+    if let Some(i) = f.instr_mut(v) {
+        i.operands.clear();
+        i.incoming.clear();
+        i.targets.clear();
+    }
+}
+
+/// Iteratively removes instructions that have no users and no side effects.
+/// Returns the number of removed instructions.
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let du = DefUse::new(f);
+        let mut dead: Vec<ValueId> = Vec::new();
+        for b in f.block_ids() {
+            for &v in &f.block(b).instrs {
+                let Some(i) = f.instr(v) else { continue };
+                let side_effecting = matches!(
+                    i.opcode,
+                    Opcode::Store | Opcode::Ret | Opcode::Br | Opcode::CondBr | Opcode::Call
+                );
+                if !side_effecting && du.is_unused(v) {
+                    dead.push(v);
+                }
+            }
+        }
+        if dead.is_empty() {
+            return removed_total;
+        }
+        let dead_set: HashSet<ValueId> = dead.iter().copied().collect();
+        for b in f.block_ids().collect::<Vec<_>>() {
+            f.block_mut(b).instrs.retain(|i| !dead_set.contains(i));
+        }
+        removed_total += dead.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function_text;
+
+    #[test]
+    fn dce_removes_transitively_dead_chains() {
+        let mut f = parse_function_text(
+            r#"
+define i32 @f(i32 %a) {
+entry:
+  %d1 = add i32 %a, 1
+  %d2 = mul i32 %d1, %d1
+  %live = add i32 %a, 2
+  ret i32 %live
+}
+"#,
+        )
+        .unwrap();
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 2, "d2 then d1");
+        assert_eq!(f.block(crate::BlockId(0)).instrs.len(), 2);
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_calls() {
+        let mut f = parse_function_text(
+            r#"
+define void @g(double* %p) {
+entry:
+  store double 1.0, double* %p
+  %r = call double @sqrt(double 2.0)
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_eq!(f.block(crate::BlockId(0)).instrs.len(), 3);
+    }
+
+    #[test]
+    fn replace_all_uses_rewires_operands() {
+        let mut f = parse_function_text(
+            r#"
+define i32 @h(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %a
+  %y = add i32 %x, 1
+  ret i32 %y
+}
+"#,
+        )
+        .unwrap();
+        let a = f.params[0];
+        let b = f.params[1];
+        replace_all_uses(&mut f, a, b);
+        let x = f.block(crate::BlockId(0)).instrs[0];
+        assert_eq!(f.instr(x).unwrap().operands, vec![b, b]);
+    }
+
+    #[test]
+    fn remove_instruction_then_dce_cleans_inputs() {
+        let mut f = parse_function_text(
+            r#"
+define void @k(double* %p, double %v) {
+entry:
+  %m = fmul double %v, %v
+  store double %m, double* %p
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let store = f.block(crate::BlockId(0)).instrs[1];
+        remove_instruction(&mut f, store);
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 1, "the fmul feeding the removed store");
+        assert_eq!(f.block(crate::BlockId(0)).instrs.len(), 1, "only ret remains");
+    }
+}
+
+/// Removes blocks unreachable from the entry, compacting block ids and
+/// rewriting branch targets and phi incoming lists. Phi edges from removed
+/// predecessors are dropped; phis left with a single incoming value are
+/// replaced by that value. Used after idiom replacement excises a loop.
+pub fn remove_unreachable_blocks(f: &mut Function) -> usize {
+    use crate::function::BlockId;
+    // Reachability.
+    let n = f.num_blocks();
+    let mut reach = vec![false; n];
+    let mut stack = vec![BlockId(0)];
+    reach[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.successors(b) {
+            if !reach[s.0 as usize] {
+                reach[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let removed = reach.iter().filter(|r| !**r).count();
+    if removed == 0 {
+        return 0;
+    }
+    // Remap ids.
+    let mut remap: Vec<Option<u32>> = vec![None; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if reach[i] {
+            remap[i] = Some(next);
+            next += 1;
+        }
+    }
+    // Drop phi edges from unreachable preds, then single-entry phis.
+    let mut simplify: Vec<(ValueId, ValueId)> = Vec::new();
+    for b in 0..n {
+        if !reach[b] {
+            continue;
+        }
+        for &v in f.block(BlockId(b as u32)).instrs.clone().iter() {
+            let Some(i) = f.instr(v) else { continue };
+            if i.opcode != Opcode::Phi {
+                continue;
+            }
+            let keep: Vec<(ValueId, crate::BlockId)> = i
+                .operands
+                .iter()
+                .zip(&i.incoming)
+                .filter(|(_, inb)| reach[inb.0 as usize])
+                .map(|(&op, &inb)| (op, inb))
+                .collect();
+            let instr = f.instr_mut(v).expect("phi");
+            instr.operands = keep.iter().map(|(op, _)| *op).collect();
+            instr.incoming = keep.iter().map(|(_, b)| *b).collect();
+            if instr.operands.len() == 1 {
+                simplify.push((v, instr.operands[0]));
+            }
+        }
+    }
+    for (phi, val) in simplify {
+        replace_all_uses(f, phi, val);
+        remove_instruction(f, phi);
+    }
+    // Rebuild block vector and rewrite ids.
+    f.retain_blocks(|b| reach[b.0 as usize], |old| BlockId(remap[old.0 as usize].expect("reachable")));
+    removed
+}

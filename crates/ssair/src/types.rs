@@ -1,0 +1,126 @@
+//! The ssair type system.
+//!
+//! A small monomorphic type system mirroring the LLVM types that the
+//! benchmarks and the IDL atomic constraints (`is integer`, `is float`,
+//! `is pointer`) need. Pointers carry their pointee type so that `gep`
+//! can scale indices by the element size, exactly like a typed LLVM GEP.
+
+use std::fmt;
+
+/// A first-class ssair type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 1-bit boolean, produced by comparisons and consumed by branches.
+    I1,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer (also the index type of `gep`).
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE double.
+    F64,
+    /// Pointer to a value of the pointee type.
+    Ptr(Box<Type>),
+    /// The type of instructions that produce no value (`store`, `br`, ...).
+    Void,
+}
+
+impl Type {
+    /// Pointer to `self`.
+    #[must_use]
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// `true` for the integer types `i1`, `i32`, `i64`.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Type::I1 | Type::I32 | Type::I64)
+    }
+
+    /// `true` for `f32` and `f64`.
+    #[must_use]
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// `true` for pointer types.
+    #[must_use]
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// The pointee type of a pointer, or `None` for non-pointers.
+    #[must_use]
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(inner) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// Size of a value of this type in bytes, as laid out by the
+    /// interpreter's memory model (pointers are 8 bytes).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Type::I1 => 1,
+            Type::I32 | Type::F32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr(_) => 8,
+            Type::Void => 0,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::I1 => write!(f, "i1"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::F32 => write!(f, "float"),
+            Type::F64 => write!(f, "double"),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+            Type::Void => write!(f, "void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::F64.ptr_to().to_string(), "double*");
+        assert_eq!(Type::F64.ptr_to().ptr_to().to_string(), "double**");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::I1.is_integer());
+        assert!(Type::I64.is_integer());
+        assert!(!Type::F32.is_integer());
+        assert!(Type::F32.is_float());
+        assert!(Type::I32.ptr_to().is_pointer());
+        assert!(!Type::I32.is_pointer());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::I32.size_bytes(), 4);
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::I1.size_bytes(), 1);
+        assert_eq!(Type::I32.ptr_to().size_bytes(), 8);
+        assert_eq!(Type::Void.size_bytes(), 0);
+    }
+
+    #[test]
+    fn pointee() {
+        let p = Type::F32.ptr_to();
+        assert_eq!(p.pointee(), Some(&Type::F32));
+        assert_eq!(Type::F32.pointee(), None);
+    }
+}

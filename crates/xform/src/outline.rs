@@ -1,0 +1,230 @@
+//! Kernel outlining: materialize the pure backward slice of a matched
+//! kernel output as a standalone IR function.
+//!
+//! The paper cuts the kernel function / reduction operator out of the loop
+//! body and hands it to the DSL backend (§6.2). Here the slice becomes a
+//! fresh [`Function`] whose parameters are the declared kernel inputs; the
+//! generated device program calls it per element.
+
+use ssair::analysis::kernel_slice;
+use ssair::{BlockId, Function, Instr, Type, ValueId, ValueKind};
+use std::collections::HashMap;
+
+/// An outlined kernel: the new function plus its input signature.
+#[derive(Debug, Clone)]
+pub struct OutlinedKernel {
+    /// The generated function (single basic block, pure).
+    pub function: Function,
+    /// The original values that became parameters, in parameter order.
+    pub inputs: Vec<ValueId>,
+}
+
+/// Outlines the pure slice computing `output` from `inputs` in `src` as a
+/// new function named `name`. Returns `None` when the slice is impure
+/// (which detection should already have excluded).
+#[must_use]
+pub fn outline_kernel(
+    src: &Function,
+    output: ValueId,
+    inputs: &[ValueId],
+    name: &str,
+) -> Option<OutlinedKernel> {
+    let pure_calls = solver::PURE_CALLS;
+    let slice = kernel_slice(src, output, inputs, pure_calls)?;
+    // Deterministic order: original program order (value id order matches
+    // creation order inside a function).
+    let mut slice = slice;
+    slice.sort();
+
+    let params: Vec<(String, Type)> = inputs
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| (format!("in{k}"), src.value(v).ty.clone()))
+        .collect();
+    let ret_ty = src.value(output).ty.clone();
+    let mut out = Function::new(name, &params, ret_ty.clone());
+    let entry = BlockId(0);
+    let mut map: HashMap<ValueId, ValueId> = HashMap::new();
+    for (k, &v) in inputs.iter().enumerate() {
+        map.insert(v, out.params[k]);
+    }
+    let remap = |map: &HashMap<ValueId, ValueId>,
+                 out: &mut Function,
+                 src: &Function,
+                 v: ValueId|
+     -> ValueId {
+        if let Some(&m) = map.get(&v) {
+            return m;
+        }
+        match &src.value(v).kind {
+            ValueKind::ConstInt(c) => out.const_int(src.value(v).ty.clone(), *c),
+            ValueKind::ConstFloat(c) => out.const_float(src.value(v).ty.clone(), *c),
+            ValueKind::Argument { .. } => {
+                unreachable!("free arguments must be declared kernel inputs")
+            }
+            ValueKind::Instr(_) => unreachable!("slice is topologically ordered"),
+        }
+    };
+    // Arguments reachable from the slice that are not declared inputs are
+    // promoted to extra parameters (loop-invariant scalars like `alpha`).
+    let mut extra_inputs: Vec<ValueId> = Vec::new();
+    for &v in &slice {
+        let operands = src.instr(v).expect("slice instruction").operands.clone();
+        for op in operands {
+            if map.contains_key(&op) || src.is_constant(op) {
+                continue;
+            }
+            if src.is_argument(op) || !slice.contains(&op) {
+                // Free value: becomes an extra parameter.
+                let idx = out.params.len();
+                let p = {
+                    let ty = src.value(op).ty.clone();
+                    // Extend the signature.
+                    let name = format!("in{idx}");
+                    out.add_param(&name, ty)
+                };
+                map.insert(op, p);
+                extra_inputs.push(op);
+            }
+        }
+    }
+    for &v in &slice {
+        let instr = src.instr(v).expect("slice instruction").clone();
+        let operands: Vec<ValueId> =
+            instr.operands.iter().map(|&op| remap(&map, &mut out, src, op)).collect();
+        let cloned = Instr {
+            opcode: instr.opcode,
+            operands,
+            incoming: Vec::new(),
+            targets: Vec::new(),
+            callee: instr.callee.clone(),
+        };
+        let new_v = out.append(entry, src.value(v).ty.clone(), cloned);
+        map.insert(v, new_v);
+    }
+    let result = if let Some(&m) = map.get(&output) {
+        m
+    } else {
+        remap(&map, &mut out, src, output)
+    };
+    out.append_ret(entry, Some(result));
+    let mut inputs_all: Vec<ValueId> = inputs.to_vec();
+    inputs_all.extend(extra_inputs);
+    Some(OutlinedKernel { function: out, inputs: inputs_all })
+}
+
+/// Trivial kernels (`output` *is* one of the inputs) still outline: the
+/// generated function returns its parameter.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssair::parser::parse_function_text;
+
+    fn get(f: &Function, name: &str) -> ValueId {
+        f.value_ids()
+            .find(|&v| f.value(v).name.as_deref() == Some(name))
+            .unwrap_or_else(|| panic!("no value named {name}"))
+    }
+
+    #[test]
+    fn outlines_pure_arithmetic() {
+        let src = parse_function_text(
+            r#"
+define void @host(double* %p, double %u, double %v) {
+entry:
+  %m = fmul double %u, %v
+  %s = fadd double %m, 1.5
+  store double %s, double* %p
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let u = src.params[1];
+        let v = src.params[2];
+        let s = get(&src, "s");
+        let k = outline_kernel(&src, s, &[u, v], "kern").expect("outlines");
+        assert_eq!(k.function.params.len(), 2);
+        ssair::verify::verify_function(&k.function).expect("outlined kernel verifies");
+        let text = format!("{}", k.function);
+        assert!(text.contains("fmul"));
+        assert!(text.contains("ret double"));
+    }
+
+    #[test]
+    fn promotes_free_arguments_to_parameters() {
+        let src = parse_function_text(
+            r#"
+define void @host(double* %p, double %x, double %alpha) {
+entry:
+  %m = fmul double %x, %alpha
+  store double %m, double* %p
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let x = src.params[1];
+        let m = get(&src, "m");
+        // alpha is NOT declared; it must be promoted.
+        let k = outline_kernel(&src, m, &[x], "kern").expect("outlines");
+        assert_eq!(k.function.params.len(), 2, "x plus promoted alpha");
+        assert_eq!(k.inputs.len(), 2);
+    }
+
+    #[test]
+    fn refuses_impure_slices() {
+        let src = parse_function_text(
+            r#"
+define void @host(double* %p, double* %q) {
+entry:
+  %x = load double, double* %q
+  %m = fmul double %x, 2.0
+  store double %m, double* %p
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let m = get(&src, "m");
+        assert!(outline_kernel(&src, m, &[], "kern").is_none());
+    }
+
+    #[test]
+    fn identity_kernel_outlines() {
+        let src = parse_function_text(
+            r#"
+define void @host(double* %p, double %x) {
+entry:
+  store double %x, double* %p
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let x = src.params[1];
+        let k = outline_kernel(&src, x, &[x], "kern").expect("outlines");
+        ssair::verify::verify_function(&k.function).expect("verifies");
+    }
+
+    #[test]
+    fn whitelisted_math_calls_are_cloned() {
+        let src = parse_function_text(
+            r#"
+define void @host(double* %p, double %x) {
+entry:
+  %r = call double @sqrt(double %x)
+  %s = fadd double %r, 1.0
+  store double %s, double* %p
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let x = src.params[1];
+        let s = get(&src, "s");
+        let k = outline_kernel(&src, s, &[x], "kern").expect("outlines");
+        let text = format!("{}", k.function);
+        assert!(text.contains("call double @sqrt"));
+    }
+}

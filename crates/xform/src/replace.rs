@@ -1,0 +1,921 @@
+//! Idiom replacement (paper §6.1/§6.2) with native soundness checks
+//! (§6.3).
+//!
+//! The matched loop nest is excised: the preheader branch is retargeted to
+//! the loop's successor block, a call is inserted before it, and the
+//! now-unreachable loop blocks are removed. For the library path the call
+//! targets a fixed-function API entry point (`gemm_f64`, `csrmv_f64` —
+//! installed by the `hetero` crate); for the DSL path this crate first
+//! *generates* the device program (an IR function standing in for the
+//! OpenCL that Lift/Halide would emit) around the outlined kernel, and the
+//! call targets the generated code.
+
+use crate::outline::outline_kernel;
+use idioms::{IdiomInstance, IdiomKind};
+use ssair::analysis::Analyses;
+use ssair::pass::{eliminate_dead_code, remove_unreachable_blocks, replace_all_uses};
+use ssair::{Function, ICmpPred, Module, Opcode, Type, ValueId, ValueKind};
+
+/// A transformation failure. `Unsupported` marks idiom shapes the backend
+/// cannot express (detection stands, no rewrite happens); `Unsound` marks
+/// §6.3 violations (side effects or live-outs the replacement would lose).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XformError {
+    /// Shape outside the backend's calling convention.
+    Unsupported(String),
+    /// Replacement would change observable behaviour.
+    Unsound(String),
+}
+
+impl std::fmt::Display for XformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XformError::Unsupported(m) => write!(f, "unsupported idiom shape: {m}"),
+            XformError::Unsound(m) => write!(f, "replacement would be unsound: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XformError {}
+
+type Result<T> = std::result::Result<T, XformError>;
+
+/// Description of an applied replacement.
+#[derive(Debug, Clone)]
+pub struct Replacement {
+    /// The idiom kind.
+    pub kind: IdiomKind,
+    /// The API entry point or generated device function the call targets.
+    pub callee: String,
+    /// Names of functions generated and appended to the module (outlined
+    /// kernels + device programs); empty for library calls.
+    pub generated: Vec<String>,
+}
+
+fn bind(inst: &IdiomInstance, name: &str) -> Result<ValueId> {
+    inst.value(name)
+        .ok_or_else(|| XformError::Unsupported(format!("missing binding {name:?}")))
+}
+
+fn const_f64(f: &Function, v: ValueId) -> Option<f64> {
+    match f.value(v).kind {
+        ValueKind::ConstFloat(c) => Some(c),
+        _ => None,
+    }
+}
+
+fn const_i64(f: &Function, v: ValueId) -> Option<i64> {
+    match f.value(v).kind {
+        ValueKind::ConstInt(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// All stores and impure calls inside the instance's loop region.
+fn region_side_effects(f: &Function, inst: &IdiomInstance) -> (Vec<ValueId>, Vec<ValueId>) {
+    let mut stores = Vec::new();
+    let mut calls = Vec::new();
+    for &b in &inst.blocks {
+        for &v in &f.block(b).instrs {
+            match f.opcode(v) {
+                Some(Opcode::Store) => stores.push(v),
+                Some(Opcode::Call) => {
+                    let pure = f
+                        .instr(v)
+                        .and_then(|i| i.callee.as_deref())
+                        .is_some_and(|c| solver::PURE_CALLS.contains(&c));
+                    if !pure {
+                        calls.push(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (stores, calls)
+}
+
+/// Values defined inside the region that are used outside it.
+fn region_live_outs(f: &Function, an: &Analyses, inst: &IdiomInstance) -> Vec<ValueId> {
+    let mut outs = Vec::new();
+    for &b in &inst.blocks {
+        for &v in &f.block(b).instrs {
+            let escapes = an.defuse.users(v).iter().any(|&u| {
+                an.layout.block_of(u).is_none_or(|ub| !inst.blocks.contains(&ub))
+            });
+            if escapes {
+                outs.push(v);
+            }
+        }
+    }
+    outs
+}
+
+/// Re-validates the §6.3 side conditions for replacing `inst` in `f`:
+/// the region must contain no memory writes or impure calls beyond the
+/// matched ones, and no values other than the matched result may flow out
+/// of the region.
+pub fn check_soundness(f: &Function, inst: &IdiomInstance) -> Result<()> {
+    let an = Analyses::new(f);
+    let (stores, calls) = region_side_effects(f, inst);
+    if !calls.is_empty() {
+        return Err(XformError::Unsound("impure call inside the replaced region".into()));
+    }
+    let allowed_result: Option<ValueId> = match inst.kind {
+        IdiomKind::Reduction => Some(bind(inst, "acc")?),
+        _ => None,
+    };
+    let allowed_stores: Vec<ValueId> = match inst.kind {
+        IdiomKind::Reduction => vec![],
+        IdiomKind::Histogram => vec![bind(inst, "store")?],
+        IdiomKind::Stencil1D | IdiomKind::Stencil2D => vec![bind(inst, "write.store")?],
+        IdiomKind::Spmv | IdiomKind::Gemm => vec![bind(inst, "output.store")?],
+    };
+    for s in stores {
+        if allowed_stores.contains(&s) {
+            continue;
+        }
+        // GEMM tolerates the output-zeroing store of the Figure-8 second
+        // form: same output object, zero value, and a zero-initialized
+        // accumulator — the replacement overwrites the output anyway.
+        if inst.kind == IdiomKind::Gemm {
+            let store_addr = f.instr(s).expect("store").operands[1];
+            let out_base = bind(inst, "output.base_pointer")?;
+            let zeroed = const_f64(f, f.instr(s).expect("store").operands[0]) == Some(0.0);
+            let init_zero = const_f64(f, bind(inst, "dot.init")?) == Some(0.0)
+                || matches!(f.opcode(bind(inst, "dot.init")?), Some(Opcode::Load));
+            if address_root(f, store_addr) == address_root(f, out_base) && zeroed && init_zero {
+                continue;
+            }
+        }
+        return Err(XformError::Unsound(format!(
+            "unmatched store {} inside the replaced region",
+            f.display_name(s)
+        )));
+    }
+    // Live-outs: only the matched result value may escape.
+    for v in region_live_outs(f, &an, inst) {
+        if Some(v) == allowed_result {
+            continue;
+        }
+        return Err(XformError::Unsound(format!(
+            "value {} defined in the region is used after it",
+            f.display_name(v)
+        )));
+    }
+    Ok(())
+}
+
+fn address_root(f: &Function, mut v: ValueId) -> ValueId {
+    loop {
+        match f.instr(v) {
+            Some(i) if i.opcode == Opcode::Gep => v = i.operands[0],
+            _ => return v,
+        }
+    }
+}
+
+/// Whether `v` dominates the instruction `site` (constants/arguments
+/// always qualify).
+fn available_at(f: &Function, an: &Analyses, v: ValueId, site: ValueId) -> bool {
+    !f.is_instruction(v) || an.inst_strictly_dominates(v, site)
+}
+
+/// Applies the best available replacement of `inst` inside
+/// `module.functions[..]` (looked up by `inst.function`). Appends any
+/// generated functions to the module. `uid` disambiguates generated names.
+pub fn apply_replacement(
+    module: &mut Module,
+    inst: &IdiomInstance,
+    uid: usize,
+) -> Result<Replacement> {
+    let fidx = module
+        .functions
+        .iter()
+        .position(|f| f.name == inst.function)
+        .ok_or_else(|| XformError::Unsupported("function not in module".into()))?;
+    {
+        let f = &module.functions[fidx];
+        check_soundness(f, inst)?;
+    }
+    match inst.kind {
+        IdiomKind::Gemm => replace_gemm(module, fidx, inst),
+        IdiomKind::Spmv => replace_spmv(module, fidx, inst),
+        IdiomKind::Reduction => replace_reduction(module, fidx, inst, uid),
+        IdiomKind::Histogram => replace_histogram(module, fidx, inst, uid),
+        IdiomKind::Stencil1D => replace_stencil1d(module, fidx, inst, uid),
+        IdiomKind::Stencil2D => replace_stencil2d(module, fidx, inst, uid),
+    }
+}
+
+/// Inserts `call @callee(args...)` immediately before the `precursor`
+/// branch, retargets that branch from the loop header to the loop
+/// successor block, removes the dead loop blocks and cleans up.
+/// If `result_replaces` is given, all uses of that value are rewired to
+/// the call's result first.
+#[allow(clippy::too_many_arguments)]
+fn excise_and_call(
+    f: &mut Function,
+    inst: &IdiomInstance,
+    precursor_var: &str,
+    header_iter_var: &str,
+    successor_var: &str,
+    callee: &str,
+    ret_ty: Type,
+    args: Vec<ValueId>,
+    result_replaces: Option<ValueId>,
+) -> Result<()> {
+    let an = Analyses::new(f);
+    let precursor = bind(inst, precursor_var)?;
+    let header_phi = bind(inst, header_iter_var)?;
+    let successor = bind(inst, successor_var)?;
+    let pre_block = an
+        .layout
+        .block_of(precursor)
+        .ok_or_else(|| XformError::Unsupported("precursor not placed".into()))?;
+    let header_block = an
+        .layout
+        .block_of(header_phi)
+        .ok_or_else(|| XformError::Unsupported("iterator not placed".into()))?;
+    let exit_block = an
+        .layout
+        .block_of(successor)
+        .ok_or_else(|| XformError::Unsupported("successor not placed".into()))?;
+    // All call operands must be available before the precursor.
+    for &a in &args {
+        if !available_at(f, &an, a, precursor) {
+            return Err(XformError::Unsupported(format!(
+                "call argument {} is not available at the call site",
+                f.display_name(a)
+            )));
+        }
+    }
+    let call = f.append_call(pre_block, ret_ty, callee, args);
+    // Move the call before the terminator.
+    let v = f.block_mut(pre_block).instrs.pop().expect("just appended");
+    debug_assert_eq!(v, call);
+    let at = f.block(pre_block).instrs.len().saturating_sub(1);
+    f.block_mut(pre_block).instrs.insert(at, call);
+    if let Some(old) = result_replaces {
+        replace_all_uses(f, old, call);
+        // The call itself must not consume the replaced value.
+        let instr = f.instr_mut(call).expect("call");
+        for op in &mut instr.operands {
+            debug_assert_ne!(*op, old, "result value used as call argument");
+        }
+    }
+    // Retarget the precursor branch.
+    let instr = f.instr_mut(precursor).expect("branch");
+    for t in &mut instr.targets {
+        if *t == header_block {
+            *t = exit_block;
+        }
+    }
+    remove_unreachable_blocks(f);
+    eliminate_dead_code(f);
+    ssair::verify::verify_function(f).map_err(|es| {
+        XformError::Unsound(format!(
+            "excision produced invalid IR: {}",
+            es.first().map(ToString::to_string).unwrap_or_default()
+        ))
+    })?;
+    Ok(())
+}
+
+// ----- library path -----
+
+fn replace_gemm(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Result<Replacement> {
+    let f = &module.functions[fidx];
+    // Bounds must start at zero for the fixed-function entry point.
+    for lo in ["loop[0].iter_begin", "loop[1].iter_begin", "loop[2].iter_begin"] {
+        if const_i64(f, bind(inst, lo)?) != Some(0) {
+            return Err(XformError::Unsupported("GEMM loops must start at 0".into()));
+        }
+    }
+    let init = bind(inst, "dot.init")?;
+    let beta = if const_f64(f, init) == Some(0.0) {
+        0.0
+    } else if f.opcode(init) == Some(Opcode::Load) {
+        1.0
+    } else {
+        return Err(XformError::Unsupported("GEMM accumulator init is neither 0 nor C".into()));
+    };
+    // The plain form stores the accumulator; the alpha/beta epilogue is
+    // detected but not offloaded by this backend.
+    if bind(inst, "output.value")? != bind(inst, "dot.acc")? {
+        return Err(XformError::Unsupported(
+            "GEMM epilogue with alpha/beta scaling is not offloaded".into(),
+        ));
+    }
+    let row_scaled = |mat: &str, row_var: &str| -> Result<i64> {
+        Ok(i64::from(inst.value(&format!("{mat}.addr.mulidx")) == inst.value(row_var)))
+    };
+    let ar = row_scaled("input1", "iterator[2]")?;
+    let br = row_scaled("input2", "iterator[2]")?;
+    let cr = row_scaled("output", "iterator[1]")?;
+    let f = &mut module.functions[fidx];
+    let (c1, c0) = (f.const_int(Type::I64, 1), f.const_int(Type::I64, 0));
+    let _ = (c1, c0);
+    let ar = f.const_int(Type::I64, ar);
+    let br = f.const_int(Type::I64, br);
+    let cr = f.const_int(Type::I64, cr);
+    let beta = f.const_float(Type::F64, beta);
+    let args = vec![
+        bind(inst, "input1.base_pointer")?,
+        bind(inst, "input2.base_pointer")?,
+        bind(inst, "output.base_pointer")?,
+        bind(inst, "loop[0].iter_end")?,
+        bind(inst, "loop[1].iter_end")?,
+        bind(inst, "loop[2].iter_end")?,
+        bind(inst, "input1.addr.stride")?,
+        bind(inst, "input2.addr.stride")?,
+        bind(inst, "output.addr.stride")?,
+        ar,
+        br,
+        cr,
+        beta,
+    ];
+    excise_and_call(
+        &mut module.functions[fidx],
+        inst,
+        "loop[0].precursor",
+        "loop[0].iterator",
+        "loop[0].successor",
+        "gemm_f64",
+        Type::Void,
+        args,
+        None,
+    )?;
+    Ok(Replacement { kind: IdiomKind::Gemm, callee: "gemm_f64".into(), generated: vec![] })
+}
+
+fn replace_spmv(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Result<Replacement> {
+    let f = &module.functions[fidx];
+    if const_i64(f, bind(inst, "iter_begin")?) != Some(0) {
+        return Err(XformError::Unsupported("SPMV outer loop must start at 0".into()));
+    }
+    if const_f64(f, bind(inst, "dot.init")?) != Some(0.0) {
+        return Err(XformError::Unsupported("SPMV accumulator must start at 0.0".into()));
+    }
+    let width = |v: ValueId| -> i64 {
+        module.functions[fidx]
+            .value(v)
+            .ty
+            .pointee()
+            .map_or(8, |t| t.size_bytes() as i64)
+    };
+    let rowptr = bind(inst, "ranges.base_pointer")?;
+    let colidx = bind(inst, "idx_read.base_pointer")?;
+    let (rw, cw) = (width(rowptr), width(colidx));
+    let f = &mut module.functions[fidx];
+    let rw = f.const_int(Type::I64, rw);
+    let cw = f.const_int(Type::I64, cw);
+    let args = vec![
+        bind(inst, "seq_read.base_pointer")?,
+        rowptr,
+        colidx,
+        bind(inst, "indir_read.base_pointer")?,
+        bind(inst, "output.base_pointer")?,
+        bind(inst, "iter_end")?,
+        rw,
+        cw,
+    ];
+    excise_and_call(
+        &mut module.functions[fidx],
+        inst,
+        "precursor",
+        "iterator",
+        "successor",
+        "csrmv_f64",
+        Type::Void,
+        args,
+        None,
+    )?;
+    Ok(Replacement { kind: IdiomKind::Spmv, callee: "csrmv_f64".into(), generated: vec![] })
+}
+
+// ----- DSL path: generate device code as IR text, then link it in -----
+
+fn ty_str(t: &Type) -> String {
+    format!("{t}")
+}
+
+/// Emits the per-read address+load lines for index `%i` of type `ity`
+/// with a constant `offset`; returns the value name holding the load.
+fn emit_indexed_load(
+    text: &mut String,
+    r: usize,
+    base: &str,
+    elem: &Type,
+    ity: &Type,
+    offset: i64,
+) -> String {
+    let mut idx = format!("%i");
+    if offset != 0 {
+        let _ = std::fmt::Write::write_fmt(
+            text,
+            format_args!("  %off{r} = add {ity} {idx}, {offset}\n"),
+        );
+        idx = format!("%off{r}");
+    }
+    let wide = if *ity == Type::I32 {
+        let _ = std::fmt::Write::write_fmt(
+            text,
+            format_args!("  %iw{r} = sext {ity} {idx} to i64\n"),
+        );
+        format!("%iw{r}")
+    } else {
+        idx
+    };
+    let e = ty_str(elem);
+    let _ = std::fmt::Write::write_fmt(
+        text,
+        format_args!(
+            "  %a{r} = getelementptr {e}, {e}* {base}, i64 {wide}\n  %v{r} = load {e}, {e}* %a{r}\n"
+        ),
+    );
+    format!("%v{r}")
+}
+
+fn check_step_and_cmp(f: &Function, inst: &IdiomInstance, prefix: &str) -> Result<()> {
+    let step = bind(inst, &format!("{prefix}step"))?;
+    if const_i64(f, step) != Some(1) {
+        return Err(XformError::Unsupported("only unit-stride loops are offloaded".into()));
+    }
+    let cmp = bind(inst, &format!("{prefix}comparison"))?;
+    match f.opcode(cmp) {
+        Some(Opcode::ICmp(ICmpPred::Slt)) => Ok(()),
+        _ => Err(XformError::Unsupported("only `<` loop bounds are offloaded".into())),
+    }
+}
+
+fn parse_and_push(module: &mut Module, text: &str) -> Result<String> {
+    let func = ssair::parser::parse_function_text(text).map_err(|e| {
+        XformError::Unsupported(format!("generated device code failed to parse: {e}\n{text}"))
+    })?;
+    ssair::verify::verify_function(&func).map_err(|es| {
+        XformError::Unsupported(format!(
+            "generated device code failed to verify: {}",
+            es.first().map(ToString::to_string).unwrap_or_default()
+        ))
+    })?;
+    let name = func.name.clone();
+    module.add_function(func);
+    Ok(name)
+}
+
+fn replace_reduction(
+    module: &mut Module,
+    fidx: usize,
+    inst: &IdiomInstance,
+    uid: usize,
+) -> Result<Replacement> {
+    let f = &module.functions[fidx];
+    check_step_and_cmp(f, inst, "")?;
+    let acc = bind(inst, "acc")?;
+    let update = bind(inst, "update")?;
+    let reads = inst.family("read_value");
+    let mut kernel_inputs: Vec<ValueId> = reads.clone();
+    kernel_inputs.push(acc);
+    let kname = format!("red_kernel_{uid}");
+    let outlined = outline_kernel(f, update, &kernel_inputs, &kname)
+        .ok_or_else(|| XformError::Unsupported("reduction kernel is not pure".into()))?;
+    let extras: Vec<ValueId> = outlined.inputs[kernel_inputs.len()..].to_vec();
+
+    // Collect read base pointers and element types.
+    let mut bases: Vec<(ValueId, Type)> = Vec::new();
+    for (r, &rv) in reads.iter().enumerate() {
+        let base = bind(inst, &format!("read[{r}].base_pointer"))?;
+        bases.push((base, f.value(rv).ty.clone()));
+    }
+    let ity = f.value(bind(inst, "iterator")?).ty.clone();
+    let aty = f.value(acc).ty.clone();
+
+    // Generate the device program (the "Lift output").
+    let devname = format!("lift_red_{uid}");
+    let mut params: Vec<String> = bases
+        .iter()
+        .enumerate()
+        .map(|(r, (_, e))| format!("{}* %b{r}", ty_str(e)))
+        .collect();
+    params.push(format!("{} %begin", ty_str(&ity)));
+    params.push(format!("{} %end", ty_str(&ity)));
+    params.push(format!("{} %init", ty_str(&aty)));
+    for (k, &e) in extras.iter().enumerate() {
+        params.push(format!("{} %x{k}", ty_str(&f.value(e).ty)));
+    }
+    let mut body = String::new();
+    let mut kargs: Vec<String> = Vec::new();
+    for (r, (_, e)) in bases.iter().enumerate() {
+        let v = emit_indexed_load(&mut body, r, &format!("%b{r}"), e, &ity, 0);
+        kargs.push(format!("{} {v}", ty_str(e)));
+    }
+    kargs.push(format!("{} %acc", ty_str(&aty)));
+    for (k, &e) in extras.iter().enumerate() {
+        kargs.push(format!("{} %x{k}", ty_str(&f.value(e).ty)));
+    }
+    let ity_s = ty_str(&ity);
+    let aty_s = ty_str(&aty);
+    let text = format!(
+        "define {aty_s} @{devname}({}) {{\nentry:\n  br label %header\nheader:\n  %i = phi {ity_s} [ %begin, %entry ], [ %inext, %latch ]\n  %acc = phi {aty_s} [ %init, %entry ], [ %nacc, %latch ]\n  %c = icmp slt {ity_s} %i, %end\n  br i1 %c, label %latch, label %exit\nlatch:\n{body}  %nacc = call {aty_s} @{kname}({})\n  %inext = add {ity_s} %i, 1\n  br label %header\nexit:\n  ret {aty_s} %acc\n}}\n",
+        params.join(", "),
+        kargs.join(", ")
+    );
+    module.add_function(outlined.function);
+    let devgen = parse_and_push(module, &text)?;
+
+    let mut args: Vec<ValueId> = bases.iter().map(|(b, _)| *b).collect();
+    args.push(bind(inst, "iter_begin")?);
+    args.push(bind(inst, "iter_end")?);
+    args.push(bind(inst, "init")?);
+    args.extend(extras);
+    excise_and_call(
+        &mut module.functions[fidx],
+        inst,
+        "precursor",
+        "iterator",
+        "successor",
+        &devgen,
+        aty,
+        args,
+        Some(acc),
+    )?;
+    Ok(Replacement {
+        kind: IdiomKind::Reduction,
+        callee: devgen.clone(),
+        generated: vec![kname, devgen],
+    })
+}
+
+fn replace_histogram(
+    module: &mut Module,
+    fidx: usize,
+    inst: &IdiomInstance,
+    uid: usize,
+) -> Result<Replacement> {
+    let f = &module.functions[fidx];
+    check_step_and_cmp(f, inst, "")?;
+    // The update must run every iteration (conditional histograms would
+    // need a guarded device kernel; see DESIGN.md).
+    let an = Analyses::new(f);
+    let store = bind(inst, "store")?;
+    let latch_term = bind(inst, "backedge")?;
+    let sb = an.layout.block_of(store).unwrap();
+    let lb = an.layout.block_of(latch_term).unwrap();
+    if !an.dom.dominates(sb, lb) {
+        return Err(XformError::Unsupported("conditional histogram update".into()));
+    }
+    let reads = inst.family("read_value");
+    let old = bind(inst, "old_value")?;
+    let new_value = bind(inst, "new_value")?;
+    let bin_idx = bind(inst, "bin_idx")?;
+    let mut val_inputs: Vec<ValueId> = reads.clone();
+    val_inputs.push(old);
+    let vk_name = format!("histo_val_kernel_{uid}");
+    let vk = outline_kernel(f, new_value, &val_inputs, &vk_name)
+        .ok_or_else(|| XformError::Unsupported("histogram value kernel is not pure".into()))?;
+    let ik_name = format!("histo_idx_kernel_{uid}");
+    let ik = outline_kernel(f, bin_idx, &reads, &ik_name)
+        .ok_or_else(|| XformError::Unsupported("histogram index kernel is not pure".into()))?;
+    let v_extras: Vec<ValueId> = vk.inputs[val_inputs.len()..].to_vec();
+    let i_extras: Vec<ValueId> = ik.inputs[reads.len()..].to_vec();
+
+    let mut bases: Vec<(ValueId, Type)> = Vec::new();
+    for (r, &rv) in reads.iter().enumerate() {
+        bases.push((
+            bind(inst, &format!("read[{r}].base_pointer"))?,
+            f.value(rv).ty.clone(),
+        ));
+    }
+    let bins = bind(inst, "bins")?;
+    let bty = f.value(old).ty.clone();
+    let ity = f.value(bind(inst, "iterator")?).ty.clone();
+    let xty = f.value(bin_idx).ty.clone();
+
+    let devname = format!("lift_histo_{uid}");
+    let mut params: Vec<String> = vec![format!("{}* %bins", ty_str(&bty))];
+    for (r, (_, e)) in bases.iter().enumerate() {
+        params.push(format!("{}* %b{r}", ty_str(e)));
+    }
+    params.push(format!("{} %begin", ty_str(&ity)));
+    params.push(format!("{} %end", ty_str(&ity)));
+    for (k, &e) in i_extras.iter().enumerate() {
+        params.push(format!("{} %ix{k}", ty_str(&f.value(e).ty)));
+    }
+    for (k, &e) in v_extras.iter().enumerate() {
+        params.push(format!("{} %vx{k}", ty_str(&f.value(e).ty)));
+    }
+    let mut body = String::new();
+    let mut read_args: Vec<String> = Vec::new();
+    for (r, (_, e)) in bases.iter().enumerate() {
+        let v = emit_indexed_load(&mut body, r, &format!("%b{r}"), e, &ity, 0);
+        read_args.push(format!("{} {v}", ty_str(e)));
+    }
+    let mut ikargs = read_args.clone();
+    for (k, &e) in i_extras.iter().enumerate() {
+        ikargs.push(format!("{} %ix{k}", ty_str(&f.value(e).ty)));
+    }
+    let xty_s = ty_str(&xty);
+    let bty_s = ty_str(&bty);
+    let ity_s = ty_str(&ity);
+    let idx_wide = if xty == Type::I32 {
+        "  %xw = sext i32 %xidx to i64\n"
+    } else {
+        ""
+    };
+    let xw = if xty == Type::I32 { "%xw" } else { "%xidx" };
+    let mut vkargs = read_args;
+    vkargs.push(format!("{bty_s} %old"));
+    for (k, &e) in v_extras.iter().enumerate() {
+        vkargs.push(format!("{} %vx{k}", ty_str(&f.value(e).ty)));
+    }
+    let text = format!(
+        "define void @{devname}({}) {{\nentry:\n  br label %header\nheader:\n  %i = phi {ity_s} [ %begin, %entry ], [ %inext, %latch ]\n  %c = icmp slt {ity_s} %i, %end\n  br i1 %c, label %latch, label %exit\nlatch:\n{body}  %xidx = call {xty_s} @{ik_name}({})\n{idx_wide}  %ba = getelementptr {bty_s}, {bty_s}* %bins, i64 {xw}\n  %old = load {bty_s}, {bty_s}* %ba\n  %new = call {bty_s} @{vk_name}({})\n  store {bty_s} %new, {bty_s}* %ba\n  %inext = add {ity_s} %i, 1\n  br label %header\nexit:\n  ret void\n}}\n",
+        params.join(", "),
+        ikargs.join(", "),
+        vkargs.join(", ")
+    );
+    module.add_function(vk.function);
+    module.add_function(ik.function);
+    let devgen = parse_and_push(module, &text)?;
+
+    let mut args: Vec<ValueId> = vec![bins];
+    args.extend(bases.iter().map(|(b, _)| *b));
+    args.push(bind(inst, "iter_begin")?);
+    args.push(bind(inst, "iter_end")?);
+    args.extend(i_extras);
+    args.extend(v_extras);
+    excise_and_call(
+        &mut module.functions[fidx],
+        inst,
+        "precursor",
+        "iterator",
+        "successor",
+        &devgen,
+        Type::Void,
+        args,
+        None,
+    )?;
+    Ok(Replacement {
+        kind: IdiomKind::Histogram,
+        callee: devgen.clone(),
+        generated: vec![vk_name, ik_name, devgen],
+    })
+}
+
+/// Constant offset of `idx` relative to `center` (`i`, `i±c`), or `None`.
+fn offset_from(f: &Function, idx: ValueId, center: ValueId) -> Option<i64> {
+    // See through one sign extension.
+    let idx = match f.instr(idx) {
+        Some(i) if i.opcode == Opcode::SExt => i.operands[0],
+        _ => idx,
+    };
+    if idx == center {
+        return Some(0);
+    }
+    let i = f.instr(idx)?;
+    match i.opcode {
+        Opcode::Add => {
+            if i.operands[0] == center {
+                const_i64(f, i.operands[1])
+            } else if i.operands[1] == center {
+                const_i64(f, i.operands[0])
+            } else {
+                None
+            }
+        }
+        Opcode::Sub if i.operands[0] == center => const_i64(f, i.operands[1]).map(|c| -c),
+        _ => None,
+    }
+}
+
+fn replace_stencil1d(
+    module: &mut Module,
+    fidx: usize,
+    inst: &IdiomInstance,
+    uid: usize,
+) -> Result<Replacement> {
+    let f = &module.functions[fidx];
+    check_step_and_cmp(f, inst, "")?;
+    let reads = inst.family("read_value");
+    let center = bind(inst, "iterator")?;
+    let write_value = bind(inst, "write.value")?;
+    let kname = format!("halide_kernel_{uid}");
+    let outlined = outline_kernel(f, write_value, &reads, &kname)
+        .ok_or_else(|| XformError::Unsupported("stencil kernel is not pure".into()))?;
+    let extras: Vec<ValueId> = outlined.inputs[reads.len()..].to_vec();
+    let mut bases: Vec<(ValueId, Type, i64)> = Vec::new();
+    for (r, &rv) in reads.iter().enumerate() {
+        let base = bind(inst, &format!("read[{r}].base_pointer"))?;
+        let gep_idx = bind(inst, &format!("read[{r}].gep_idx"))?;
+        let off = offset_from(f, gep_idx, center).ok_or_else(|| {
+            XformError::Unsupported("stencil read offset is not a constant".into())
+        })?;
+        bases.push((base, f.value(rv).ty.clone(), off));
+    }
+    let out_base = bind(inst, "write.base_pointer")?;
+    let oty = f.value(write_value).ty.clone();
+    let ity = f.value(center).ty.clone();
+
+    let devname = format!("halide_st1_{uid}");
+    let mut params: Vec<String> = vec![format!("{}* %out", ty_str(&oty))];
+    for (r, (_, e, _)) in bases.iter().enumerate() {
+        params.push(format!("{}* %b{r}", ty_str(e)));
+    }
+    params.push(format!("{} %begin", ty_str(&ity)));
+    params.push(format!("{} %end", ty_str(&ity)));
+    for (k, &e) in extras.iter().enumerate() {
+        params.push(format!("{} %x{k}", ty_str(&f.value(e).ty)));
+    }
+    let mut body = String::new();
+    let mut kargs: Vec<String> = Vec::new();
+    for (r, (_, e, off)) in bases.iter().enumerate() {
+        let v = emit_indexed_load(&mut body, r, &format!("%b{r}"), e, &ity, *off);
+        kargs.push(format!("{} {v}", ty_str(e)));
+    }
+    for (k, &e) in extras.iter().enumerate() {
+        kargs.push(format!("{} %x{k}", ty_str(&f.value(e).ty)));
+    }
+    let ity_s = ty_str(&ity);
+    let oty_s = ty_str(&oty);
+    let wide = if ity == Type::I32 {
+        "  %ow = sext i32 %i to i64\n"
+    } else {
+        ""
+    };
+    let ow = if ity == Type::I32 { "%ow" } else { "%i" };
+    let text = format!(
+        "define void @{devname}({}) {{\nentry:\n  br label %header\nheader:\n  %i = phi {ity_s} [ %begin, %entry ], [ %inext, %latch ]\n  %c = icmp slt {ity_s} %i, %end\n  br i1 %c, label %latch, label %exit\nlatch:\n{body}  %res = call {oty_s} @{kname}({})\n{wide}  %oa = getelementptr {oty_s}, {oty_s}* %out, i64 {ow}\n  store {oty_s} %res, {oty_s}* %oa\n  %inext = add {ity_s} %i, 1\n  br label %header\nexit:\n  ret void\n}}\n",
+        params.join(", "),
+        kargs.join(", ")
+    );
+    module.add_function(outlined.function);
+    let devgen = parse_and_push(module, &text)?;
+    let mut args: Vec<ValueId> = vec![out_base];
+    args.extend(bases.iter().map(|(b, _, _)| *b));
+    args.push(bind(inst, "iter_begin")?);
+    args.push(bind(inst, "iter_end")?);
+    args.extend(extras);
+    excise_and_call(
+        &mut module.functions[fidx],
+        inst,
+        "precursor",
+        "iterator",
+        "successor",
+        &devgen,
+        Type::Void,
+        args,
+        None,
+    )?;
+    Ok(Replacement {
+        kind: IdiomKind::Stencil1D,
+        callee: devgen.clone(),
+        generated: vec![kname, devgen],
+    })
+}
+
+fn replace_stencil2d(
+    module: &mut Module,
+    fidx: usize,
+    inst: &IdiomInstance,
+    uid: usize,
+) -> Result<Replacement> {
+    let f = &module.functions[fidx];
+    check_step_and_cmp(f, inst, "loop[0].")?;
+    check_step_and_cmp(f, inst, "loop[1].")?;
+    let reads = inst.family("read_value");
+    let row_iter = bind(inst, "loop[0].iterator")?;
+    let col_iter = bind(inst, "loop[1].iterator")?;
+    let write_value = bind(inst, "write.value")?;
+    let kname = format!("halide_kernel_{uid}");
+    let outlined = outline_kernel(f, write_value, &reads, &kname)
+        .ok_or_else(|| XformError::Unsupported("stencil kernel is not pure".into()))?;
+    let extras: Vec<ValueId> = outlined.inputs[reads.len()..].to_vec();
+
+    // Write side must be row-major (row in the scaled position).
+    if inst.value("write.addr.mulidx") != Some(row_iter) {
+        return Err(XformError::Unsupported("transposed stencil output".into()));
+    }
+    let out_stride = bind(inst, "write.addr.stride")?;
+    struct Read2 {
+        base: ValueId,
+        elem: Type,
+        roff: i64,
+        coff: i64,
+        stride: ValueId,
+    }
+    let mut rs: Vec<Read2> = Vec::new();
+    for (r, &rv) in reads.iter().enumerate() {
+        let rowexpr = bind(inst, &format!("read[{r}].rowexpr"))?;
+        let colexpr = bind(inst, &format!("read[{r}].colexpr"))?;
+        let roff = offset_from(f, rowexpr, row_iter).ok_or_else(|| {
+            XformError::Unsupported("stencil row offset is not constant".into())
+        })?;
+        let coff = offset_from(f, colexpr, col_iter).ok_or_else(|| {
+            XformError::Unsupported("stencil column offset is not constant".into())
+        })?;
+        rs.push(Read2 {
+            base: bind(inst, &format!("read[{r}].base_pointer"))?,
+            elem: f.value(rv).ty.clone(),
+            roff,
+            coff,
+            stride: bind(inst, &format!("read[{r}].stride"))?,
+        });
+    }
+    let out_base = bind(inst, "write.base_pointer")?;
+    let oty = f.value(write_value).ty.clone();
+    let ity = f.value(row_iter).ty.clone();
+    if f.value(col_iter).ty != ity {
+        return Err(XformError::Unsupported("mixed-width stencil iterators".into()));
+    }
+
+    let devname = format!("halide_st2_{uid}");
+    let ity_s = ty_str(&ity);
+    let oty_s = ty_str(&oty);
+    let mut params: Vec<String> = vec![
+        format!("{oty_s}* %out"),
+        format!("{ity_s} %sw"),
+    ];
+    for (r, rd) in rs.iter().enumerate() {
+        params.push(format!("{}* %b{r}", ty_str(&rd.elem)));
+        params.push(format!("{ity_s} %s{r}"));
+    }
+    params.push(format!("{ity_s} %b0r"));
+    params.push(format!("{ity_s} %e0r"));
+    params.push(format!("{ity_s} %b1c"));
+    params.push(format!("{ity_s} %e1c"));
+    for (k, &e) in extras.iter().enumerate() {
+        params.push(format!("{} %x{k}", ty_str(&f.value(e).ty)));
+    }
+    let mut body = String::new();
+    let mut kargs: Vec<String> = Vec::new();
+    use std::fmt::Write as _;
+    for (r, rd) in rs.iter().enumerate() {
+        let rexp = if rd.roff != 0 {
+            let _ = write!(body, "  %ro{r} = add {ity_s} %i, {}\n", rd.roff);
+            format!("%ro{r}")
+        } else {
+            "%i".to_owned()
+        };
+        let cexp = if rd.coff != 0 {
+            let _ = write!(body, "  %co{r} = add {ity_s} %j, {}\n", rd.coff);
+            format!("%co{r}")
+        } else {
+            "%j".to_owned()
+        };
+        let _ = write!(body, "  %m{r} = mul {ity_s} {rexp}, %s{r}\n");
+        let _ = write!(body, "  %f{r} = add {ity_s} %m{r}, {cexp}\n");
+        let wide = if ity == Type::I32 {
+            let _ = write!(body, "  %fw{r} = sext i32 %f{r} to i64\n");
+            format!("%fw{r}")
+        } else {
+            format!("%f{r}")
+        };
+        let e = ty_str(&rd.elem);
+        let _ = write!(body, "  %a{r} = getelementptr {e}, {e}* %b{r}, i64 {wide}\n");
+        let _ = write!(body, "  %v{r} = load {e}, {e}* %a{r}\n");
+        kargs.push(format!("{e} %v{r}"));
+    }
+    for (k, &e) in extras.iter().enumerate() {
+        kargs.push(format!("{} %x{k}", ty_str(&f.value(e).ty)));
+    }
+    let widen_out = if ity == Type::I32 {
+        "  %fow = sext i32 %fo to i64\n"
+    } else {
+        ""
+    };
+    let fow = if ity == Type::I32 { "%fow" } else { "%fo" };
+    let text = format!(
+        "define void @{devname}({}) {{\nentry:\n  br label %h0\nh0:\n  %i = phi {ity_s} [ %b0r, %entry ], [ %inext, %l0 ]\n  %c0 = icmp slt {ity_s} %i, %e0r\n  br i1 %c0, label %pre1, label %x0\npre1:\n  br label %h1\nh1:\n  %j = phi {ity_s} [ %b1c, %pre1 ], [ %jnext, %l1 ]\n  %c1 = icmp slt {ity_s} %j, %e1c\n  br i1 %c1, label %l1, label %x1\nl1:\n{body}  %res = call {oty_s} @{kname}({})\n  %mo = mul {ity_s} %i, %sw\n  %fo = add {ity_s} %mo, %j\n{widen_out}  %oa = getelementptr {oty_s}, {oty_s}* %out, i64 {fow}\n  store {oty_s} %res, {oty_s}* %oa\n  %jnext = add {ity_s} %j, 1\n  br label %h1\nx1:\n  br label %l0\nl0:\n  %inext = add {ity_s} %i, 1\n  br label %h0\nx0:\n  ret void\n}}\n",
+        params.join(", "),
+        kargs.join(", ")
+    );
+    module.add_function(outlined.function);
+    let devgen = parse_and_push(module, &text)?;
+    let mut args: Vec<ValueId> = vec![out_base, out_stride];
+    for rd in &rs {
+        args.push(rd.base);
+        args.push(rd.stride);
+    }
+    args.push(bind(inst, "loop[0].iter_begin")?);
+    args.push(bind(inst, "loop[0].iter_end")?);
+    args.push(bind(inst, "loop[1].iter_begin")?);
+    args.push(bind(inst, "loop[1].iter_end")?);
+    args.extend(extras);
+    excise_and_call(
+        &mut module.functions[fidx],
+        inst,
+        "loop[0].precursor",
+        "loop[0].iterator",
+        "loop[0].successor",
+        &devgen,
+        Type::Void,
+        args,
+        None,
+    )?;
+    Ok(Replacement {
+        kind: IdiomKind::Stencil2D,
+        callee: devgen.clone(),
+        generated: vec![kname, devgen],
+    })
+}

@@ -1,0 +1,39 @@
+//! Mini evaluation over the full 21-benchmark suite: detection counts
+//! (Figure 16 / Table 1), coverage (Figure 17) and the best platform per
+//! covered benchmark (Figure 18) in one pass.
+//!
+//!     cargo run --release --example suite_report
+
+fn main() {
+    let mut total = 0;
+    println!("{:<8} {:>7} {:>9}  best platform", "bench", "idioms", "coverage");
+    for b in idiomatch::benchsuite::all() {
+        let a = idiomatch::core::analyze(&b);
+        let n: usize = a.by_class.values().sum();
+        total += n;
+        let best = [
+            idiomatch::hetero::Platform::Cpu,
+            idiomatch::hetero::Platform::IGpu,
+            idiomatch::hetero::Platform::Gpu,
+        ]
+        .iter()
+        .filter_map(|&p| {
+            idiomatch::core::speedup_on(&a, p, a.lazy).map(|(api, s)| (p, api, s))
+        })
+        .max_by(|x, y| x.2.total_cmp(&y.2));
+        match best {
+            Some((p, api, s)) if a.covered => println!(
+                "{:<8} {:>7} {:>8.1}%  {:.2}x on {} via {}",
+                a.name,
+                n,
+                100.0 * a.coverage,
+                s,
+                p.label(),
+                api.label()
+            ),
+            _ => println!("{:<8} {:>7} {:>8.1}%  (idioms not worth offloading)", a.name, n, 100.0 * a.coverage),
+        }
+    }
+    println!("\ntotal idiom instances: {total} (paper: 60)");
+    assert_eq!(total, 60);
+}

@@ -1,0 +1,19 @@
+//! # idiomatch — root facade
+//!
+//! Re-exports the workspace crates under one roof so that examples,
+//! integration tests and downstream users can depend on a single package.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory of
+//! this ASPLOS'18 reproduction.
+
+pub use baselines;
+pub use benchsuite;
+pub use hetero;
+pub use idiomatch_core as core;
+pub use idioms;
+pub use idl;
+pub use interp;
+pub use minicc;
+pub use solver;
+pub use ssair;
+pub use xform;

@@ -1,0 +1,143 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+/// Random small straight-line programs for printer/parser round-trips.
+fn arb_program() -> impl Strategy<Value = String> {
+    // ops chosen per step: add/mul on accumulated values
+    proptest::collection::vec((0u8..3, any::<bool>()), 1..20).prop_map(|steps| {
+        let mut body = String::new();
+        let mut vals = vec!["%a".to_owned(), "%b".to_owned()];
+        for (k, (op, pick)) in steps.iter().enumerate() {
+            let x = vals[k % vals.len()].clone();
+            let y = if *pick { vals[0].clone() } else { vals[vals.len() - 1].clone() };
+            let mn = match op {
+                0 => "add",
+                1 => "mul",
+                _ => "sub",
+            };
+            body.push_str(&format!("  %t{k} = {mn} i64 {x}, {y}\n"));
+            vals.push(format!("%t{k}"));
+        }
+        format!(
+            "define i64 @f(i64 %a, i64 %b) {{\nentry:\n{body}  ret i64 {}\n}}\n",
+            vals.last().unwrap()
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn printer_parser_fixpoint(src in arb_program()) {
+        let f1 = idiomatch::ssair::parser::parse_function_text(&src).unwrap();
+        let p1 = idiomatch::ssair::printer::print_function(&f1);
+        let f2 = idiomatch::ssair::parser::parse_function_text(&p1).unwrap();
+        let p2 = idiomatch::ssair::printer::print_function(&f2);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn interpreter_is_deterministic(src in arb_program(), a in -100i64..100, b in -100i64..100) {
+        let m = idiomatch::ssair::parser::parse_module(&src).unwrap();
+        use idiomatch::interp::{Machine, Value};
+        let mut vm1 = Machine::new(&m);
+        let mut vm2 = Machine::new(&m);
+        let r1 = vm1.run("f", &[Value::I(a), Value::I(b)]).unwrap();
+        let r2 = vm2.run("f", &[Value::I(a), Value::I(b)]).unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn reduction_replacement_matches_for_random_inputs(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..40)
+    ) {
+        let src = "double s(double* x, int n) { double a = 0.0; for (int i = 0; i < n; i++) a += x[i] * 0.5; return a; }";
+        let module = idiomatch::minicc::compile(src, "prop").unwrap();
+        let insts = idiomatch::idioms::detect(module.function("s").unwrap());
+        let red = insts.iter().find(|i| i.kind == idiomatch::idioms::IdiomKind::Reduction).unwrap();
+        let mut transformed = module.clone();
+        idiomatch::xform::apply_replacement(&mut transformed, red, 0).unwrap();
+        use idiomatch::interp::{Machine, Value};
+        let run = |m: &idiomatch::ssair::Module| {
+            let mut vm = Machine::new(m);
+            let p = vm.mem.alloc_f64_slice(&xs);
+            vm.run("s", &[Value::P(p), Value::I(xs.len() as i64)]).unwrap().as_f()
+        };
+        prop_assert_eq!(run(&module), run(&transformed));
+    }
+
+    #[test]
+    fn gemm_host_matches_oracle(
+        n in 1usize..6,
+        seed in 0u64..1000
+    ) {
+        // Random matrices through the simulated cuBLAS entry point vs a
+        // naive oracle.
+        let mk = |s: u64, len: usize| -> Vec<f64> {
+            (0..len).map(|i| (((i as u64 + s) * 2654435761) % 17) as f64 - 8.0).collect()
+        };
+        let a = mk(seed, n * n);
+        let b = mk(seed + 1, n * n);
+        let text = "define void @run(double* %a, double* %b, double* %c, i64 %n) {\nentry:\n  call void @gemm_f64(double* %a, double* %b, double* %c, i64 %n, i64 %n, i64 %n, i64 %n, i64 %n, i64 %n, i64 0, i64 0, i64 0, double 0.0)\n  ret void\n}\n";
+        let m = idiomatch::ssair::parser::parse_module(text).unwrap();
+        use idiomatch::interp::{Machine, Value};
+        let mut vm = Machine::new(&m);
+        idiomatch::hetero::hosts::register_all(&mut vm);
+        let ap = vm.mem.alloc_f64_slice(&a);
+        let bp = vm.mem.alloc_f64_slice(&b);
+        let cp = vm.mem.alloc_f64_slice(&vec![0.0; n * n]);
+        vm.run("run", &[Value::P(ap), Value::P(bp), Value::P(cp), Value::I(n as i64)]).unwrap();
+        let got = vm.mem.read_f64_slice(cp, n * n);
+        // addr(col,row) with row_scaled=0: idx = col*n + row.
+        for i0 in 0..n {
+            for i1 in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[i0 * n + k] * b[i1 * n + k];
+                }
+                prop_assert!((got[i0 * n + i1] - acc).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn solver_solutions_always_satisfy_the_formula(
+        ops in proptest::collection::vec(0u8..2, 1..12)
+    ) {
+        // Soundness: every factorization the solver reports really has a
+        // shared factor.
+        let mut body = String::new();
+        let mut names = vec!["%a".to_owned(), "%b".to_owned(), "%c".to_owned()];
+        for (k, op) in ops.iter().enumerate() {
+            let x = names[k % names.len()].clone();
+            let y = names[(k + 1) % names.len()].clone();
+            let mn = if *op == 0 { "mul" } else { "add" };
+            body.push_str(&format!("  %t{k} = {mn} i32 {x}, {y}\n"));
+            names.push(format!("%t{k}"));
+        }
+        let src = format!(
+            "define i32 @f(i32 %a, i32 %b, i32 %c) {{\nentry:\n{body}  ret i32 {}\n}}\n",
+            names.last().unwrap()
+        );
+        let f = idiomatch::ssair::parser::parse_function_text(&src).unwrap();
+        let lib = idiomatch::idl::parse_library(
+            "Constraint F ( {s} is add instruction and {l} is first argument of {s} and {l} is mul instruction and {r} is second argument of {s} and {r} is mul instruction and ( {x} is first argument of {l} or {x} is second argument of {l} ) and ( {x} is first argument of {r} or {x} is second argument of {r} ) ) End",
+        ).unwrap();
+        let c = idiomatch::idl::compile(&lib, "F").unwrap();
+        let solver = idiomatch::solver::Solver::new(&f);
+        for sol in solver.solve(&c, &idiomatch::solver::SolveOptions::default()) {
+            let s = sol.bindings["s"];
+            let l = sol.bindings["l"];
+            let r = sol.bindings["r"];
+            let x = sol.bindings["x"];
+            let i_s = f.instr(s).unwrap();
+            prop_assert_eq!(i_s.opcode, idiomatch::ssair::Opcode::Add);
+            prop_assert_eq!(i_s.operands[0], l);
+            prop_assert_eq!(i_s.operands[1], r);
+            prop_assert!(f.instr(l).unwrap().operands.contains(&x));
+            prop_assert!(f.instr(r).unwrap().operands.contains(&x));
+        }
+    }
+}

@@ -45,13 +45,19 @@ impl BaselineReport {
     /// Number of detected reductions.
     #[must_use]
     pub fn reductions(&self) -> usize {
-        self.finds.iter().filter(|(_, f)| *f == BaselineFind::Reduction).count()
+        self.finds
+            .iter()
+            .filter(|(_, f)| *f == BaselineFind::Reduction)
+            .count()
     }
 
     /// Number of detected stencil-like parallel loops.
     #[must_use]
     pub fn stencils(&self) -> usize {
-        self.finds.iter().filter(|(_, f)| *f == BaselineFind::Stencil).count()
+        self.finds
+            .iter()
+            .filter(|(_, f)| *f == BaselineFind::Stencil)
+            .count()
     }
 }
 
@@ -163,8 +169,7 @@ fn reduction_phis(f: &Function, an: &Analyses, header: BlockId) -> Vec<(ValueId,
         }
         // Iterator phis feed an icmp in the header; accumulators don't.
         let is_iterator = an.defuse.users(v).iter().any(|&u| {
-            matches!(f.opcode(u), Some(Opcode::ICmp(_)))
-                && an.layout.block_of(u) == Some(header)
+            matches!(f.opcode(u), Some(Opcode::ICmp(_))) && an.layout.block_of(u) == Some(header)
         });
         if is_iterator {
             continue;
@@ -186,8 +191,13 @@ fn reduction_phis(f: &Function, an: &Analyses, header: BlockId) -> Vec<(ValueId,
 /// Is `update` a plain associative update `op(acc, expr)` with `op` in
 /// {add, mul, fadd, fmul} and `expr` free of calls/selects/loads-of-loads?
 fn plain_associative_update(f: &Function, acc: ValueId, update: ValueId) -> bool {
-    let Some(i) = f.instr(update) else { return false };
-    if !matches!(i.opcode, Opcode::Add | Opcode::Mul | Opcode::FAdd | Opcode::FMul) {
+    let Some(i) = f.instr(update) else {
+        return false;
+    };
+    if !matches!(
+        i.opcode,
+        Opcode::Add | Opcode::Mul | Opcode::FAdd | Opcode::FMul
+    ) {
         return false;
     }
     let other = if i.operands[0] == acc {
@@ -211,7 +221,10 @@ fn expr_is_simple(f: &Function, v: ValueId, depth: usize) -> bool {
             Opcode::Call | Opcode::Select | Opcode::Phi => false,
             Opcode::Load => address_affine(f, i.operands[0]),
             Opcode::Store | Opcode::Br | Opcode::CondBr | Opcode::Ret | Opcode::Alloca => false,
-            _ => i.operands.iter().all(|&op| expr_is_simple(f, op, depth + 1)),
+            _ => i
+                .operands
+                .iter()
+                .all(|&op| expr_is_simple(f, op, depth + 1)),
         },
     }
 }
@@ -314,7 +327,10 @@ mod tests {
             }",
         );
         assert_eq!(icc_detect(m.function("plain").unwrap()).reductions(), 1);
-        assert_eq!(icc_detect(m.function("kernel_red").unwrap()).reductions(), 0);
+        assert_eq!(
+            icc_detect(m.function("kernel_red").unwrap()).reductions(),
+            0
+        );
     }
 
     #[test]
@@ -331,7 +347,11 @@ mod tests {
                 return s;
             }",
         );
-        assert_eq!(polly_detect(m.function("fsum").unwrap()).reductions(), 0, "no -ffast-math");
+        assert_eq!(
+            polly_detect(m.function("fsum").unwrap()).reductions(),
+            0,
+            "no -ffast-math"
+        );
         assert_eq!(polly_detect(m.function("isum").unwrap()).reductions(), 1);
         // ICC takes both.
         assert_eq!(icc_detect(m.function("fsum").unwrap()).reductions(), 1);
@@ -374,6 +394,9 @@ mod tests {
         );
         assert_eq!(polly_detect(m.function("jacobi").unwrap()).stencils(), 1);
         // Calls poison the SCoP.
-        assert_eq!(polly_detect(m.function("sqrt_stencil").unwrap()).stencils(), 0);
+        assert_eq!(
+            polly_detect(m.function("sqrt_stencil").unwrap()).stencils(),
+            0
+        );
     }
 }

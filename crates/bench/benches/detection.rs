@@ -23,7 +23,11 @@ fn bench_detection(c: &mut Criterion) {
         })
     });
     let cg = minicc::compile(
-        benchsuite::all().iter().find(|b| b.name == "CG").unwrap().source,
+        benchsuite::all()
+            .iter()
+            .find(|b| b.name == "CG")
+            .unwrap()
+            .source,
         "CG",
     )
     .unwrap();
@@ -35,7 +39,11 @@ fn bench_detection(c: &mut Criterion) {
         })
     });
     c.bench_function("frontend_compile_cg", |b| {
-        let src = benchsuite::all().iter().find(|b| b.name == "CG").unwrap().source;
+        let src = benchsuite::all()
+            .iter()
+            .find(|b| b.name == "CG")
+            .unwrap()
+            .source;
         b.iter(|| minicc::compile(src, "CG").unwrap())
     });
 }

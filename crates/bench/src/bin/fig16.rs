@@ -1,8 +1,13 @@
 //! Figure 16: detected idioms per benchmark, by class.
 fn main() {
     let analyses = idiomatch_bench::analyze_all();
-    let classes =
-        ["Scalar Reduction", "Histogram Reduction", "Stencil", "Matrix Op.", "Sparse Matrix Op."];
+    let classes = [
+        "Scalar Reduction",
+        "Histogram Reduction",
+        "Stencil",
+        "Matrix Op.",
+        "Sparse Matrix Op.",
+    ];
     let mut rows = Vec::new();
     for a in &analyses {
         let mut row = vec![a.name.to_owned()];
@@ -15,6 +20,14 @@ fn main() {
         row.push(total.to_string());
         rows.push(row);
     }
-    let headers = ["Benchmark", "ScalarRed", "HistoRed", "Stencil", "MatrixOp", "SparseOp", "total"];
+    let headers = [
+        "Benchmark",
+        "ScalarRed",
+        "HistoRed",
+        "Stencil",
+        "MatrixOp",
+        "SparseOp",
+        "total",
+    ];
     idiomatch_bench::print_rows(&headers, &rows);
 }

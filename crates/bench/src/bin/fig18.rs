@@ -22,8 +22,5 @@ fn main() {
         }
         rows.push(row);
     }
-    idiomatch_bench::print_rows(
-        &["Benchmark", "CPU", "iGPU", "GPU", "GPU+lazy copy"],
-        &rows,
-    );
+    idiomatch_bench::print_rows(&["Benchmark", "CPU", "iGPU", "GPU", "GPU+lazy copy"], &rows);
 }

@@ -19,6 +19,9 @@ fn main() {
             format!("{ocl:.2}x"),
         ]);
     }
-    idiomatch_bench::print_rows(&["Benchmark", "IDL (best)", "OpenMP ref", "OpenCL ref"], &rows);
+    idiomatch_bench::print_rows(
+        &["Benchmark", "IDL (best)", "OpenMP ref", "OpenCL ref"],
+        &rows,
+    );
     println!("\n(EP/IS/MG/tpacf references parallelize the whole application — §8.3)");
 }

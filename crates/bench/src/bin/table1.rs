@@ -2,14 +2,24 @@
 fn main() {
     let analyses = idiomatch_bench::analyze_all();
     let t = idiomatch_bench::table1(&analyses);
-    let headers =
-        ["Detector", "Scalar Red.", "Histogram Red.", "Stencil", "Matrix Op.", "Sparse Op."];
+    let headers = [
+        "Detector",
+        "Scalar Red.",
+        "Histogram Red.",
+        "Stencil",
+        "Matrix Op.",
+        "Sparse Op.",
+    ];
     let rows: Vec<Vec<String>> = ["Polly", "ICC", "IDL"]
         .iter()
         .map(|d| {
             let mut row = vec![(*d).to_owned()];
             row.extend(t[*d].iter().map(|c| {
-                if *c == 0 { "-".to_owned() } else { c.to_string() }
+                if *c == 0 {
+                    "-".to_owned()
+                } else {
+                    c.to_string()
+                }
             }));
             row
         })

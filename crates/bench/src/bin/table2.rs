@@ -18,10 +18,14 @@ fn main() {
             format!("{:.0}", 100.0 * (with - without) / without.max(1e-9)),
         ]);
     }
-    idiomatch_bench::print_rows(&["Benchmark", "without IDL (s)", "with IDL (s)", "overhead %"], &rows);
+    idiomatch_bench::print_rows(
+        &["Benchmark", "without IDL (s)", "with IDL (s)", "overhead %"],
+        &rows,
+    );
     let avg: f64 = rows
         .iter()
         .map(|r| r[3].parse::<f64>().unwrap_or(0.0))
-        .sum::<f64>() / rows.len() as f64;
+        .sum::<f64>()
+        / rows.len() as f64;
     println!("\naverage overhead: {avg:.0}% (paper: 82%)");
 }

@@ -9,7 +9,9 @@ fn main() {
         headers.extend(apis.iter().map(|a| a.label()));
         let mut rows = Vec::new();
         for a in analyses.iter().filter(|a| a.covered) {
-            let Some(kind) = a.dominant_kind else { continue };
+            let Some(kind) = a.dominant_kind else {
+                continue;
+            };
             let mut row = vec![a.name.to_owned()];
             let mut best = f64::INFINITY;
             let mut cells = Vec::new();

@@ -21,7 +21,10 @@ use std::collections::BTreeMap;
 /// Analyses for all 21 benchmarks, in suite order.
 #[must_use]
 pub fn analyze_all() -> Vec<Analysis> {
-    benchsuite::all().iter().map(idiomatch_core::analyze).collect()
+    benchsuite::all()
+        .iter()
+        .map(idiomatch_core::analyze)
+        .collect()
 }
 
 /// The Table 1 rows: per-detector counts by idiom class.
@@ -63,7 +66,11 @@ pub fn print_rows(headers: &[&str], rows: &[Vec<String>]) {
     line(headers.iter().map(|s| (*s).to_owned()).collect());
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in rows {
         line(row.clone());

@@ -63,7 +63,9 @@ const GRID: usize = 24; // canonical 2-D grid edge
 fn fill_f64(mem: &mut Memory, n: usize, seed: u64) -> u64 {
     let data: Vec<f64> = (0..n)
         .map(|i| {
-            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
             ((x >> 33) as f64) / (u32::MAX as f64) - 0.5
         })
         .collect();
@@ -73,7 +75,9 @@ fn fill_f64(mem: &mut Memory, n: usize, seed: u64) -> u64 {
 fn fill_i32_mod(mem: &mut Memory, n: usize, modulo: i32, seed: u64) -> u64 {
     let data: Vec<i32> = (0..n)
         .map(|i| {
-            let x = (i as u64).wrapping_mul(2862933555777941757).wrapping_add(seed);
+            let x = (i as u64)
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(seed);
             ((x >> 33) as i32).rem_euclid(modulo)
         })
         .collect();
@@ -119,13 +123,14 @@ mod tests {
     #[test]
     fn all_benchmarks_compile_and_run() {
         for b in all() {
-            let module = minicc::compile(b.source, b.name)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let module =
+                minicc::compile(b.source, b.name).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             ssair::verify::verify_module(&module)
                 .unwrap_or_else(|e| panic!("{}: {:?}", b.name, e[0]));
             let mut vm = interp::Machine::new(&module);
             let args = (b.setup)(&mut vm.mem);
-            vm.run(b.entry, &args).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            vm.run(b.entry, &args)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         }
     }
 
@@ -142,11 +147,31 @@ mod tests {
                 }
             }
         }
-        assert_eq!(by_class.get("Scalar Reduction").copied().unwrap_or(0), 45, "{by_class:?}");
-        assert_eq!(by_class.get("Histogram Reduction").copied().unwrap_or(0), 5, "{by_class:?}");
-        assert_eq!(by_class.get("Stencil").copied().unwrap_or(0), 6, "{by_class:?}");
-        assert_eq!(by_class.get("Matrix Op.").copied().unwrap_or(0), 1, "{by_class:?}");
-        assert_eq!(by_class.get("Sparse Matrix Op.").copied().unwrap_or(0), 3, "{by_class:?}");
+        assert_eq!(
+            by_class.get("Scalar Reduction").copied().unwrap_or(0),
+            45,
+            "{by_class:?}"
+        );
+        assert_eq!(
+            by_class.get("Histogram Reduction").copied().unwrap_or(0),
+            5,
+            "{by_class:?}"
+        );
+        assert_eq!(
+            by_class.get("Stencil").copied().unwrap_or(0),
+            6,
+            "{by_class:?}"
+        );
+        assert_eq!(
+            by_class.get("Matrix Op.").copied().unwrap_or(0),
+            1,
+            "{by_class:?}"
+        );
+        assert_eq!(
+            by_class.get("Sparse Matrix Op.").copied().unwrap_or(0),
+            3,
+            "{by_class:?}"
+        );
     }
 
     #[test]
@@ -181,9 +206,14 @@ mod tests {
                 total += vm.profile.total_cost(f);
                 for inst in idioms::detect(f) {
                     covered_cost += vm.profile.region_cost(f, |v| {
-                        inst.blocks
-                            .iter()
-                            .any(|&blk| module.function(&f.name).unwrap().block(blk).instrs.contains(&v))
+                        inst.blocks.iter().any(|&blk| {
+                            module
+                                .function(&f.name)
+                                .unwrap()
+                                .block(blk)
+                                .instrs
+                                .contains(&v)
+                        })
                     });
                 }
             }
@@ -192,7 +222,11 @@ mod tests {
                 assert!(cov > 0.5, "{}: coverage {cov:.2} should dominate", b.name);
             }
             if b.name == "EP" {
-                assert!(cov > 0.25 && cov < 0.85, "{}: coverage {cov:.2} ~ 50%", b.name);
+                assert!(
+                    cov > 0.25 && cov < 0.85,
+                    "{}: coverage {cov:.2} ~ 50%",
+                    b.name
+                );
             }
             if !b.covered {
                 assert!(cov < 0.5, "{}: coverage {cov:.2} should be minor", b.name);

@@ -180,7 +180,12 @@ int dc_run(int* keys, int* views, int* tmp, int n) {
                 let keys = fill_i32_mod(mem, N, 64, 7);
                 let views = zeros_i32(mem, 64);
                 let tmp = zeros_i32(mem, N);
-                vec![Value::P(keys), Value::P(views), Value::P(tmp), Value::I(N as i64)]
+                vec![
+                    Value::P(keys),
+                    Value::P(views),
+                    Value::P(tmp),
+                    Value::I(N as i64),
+                ]
             },
             invocations: 30.0,
             scale: 3000.0,
@@ -230,7 +235,12 @@ double ep_run(double* xs, double* ys, int* bins, int n) {
                 let xs = fill_f64(mem, 4 * N, 8);
                 let ys = fill_f64(mem, 4 * N, 9);
                 let bins = zeros_i32(mem, 10);
-                vec![Value::P(xs), Value::P(ys), Value::P(bins), Value::I(4 * N as i64)]
+                vec![
+                    Value::P(xs),
+                    Value::P(ys),
+                    Value::P(bins),
+                    Value::I(4 * N as i64),
+                ]
             },
             invocations: 1.0,
             scale: 120_000.0,
@@ -482,7 +492,13 @@ double ua_run(double* v, double* w, int* map, double* tmp, int n) {
                 let w = fill_f64(mem, N, 19);
                 let map = fill_i32_mod(mem, N, N as i32, 20);
                 let tmp = zeros_f64(mem, N);
-                vec![Value::P(v), Value::P(w), Value::P(map), Value::P(tmp), Value::I(N as i64)]
+                vec![
+                    Value::P(v),
+                    Value::P(w),
+                    Value::P(map),
+                    Value::P(tmp),
+                    Value::I(N as i64),
+                ]
             },
             invocations: 120.0,
             scale: 6000.0,
@@ -530,10 +546,18 @@ int bfs_run(int* edges, int* offsets, int* dist, int* flags, int n) {
                 }
                 let e = mem.alloc_i32_slice(&edges);
                 let o = mem.alloc_i32_slice(&offs);
-                let dist: Vec<i32> = (0..rows as i32).map(|i| if i == 0 { 0 } else { 1000 }).collect();
+                let dist: Vec<i32> = (0..rows as i32)
+                    .map(|i| if i == 0 { 0 } else { 1000 })
+                    .collect();
                 let d = mem.alloc_i32_slice(&dist);
                 let flags = fill_i32_mod(mem, rows, 2, 21);
-                vec![Value::P(e), Value::P(o), Value::P(d), Value::P(flags), Value::I(rows as i64)]
+                vec![
+                    Value::P(e),
+                    Value::P(o),
+                    Value::P(d),
+                    Value::P(flags),
+                    Value::I(rows as i64),
+                ]
             },
             invocations: 15.0,
             scale: 2500.0,
@@ -571,7 +595,13 @@ double cutcp_run(double* grid, double* atoms, double* d2, int* cells, int n) {
                 let atoms = fill_f64(mem, N, 22);
                 let d2 = fill_f64(mem, N, 23);
                 let cells = fill_i32_mod(mem, N, N as i32, 24);
-                vec![Value::P(grid), Value::P(atoms), Value::P(d2), Value::P(cells), Value::I(N as i64)]
+                vec![
+                    Value::P(grid),
+                    Value::P(atoms),
+                    Value::P(d2),
+                    Value::P(cells),
+                    Value::I(N as i64),
+                ]
             },
             invocations: 10.0,
             scale: 7000.0,
@@ -766,7 +796,12 @@ double sad_run(double* cur, double* ref_, double* best, int n) {
                 let cur = fill_f64(mem, N, 33);
                 let r = fill_f64(mem, N, 34);
                 let best = fill_f64(mem, N, 35);
-                vec![Value::P(cur), Value::P(r), Value::P(best), Value::I(N as i64)]
+                vec![
+                    Value::P(cur),
+                    Value::P(r),
+                    Value::P(best),
+                    Value::I(N as i64),
+                ]
             },
             invocations: 12.0,
             scale: 6000.0,

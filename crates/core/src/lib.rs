@@ -96,7 +96,9 @@ pub fn analyze(b: &benchsuite::Benchmark) -> Analysis {
     for inst in &instances {
         let f = module.function(&inst.function).expect("function exists");
         let in_region = |v: ssair::ValueId| {
-            inst.blocks.iter().any(|&blk| f.block(blk).instrs.contains(&v))
+            inst.blocks
+                .iter()
+                .any(|&blk| f.block(blk).instrs.contains(&v))
         };
         let c = vm.profile.region_cost(f, in_region);
         idiom_cost += c;
@@ -104,7 +106,11 @@ pub fn analyze(b: &benchsuite::Benchmark) -> Analysis {
         flops += vm.profile.region_flops(f, in_region);
         bytes += vm.profile.region_bytes(f, in_region);
     }
-    let coverage = if total_cost > 0.0 { idiom_cost / total_cost } else { 0.0 };
+    let coverage = if total_cost > 0.0 {
+        idiom_cost / total_cost
+    } else {
+        0.0
+    };
     let dominant_kind = costs_by_kind
         .iter()
         .max_by(|a, b| a.1.total_cmp(b.1))
@@ -147,9 +153,10 @@ pub fn analyze(b: &benchsuite::Benchmark) -> Analysis {
             _ => continue,
         };
         let f = module.function(&inst.function).expect("function exists");
-        let Some(out) = inst.value(out_var) else { continue };
-        let slice =
-            ssair::analysis::kernel_slice(f, out, &killers, solver::PURE_CALLS);
+        let Some(out) = inst.value(out_var) else {
+            continue;
+        };
+        let slice = ssair::analysis::kernel_slice(f, out, &killers, solver::PURE_CALLS);
         let pure_arith_only = slice.is_some_and(|sl| {
             sl.iter().all(|&v| {
                 !matches!(
@@ -219,8 +226,7 @@ pub fn speedup_on(a: &Analysis, platform: Platform, lazy_copy: bool) -> Option<(
         .iter()
         .filter(|&&api| a.halide_ok || api != hetero::Api::Halide)
         .filter_map(|&api| {
-            hetero::kernel_time_ms(api, platform, kind, &a.workload, lazy_copy)
-                .map(|t| (api, t))
+            hetero::kernel_time_ms(api, platform, kind, &a.workload, lazy_copy).map(|t| (api, t))
         })
         .min_by(|x, y| x.1.total_cmp(&y.1))?;
     let rest_ms = a.sequential_ms - a.idiom_ms;
@@ -275,7 +281,9 @@ pub fn transform_and_validate(
     for f in &module.functions {
         insts.extend(idioms::detect(f).into_iter().filter(|i| i.kind == kind));
     }
-    let inst = insts.first().ok_or_else(|| format!("no {kind:?} instance found"))?;
+    let inst = insts
+        .first()
+        .ok_or_else(|| format!("no {kind:?} instance found"))?;
     let mut transformed = module.clone();
     let rep = xform::apply_replacement(&mut transformed, inst, 0).map_err(|e| e.to_string())?;
     let run = |m: &Module| -> Result<(Vec<u8>,), String> {
@@ -311,7 +319,10 @@ mod tests {
 
     #[test]
     fn analyze_cg_finds_sparse_ops_and_high_coverage() {
-        let b = benchsuite::all().into_iter().find(|b| b.name == "CG").unwrap();
+        let b = benchsuite::all()
+            .into_iter()
+            .find(|b| b.name == "CG")
+            .unwrap();
         let a = analyze(&b);
         assert_eq!(a.by_class.get("Sparse Matrix Op."), Some(&2));
         assert_eq!(a.by_class.get("Scalar Reduction"), Some(&4));
@@ -324,7 +335,10 @@ mod tests {
 
     #[test]
     fn uncovered_benchmarks_gain_little() {
-        let b = benchsuite::all().into_iter().find(|b| b.name == "BT").unwrap();
+        let b = benchsuite::all()
+            .into_iter()
+            .find(|b| b.name == "BT")
+            .unwrap();
         let a = analyze(&b);
         assert!(a.coverage < 0.5);
         if let Some((_, s)) = speedup_on(&a, Platform::Gpu, true) {
@@ -334,18 +348,23 @@ mod tests {
 
     #[test]
     fn transform_and_validate_spmv_benchmark() {
-        let b = benchsuite::all().into_iter().find(|b| b.name == "spmv").unwrap();
+        let b = benchsuite::all()
+            .into_iter()
+            .find(|b| b.name == "spmv")
+            .unwrap();
         let module = minicc::compile(b.source, b.name).unwrap();
-        let (transformed, rep) =
-            transform_and_validate(&module, b.entry, b.setup, IdiomKind::Spmv)
-                .expect("spmv replacement validates");
+        let (transformed, rep) = transform_and_validate(&module, b.entry, b.setup, IdiomKind::Spmv)
+            .expect("spmv replacement validates");
         assert_eq!(rep.callee, "csrmv_f64");
         assert!(transformed.functions.len() >= module.functions.len());
     }
 
     #[test]
     fn transform_and_validate_stencil_benchmark() {
-        let b = benchsuite::all().into_iter().find(|b| b.name == "stencil").unwrap();
+        let b = benchsuite::all()
+            .into_iter()
+            .find(|b| b.name == "stencil")
+            .unwrap();
         let module = minicc::compile(b.source, b.name).unwrap();
         let (_, rep) = transform_and_validate(&module, b.entry, b.setup, IdiomKind::Stencil2D)
             .expect("stencil replacement validates");

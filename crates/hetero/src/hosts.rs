@@ -38,7 +38,11 @@ pub fn register_all(vm: &mut Machine<'_>) {
             let (ar, br, cr) = (args[9].as_i(), args[10].as_i(), args[11].as_i());
             let beta = args[12].as_f();
             let addr = |base: u64, col: i64, row: i64, stride: i64, row_scaled: i64| {
-                let idx = if row_scaled != 0 { row * stride + col } else { col * stride + row };
+                let idx = if row_scaled != 0 {
+                    row * stride + col
+                } else {
+                    col * stride + row
+                };
                 base + 8 * idx as u64
             };
             for i0 in 0..m {
@@ -50,7 +54,11 @@ pub fn register_all(vm: &mut Machine<'_>) {
                         acc += av * bv;
                     }
                     let ca = addr(c, i0, i1, sc, cr);
-                    let old = if beta != 0.0 { mem.load_f64(ca)? * beta } else { 0.0 };
+                    let old = if beta != 0.0 {
+                        mem.load_f64(ca)? * beta
+                    } else {
+                        0.0
+                    };
                     mem.store_f64(ca, acc + old)?;
                 }
             }
@@ -60,8 +68,13 @@ pub fn register_all(vm: &mut Machine<'_>) {
     vm.register_host(
         "csrmv_f64",
         Rc::new(|mem, args| {
-            let (vals, rowptr, colidx, x, y) =
-                (args[0].as_p(), args[1].as_p(), args[2].as_p(), args[3].as_p(), args[4].as_p());
+            let (vals, rowptr, colidx, x, y) = (
+                args[0].as_p(),
+                args[1].as_p(),
+                args[2].as_p(),
+                args[3].as_p(),
+                args[4].as_p(),
+            );
             let m = args[5].as_i();
             let (rw, cw) = (args[6].as_i(), args[7].as_i());
             for j in 0..m {
@@ -70,8 +83,7 @@ pub fn register_all(vm: &mut Machine<'_>) {
                 let mut d = 0.0;
                 for kk in lo..hi {
                     let col = load_idx(mem, colidx, kk, cw)?;
-                    d += mem.load_f64(vals + 8 * kk as u64)?
-                        * mem.load_f64(x + 8 * col as u64)?;
+                    d += mem.load_f64(vals + 8 * kk as u64)? * mem.load_f64(x + 8 * col as u64)?;
                 }
                 mem.store_f64(y + 8 * j as u64, d)?;
             }
@@ -152,10 +164,17 @@ entry:
         let yp = vm.mem.alloc_f64_slice(&[0.0; 3]);
         vm.run(
             "run",
-            &[Value::P(vp), Value::P(rp), Value::P(cp), Value::P(xp), Value::P(yp), Value::I(3)],
+            &[
+                Value::P(vp),
+                Value::P(rp),
+                Value::P(cp),
+                Value::P(xp),
+                Value::P(yp),
+                Value::I(3),
+            ],
         )
         .unwrap();
         let y = vm.mem.read_f64_slice(yp, 3);
-        assert_eq!(y, vec![1.0 * 0.5 + 2.0 * 2.0, 3.0 * -1.0, 4.0 * 0.5 + 5.0 * 2.0]);
+        assert_eq!(y, vec![1.0 * 0.5 + 2.0 * 2.0, -3.0, 4.0 * 0.5 + 5.0 * 2.0]);
     }
 }

@@ -287,7 +287,10 @@ mod tests {
         assert_eq!(cpu_api, Api::Mkl, "MKL wins CPU linear algebra");
         assert_eq!(igpu_api, Api::ClBlas, "clBLAS wins iGPU GEMM");
         assert_eq!(gpu_api, Api::CuBlas, "cuBLAS wins GPU GEMM");
-        assert!(gpu_t < igpu_t && igpu_t < cpu_t, "compute-bound GEMM loves the dGPU");
+        assert!(
+            gpu_t < igpu_t && igpu_t < cpu_t,
+            "compute-bound GEMM loves the dGPU"
+        );
     }
 
     #[test]
@@ -299,14 +302,35 @@ mod tests {
             transfer_bytes: 8e6,
             launches: 1000.0,
         };
-        let eager = kernel_time_ms(Api::Lift, Platform::Gpu, idioms::IdiomKind::Reduction, &w, false)
-            .unwrap();
-        let lazy = kernel_time_ms(Api::Lift, Platform::Gpu, idioms::IdiomKind::Reduction, &w, true)
-            .unwrap();
-        assert!(eager / lazy > 20.0, "lazy copying is crucial: {eager} vs {lazy}");
+        let eager = kernel_time_ms(
+            Api::Lift,
+            Platform::Gpu,
+            idioms::IdiomKind::Reduction,
+            &w,
+            false,
+        )
+        .unwrap();
+        let lazy = kernel_time_ms(
+            Api::Lift,
+            Platform::Gpu,
+            idioms::IdiomKind::Reduction,
+            &w,
+            true,
+        )
+        .unwrap();
+        assert!(
+            eager / lazy > 20.0,
+            "lazy copying is crucial: {eager} vs {lazy}"
+        );
         // Without lazy copy, the iGPU (zero-copy) beats the dGPU.
-        let igpu = kernel_time_ms(Api::Lift, Platform::IGpu, idioms::IdiomKind::Reduction, &w, false)
-            .unwrap();
+        let igpu = kernel_time_ms(
+            Api::Lift,
+            Platform::IGpu,
+            idioms::IdiomKind::Reduction,
+            &w,
+            false,
+        )
+        .unwrap();
         assert!(igpu < eager, "shared memory avoids the PCIe tax");
     }
 

@@ -20,7 +20,7 @@
 //!   reduction, but the paper reports it as GEMM).
 
 use idl::{CompiledConstraint, Library};
-use solver::{SolveOptions, Solution, Solver};
+use solver::{Solution, SolveOptions, Solver};
 use ssair::{BlockId, Function, ValueId};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -195,7 +195,11 @@ pub struct DetectOptions {
 
 impl Default for DetectOptions {
     fn default() -> DetectOptions {
-        DetectOptions { max_solutions: 128, max_steps: 20_000_000, suppress_contained: true }
+        DetectOptions {
+            max_solutions: 128,
+            max_steps: 20_000_000,
+            suppress_contained: true,
+        }
     }
 }
 
@@ -210,8 +214,10 @@ pub fn detect(f: &Function) -> Vec<IdiomInstance> {
 #[must_use]
 pub fn detect_with(f: &Function, opts: &DetectOptions) -> Vec<IdiomInstance> {
     let solver = Solver::new(f);
-    let solve_opts =
-        SolveOptions { max_solutions: opts.max_solutions, max_steps: opts.max_steps };
+    let solve_opts = SolveOptions {
+        max_solutions: opts.max_solutions,
+        max_steps: opts.max_steps,
+    };
     let an = ssair::analysis::Analyses::new(f);
     let mut out: Vec<IdiomInstance> = Vec::new();
     for &kind in &IdiomKind::ALL {
@@ -219,7 +225,9 @@ pub fn detect_with(f: &Function, opts: &DetectOptions) -> Vec<IdiomInstance> {
         let sols = solver.solve(c, &solve_opts);
         let mut seen_anchor: Vec<ValueId> = Vec::new();
         for sol in &sols {
-            let Some(inst) = instance_from_solution(f, &an, kind, sol) else { continue };
+            let Some(inst) = instance_from_solution(f, &an, kind, sol) else {
+                continue;
+            };
             if seen_anchor.contains(&inst.anchor) {
                 continue; // operand-order / transposition symmetry
             }

@@ -107,7 +107,10 @@ fn detects_spmv_csr() {
         }",
     );
     assert!(kinds.contains(&IdiomKind::Spmv), "got {kinds:?}");
-    assert!(!kinds.contains(&IdiomKind::Reduction), "inner dot product is part of the SPMV");
+    assert!(
+        !kinds.contains(&IdiomKind::Reduction),
+        "inner dot product is part of the SPMV"
+    );
 }
 
 #[test]
@@ -168,7 +171,6 @@ fn rejects_impure_reduction_kernels() {
             return s;
         }",
     );
-    assert!(!kinds.contains(&IdiomKind::Reduction) || kinds.is_empty() || true);
     // The reduction *is* structurally present; what must NOT match is a
     // stencil or histogram. The extraction-time side-effect check (xform)
     // rejects the replacement; see crates/xform tests.
@@ -207,7 +209,10 @@ fn bindings_expose_the_figure_5_variables() {
     .unwrap();
     let f = m.function("spmv").unwrap();
     let insts = detect(f);
-    let spmv = insts.iter().find(|i| i.kind == IdiomKind::Spmv).expect("spmv found");
+    let spmv = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Spmv)
+        .expect("spmv found");
     // The variables of the paper's Figure 5 solution table are all bound.
     for var in [
         "iterator",

@@ -6,7 +6,10 @@ use idioms::{detect, IdiomKind};
 
 fn kinds_in(src: &str) -> Vec<IdiomKind> {
     let m = minicc::compile(src, "t").expect("compiles");
-    m.functions.iter().flat_map(|f| detect(f).into_iter().map(|i| i.kind)).collect()
+    m.functions
+        .iter()
+        .flat_map(|f| detect(f).into_iter().map(|i| i.kind))
+        .collect()
 }
 
 #[test]
@@ -210,7 +213,10 @@ End
     .unwrap();
     let f = m.function("s").unwrap();
     let sols = solver::Solver::new(f).solve(&c, &solver::SolveOptions::default());
-    assert!(!sols.is_empty(), "the loop contains at least one SESE region");
+    assert!(
+        !sols.is_empty(),
+        "the loop contains at least one SESE region"
+    );
     // Every reported region satisfies the definition's dominance facts.
     let an = ssair::analysis::Analyses::new(f);
     for s in &sols {

@@ -54,7 +54,12 @@ impl VarName {
     /// A single-segment unindexed name.
     #[must_use]
     pub fn simple(name: &str) -> VarName {
-        VarName { segs: vec![VarSeg { name: name.to_owned(), indices: Vec::new() }] }
+        VarName {
+            segs: vec![VarSeg {
+                name: name.to_owned(),
+                indices: Vec::new(),
+            }],
+        }
     }
 
     /// Flattens under `env`, evaluating all index calculations:
@@ -337,8 +342,14 @@ mod tests {
         env.insert("i".to_owned(), 2);
         let v = VarName {
             segs: vec![
-                VarSeg { name: "read".into(), indices: vec![Calc::Name("i".into())] },
-                VarSeg { name: "value".into(), indices: vec![] },
+                VarSeg {
+                    name: "read".into(),
+                    indices: vec![Calc::Name("i".into())],
+                },
+                VarSeg {
+                    name: "value".into(),
+                    indices: vec![],
+                },
             ],
         };
         assert_eq!(v.flatten(&env).unwrap(), "read[2].value");

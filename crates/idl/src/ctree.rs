@@ -312,9 +312,7 @@ impl CTree {
         match self {
             CTree::And(cs) | CTree::Or(cs) => cs.iter().map(CTree::atom_count).sum(),
             CTree::Atom(_) => 1,
-            CTree::Collect { instances } => {
-                instances.first().map_or(0, CTree::atom_count)
-            }
+            CTree::Collect { instances } => instances.first().map_or(0, CTree::atom_count),
         }
     }
 }

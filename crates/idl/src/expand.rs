@@ -30,14 +30,21 @@ type Result<T> = std::result::Result<T, ExpandError>;
 /// Compiles the definition `name` from `lib` into a solver-ready
 /// constraint.
 pub fn compile(lib: &Library, name: &str) -> Result<CompiledConstraint> {
-    let def = lib
-        .get(name)
-        .ok_or_else(|| ExpandError { message: format!("no definition named {name:?}") })?;
-    let mut cx = Cx { lib, stack: vec![name.to_owned()] };
+    let def = lib.get(name).ok_or_else(|| ExpandError {
+        message: format!("no definition named {name:?}"),
+    })?;
+    let mut cx = Cx {
+        lib,
+        stack: vec![name.to_owned()],
+    };
     let env = HashMap::new();
     let tree = cx.expand(&def.body, &env)?;
     let variables = tree.variables();
-    Ok(CompiledConstraint { name: name.to_owned(), tree, variables })
+    Ok(CompiledConstraint {
+        name: name.to_owned(),
+        tree,
+        variables,
+    })
 }
 
 struct Cx<'l> {
@@ -95,7 +102,11 @@ fn rewrite_tree(tree: &mut CTree, rw: &Rewrite) {
 impl<'l> Cx<'l> {
     fn err(&self, msg: impl Into<String>) -> ExpandError {
         ExpandError {
-            message: format!("{} (while expanding {})", msg.into(), self.stack.join(" -> ")),
+            message: format!(
+                "{} (while expanding {})",
+                msg.into(),
+                self.stack.join(" -> ")
+            ),
         }
     }
 
@@ -106,13 +117,22 @@ impl<'l> Cx<'l> {
     fn expand(&mut self, c: &Constraint, env: &HashMap<String, i64>) -> Result<CTree> {
         match c {
             Constraint::And(cs) => Ok(CTree::And(
-                cs.iter().map(|x| self.expand(x, env)).collect::<Result<Vec<_>>>()?,
+                cs.iter()
+                    .map(|x| self.expand(x, env))
+                    .collect::<Result<Vec<_>>>()?,
             )),
             Constraint::Or(cs) => Ok(CTree::Or(
-                cs.iter().map(|x| self.expand(x, env)).collect::<Result<Vec<_>>>()?,
+                cs.iter()
+                    .map(|x| self.expand(x, env))
+                    .collect::<Result<Vec<_>>>()?,
             )),
             Constraint::Atom(a) => self.expand_atom(a, env),
-            Constraint::ForAll { body, index, lo, hi } => {
+            Constraint::ForAll {
+                body,
+                index,
+                lo,
+                hi,
+            } => {
                 let lo = lo.eval(env).map_err(|e| self.err(e))?;
                 let hi = hi.eval(env).map_err(|e| self.err(e))?;
                 let mut items = Vec::new();
@@ -123,7 +143,12 @@ impl<'l> Cx<'l> {
                 }
                 Ok(CTree::And(items))
             }
-            Constraint::ForSome { body, index, lo, hi } => {
+            Constraint::ForSome {
+                body,
+                index,
+                lo,
+                hi,
+            } => {
                 let lo = lo.eval(env).map_err(|e| self.err(e))?;
                 let hi = hi.eval(env).map_err(|e| self.err(e))?;
                 let mut items = Vec::new();
@@ -164,7 +189,11 @@ impl<'l> Cx<'l> {
                 rewrite_tree(&mut tree, &rw);
                 Ok(tree)
             }
-            Constraint::Inherits { name, params, adapt } => {
+            Constraint::Inherits {
+                name,
+                params,
+                adapt,
+            } => {
                 if self.stack.contains(name) {
                     return Err(self.err(format!("cyclic inheritance of {name:?}")));
                 }
@@ -206,7 +235,10 @@ impl<'l> Cx<'l> {
     ) -> Result<Rewrite> {
         let mut renames = Vec::new();
         for (outer, inner) in &adapt.renames {
-            renames.push((self.flatten(inner, inner_env)?, self.flatten(outer, outer_env)?));
+            renames.push((
+                self.flatten(inner, inner_env)?,
+                self.flatten(outer, outer_env)?,
+            ));
         }
         let rebase = match &adapt.rebase {
             Some(p) => Some(self.flatten(p, outer_env)?),
@@ -217,7 +249,11 @@ impl<'l> Cx<'l> {
 
     fn expand_atom(&self, a: &RawAtom, env: &HashMap<String, i64>) -> Result<CTree> {
         let atom = match a {
-            RawAtom::TypeIs { var, class, constant_zero } => {
+            RawAtom::TypeIs {
+                var,
+                class,
+                constant_zero,
+            } => {
                 let class = match class.as_str() {
                     "integer" => TypeClass::Integer,
                     "float" => TypeClass::Float,
@@ -225,7 +261,10 @@ impl<'l> Cx<'l> {
                     other => return Err(self.err(format!("unknown type class {other:?}"))),
                 };
                 Atom {
-                    kind: AtomKind::TypeIs { class, constant_zero: *constant_zero },
+                    kind: AtomKind::TypeIs {
+                        class,
+                        constant_zero: *constant_zero,
+                    },
                     vars: vec![self.flatten(var, env)?],
                     families: vec![],
                 }
@@ -296,13 +335,30 @@ impl<'l> Cx<'l> {
                 ],
                 families: vec![],
             },
-            RawAtom::Dominates { a, b, strict, post, negated } => Atom {
-                kind: AtomKind::Dominates { strict: *strict, post: *post, negated: *negated },
+            RawAtom::Dominates {
+                a,
+                b,
+                strict,
+                post,
+                negated,
+            } => Atom {
+                kind: AtomKind::Dominates {
+                    strict: *strict,
+                    post: *post,
+                    negated: *negated,
+                },
                 vars: vec![self.flatten(a, env)?, self.flatten(b, env)?],
                 families: vec![],
             },
-            RawAtom::AllFlowThrough { from, to, through, kind } => Atom {
-                kind: AtomKind::AllFlowThrough { data: kind == "data" },
+            RawAtom::AllFlowThrough {
+                from,
+                to,
+                through,
+                kind,
+            } => Atom {
+                kind: AtomKind::AllFlowThrough {
+                    data: kind == "data",
+                },
                 vars: vec![
                     self.flatten(from, env)?,
                     self.flatten(to, env)?,
@@ -434,8 +490,20 @@ End
         .unwrap();
         let d = compile(&lib, "D").unwrap();
         let e = compile(&lib, "E").unwrap();
-        assert!(matches!(d.tree, CTree::Atom(Atom { kind: AtomKind::Unused, .. })));
-        assert!(matches!(e.tree, CTree::Atom(Atom { kind: AtomKind::IsInstruction, .. })));
+        assert!(matches!(
+            d.tree,
+            CTree::Atom(Atom {
+                kind: AtomKind::Unused,
+                ..
+            })
+        ));
+        assert!(matches!(
+            e.tree,
+            CTree::Atom(Atom {
+                kind: AtomKind::IsInstruction,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -450,7 +518,9 @@ End
         )
         .unwrap();
         let c = compile(&lib, "C").unwrap();
-        let CTree::Collect { instances } = &c.tree else { panic!("expected collect") };
+        let CTree::Collect { instances } = &c.tree else {
+            panic!("expected collect")
+        };
         assert_eq!(instances.len(), 3);
         // Outer variables exclude collect internals.
         assert!(c.variables.is_empty());
@@ -461,10 +531,8 @@ End
 
     #[test]
     fn cyclic_inheritance_is_an_error() {
-        let lib = parse_library(
-            "Constraint A ( inherits B ) End Constraint B ( inherits A ) End",
-        )
-        .unwrap();
+        let lib = parse_library("Constraint A ( inherits B ) End Constraint B ( inherits A ) End")
+            .unwrap();
         let err = compile(&lib, "A").unwrap_err();
         assert!(err.message.contains("cyclic"));
     }

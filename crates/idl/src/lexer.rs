@@ -74,35 +74,59 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, (usize, String)> {
                     return Err((line, "unterminated variable brace".into()));
                 }
                 let content: String = chars[start..j].iter().collect();
-                out.push(Spanned { tok: Tok::Braced(content.trim().to_owned()), line });
+                out.push(Spanned {
+                    tok: Tok::Braced(content.trim().to_owned()),
+                    line,
+                });
                 i = j + 1;
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, line });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, line });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { tok: Tok::Equals, line });
+                out.push(Spanned {
+                    tok: Tok::Equals,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, line });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { tok: Tok::Plus, line });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Spanned { tok: Tok::Minus, line });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    line,
+                });
                 i += 1;
             }
             '.' if i + 1 < chars.len() && chars[i + 1] == '.' => {
-                out.push(Spanned { tok: Tok::DotDot, line });
+                out.push(Spanned {
+                    tok: Tok::DotDot,
+                    line,
+                });
                 i += 2;
             }
             _ if c.is_ascii_digit() => {
@@ -111,21 +135,31 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, (usize, String)> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                let n: i64 =
-                    text.parse().map_err(|_| (line, format!("bad number {text:?}")))?;
-                out.push(Spanned { tok: Tok::Num(n), line });
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| (line, format!("bad number {text:?}")))?;
+                out.push(Spanned {
+                    tok: Tok::Num(n),
+                    line,
+                });
             }
             _ if c.is_alphabetic() || c == '_' => {
                 let start = i;
                 while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
-                out.push(Spanned { tok: Tok::Word(chars[start..i].iter().collect()), line });
+                out.push(Spanned {
+                    tok: Tok::Word(chars[start..i].iter().collect()),
+                    line,
+                });
             }
             other => return Err((line, format!("unexpected character {other:?}"))),
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -144,12 +178,13 @@ mod tests {
 
     #[test]
     fn lexes_ranges_params_and_comments() {
-        let toks =
-            lex("# comment\nForNest(N=3) for all i = 0 .. N-1 -- trailing").unwrap();
+        let toks = lex("# comment\nForNest(N=3) for all i = 0 .. N-1 -- trailing").unwrap();
         assert!(toks.iter().any(|t| t.tok == Tok::DotDot));
         assert!(toks.iter().any(|t| t.tok == Tok::Equals));
         assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Num(3))));
-        assert!(!toks.iter().any(|t| matches!(&t.tok, Tok::Word(w) if w == "comment" || w == "trailing")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Word(w) if w == "comment" || w == "trailing")));
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: msg.into() }
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn bump(&mut self) -> Tok {
@@ -103,9 +106,10 @@ impl Parser {
         let line = self.line();
         match self.bump() {
             Tok::Word(w) => Ok(w),
-            other => {
-                Err(ParseError { line, message: format!("expected word, got {other:?}") })
-            }
+            other => Err(ParseError {
+                line,
+                message: format!("expected word, got {other:?}"),
+            }),
         }
     }
 
@@ -207,27 +211,50 @@ impl Parser {
                     let lo = self.calc()?;
                     self.expect_dotdot()?;
                     let hi = self.calc()?;
-                    c = Constraint::ForAll { body: Box::new(c), index, lo, hi };
+                    c = Constraint::ForAll {
+                        body: Box::new(c),
+                        index,
+                        lo,
+                        hi,
+                    };
                 } else if self.eat_word("some") {
                     let index = self.word()?;
                     self.expect_equals()?;
                     let lo = self.calc()?;
                     self.expect_dotdot()?;
                     let hi = self.calc()?;
-                    c = Constraint::ForSome { body: Box::new(c), index, lo, hi };
+                    c = Constraint::ForSome {
+                        body: Box::new(c),
+                        index,
+                        lo,
+                        hi,
+                    };
                 } else {
                     let index = self.word()?;
                     self.expect_equals()?;
                     let value = self.calc()?;
-                    c = Constraint::ForOne { body: Box::new(c), index, value };
+                    c = Constraint::ForOne {
+                        body: Box::new(c),
+                        index,
+                        value,
+                    };
                 }
             } else if matches!(self.peek(), Tok::Word(w) if w == "with" || w == "at") {
                 let adapt = self.adaptation()?;
                 c = match c {
-                    Constraint::Inherits { name, params, adapt: old } if is_empty_adapt(&old) => {
-                        Constraint::Inherits { name, params, adapt }
-                    }
-                    other => Constraint::Adapted { inner: Box::new(other), adapt },
+                    Constraint::Inherits {
+                        name,
+                        params,
+                        adapt: old,
+                    } if is_empty_adapt(&old) => Constraint::Inherits {
+                        name,
+                        params,
+                        adapt,
+                    },
+                    other => Constraint::Adapted {
+                        inner: Box::new(other),
+                        adapt,
+                    },
                 };
             } else {
                 return Ok(c);
@@ -302,9 +329,7 @@ impl Parser {
                     match mode {
                         None => mode = Some(is_and),
                         Some(m) if m != is_and => {
-                            return Err(self.err(
-                                "mixed 'and'/'or' at the same level; parenthesize",
-                            ))
+                            return Err(self.err("mixed 'and'/'or' at the same level; parenthesize"))
                         }
                         _ => {}
                     }
@@ -340,7 +365,11 @@ impl Parser {
                 }
                 // Adaptations are handled by the postfix loop in
                 // `constraint`, which folds them into the Inherits node.
-                Ok(Constraint::Inherits { name, params, adapt: Adaptation::default() })
+                Ok(Constraint::Inherits {
+                    name,
+                    params,
+                    adapt: Adaptation::default(),
+                })
             }
             Tok::Word(w) if w == "if" => {
                 self.bump();
@@ -371,7 +400,11 @@ impl Parser {
                     _ => 16, // default family bound
                 };
                 let body = self.constraint()?;
-                Ok(Constraint::Collect { index, max, body: Box::new(body) })
+                Ok(Constraint::Collect {
+                    index,
+                    max,
+                    body: Box::new(body),
+                })
             }
             Tok::Word(w) if w == "all" => self.all_flow_atom(),
             Tok::Braced(_) => self.var_atom(),
@@ -397,7 +430,12 @@ impl Parser {
             self.expect_word("passes")?;
             self.expect_word("through")?;
             let through = self.var()?;
-            Ok(Constraint::Atom(RawAtom::AllFlowThrough { from, to, through, kind }))
+            Ok(Constraint::Atom(RawAtom::AllFlowThrough {
+                from,
+                to,
+                through,
+                kind,
+            }))
         } else {
             // `all flow to {sink} is killed by {killers}`
             self.expect_word("to")?;
@@ -440,7 +478,11 @@ impl Parser {
             let phi = self.var()?;
             self.expect_word("from")?;
             let from = self.var()?;
-            return Ok(Constraint::Atom(RawAtom::ReachesPhi { value: v, phi, from }));
+            return Ok(Constraint::Atom(RawAtom::ReachesPhi {
+                value: v,
+                phi,
+                from,
+            }));
         }
         // Dominance: [does not] [strictly] [control flow] [post] dominates
         let negated = self.eat_words(&["does", "not"]);
@@ -449,7 +491,13 @@ impl Parser {
         let post = self.eat_word("post");
         if self.eat_word("dominates") || self.eat_word("dominate") {
             let b = self.var()?;
-            return Ok(Constraint::Atom(RawAtom::Dominates { a: v, b, strict, post, negated }));
+            return Ok(Constraint::Atom(RawAtom::Dominates {
+                a: v,
+                b,
+                strict,
+                post,
+                negated,
+            }));
         }
         Err(self.err("expected an atomic constraint after variable"))
     }
@@ -458,11 +506,19 @@ impl Parser {
         // `is not the same as`
         if self.eat_words(&["not", "the", "same", "as"]) {
             let b = self.var()?;
-            return Ok(Constraint::Atom(RawAtom::Same { a: v, b, negated: true }));
+            return Ok(Constraint::Atom(RawAtom::Same {
+                a: v,
+                b,
+                negated: true,
+            }));
         }
         if self.eat_words(&["the", "same", "as"]) {
             let b = self.var()?;
-            return Ok(Constraint::Atom(RawAtom::Same { a: v, b, negated: false }));
+            return Ok(Constraint::Atom(RawAtom::Same {
+                a: v,
+                b,
+                negated: false,
+            }));
         }
         for class in ["integer", "float", "pointer"] {
             if self.eat_word(class) {
@@ -500,7 +556,11 @@ impl Parser {
                 self.expect_word("argument")?;
                 self.expect_word("of")?;
                 let parent = self.var()?;
-                return Ok(Constraint::Atom(RawAtom::ArgumentOf { child: v, parent, pos }));
+                return Ok(Constraint::Atom(RawAtom::ArgumentOf {
+                    child: v,
+                    parent,
+                    pos,
+                }));
             }
         }
         if self.eat_word("concatenation") {
@@ -517,7 +577,10 @@ impl Parser {
             self.expect_word("instruction")?;
             return Ok(Constraint::Atom(RawAtom::OpcodeIs { var: v, opcode: w }));
         }
-        Err(ParseError { line, message: format!("unknown atom keyword {w:?} after 'is'") })
+        Err(ParseError {
+            line,
+            message: format!("unknown atom keyword {w:?} after 'is'"),
+        })
     }
 }
 
@@ -546,12 +609,16 @@ pub fn parse_varname(raw: &str) -> std::result::Result<VarName, String> {
             if !rest.starts_with('[') {
                 return Err(format!("bad index syntax in {raw:?}"));
             }
-            let close =
-                rest.find(']').ok_or_else(|| format!("unterminated index in {raw:?}"))?;
+            let close = rest
+                .find(']')
+                .ok_or_else(|| format!("unterminated index in {raw:?}"))?;
             indices.push(parse_calc_str(&rest[1..close])?);
             rest = &rest[close + 1..];
         }
-        segs.push(VarSeg { name: name.to_owned(), indices });
+        segs.push(VarSeg {
+            name: name.to_owned(),
+            indices,
+        });
     }
     Ok(VarName { segs })
 }
@@ -601,7 +668,9 @@ End
 "#;
         let lib = parse_library(src).unwrap();
         assert_eq!(lib.defs.len(), 1);
-        let Constraint::And(items) = &lib.defs[0].body else { panic!("expected And") };
+        let Constraint::And(items) = &lib.defs[0].body else {
+            panic!("expected And")
+        };
         assert_eq!(items.len(), 7);
         assert!(matches!(items[5], Constraint::Or(_)));
     }
@@ -623,13 +692,22 @@ Constraint SESE
 End
 "#;
         let lib = parse_library(src).unwrap();
-        let Constraint::And(items) = &lib.defs[0].body else { panic!() };
+        let Constraint::And(items) = &lib.defs[0].body else {
+            panic!()
+        };
         assert_eq!(items.len(), 10);
         assert!(matches!(
             items[5],
-            Constraint::Atom(RawAtom::Dominates { post: true, strict: false, .. })
+            Constraint::Atom(RawAtom::Dominates {
+                post: true,
+                strict: false,
+                ..
+            })
         ));
-        assert!(matches!(items[8], Constraint::Atom(RawAtom::AllFlowThrough { .. })));
+        assert!(matches!(
+            items[8],
+            Constraint::Atom(RawAtom::AllFlowThrough { .. })
+        ));
     }
 
     #[test]
@@ -644,11 +722,17 @@ Constraint GEMMish
 End
 "#;
         let lib = parse_library(src).unwrap();
-        let Constraint::And(items) = &lib.defs[0].body else { panic!() };
-        let Constraint::Inherits { name, params, .. } = &items[0] else { panic!() };
+        let Constraint::And(items) = &lib.defs[0].body else {
+            panic!()
+        };
+        let Constraint::Inherits { name, params, .. } = &items[0] else {
+            panic!()
+        };
         assert_eq!(name, "ForNest");
         assert_eq!(params[0].0, "N");
-        let Constraint::Inherits { name, adapt, .. } = &items[1] else { panic!() };
+        let Constraint::Inherits { name, adapt, .. } = &items[1] else {
+            panic!()
+        };
         assert_eq!(name, "MatrixRead");
         assert_eq!(adapt.renames.len(), 3);
         assert_eq!(adapt.rebase.as_ref().unwrap().segs[0].name, "input1");
@@ -663,9 +747,13 @@ Constraint Nest
 End
 "#;
         let lib = parse_library(src).unwrap();
-        let Constraint::And(items) = &lib.defs[0].body else { panic!() };
+        let Constraint::And(items) = &lib.defs[0].body else {
+            panic!()
+        };
         assert!(matches!(items[0], Constraint::ForAll { .. }));
-        let Constraint::Collect { index, max, .. } = &items[1] else { panic!() };
+        let Constraint::Collect { index, max, .. } = &items[1] else {
+            panic!()
+        };
         assert_eq!(index, "j");
         assert_eq!(*max, 8);
     }
@@ -679,8 +767,13 @@ Constraint K
 End
 "#;
         let lib = parse_library(src).unwrap();
-        let Constraint::And(items) = &lib.defs[0].body else { panic!() };
-        assert!(matches!(items[0], Constraint::Atom(RawAtom::KilledBy { .. })));
+        let Constraint::And(items) = &lib.defs[0].body else {
+            panic!()
+        };
+        assert!(matches!(
+            items[0],
+            Constraint::Atom(RawAtom::KilledBy { .. })
+        ));
         assert!(matches!(items[1], Constraint::Atom(RawAtom::Concat { .. })));
     }
 
@@ -709,7 +802,9 @@ Constraint C
 End
 "#;
         let lib = parse_library(src).unwrap();
-        let Constraint::And(items) = &lib.defs[0].body else { panic!() };
+        let Constraint::And(items) = &lib.defs[0].body else {
+            panic!()
+        };
         assert!(matches!(items[0], Constraint::If { .. }));
         assert!(matches!(items[1], Constraint::ForOne { .. }));
     }

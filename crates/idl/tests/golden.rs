@@ -1,0 +1,133 @@
+//! Golden tests for the IDL parser.
+//!
+//! Every built-in idiom definition must parse to a stable AST: the pretty
+//! debug form of each `Constraint ... End` block is snapshotted under
+//! `tests/snapshots/`. Regenerate with `BLESS=1 cargo test -p idl`.
+//! Malformed inputs must come back as `ParseError`s, never panics.
+
+use idl::parse_library;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The bundled idiom library, included by path (the `idioms` crate depends
+/// on `idl`, so the dependency cannot point the other way).
+const BUILDING_BLOCKS: &str = include_str!("../../idioms/idl/building_blocks.idl");
+const IDIOMS: &str = include_str!("../../idioms/idl/idioms.idl");
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.snap"))
+}
+
+fn check_snapshot(name: &str, got: &str) {
+    let path = snapshot_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing snapshot {}; run with BLESS=1", path.display()));
+    assert_eq!(
+        got.trim(),
+        want.trim(),
+        "snapshot mismatch for {name}; rerun with BLESS=1 after reviewing"
+    );
+}
+
+#[test]
+fn every_builtin_definition_has_a_stable_ast() {
+    let mut src = String::from(BUILDING_BLOCKS);
+    src.push('\n');
+    src.push_str(IDIOMS);
+    let lib = parse_library(&src).expect("bundled library parses");
+    assert!(!lib.defs.is_empty());
+    for def in &lib.defs {
+        let mut text = String::new();
+        writeln!(text, "{:#?}", def).unwrap();
+        check_snapshot(&def.name, &text);
+    }
+}
+
+#[test]
+fn builtin_definition_inventory_is_stable() {
+    let mut src = String::from(BUILDING_BLOCKS);
+    src.push('\n');
+    src.push_str(IDIOMS);
+    let lib = parse_library(&src).expect("bundled library parses");
+    let names: Vec<&str> = lib.defs.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "For",
+            "ForNest",
+            "LoopAccumulator",
+            "DotProductLoop",
+            "OffsetExpr",
+            "VectorRead",
+            "OffsetRead",
+            "MatrixRead",
+            "MatrixStore",
+            "ReadRange",
+            "Reduction",
+            "Histogram",
+            "Stencil1D",
+            "Stencil2D",
+            "GEMM",
+            "SPMV",
+        ]
+    );
+}
+
+#[test]
+fn every_builtin_definition_compiles() {
+    let mut src = String::from(BUILDING_BLOCKS);
+    src.push('\n');
+    src.push_str(IDIOMS);
+    let lib = parse_library(&src).expect("bundled library parses");
+    for def in &lib.defs {
+        // Building blocks with free parameters (ForNest's N) only compile
+        // through inheritance; everything else must compile standalone.
+        if def.name == "ForNest" {
+            continue;
+        }
+        idl::compile(&lib, &def.name)
+            .unwrap_or_else(|e| panic!("{} fails to compile: {e}", def.name));
+    }
+}
+
+#[test]
+fn malformed_inputs_error_instead_of_panicking() {
+    let cases: &[(&str, &str)] = &[
+        ("missing body", "Constraint X End"),
+        ("missing end", "Constraint X ( {a} is add instruction )"),
+        ("unterminated brace", "Constraint X ( {a is add instruction ) End"),
+        (
+            "mixed and/or",
+            "Constraint X ( {a} is add instruction and {b} is mul instruction or {c} is unused ) End",
+        ),
+        ("unknown atom keyword", "Constraint X ( {a} is banana instruction ) End"),
+        ("unknown opcode", "Constraint X ( {a} is frobnicate instruction ) End"),
+        ("empty variable", "Constraint X ( {} is add instruction ) End"),
+        ("bad index syntax", "Constraint X ( {a[} is add instruction ) End"),
+        ("dangling is", "Constraint X ( {a} is ) End"),
+        ("bad adaptation", "Constraint X ( inherits Y with {a} {b} ) End"),
+        ("for-all without range", "Constraint X ( ( {a} is unused ) for all i = ) End"),
+        ("stray token", "Constraint X ( {a} is add instruction ) End @"),
+        ("number overflow", "Constraint X ( inherits Y(N=99999999999999999999999) ) End"),
+        (
+            "bad varlist",
+            "Constraint X ( all flow to {out} is killed by {,} ) End",
+        ),
+        ("lone parenthesis", "Constraint X ( ( {a} is unused ) End"),
+    ];
+    for (what, src) in cases {
+        let res = std::panic::catch_unwind(|| parse_library(src));
+        match res {
+            Ok(Ok(_)) => panic!("{what}: parsed successfully but should be rejected"),
+            Ok(Err(_)) => {}
+            Err(_) => panic!("{what}: parser panicked instead of returning an error"),
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::memory::Memory;
 use crate::profile::Profile;
-use ssair::{BlockId, Function, ICmpPred, FCmpPred, Module, Opcode, Type, ValueId, ValueKind};
+use ssair::{BlockId, FCmpPred, Function, ICmpPred, Module, Opcode, Type, ValueId, ValueKind};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -128,7 +128,9 @@ impl<'m> Machine<'m> {
     }
 
     fn err(msg: impl Into<String>) -> ExecError {
-        ExecError { message: msg.into() }
+        ExecError {
+            message: msg.into(),
+        }
     }
 
     fn const_value(f: &Function, v: ValueId) -> Option<Value> {
@@ -162,9 +164,8 @@ impl<'m> Machine<'m> {
                 if i.opcode != Opcode::Phi {
                     break;
                 }
-                let from = prev.ok_or_else(|| {
-                    Self::err(format!("phi {} in entry block of @{}", v, f.name))
-                })?;
+                let from = prev
+                    .ok_or_else(|| Self::err(format!("phi {} in entry block of @{}", v, f.name)))?;
                 let k = i
                     .incoming
                     .iter()
@@ -215,7 +216,12 @@ impl<'m> Machine<'m> {
                     prev = Some(block);
                     block = n;
                 }
-                None => return Err(Self::err(format!("block {block} fell through in @{}", f.name))),
+                None => {
+                    return Err(Self::err(format!(
+                        "block {block} fell through in @{}",
+                        f.name
+                    )))
+                }
             }
         }
     }
@@ -252,8 +258,16 @@ impl<'m> Machine<'m> {
             }
         };
         Ok(match i.opcode {
-            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::SDiv | Opcode::SRem
-            | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Shl | Opcode::AShr => {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::SDiv
+            | Opcode::SRem
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::AShr => {
                 let a = op(0)?.as_i();
                 let b = op(1)?.as_i();
                 let r = match i.opcode {
@@ -338,18 +352,15 @@ impl<'m> Machine<'m> {
             }
             Opcode::Load => {
                 let addr = op(0)?.as_p();
-                let r = match ty {
+                match ty {
                     Type::I1 => Value::I(self.mem.load_i8(addr).map_err(Self::err)?),
                     Type::I32 => Value::I(self.mem.load_i32(addr).map_err(Self::err)?),
                     Type::I64 => Value::I(self.mem.load_i64(addr).map_err(Self::err)?),
                     Type::F32 => Value::F(self.mem.load_f32(addr).map_err(Self::err)?),
                     Type::F64 => Value::F(self.mem.load_f64(addr).map_err(Self::err)?),
-                    Type::Ptr(_) => {
-                        Value::P(self.mem.load_i64(addr).map_err(Self::err)? as u64)
-                    }
+                    Type::Ptr(_) => Value::P(self.mem.load_i64(addr).map_err(Self::err)? as u64),
                     Type::Void => return Err(Self::err("load of void")),
-                };
-                r
+                }
             }
             Opcode::Store => {
                 let val = op(0)?;
@@ -361,9 +372,10 @@ impl<'m> Machine<'m> {
                     Type::I64 => self.mem.store_i64(addr, val.as_i()).map_err(Self::err)?,
                     Type::F32 => self.mem.store_f32(addr, val.as_f()).map_err(Self::err)?,
                     Type::F64 => self.mem.store_f64(addr, val.as_f()).map_err(Self::err)?,
-                    Type::Ptr(_) => {
-                        self.mem.store_i64(addr, val.as_p() as i64).map_err(Self::err)?
-                    }
+                    Type::Ptr(_) => self
+                        .mem
+                        .store_i64(addr, val.as_p() as i64)
+                        .map_err(Self::err)?,
                     Type::Void => return Err(Self::err("store of void")),
                 }
                 Value::I(0)
@@ -383,7 +395,10 @@ impl<'m> Machine<'m> {
             Opcode::FPExt => Value::F(op(0)?.as_f()),
             Opcode::FPTrunc => Value::F(op(0)?.as_f() as f32 as f64),
             Opcode::Call => {
-                let callee = i.callee.clone().ok_or_else(|| Self::err("call without callee"))?;
+                let callee = i
+                    .callee
+                    .clone()
+                    .ok_or_else(|| Self::err("call without callee"))?;
                 let mut args = Vec::with_capacity(i.operands.len());
                 for k in 0..i.operands.len() {
                     args.push(op(k)?);
@@ -535,7 +550,10 @@ entry:
             "define double @f(double %x) {\nentry:\n  %r = call double @sqrt(double %x)\n  ret double %r\n}\n",
         );
         let mut vm = Machine::new(&m);
-        vm.register_host("sqrt", Rc::new(|_mem, args| Ok(Value::F(args[0].as_f() + 100.0))));
+        vm.register_host(
+            "sqrt",
+            Rc::new(|_mem, args| Ok(Value::F(args[0].as_f() + 100.0))),
+        );
         let r = vm.run("f", &[Value::F(4.0)]).unwrap();
         assert_eq!(r, Value::F(104.0), "host overrides the intrinsic");
     }
@@ -574,9 +592,8 @@ entry:
 
     #[test]
     fn step_limit_catches_infinite_loops() {
-        let m = compile_text(
-            "define void @spin() {\nentry:\n  br label %l\nl:\n  br label %l\n}\n",
-        );
+        let m =
+            compile_text("define void @spin() {\nentry:\n  br label %l\nl:\n  br label %l\n}\n");
         let mut vm = Machine::new(&m);
         vm.max_steps = 1000;
         let err = vm.run("spin", &[]).unwrap_err();

@@ -58,7 +58,9 @@ impl Memory {
     /// Loads an `i64` (or pointer) value.
     pub fn load_i64(&self, addr: u64) -> Result<i64, String> {
         let a = self.check(addr, 8)?;
-        Ok(i64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.bytes[a..a + 8].try_into().expect("8 bytes"),
+        ))
     }
 
     /// Stores an `i64` (or pointer) value.
@@ -71,7 +73,9 @@ impl Memory {
     /// Loads an `i32` value (sign-preserved in `i64`).
     pub fn load_i32(&self, addr: u64) -> Result<i64, String> {
         let a = self.check(addr, 4)?;
-        Ok(i64::from(i32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("4 bytes"))))
+        Ok(i64::from(i32::from_le_bytes(
+            self.bytes[a..a + 4].try_into().expect("4 bytes"),
+        )))
     }
 
     /// Stores an `i32` value (truncating).
@@ -97,7 +101,9 @@ impl Memory {
     /// Loads an `f64`.
     pub fn load_f64(&self, addr: u64) -> Result<f64, String> {
         let a = self.check(addr, 8)?;
-        Ok(f64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.bytes[a..a + 8].try_into().expect("8 bytes"),
+        ))
     }
 
     /// Stores an `f64`.
@@ -110,7 +116,9 @@ impl Memory {
     /// Loads an `f32` widened to `f64`.
     pub fn load_f32(&self, addr: u64) -> Result<f64, String> {
         let a = self.check(addr, 4)?;
-        Ok(f64::from(f32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("4 bytes"))))
+        Ok(f64::from(f32::from_le_bytes(
+            self.bytes[a..a + 4].try_into().expect("4 bytes"),
+        )))
     }
 
     /// Stores an `f32` (narrowing).
@@ -135,7 +143,8 @@ impl Memory {
     pub fn alloc_f32_slice(&mut self, data: &[f32]) -> u64 {
         let addr = self.alloc(&Type::F32, data.len());
         for (i, &v) in data.iter().enumerate() {
-            self.store_f32(addr + 4 * i as u64, f64::from(v)).expect("in bounds");
+            self.store_f32(addr + 4 * i as u64, f64::from(v))
+                .expect("in bounds");
         }
         addr
     }
@@ -144,7 +153,8 @@ impl Memory {
     pub fn alloc_i32_slice(&mut self, data: &[i32]) -> u64 {
         let addr = self.alloc(&Type::I32, data.len());
         for (i, &v) in data.iter().enumerate() {
-            self.store_i32(addr + 4 * i as u64, i64::from(v)).expect("in bounds");
+            self.store_i32(addr + 4 * i as u64, i64::from(v))
+                .expect("in bounds");
         }
         addr
     }
@@ -160,22 +170,30 @@ impl Memory {
 
     /// Reads back an `f64` array.
     pub fn read_f64_slice(&self, addr: u64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| self.load_f64(addr + 8 * i as u64).expect("in bounds")).collect()
+        (0..n)
+            .map(|i| self.load_f64(addr + 8 * i as u64).expect("in bounds"))
+            .collect()
     }
 
     /// Reads back an `f32` array (widened).
     pub fn read_f32_slice(&self, addr: u64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| self.load_f32(addr + 4 * i as u64).expect("in bounds")).collect()
+        (0..n)
+            .map(|i| self.load_f32(addr + 4 * i as u64).expect("in bounds"))
+            .collect()
     }
 
     /// Reads back an `i32` array.
     pub fn read_i32_slice(&self, addr: u64, n: usize) -> Vec<i64> {
-        (0..n).map(|i| self.load_i32(addr + 4 * i as u64).expect("in bounds")).collect()
+        (0..n)
+            .map(|i| self.load_i32(addr + 4 * i as u64).expect("in bounds"))
+            .collect()
     }
 
     /// Reads back an `i64` array.
     pub fn read_i64_slice(&self, addr: u64, n: usize) -> Vec<i64> {
-        (0..n).map(|i| self.load_i64(addr + 8 * i as u64).expect("in bounds")).collect()
+        (0..n)
+            .map(|i| self.load_i64(addr + 8 * i as u64).expect("in bounds"))
+            .collect()
     }
 }
 

@@ -64,7 +64,9 @@ impl Profile {
 
     /// Dynamic cost of the instructions selected by `in_region`.
     pub fn region_cost(&self, f: &Function, in_region: impl Fn(ValueId) -> bool) -> f64 {
-        let Some(counts) = self.counts.get(&f.name) else { return 0.0 };
+        let Some(counts) = self.counts.get(&f.name) else {
+            return 0.0;
+        };
         let mut total = 0.0;
         for b in f.block_ids() {
             for &v in &f.block(b).instrs {
@@ -83,7 +85,9 @@ impl Profile {
     /// Dynamic floating-point operation count of the selected instructions
     /// (used by the roofline model for accelerator kernels).
     pub fn region_flops(&self, f: &Function, in_region: impl Fn(ValueId) -> bool) -> f64 {
-        let Some(counts) = self.counts.get(&f.name) else { return 0.0 };
+        let Some(counts) = self.counts.get(&f.name) else {
+            return 0.0;
+        };
         let mut total = 0.0;
         for b in f.block_ids() {
             for &v in &f.block(b).instrs {
@@ -103,7 +107,9 @@ impl Profile {
 
     /// Dynamic bytes moved by loads/stores of the selected instructions.
     pub fn region_bytes(&self, f: &Function, in_region: impl Fn(ValueId) -> bool) -> f64 {
-        let Some(counts) = self.counts.get(&f.name) else { return 0.0 };
+        let Some(counts) = self.counts.get(&f.name) else {
+            return 0.0;
+        };
         let mut total = 0.0;
         for b in f.block_ids() {
             for &v in &f.block(b).instrs {

@@ -67,7 +67,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     i += 1;
                 }
                 if i + 1 >= chars.len() {
-                    return Err(CompileError { line, message: "unterminated comment".into() });
+                    return Err(CompileError {
+                        line,
+                        message: "unterminated comment".into(),
+                    });
                 }
                 i += 2;
                 continue;
@@ -79,7 +82,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
             while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                 i += 1;
             }
-            toks.push(Spanned { tok: Tok::Ident(chars[start..i].iter().collect()), line });
+            toks.push(Spanned {
+                tok: Tok::Ident(chars[start..i].iter().collect()),
+                line,
+            });
             continue;
         }
         // Numbers.
@@ -119,13 +125,19 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     line,
                     message: format!("bad float literal {text:?}"),
                 })?;
-                toks.push(Spanned { tok: Tok::Float(v, f32_suffix), line });
+                toks.push(Spanned {
+                    tok: Tok::Float(v, f32_suffix),
+                    line,
+                });
             } else {
                 let v: i64 = text.parse().map_err(|_| CompileError {
                     line,
                     message: format!("bad integer literal {text:?}"),
                 })?;
-                toks.push(Spanned { tok: Tok::Int(v), line });
+                toks.push(Spanned {
+                    tok: Tok::Int(v),
+                    line,
+                });
             }
             continue;
         }
@@ -140,15 +152,24 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
         }
         match matched {
             Some(p) => {
-                toks.push(Spanned { tok: Tok::Punct(p), line });
+                toks.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
                 i += p.len();
             }
             None => {
-                return Err(CompileError { line, message: format!("unexpected character {c:?}") })
+                return Err(CompileError {
+                    line,
+                    message: format!("unexpected character {c:?}"),
+                })
             }
         }
     }
-    toks.push(Spanned { tok: Tok::Eof, line });
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(toks)
 }
 

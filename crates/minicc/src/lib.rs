@@ -89,7 +89,10 @@ fn debug_assert_verified(module: &Module) {
         if let Err(errs) = ssair::verify::verify_module(module) {
             panic!(
                 "frontend produced invalid IR: {}\n{}",
-                errs.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "),
+                errs.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
                 ssair::printer::print_module(module)
             );
         }

@@ -52,7 +52,10 @@ pub fn lower_program(prog: &Program, name: &str) -> Result<Module> {
         .map(|f| {
             (
                 f.name.clone(),
-                (f.params.iter().map(|(_, t)| t.clone()).collect(), f.ret.clone()),
+                (
+                    f.params.iter().map(|(_, t)| t.clone()).collect(),
+                    f.ret.clone(),
+                ),
             )
         })
         .collect();
@@ -87,7 +90,11 @@ enum VarKind {
     /// SSA scalar (including pointer-typed parameters).
     Scalar(CType),
     /// Local array backed by an alloca; dims in row-major order.
-    Array { alloca: ValueId, elem: CType, dims: Vec<usize> },
+    Array {
+        alloca: ValueId,
+        elem: CType,
+        dims: Vec<usize>,
+    },
 }
 
 struct FuncLower<'a> {
@@ -109,8 +116,11 @@ struct FuncLower<'a> {
 
 impl<'a> FuncLower<'a> {
     fn new(def: &FuncDef, signatures: &'a HashMap<String, (Vec<CType>, CType)>) -> Result<Self> {
-        let params: Vec<(String, Type)> =
-            def.params.iter().map(|(n, t)| (n.clone(), ir_type(t))).collect();
+        let params: Vec<(String, Type)> = def
+            .params
+            .iter()
+            .map(|(n, t)| (n.clone(), ir_type(t)))
+            .collect();
         let f = Function::new(def.name.clone(), &params, ir_type(&def.ret));
         let mut this = FuncLower {
             f,
@@ -126,7 +136,8 @@ impl<'a> FuncLower<'a> {
         };
         for (i, (pname, pty)) in def.params.iter().enumerate() {
             let internal = this.declare(pname, def.line)?;
-            this.vars.insert(internal.clone(), VarKind::Scalar(pty.clone()));
+            this.vars
+                .insert(internal.clone(), VarKind::Scalar(pty.clone()));
             let arg = this.f.params[i];
             this.write_var(&internal, BlockId(0), arg);
         }
@@ -177,7 +188,10 @@ impl<'a> FuncLower<'a> {
                 return Ok(internal.clone());
             }
         }
-        Err(CompileError { line, message: format!("use of undeclared variable {name:?}") })
+        Err(CompileError {
+            line,
+            message: format!("use of undeclared variable {name:?}"),
+        })
     }
 
     // ----- SSA construction (Braun et al.) -----
@@ -190,7 +204,10 @@ impl<'a> FuncLower<'a> {
     }
 
     fn write_var(&mut self, internal: &str, block: BlockId, value: ValueId) {
-        self.defs.entry(internal.to_owned()).or_default().insert(block, value);
+        self.defs
+            .entry(internal.to_owned())
+            .or_default()
+            .insert(block, value);
     }
 
     fn read_var(&mut self, internal: &str, block: BlockId) -> ValueId {
@@ -215,7 +232,10 @@ impl<'a> FuncLower<'a> {
         let val = if !self.sealed[block.0 as usize] {
             let phi = self.f.append_phi(block, ty);
             self.f.set_name(phi, internal);
-            self.incomplete.entry(block).or_default().push((internal.to_owned(), phi));
+            self.incomplete
+                .entry(block)
+                .or_default()
+                .push((internal.to_owned(), phi));
             phi
         } else {
             let preds = self.preds(block);
@@ -320,7 +340,11 @@ impl<'a> FuncLower<'a> {
             }
             (ssair::ValueKind::ConstFloat(c), CType::Float | CType::Double) => {
                 let c = *c;
-                let c = if *to == CType::Float { c as f32 as f64 } else { c };
+                let c = if *to == CType::Float {
+                    c as f32 as f64
+                } else {
+                    c
+                };
                 return Ok(self.f.const_float(ir_type(to), c));
             }
             (ssair::ValueKind::ConstFloat(c), CType::Int | CType::Long) => {
@@ -354,9 +378,7 @@ impl<'a> FuncLower<'a> {
                 self.f.append_simple(b, out, Opcode::FPToSI, vec![v])
             }
             (CType::Float, CType::Double) => self.f.append_simple(b, out, Opcode::FPExt, vec![v]),
-            (CType::Double, CType::Float) => {
-                self.f.append_simple(b, out, Opcode::FPTrunc, vec![v])
-            }
+            (CType::Double, CType::Float) => self.f.append_simple(b, out, Opcode::FPTrunc, vec![v]),
             (CType::Ptr(_), CType::Ptr(_)) => v, // pointer casts are free
             _ => {
                 return Err(CompileError {
@@ -381,7 +403,10 @@ impl<'a> FuncLower<'a> {
     }
 
     fn block(&self, line: usize) -> Result<BlockId> {
-        self.cur.ok_or(CompileError { line, message: "statement is unreachable".into() })
+        self.cur.ok_or(CompileError {
+            line,
+            message: "statement is unreachable".into(),
+        })
     }
 
     // ----- statements -----
@@ -399,8 +424,19 @@ impl<'a> FuncLower<'a> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<()> {
         match s {
-            Stmt::Decl { name, ty, dims, init, line } => self.decl(name, ty, dims, init, *line),
-            Stmt::Assign { target, op, value, line } => self.assign(target, *op, value, *line),
+            Stmt::Decl {
+                name,
+                ty,
+                dims,
+                init,
+                line,
+            } => self.decl(name, ty, dims, init, *line),
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                line,
+            } => self.assign(target, *op, value, *line),
             Stmt::Expr(e, line) => {
                 self.expr(e, *line)?;
                 Ok(())
@@ -414,7 +450,12 @@ impl<'a> FuncLower<'a> {
             }
             Stmt::If { cond, then, other } => self.if_stmt(cond, then, other),
             Stmt::While { cond, body } => self.loop_stmt(None, Some(cond), None, body),
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.stmt(i)?;
@@ -436,7 +477,8 @@ impl<'a> FuncLower<'a> {
     ) -> Result<()> {
         let internal = self.declare(name, line)?;
         if dims.is_empty() {
-            self.vars.insert(internal.clone(), VarKind::Scalar(ty.clone()));
+            self.vars
+                .insert(internal.clone(), VarKind::Scalar(ty.clone()));
             let value = match init {
                 Some(e) => {
                     let (v, vty) = self.expr(e, line)?;
@@ -454,7 +496,9 @@ impl<'a> FuncLower<'a> {
             let ptr_ty = ir_type(ty).ptr_to();
             let alloca = {
                 // Insert before the entry terminator if one exists already.
-                let v = self.f.append_simple(entry, ptr_ty, Opcode::Alloca, vec![count]);
+                let v = self
+                    .f
+                    .append_simple(entry, ptr_ty, Opcode::Alloca, vec![count]);
                 let instrs = &mut self.f.block_mut(entry).instrs;
                 if instrs.len() >= 2 {
                     let last = instrs.len() - 1;
@@ -474,10 +518,17 @@ impl<'a> FuncLower<'a> {
             self.f.set_name(alloca, internal.clone());
             self.vars.insert(
                 internal,
-                VarKind::Array { alloca, elem: ty.clone(), dims: dims.to_vec() },
+                VarKind::Array {
+                    alloca,
+                    elem: ty.clone(),
+                    dims: dims.to_vec(),
+                },
             );
             if init.is_some() {
-                return Err(CompileError { line, message: "array initializers unsupported".into() });
+                return Err(CompileError {
+                    line,
+                    message: "array initializers unsupported".into(),
+                });
             }
         }
         Ok(())
@@ -535,15 +586,19 @@ impl<'a> FuncLower<'a> {
                             let b = self.block(line)?;
                             let dim = self.f.const_int(Type::I64, dims[k] as i64);
                             let scaled =
-                                self.f.append_simple(b, Type::I64, Opcode::Mul, vec![acc, dim]);
-                            self.f.append_simple(b, Type::I64, Opcode::Add, vec![scaled, idx])
+                                self.f
+                                    .append_simple(b, Type::I64, Opcode::Mul, vec![acc, dim]);
+                            self.f
+                                .append_simple(b, Type::I64, Opcode::Add, vec![scaled, idx])
                         }
                     });
                 }
                 let idx = flat.expect("at least one index");
                 let b = self.block(line)?;
                 let ptr_ty = ir_type(&elem).ptr_to();
-                let gep = self.f.append_simple(b, ptr_ty, Opcode::Gep, vec![alloca, idx]);
+                let gep = self
+                    .f
+                    .append_simple(b, ptr_ty, Opcode::Gep, vec![alloca, idx]);
                 Ok((gep, elem))
             }
         }
@@ -553,9 +608,10 @@ impl<'a> FuncLower<'a> {
         match ty {
             Ty::C(c) if c.is_integer() => self.convert(v, ty, &CType::Long, line),
             Ty::Bool => self.convert(v, ty, &CType::Long, line),
-            other => {
-                Err(CompileError { line, message: format!("array index has type {other:?}") })
-            }
+            other => Err(CompileError {
+                line,
+                message: format!("array index has type {other:?}"),
+            }),
         }
     }
 
@@ -585,7 +641,8 @@ impl<'a> FuncLower<'a> {
                         let b = self.block(line)?;
                         let old = self.read_var(&internal, b);
                         let (rhs, rty) = self.expr(value, line)?;
-                        self.binary_values(binop, old, &Ty::C(ty.clone()), rhs, &rty, line)?.0
+                        self.binary_values(binop, old, &Ty::C(ty.clone()), rhs, &rty, line)?
+                            .0
                     }
                 };
                 // Compound assignment on e.g. int keeps the variable's type.
@@ -616,8 +673,9 @@ impl<'a> FuncLower<'a> {
                     }
                     Some(binop) => {
                         let b = self.block(line)?;
-                        let old =
-                            self.f.append_simple(b, ir_type(&elem), Opcode::Load, vec![addr]);
+                        let old = self
+                            .f
+                            .append_simple(b, ir_type(&elem), Opcode::Load, vec![addr]);
                         let (rhs, rty) = self.expr(value, line)?;
                         let (res, rty2) =
                             self.binary_values(binop, old, &Ty::C(elem.clone()), rhs, &rty, line)?;
@@ -625,7 +683,8 @@ impl<'a> FuncLower<'a> {
                     }
                 };
                 let b = self.block(line)?;
-                self.f.append_simple(b, Type::Void, Opcode::Store, vec![stored, addr]);
+                self.f
+                    .append_simple(b, Type::Void, Opcode::Store, vec![stored, addr]);
                 Ok(())
             }
         }
@@ -639,7 +698,10 @@ impl<'a> FuncLower<'a> {
             Type::F64 => CType::Double,
             Type::Ptr(p) => self.ssair_ty_to_c(p, line)?.ptr_to(),
             Type::Void => {
-                return Err(CompileError { line, message: "void value used".into() });
+                return Err(CompileError {
+                    line,
+                    message: "void value used".into(),
+                });
             }
         })
     }
@@ -748,8 +810,9 @@ impl<'a> FuncLower<'a> {
             None => {
                 return Err(CompileError {
                     line,
-                    message: "loop body never reaches the loop latch (unconditional return inside loop)"
-                        .into(),
+                    message:
+                        "loop body never reaches the loop latch (unconditional return inside loop)"
+                            .into(),
                 })
             }
         }
@@ -827,7 +890,9 @@ impl<'a> FuncLower<'a> {
                 })
             }
         };
-        let v = self.f.append_simple(b, ir_type(&common), opcode, vec![lv, rv]);
+        let v = self
+            .f
+            .append_simple(b, ir_type(&common), opcode, vec![lv, rv]);
         Ok((v, Ty::C(common)))
     }
 
@@ -871,7 +936,9 @@ impl<'a> FuncLower<'a> {
             Expr::Index { base, indices } => {
                 let (addr, elem) = self.element_address(base, indices, line)?;
                 let b = self.block(line)?;
-                let v = self.f.append_simple(b, ir_type(&elem), Opcode::Load, vec![addr]);
+                let v = self
+                    .f
+                    .append_simple(b, ir_type(&elem), Opcode::Load, vec![addr]);
                 Ok((v, Ty::C(elem)))
             }
             Expr::Bin(op, l, r) => {
@@ -897,7 +964,8 @@ impl<'a> FuncLower<'a> {
                         CmpOp::Gt => FCmpPred::Ogt,
                         CmpOp::Ge => FCmpPred::Oge,
                     };
-                    self.f.append_simple(b, Type::I1, Opcode::FCmp(pred), vec![lv, rv])
+                    self.f
+                        .append_simple(b, Type::I1, Opcode::FCmp(pred), vec![lv, rv])
                 } else {
                     let pred = match op {
                         CmpOp::Eq => ICmpPred::Eq,
@@ -907,7 +975,8 @@ impl<'a> FuncLower<'a> {
                         CmpOp::Gt => ICmpPred::Sgt,
                         CmpOp::Ge => ICmpPred::Sge,
                     };
-                    self.f.append_simple(b, Type::I1, Opcode::ICmp(pred), vec![lv, rv])
+                    self.f
+                        .append_simple(b, Type::I1, Opcode::ICmp(pred), vec![lv, rv])
                 };
                 Ok((v, Ty::Bool))
             }
@@ -915,19 +984,28 @@ impl<'a> FuncLower<'a> {
                 let lc = self.condition(l, line)?;
                 let rc = self.condition(r, line)?;
                 let b = self.block(line)?;
-                Ok((self.f.append_simple(b, Type::I1, Opcode::And, vec![lc, rc]), Ty::Bool))
+                Ok((
+                    self.f.append_simple(b, Type::I1, Opcode::And, vec![lc, rc]),
+                    Ty::Bool,
+                ))
             }
             Expr::Or(l, r) => {
                 let lc = self.condition(l, line)?;
                 let rc = self.condition(r, line)?;
                 let b = self.block(line)?;
-                Ok((self.f.append_simple(b, Type::I1, Opcode::Or, vec![lc, rc]), Ty::Bool))
+                Ok((
+                    self.f.append_simple(b, Type::I1, Opcode::Or, vec![lc, rc]),
+                    Ty::Bool,
+                ))
             }
             Expr::Not(x) => {
                 let c = self.condition(x, line)?;
                 let b = self.block(line)?;
                 let one = self.f.const_int(Type::I1, 1);
-                Ok((self.f.append_simple(b, Type::I1, Opcode::Xor, vec![c, one]), Ty::Bool))
+                Ok((
+                    self.f.append_simple(b, Type::I1, Opcode::Xor, vec![c, one]),
+                    Ty::Bool,
+                ))
             }
             Expr::Neg(x) => {
                 let (v, ty) = self.expr(x, line)?;
@@ -945,7 +1023,9 @@ impl<'a> FuncLower<'a> {
                 let tv = self.convert(tv, &tt, &common, line)?;
                 let ov = self.convert(ov, &ot, &common, line)?;
                 let b = self.block(line)?;
-                let v = self.f.append_simple(b, ir_type(&common), Opcode::Select, vec![c, tv, ov]);
+                let v = self
+                    .f
+                    .append_simple(b, ir_type(&common), Opcode::Select, vec![c, tv, ov]);
                 Ok((v, Ty::C(common)))
             }
             Expr::Cast { ty, expr } => {
@@ -976,7 +1056,10 @@ impl<'a> FuncLower<'a> {
             return Ok((v, Ty::C(CType::Double)));
         }
         let Some((param_tys, ret_ty)) = self.signatures.get(name).cloned() else {
-            return Err(CompileError { line, message: format!("call to unknown function {name:?}") });
+            return Err(CompileError {
+                line,
+                message: format!("call to unknown function {name:?}"),
+            });
         };
         if param_tys.len() != args.len() {
             return Err(CompileError {
@@ -1009,7 +1092,12 @@ mod tests {
         let m = compile_unoptimized("int f(int a, int b) { return a * b + a; }", "t").unwrap();
         let f = m.function("f").unwrap();
         assert_eq!(f.num_blocks(), 1);
-        let ops: Vec<_> = f.block(ssair::BlockId(0)).instrs.iter().map(|&v| f.opcode(v).unwrap()).collect();
+        let ops: Vec<_> = f
+            .block(ssair::BlockId(0))
+            .instrs
+            .iter()
+            .map(|&v| f.opcode(v).unwrap())
+            .collect();
         assert_eq!(ops, vec![Opcode::Mul, Opcode::Add, Opcode::Ret]);
     }
 
@@ -1068,9 +1156,17 @@ mod tests {
     fn pointer_subscript_becomes_gep_load() {
         let m = compile_unoptimized("double f(double* x, int i) { return x[i]; }", "t").unwrap();
         let f = m.function("f").unwrap();
-        let ops: Vec<_> = f.block(ssair::BlockId(0)).instrs.iter().map(|&v| f.opcode(v).unwrap()).collect();
+        let ops: Vec<_> = f
+            .block(ssair::BlockId(0))
+            .instrs
+            .iter()
+            .map(|&v| f.opcode(v).unwrap())
+            .collect();
         // sext(i) to i64, gep, load, ret
-        assert_eq!(ops, vec![Opcode::SExt, Opcode::Gep, Opcode::Load, Opcode::Ret]);
+        assert_eq!(
+            ops,
+            vec![Opcode::SExt, Opcode::Gep, Opcode::Load, Opcode::Ret]
+        );
     }
 
     #[test]
@@ -1082,7 +1178,10 @@ mod tests {
         .unwrap();
         let f = m.function("f").unwrap();
         let text = format!("{f}");
-        assert!(text.contains("alloca double, i64 32"), "4*8 elements: {text}");
+        assert!(
+            text.contains("alloca double, i64 32"),
+            "4*8 elements: {text}"
+        );
         // Flattened index 1*8+2 = 10 is computed with mul/add on constants
         // (not folded in the unoptimized pipeline).
         assert!(text.contains("mul i64"), "{text}");
@@ -1090,10 +1189,14 @@ mod tests {
 
     #[test]
     fn long_long_index_has_no_sext() {
-        let m =
-            compile_unoptimized("double f(double* x, long i) { return x[i]; }", "t").unwrap();
+        let m = compile_unoptimized("double f(double* x, long i) { return x[i]; }", "t").unwrap();
         let f = m.function("f").unwrap();
-        let ops: Vec<_> = f.block(ssair::BlockId(0)).instrs.iter().map(|&v| f.opcode(v).unwrap()).collect();
+        let ops: Vec<_> = f
+            .block(ssair::BlockId(0))
+            .instrs
+            .iter()
+            .map(|&v| f.opcode(v).unwrap())
+            .collect();
         assert_eq!(ops, vec![Opcode::Gep, Opcode::Load, Opcode::Ret]);
     }
 
@@ -1109,8 +1212,8 @@ mod tests {
 
     #[test]
     fn ternary_lowers_to_select() {
-        let m = compile_unoptimized("double f(double x) { return x > 0.0 ? x : -x; }", "t")
-            .unwrap();
+        let m =
+            compile_unoptimized("double f(double x) { return x > 0.0 ? x : -x; }", "t").unwrap();
         let f = m.function("f").unwrap();
         let has_select = f
             .block(ssair::BlockId(0))

@@ -70,9 +70,7 @@ pub fn eliminate_redundant_loads(f: &mut Function) -> usize {
                 Opcode::Store => {
                     let (val, addr) = (i.operands[0], i.operands[1]);
                     let root = address_root(f, addr);
-                    known.retain(|&a, _| {
-                        a == addr || address_root(f, a) != root
-                    });
+                    known.retain(|&a, _| a == addr || address_root(f, a) != root);
                     known.insert(addr, val);
                 }
                 Opcode::Call => known.clear(),
@@ -178,17 +176,11 @@ pub fn fold_constants(f: &mut Function) -> usize {
                             };
                             Some(Replacement::Int(r))
                         }
-                        (Some(0), None) if i.opcode == Opcode::Add => {
-                            Some(Replacement::Value(bo))
-                        }
-                        (None, Some(0))
-                            if matches!(i.opcode, Opcode::Add | Opcode::Sub) =>
-                        {
+                        (Some(0), None) if i.opcode == Opcode::Add => Some(Replacement::Value(bo)),
+                        (None, Some(0)) if matches!(i.opcode, Opcode::Add | Opcode::Sub) => {
                             Some(Replacement::Value(a))
                         }
-                        (Some(1), None) if i.opcode == Opcode::Mul => {
-                            Some(Replacement::Value(bo))
-                        }
+                        (Some(1), None) if i.opcode == Opcode::Mul => Some(Replacement::Value(bo)),
                         (None, Some(1)) if matches!(i.opcode, Opcode::Mul | Opcode::SDiv) => {
                             Some(Replacement::Value(a))
                         }
@@ -214,8 +206,7 @@ pub fn fold_constants(f: &mut Function) -> usize {
                         // Float identities are only safe where rounding and
                         // NaN behaviour are unaffected: x*1.0 and x/1.0.
                         (None, Some(y))
-                            if y == 1.0
-                                && matches!(i.opcode, Opcode::FMul | Opcode::FDiv) =>
+                            if y == 1.0 && matches!(i.opcode, Opcode::FMul | Opcode::FDiv) =>
                         {
                             Some(Replacement::Value(ops[0]))
                         }
@@ -233,22 +224,20 @@ pub fn fold_constants(f: &mut Function) -> usize {
                 Opcode::FPTrunc => {
                     const_float_of(f, ops[0]).map(|x| Replacement::Float(x as f32 as f64))
                 }
-                Opcode::ICmp(pred) => {
-                    match (const_int_of(f, ops[0]), const_int_of(f, ops[1])) {
-                        (Some(x), Some(y)) => {
-                            let r = match pred {
-                                ICmpPred::Eq => x == y,
-                                ICmpPred::Ne => x != y,
-                                ICmpPred::Slt => x < y,
-                                ICmpPred::Sle => x <= y,
-                                ICmpPred::Sgt => x > y,
-                                ICmpPred::Sge => x >= y,
-                            };
-                            Some(Replacement::Int(i64::from(r)))
-                        }
-                        _ => None,
+                Opcode::ICmp(pred) => match (const_int_of(f, ops[0]), const_int_of(f, ops[1])) {
+                    (Some(x), Some(y)) => {
+                        let r = match pred {
+                            ICmpPred::Eq => x == y,
+                            ICmpPred::Ne => x != y,
+                            ICmpPred::Slt => x < y,
+                            ICmpPred::Sle => x <= y,
+                            ICmpPred::Sgt => x > y,
+                            ICmpPred::Sge => x >= y,
+                        };
+                        Some(Replacement::Int(i64::from(r)))
                     }
-                }
+                    _ => None,
+                },
                 Opcode::Select => match const_int_of(f, ops[0]) {
                     Some(c) => Some(Replacement::Value(if c != 0 { ops[1] } else { ops[2] })),
                     None if ops[1] == ops[2] => Some(Replacement::Value(ops[1])),
@@ -289,7 +278,9 @@ pub fn hoist_loop_invariants(f: &mut Function) {
         loop_order.sort_by_key(|&i| std::cmp::Reverse(an.loops.loops[i].depth));
         for &li in &loop_order {
             let l = &an.loops.loops[li];
-            let Some(preheader) = unique_preheader(f, &an, l) else { continue };
+            let Some(preheader) = unique_preheader(f, &an, l) else {
+                continue;
+            };
             // Candidates: pure instructions in the loop whose operands are
             // all defined outside the loop.
             let mut to_move: Vec<ValueId> = Vec::new();
@@ -337,11 +328,7 @@ pub fn hoist_loop_invariants(f: &mut Function) {
 
 /// The unique predecessor of the loop header outside the loop, if the loop
 /// is in canonical form (one preheader, one latch).
-fn unique_preheader(
-    f: &Function,
-    an: &Analyses,
-    l: &ssair::analysis::Loop,
-) -> Option<BlockId> {
+fn unique_preheader(f: &Function, an: &Analyses, l: &ssair::analysis::Loop) -> Option<BlockId> {
     let _ = f;
     let preds = an.cfg.preds(l.header);
     let outside: Vec<BlockId> = preds.iter().copied().filter(|p| !l.contains(*p)).collect();
@@ -385,7 +372,9 @@ pub fn promote_read_modify_write(f: &mut Function) {
 fn promote_one(f: &mut Function) -> bool {
     let an = Analyses::new(f);
     for l in &an.loops.loops {
-        let Some(preheader) = unique_preheader(f, &an, l) else { continue };
+        let Some(preheader) = unique_preheader(f, &an, l) else {
+            continue;
+        };
         let latch = l.latches[0];
         // Canonical single exit from the header.
         let exits: Vec<BlockId> = an
@@ -411,11 +400,9 @@ fn promote_one(f: &mut Function) -> bool {
                     Some(Opcode::Store) => stores.push(v),
                     Some(Opcode::Call) => {
                         let callee = f.instr(v).and_then(|i| i.callee.clone());
-                        let pure = callee
-                            .as_deref()
-                            .is_some_and(|c| {
-                                crate::lower::MATH_INTRINSICS.iter().any(|(n, _)| *n == c)
-                            });
+                        let pure = callee.as_deref().is_some_and(|c| {
+                            crate::lower::MATH_INTRINSICS.iter().any(|(n, _)| *n == c)
+                        });
                         if !pure {
                             has_call = true;
                         }
@@ -614,7 +601,12 @@ mod tests {
         let exit_store = f
             .block_ids()
             .filter(|&b| f.block(b).name.as_deref() == Some("loop.exit"))
-            .any(|b| f.block(b).instrs.iter().any(|&v| f.opcode(v) == Some(Opcode::Store)));
+            .any(|b| {
+                f.block(b)
+                    .instrs
+                    .iter()
+                    .any(|&v| f.opcode(v) == Some(Opcode::Store))
+            });
         assert!(!exit_store, "{f}");
     }
 

@@ -38,7 +38,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> CompileError {
-        CompileError { line: self.line(), message: msg.into() }
+        CompileError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn bump(&mut self) -> Tok {
@@ -116,7 +119,13 @@ impl Parser {
         }
         self.expect_punct("{")?;
         let body = self.block_body()?;
-        Ok(FuncDef { name, params, ret, body, line })
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
     }
 
     /// Statements up to and including the closing `}`.
@@ -187,7 +196,13 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::Decl { name, ty, dims, init, line })
+        Ok(Stmt::Decl {
+            name,
+            ty,
+            dims,
+            init,
+            line,
+        })
     }
 
     fn if_stmt(&mut self) -> Result<Stmt> {
@@ -220,7 +235,11 @@ impl Parser {
         let init = if self.eat_punct(";") {
             None
         } else {
-            let s = if self.at_type() { self.decl()? } else { self.assign_or_expr()? };
+            let s = if self.at_type() {
+                self.decl()?
+            } else {
+                self.assign_or_expr()?
+            };
             self.expect_punct(";")?;
             Some(Box::new(s))
         };
@@ -239,7 +258,12 @@ impl Parser {
             Some(Box::new(s))
         };
         let body = self.stmt_as_block()?;
-        Ok(Stmt::For { init, cond, step, body })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
     }
 
     fn stmt_as_block(&mut self) -> Result<Vec<Stmt>> {
@@ -258,16 +282,22 @@ impl Parser {
             if matches!(self.peek(), Tok::Punct(q) if *q == p) {
                 self.bump();
                 let target = self.lvalue()?;
-                return Ok(Stmt::Assign { target, op: Some(op), value: Expr::IntLit(1), line });
+                return Ok(Stmt::Assign {
+                    target,
+                    op: Some(op),
+                    value: Expr::IntLit(1),
+                    line,
+                });
             }
         }
         let e = self.expr()?;
         let as_lvalue = |e: &Expr| -> Option<LValue> {
             match e {
                 Expr::Var(n) => Some(LValue::Var(n.clone())),
-                Expr::Index { base, indices } => {
-                    Some(LValue::Index { base: base.clone(), indices: indices.clone() })
-                }
+                Expr::Index { base, indices } => Some(LValue::Index {
+                    base: base.clone(),
+                    indices: indices.clone(),
+                }),
                 _ => None,
             }
         };
@@ -285,15 +315,25 @@ impl Parser {
                 let target = as_lvalue(&e)
                     .ok_or_else(|| self.err("left-hand side of assignment is not assignable"))?;
                 let value = self.expr()?;
-                return Ok(Stmt::Assign { target, op, value, line });
+                return Ok(Stmt::Assign {
+                    target,
+                    op,
+                    value,
+                    line,
+                });
             }
         }
         for (p, op) in [("++", BinOp::Add), ("--", BinOp::Sub)] {
             if matches!(self.peek(), Tok::Punct(q) if *q == p) {
                 self.bump();
-                let target = as_lvalue(&e)
-                    .ok_or_else(|| self.err("operand of ++/-- is not assignable"))?;
-                return Ok(Stmt::Assign { target, op: Some(op), value: Expr::IntLit(1), line });
+                let target =
+                    as_lvalue(&e).ok_or_else(|| self.err("operand of ++/-- is not assignable"))?;
+                return Ok(Stmt::Assign {
+                    target,
+                    op: Some(op),
+                    value: Expr::IntLit(1),
+                    line,
+                });
             }
         }
         Ok(Stmt::Expr(e, line))
@@ -309,7 +349,10 @@ impl Parser {
         if indices.is_empty() {
             Ok(LValue::Var(name))
         } else {
-            Ok(LValue::Index { base: name, indices })
+            Ok(LValue::Index {
+                base: name,
+                indices,
+            })
         }
     }
 
@@ -325,7 +368,11 @@ impl Parser {
             let then = self.expr()?;
             self.expect_punct(":")?;
             let other = self.ternary()?;
-            Ok(Expr::Ternary { cond: Box::new(cond), then: Box::new(then), other: Box::new(other) })
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                other: Box::new(other),
+            })
         } else {
             Ok(cond)
         }
@@ -433,7 +480,10 @@ impl Parser {
             let ty = self.base_type()?;
             self.expect_punct(")")?;
             let expr = self.unary()?;
-            return Ok(Expr::Cast { ty, expr: Box::new(expr) });
+            return Ok(Expr::Cast {
+                ty,
+                expr: Box::new(expr),
+            });
         }
         self.postfix()
     }
@@ -445,7 +495,12 @@ impl Parser {
                 let idx = self.expr()?;
                 self.expect_punct("]")?;
                 match e {
-                    Expr::Var(name) => e = Expr::Index { base: name, indices: vec![idx] },
+                    Expr::Var(name) => {
+                        e = Expr::Index {
+                            base: name,
+                            indices: vec![idx],
+                        }
+                    }
                     Expr::Index { base, mut indices } => {
                         indices.push(idx);
                         e = Expr::Index { base, indices };
@@ -485,7 +540,10 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            other => Err(CompileError { line, message: format!("unexpected token {other:?}") }),
+            other => Err(CompileError {
+                line,
+                message: format!("unexpected token {other:?}"),
+            }),
         }
     }
 }
@@ -511,23 +569,30 @@ mod tests {
     #[test]
     fn parses_precedence() {
         let p = parse_program("int f(int a, int b) { return a + b * 2 < 10 && a != b; }").unwrap();
-        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else { panic!("expected return") };
+        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
+            panic!("expected return")
+        };
         // (a + (b*2) < 10) && (a != b)
         assert!(matches!(e, Expr::And(_, _)));
     }
 
     #[test]
     fn parses_multidim_arrays_and_casts() {
-        let p = parse_program(
-            "void f(int n) { double A[4][8]; A[1][2] = (double)n; A[0][0] += 1.0; }",
-        )
-        .unwrap();
+        let p =
+            parse_program("void f(int n) { double A[4][8]; A[1][2] = (double)n; A[0][0] += 1.0; }")
+                .unwrap();
         let body = &p.funcs[0].body;
         assert!(matches!(&body[0], Stmt::Decl { dims, .. } if dims == &vec![4, 8]));
         assert!(
             matches!(&body[1], Stmt::Assign { target: LValue::Index { indices, .. }, value: Expr::Cast { .. }, .. } if indices.len() == 2)
         );
-        assert!(matches!(&body[2], Stmt::Assign { op: Some(BinOp::Add), .. }));
+        assert!(matches!(
+            &body[2],
+            Stmt::Assign {
+                op: Some(BinOp::Add),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -546,8 +611,24 @@ mod tests {
         )
         .unwrap();
         let body = &p.funcs[0].body;
-        assert!(matches!(&body[1], Stmt::For { init: None, cond: None, step: None, .. }));
-        assert!(matches!(&body[2], Stmt::For { init: Some(_), cond: Some(_), step: None, .. }));
+        assert!(matches!(
+            &body[1],
+            Stmt::For {
+                init: None,
+                cond: None,
+                step: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[2],
+            Stmt::For {
+                init: Some(_),
+                cond: Some(_),
+                step: None,
+                ..
+            }
+        ));
     }
 
     #[test]

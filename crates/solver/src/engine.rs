@@ -9,8 +9,9 @@ use std::collections::{BTreeMap, HashSet};
 
 /// Pure math callees allowed inside extracted kernel functions (matches
 /// the minicc intrinsic set).
-pub const PURE_CALLS: &[&str] =
-    &["sqrt", "fabs", "exp", "log", "sin", "cos", "pow", "fmin", "fmax"];
+pub const PURE_CALLS: &[&str] = &[
+    "sqrt", "fabs", "exp", "log", "sin", "cos", "pow", "fmin", "fmax",
+];
 
 /// One satisfying assignment: flattened variable name → IR value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +34,10 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> SolveOptions {
-        SolveOptions { max_solutions: 256, max_steps: 20_000_000 }
+        SolveOptions {
+            max_solutions: 256,
+            max_steps: 20_000_000,
+        }
     }
 }
 
@@ -97,7 +101,14 @@ impl<'f> Solver<'f> {
             .chain(instructions.iter())
             .copied()
             .collect();
-        Solver { f, an, all_values, instructions, constants, arguments }
+        Solver {
+            f,
+            an,
+            all_values,
+            instructions,
+            constants,
+            arguments,
+        }
     }
 
     /// Enumerates all solutions of `c` (deduplicated), subject to `opts`.
@@ -161,7 +172,10 @@ impl<'f> Solver<'f> {
         use AtomKind::*;
         let f = self.f;
         match &atom.kind {
-            TypeIs { class, constant_zero } => {
+            TypeIs {
+                class,
+                constant_zero,
+            } => {
                 let ty = &f.value(vals[0]).ty;
                 let class_ok = match class {
                     TypeClass::Integer => ty.is_integer(),
@@ -190,15 +204,22 @@ impl<'f> Solver<'f> {
                 .instr(vals[1])
                 .is_some_and(|i| i.operands.get(*pos) == Some(&vals[0])),
             ReachesPhi => {
-                let Some(i) = f.instr(vals[1]) else { return false };
+                let Some(i) = f.instr(vals[1]) else {
+                    return false;
+                };
                 if i.opcode != Opcode::Phi {
                     return false;
                 }
-                i.operands.iter().zip(&i.incoming).any(|(&v, &b)| {
-                    v == vals[0] && f.terminator(b) == Some(vals[2])
-                })
+                i.operands
+                    .iter()
+                    .zip(&i.incoming)
+                    .any(|(&v, &b)| v == vals[0] && f.terminator(b) == Some(vals[2]))
             }
-            Dominates { strict, post, negated } => {
+            Dominates {
+                strict,
+                post,
+                negated,
+            } => {
                 let (a, b) = (vals[0], vals[1]);
                 let result = if !f.is_instruction(a) || !f.is_instruction(b) {
                     // Constants and arguments are available everywhere:
@@ -237,7 +258,9 @@ impl<'f> Solver<'f> {
                 _ => None,
             }
         };
-        let (Some(mut ra), Some(mut rb)) = (addr(a), addr(b)) else { return false };
+        let (Some(mut ra), Some(mut rb)) = (addr(a), addr(b)) else {
+            return false;
+        };
         loop {
             match self.f.instr(ra) {
                 Some(i) if i.opcode == Opcode::Gep => ra = i.operands[0],
@@ -266,18 +289,27 @@ impl<'f> Solver<'f> {
                 .collect(),
             IsConstant => self.constants.clone(),
             IsArgument => self.arguments.clone(),
-            IsPreexecution => {
-                self.constants.iter().chain(self.arguments.iter()).copied().collect()
-            }
+            IsPreexecution => self
+                .constants
+                .iter()
+                .chain(self.arguments.iter())
+                .copied()
+                .collect(),
             IsInstruction => self.instructions.clone(),
-            TypeIs { class, constant_zero } => self
+            TypeIs {
+                class,
+                constant_zero,
+            } => self
                 .all_values
                 .iter()
                 .copied()
                 .filter(|&v| {
                     self.eval_ground(
                         &Atom {
-                            kind: TypeIs { class: *class, constant_zero: *constant_zero },
+                            kind: TypeIs {
+                                class: *class,
+                                constant_zero: *constant_zero,
+                            },
                             vars: vec![String::new()],
                             families: vec![],
                         },
@@ -298,7 +330,11 @@ impl<'f> Solver<'f> {
         let slot = pos_of(var)?;
         let get = |k: usize| asg.get(&atom.vars[k]).copied();
         match &atom.kind {
-            OpcodeIs(_) | IsConstant | IsArgument | IsPreexecution | IsInstruction
+            OpcodeIs(_)
+            | IsConstant
+            | IsArgument
+            | IsPreexecution
+            | IsInstruction
             | TypeIs { .. } => self.bucket(&atom.kind),
             Same { negated: false } => {
                 let other = if slot == 0 { get(1) } else { get(0) };
@@ -416,9 +452,13 @@ impl<'f> Solver<'f> {
             CTree::Or(cs) => {
                 // A union is only a sound generator if EVERY branch
                 // generates (otherwise an ungenerated branch might admit
-                // other values).
+                // other values). Branches already falsified under the
+                // current assignment admit nothing and are skipped.
                 let mut union: Vec<ValueId> = Vec::new();
                 for c in cs {
+                    if self.eval3(c, asg) == Tri::False {
+                        continue;
+                    }
                     let g = self.gen_tree(c, var, asg)?;
                     for v in g {
                         if !union.contains(&v) {
@@ -473,10 +513,18 @@ impl<'f> Solver<'f> {
         match tree {
             CTree::And(cs) => cs.iter().any(|c| self.is_relevant(c, var, asg)),
             CTree::Or(cs) => {
-                if self.eval3(tree, asg) == Tri::True {
+                // A branch that is already false stays false: ground atoms
+                // never change once their variables are bound, so variables
+                // appearing only under a falsified branch cannot influence
+                // the formula either. One evaluation pass serves both the
+                // satisfied-disjunction check and the per-branch filter.
+                let branch_vals: Vec<Tri> = cs.iter().map(|c| self.eval3(c, asg)).collect();
+                if branch_vals.contains(&Tri::True) {
                     return false;
                 }
-                cs.iter().any(|c| self.is_relevant(c, var, asg))
+                cs.iter()
+                    .zip(&branch_vals)
+                    .any(|(c, &v)| v != Tri::False && self.is_relevant(c, var, asg))
             }
             CTree::Atom(a) => a.vars.iter().any(|v| v == var),
             CTree::Collect { .. } => false,
@@ -498,7 +546,9 @@ impl<'f> Solver<'f> {
                 break;
             }
             let rest = &k[prefix.len()..];
-            let Some(close) = rest.find(']') else { continue };
+            let Some(close) = rest.find(']') else {
+                continue;
+            };
             // Only direct family elements (no trailing sub-path) qualify.
             if !rest[close + 1..].is_empty() {
                 continue;
@@ -516,16 +566,15 @@ impl<'f> Solver<'f> {
     fn finalize(&self, tree: &CTree, asg: &Assignment, opts: &SolveOptions) -> Option<Assignment> {
         let mut full = asg.clone();
         self.run_bindings(tree, &mut full, opts)?;
-        if self.eval_final(tree, &full) { Some(full) } else { None }
+        if self.eval_final(tree, &full) {
+            Some(full)
+        } else {
+            None
+        }
     }
 
     /// Executes `collect` and `Concat` nodes along the conjunctive spine.
-    fn run_bindings(
-        &self,
-        tree: &CTree,
-        full: &mut Assignment,
-        opts: &SolveOptions,
-    ) -> Option<()> {
+    fn run_bindings(&self, tree: &CTree, full: &mut Assignment, opts: &SolveOptions) -> Option<()> {
         match tree {
             CTree::And(cs) => {
                 for c in cs {
@@ -533,7 +582,11 @@ impl<'f> Solver<'f> {
                 }
                 Some(())
             }
-            CTree::Or(_) | CTree::Atom(Atom { kind: AtomKind::KilledBy, .. }) => Some(()),
+            CTree::Or(_)
+            | CTree::Atom(Atom {
+                kind: AtomKind::KilledBy,
+                ..
+            }) => Some(()),
             CTree::Atom(a) if a.kind == AtomKind::Concat => {
                 let out = &a.families[0];
                 let mut members = Self::resolve_family(full, &a.families[1]);
@@ -581,7 +634,9 @@ impl<'f> Solver<'f> {
             CTree::Atom(a) => match a.kind {
                 AtomKind::Concat => true,
                 AtomKind::KilledBy => {
-                    let Some(&sink) = full.get(&a.vars[0]) else { return false };
+                    let Some(&sink) = full.get(&a.vars[0]) else {
+                        return false;
+                    };
                     let mut killers = Vec::new();
                     for fam in &a.families {
                         killers.extend(Self::resolve_family(full, fam));
@@ -620,8 +675,7 @@ impl SearchCx<'_, '_> {
         }
         if k == self.order.len() {
             if let Some(full) = self.solver.finalize(self.tree, asg, self.opts) {
-                let key: Vec<(String, u32)> =
-                    full.iter().map(|(n, v)| (n.clone(), v.0)).collect();
+                let key: Vec<(String, u32)> = full.iter().map(|(n, v)| (n.clone(), v.0)).collect();
                 if self.seen.insert(key) {
                     self.out.push(Solution { bindings: full });
                 }
@@ -752,10 +806,7 @@ End
 
     #[test]
     fn family_resolution_orders_indices_numerically() {
-        let f = parse_function_text(
-            "define void @f() {\nentry:\n  ret void\n}\n",
-        )
-        .unwrap();
+        let f = parse_function_text("define void @f() {\nentry:\n  ret void\n}\n").unwrap();
         let _solver = Solver::new(&f);
         let mut asg = Assignment::new();
         for k in [0usize, 2, 10, 1] {
@@ -767,6 +818,119 @@ End
         // Scalar binding takes priority.
         asg.insert("fam".into(), ValueId(7));
         assert_eq!(Solver::resolve_family(&asg, "fam"), vec![ValueId(7)]);
+    }
+
+    // ----- edge cases: degenerate functions and unsatisfiable programs -----
+
+    /// A small but non-trivial constraint exercising generators, ordering,
+    /// disjunction and dominance against degenerate inputs.
+    fn loopish_constraint() -> idl::CompiledConstraint {
+        let lib = parse_library(
+            r#"
+Constraint Loopish
+( {iterator} is phi instruction and
+  {precursor} is branch instruction and
+  {precursor} has control flow to {iterator} and
+  {begin} reaches phi node {iterator} from {precursor} and
+  ( {begin} is a constant or {begin} is an argument ) and
+  {iterator} strictly dominates {precursor} )
+End
+"#,
+        )
+        .unwrap();
+        compile(&lib, "Loopish").unwrap()
+    }
+
+    #[test]
+    fn empty_function_terminates_with_no_solutions() {
+        // An entry block with no instructions at all (not even a
+        // terminator): nothing to bind, nothing to crash on.
+        let f = Function::new("empty", &[], ssair::Type::Void);
+        let s = Solver::new(&f);
+        let sols = s.solve(&loopish_constraint(), &SolveOptions::default());
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn single_block_function_terminates_with_no_solutions() {
+        let f = parse_function_text(
+            "define i64 @one(i64 %a) {\nentry:\n  %x = add i64 %a, 1\n  ret i64 %x\n}\n",
+        )
+        .unwrap();
+        let s = Solver::new(&f);
+        let sols = s.solve(&loopish_constraint(), &SolveOptions::default());
+        assert!(sols.is_empty(), "no phi, no branch: nothing may match");
+    }
+
+    #[test]
+    fn unreachable_blocks_do_not_panic_the_analyses_or_search() {
+        // `dead` has no predecessors; dominance and post-dominance queries
+        // against its instructions must stay well-defined.
+        let f = parse_function_text(
+            r#"
+define i64 @u(i64 %n) {
+entry:
+  br label %exit
+dead:
+  %x = add i64 %n, 1
+  br label %exit
+exit:
+  %r = phi i64 [ 0, %entry ], [ %x, %dead ]
+  ret i64 %r
+}
+"#,
+        )
+        .unwrap();
+        let s = Solver::new(&f);
+        let sols = s.solve(&loopish_constraint(), &SolveOptions::default());
+        // Whatever matches must at least be internally consistent.
+        for sol in &sols {
+            assert!(f.opcode(sol.bindings["iterator"]) == Some(Opcode::Phi));
+        }
+    }
+
+    #[test]
+    fn zero_solution_program_terminates() {
+        // Mutually exclusive atoms: satisfiable nowhere, on any function.
+        let lib = parse_library(
+            "Constraint Impossible ( {a} is add instruction and {a} is mul instruction and {b} is first argument of {a} and {b} is unused ) End",
+        )
+        .unwrap();
+        let c = compile(&lib, "Impossible").unwrap();
+        let f = parse_function_text(
+            "define i32 @f(i32 %a) {\nentry:\n  %x = add i32 %a, %a\n  %y = mul i32 %x, %x\n  ret i32 %y\n}\n",
+        )
+        .unwrap();
+        let sols = Solver::new(&f).solve(&c, &SolveOptions::default());
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn step_budget_cuts_off_pathological_searches() {
+        // Five unconstrained variables over the whole value arena: the
+        // search must stop at max_steps instead of exploding.
+        let lib = parse_library(
+            "Constraint Wide ( {a} is an instruction and {b} is an instruction and {c} is an instruction and {d} is an instruction and {a} is not the same as {b} ) End",
+        )
+        .unwrap();
+        let c = compile(&lib, "Wide").unwrap();
+        let mut body = String::new();
+        for k in 0..24 {
+            body.push_str(&format!("  %t{k} = add i64 %n, {k}\n"));
+        }
+        let f = parse_function_text(&format!(
+            "define void @f(i64 %n) {{\nentry:\n{body}  ret void\n}}\n"
+        ))
+        .unwrap();
+        let opts = SolveOptions {
+            max_solutions: usize::MAX,
+            max_steps: 2_000,
+        };
+        let sols = Solver::new(&f).solve(&c, &opts);
+        // Terminates quickly and reports only genuine assignments.
+        for sol in &sols {
+            assert_ne!(sol.bindings["a"], sol.bindings["b"]);
+        }
     }
 
     #[test]

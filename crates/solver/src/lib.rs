@@ -25,7 +25,7 @@
 
 mod engine;
 
-pub use engine::{SolveOptions, Solution, Solver, PURE_CALLS};
+pub use engine::{Solution, SolveOptions, Solver, PURE_CALLS};
 
 #[cfg(test)]
 mod tests {
@@ -213,7 +213,10 @@ entry:
         )
         .unwrap();
         let sols = Solver::new(&impure).solve(&c, &SolveOptions::default());
-        assert!(sols.is_empty(), "kernel depending on two loads has no 1-input solution");
+        assert!(
+            sols.is_empty(),
+            "kernel depending on two loads has no 1-input solution"
+        );
     }
 
     #[test]
@@ -261,8 +264,7 @@ exit:
 
     #[test]
     fn solution_cap_is_respected() {
-        let lib =
-            parse_library("Constraint AnyAdd ( {x} is add instruction ) End").unwrap();
+        let lib = parse_library("Constraint AnyAdd ( {x} is add instruction ) End").unwrap();
         let c = compile(&lib, "AnyAdd").unwrap();
         let mut text = String::from("define i64 @f(i64 %a) {\nentry:\n");
         for k in 0..20 {
@@ -270,7 +272,10 @@ exit:
         }
         text.push_str("  ret i64 %a\n}\n");
         let f = parse_function_text(&text).unwrap();
-        let opts = SolveOptions { max_solutions: 5, ..SolveOptions::default() };
+        let opts = SolveOptions {
+            max_solutions: 5,
+            ..SolveOptions::default()
+        };
         let sols = Solver::new(&f).solve(&c, &opts);
         assert_eq!(sols.len(), 5);
     }

@@ -62,7 +62,13 @@ impl Cfg {
         for (i, &b) in rpo.iter().enumerate() {
             rpo_index[b.0 as usize] = i;
         }
-        Cfg { succs, preds, rpo, rpo_index, exits }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+            exits,
+        }
     }
 
     /// Predecessor blocks of `b`.

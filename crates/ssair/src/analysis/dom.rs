@@ -27,9 +27,7 @@ impl DomTree {
         let n = cfg.succs.len();
         // Order: reverse post-order from entry, nodes numbered by RPO index.
         let order: Vec<u32> = cfg.rpo.iter().map(|b| b.0).collect();
-        let preds = |b: u32| -> Vec<u32> {
-            cfg.preds(BlockId(b)).iter().map(|p| p.0).collect()
-        };
+        let preds = |b: u32| -> Vec<u32> { cfg.preds(BlockId(b)).iter().map(|p| p.0).collect() };
         let idom = compute_idoms(n, 0, &order, preds);
         DomTree { idom, root: 0 }
     }
@@ -76,7 +74,10 @@ impl DomTree {
             ps
         };
         let idom = compute_idoms(n, VIRTUAL, &order, preds);
-        DomTree { idom, root: VIRTUAL }
+        DomTree {
+            idom,
+            root: VIRTUAL,
+        }
     }
 
     /// `true` iff `a` (post-)dominates `b`. Reflexive; `false` when either
@@ -197,18 +198,21 @@ fn compute_idoms(
     idom
 }
 
-fn intersect(
-    mut a: u32,
-    mut b: u32,
-    idom: &[Option<u32>],
-    num: &dyn Fn(u32) -> usize,
-) -> u32 {
+fn intersect(mut a: u32, mut b: u32, idom: &[Option<u32>], num: &dyn Fn(u32) -> usize) -> u32 {
     while a != b {
         while num(a) > num(b) {
-            a = if a == VIRTUAL { a } else { idom[a as usize].expect("processed") };
+            a = if a == VIRTUAL {
+                a
+            } else {
+                idom[a as usize].expect("processed")
+            };
         }
         while num(b) > num(a) {
-            b = if b == VIRTUAL { b } else { idom[b as usize].expect("processed") };
+            b = if b == VIRTUAL {
+                b
+            } else {
+                idom[b as usize].expect("processed")
+            };
         }
     }
     a

@@ -64,8 +64,13 @@ pub fn all_data_flow_passes_through(
         return true;
     }
     let mut seen: HashSet<ValueId> = HashSet::new();
-    let mut stack: Vec<ValueId> =
-        an.defuse.users(a).iter().copied().filter(|&u| u != c).collect();
+    let mut stack: Vec<ValueId> = an
+        .defuse
+        .users(a)
+        .iter()
+        .copied()
+        .filter(|&u| u != c)
+        .collect();
     while let Some(v) = stack.pop() {
         if v == b {
             return false;

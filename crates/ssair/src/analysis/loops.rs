@@ -72,7 +72,13 @@ impl LoopForest {
                     }
                 }
             }
-            loops.push(Loop { header, latches, blocks, parent: None, depth: 1 });
+            loops.push(Loop {
+                header,
+                latches,
+                blocks,
+                parent: None,
+                depth: 1,
+            });
         }
         // Sort outer-first by body size (an outer loop strictly contains its
         // nested loops' blocks) and link parents.

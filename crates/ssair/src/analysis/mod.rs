@@ -56,7 +56,14 @@ impl Analyses {
         let postdom = DomTree::post_dominators(&cfg);
         let defuse = DefUse::new(f);
         let loops = LoopForest::new(&cfg, &dom);
-        Analyses { layout, cfg, dom, postdom, defuse, loops }
+        Analyses {
+            layout,
+            cfg,
+            dom,
+            postdom,
+            defuse,
+            loops,
+        }
     }
 
     /// Instruction-granularity dominance: `a` dominates `b` iff every path
@@ -112,7 +119,9 @@ impl Analyses {
     /// The instruction-level control-flow successors of `a`.
     #[must_use]
     pub fn control_flow_successors(&self, f: &Function, a: ValueId) -> Vec<ValueId> {
-        let Some(block) = self.layout.block_of(a) else { return Vec::new() };
+        let Some(block) = self.layout.block_of(a) else {
+            return Vec::new();
+        };
         let pos = self.layout.position(a);
         let instrs = &f.block(block).instrs;
         if pos + 1 < instrs.len() {
@@ -133,7 +142,9 @@ impl Analyses {
     /// The instruction-level control-flow predecessors of `b`.
     #[must_use]
     pub fn control_flow_predecessors(&self, f: &Function, b: ValueId) -> Vec<ValueId> {
-        let Some(block) = self.layout.block_of(b) else { return Vec::new() };
+        let Some(block) = self.layout.block_of(b) else {
+            return Vec::new();
+        };
         let pos = self.layout.position(b);
         if pos > 0 {
             return vec![f.block(block).instrs[pos - 1]];

@@ -295,7 +295,13 @@ pub struct Instr {
 
 impl Instr {
     fn simple(opcode: Opcode, operands: Vec<ValueId>) -> Instr {
-        Instr { opcode, operands, incoming: Vec::new(), targets: Vec::new(), callee: None }
+        Instr {
+            opcode,
+            operands,
+            incoming: Vec::new(),
+            targets: Vec::new(),
+            callee: None,
+        }
     }
 }
 
@@ -362,7 +368,10 @@ impl Function {
             ret_ty,
             params: Vec::new(),
             values: Vec::new(),
-            blocks: vec![BlockData { instrs: Vec::new(), name: Some("entry".to_owned()) }],
+            blocks: vec![BlockData {
+                instrs: Vec::new(),
+                name: Some("entry".to_owned()),
+            }],
         };
         for (i, (pname, pty)) in params.iter().enumerate() {
             let id = f.push_value(ValueData {
@@ -458,7 +467,10 @@ impl Function {
     /// `true` if `id` is an integer or float constant.
     #[must_use]
     pub fn is_constant(&self, id: ValueId) -> bool {
-        matches!(self.value(id).kind, ValueKind::ConstInt(_) | ValueKind::ConstFloat(_))
+        matches!(
+            self.value(id).kind,
+            ValueKind::ConstInt(_) | ValueKind::ConstFloat(_)
+        )
     }
 
     /// `true` if `id` is a formal parameter.
@@ -471,13 +483,17 @@ impl Function {
     /// [`crate::analysis::Layout`] for repeated queries.
     #[must_use]
     pub fn find_block_of(&self, id: ValueId) -> Option<BlockId> {
-        self.block_ids().find(|&b| self.block(b).instrs.contains(&id))
+        self.block_ids()
+            .find(|&b| self.block(b).instrs.contains(&id))
     }
 
     /// Creates a new empty basic block and returns its id.
     pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
         let id = BlockId(u32::try_from(self.blocks.len()).expect("too many blocks"));
-        self.blocks.push(BlockData { instrs: Vec::new(), name: Some(name.into()) });
+        self.blocks.push(BlockData {
+            instrs: Vec::new(),
+            name: Some(name.into()),
+        });
         id
     }
 
@@ -492,7 +508,11 @@ impl Function {
                 }
             }
         }
-        self.push_value(ValueData { ty, kind: ValueKind::ConstInt(v), name: None })
+        self.push_value(ValueData {
+            ty,
+            kind: ValueKind::ConstInt(v),
+            name: None,
+        })
     }
 
     /// Interns a floating-point constant of the given type (deduplicated,
@@ -507,12 +527,20 @@ impl Function {
                 }
             }
         }
-        self.push_value(ValueData { ty, kind: ValueKind::ConstFloat(v), name: None })
+        self.push_value(ValueData {
+            ty,
+            kind: ValueKind::ConstFloat(v),
+            name: None,
+        })
     }
 
     /// Appends an instruction to `block` and returns its value id.
     pub fn append(&mut self, block: BlockId, ty: Type, instr: Instr) -> ValueId {
-        let id = self.push_value(ValueData { ty, kind: ValueKind::Instr(instr), name: None });
+        let id = self.push_value(ValueData {
+            ty,
+            kind: ValueKind::Instr(instr),
+            name: None,
+        });
         self.blocks[block.0 as usize].instrs.push(id);
         id
     }
@@ -538,7 +566,11 @@ impl Function {
             callee: None,
         };
         // Phis must precede non-phi instructions in their block.
-        let id = self.push_value(ValueData { ty, kind: ValueKind::Instr(instr), name: None });
+        let id = self.push_value(ValueData {
+            ty,
+            kind: ValueKind::Instr(instr),
+            name: None,
+        });
         let blk = &mut self.blocks[block.0 as usize];
         let pos = blk
             .instrs
@@ -557,7 +589,9 @@ impl Function {
     /// # Panics
     /// Panics if `phi` is not a phi instruction.
     pub fn add_phi_incoming(&mut self, phi: ValueId, value: ValueId, from: BlockId) {
-        let instr = self.instr_mut(phi).expect("add_phi_incoming: not an instruction");
+        let instr = self
+            .instr_mut(phi)
+            .expect("add_phi_incoming: not an instruction");
         assert_eq!(instr.opcode, Opcode::Phi, "add_phi_incoming: not a phi");
         instr.operands.push(value);
         instr.incoming.push(from);
@@ -797,7 +831,10 @@ mod tests {
         f.add_phi_incoming(phi2, add, entry);
         let instrs = &f.block(header).instrs;
         assert_eq!(instrs[0], phi1);
-        assert_eq!(instrs[1], phi2, "late phi inserted before non-phi instructions");
+        assert_eq!(
+            instrs[1], phi2,
+            "late phi inserted before non-phi instructions"
+        );
         assert_eq!(instrs[2], add);
     }
 

@@ -16,7 +16,10 @@ impl Module {
     /// Creates an empty module.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Module {
-        Module { name: name.into(), functions: Vec::new() }
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+        }
     }
 
     /// Adds a function and returns its index.

@@ -33,9 +33,9 @@ type Result<T> = std::result::Result<T, ParseError>;
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Word(String),    // mnemonics, types, literals
-    Local(String),   // %name
-    Global(String),  // @name
+    Word(String),   // mnemonics, types, literals
+    Local(String),  // %name
+    Global(String), // @name
     Comma,
     LParen,
     RParen,
@@ -98,7 +98,9 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>> {
                 let sigil = c;
                 i += 1;
                 let start = i;
-                while i < bytes.len() && (bytes[i].is_alphanumeric() || matches!(bytes[i], '_' | '.')) {
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || matches!(bytes[i], '_' | '.'))
+                {
                     i += 1;
                 }
                 let name: String = bytes[start..i].iter().collect();
@@ -108,7 +110,11 @@ fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>> {
                         message: format!("empty name after '{sigil}'"),
                     });
                 }
-                toks.push(if sigil == '%' { Tok::Local(name) } else { Tok::Global(name) });
+                toks.push(if sigil == '%' {
+                    Tok::Local(name)
+                } else {
+                    Tok::Global(name)
+                });
             }
             _ if word_char(c) => {
                 let start = i;
@@ -140,7 +146,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, message: msg.into() }
+        ParseError {
+            line: self.line,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -161,7 +170,10 @@ impl<'a> Cursor<'a> {
         if got == *t {
             Ok(())
         } else {
-            Err(ParseError { line: self.line, message: format!("expected {t:?}, got {got:?}") })
+            Err(ParseError {
+                line: self.line,
+                message: format!("expected {t:?}, got {got:?}"),
+            })
         }
     }
 
@@ -292,7 +304,12 @@ fn parse_function(lines: &[&str], start: usize) -> Result<(Function, usize)> {
     let ret_ty = cur.ty()?;
     let fname = match cur.next()? {
         Tok::Global(n) => n,
-        other => return Err(ParseError { line: start + 1, message: format!("expected @name, got {other:?}") }),
+        other => {
+            return Err(ParseError {
+                line: start + 1,
+                message: format!("expected @name, got {other:?}"),
+            })
+        }
     };
     cur.expect(&Tok::LParen)?;
     let mut params: Vec<(String, Type)> = Vec::new();
@@ -328,7 +345,10 @@ fn parse_function(lines: &[&str], start: usize) -> Result<(Function, usize)> {
     let mut i = start + 1;
     loop {
         if i >= lines.len() {
-            return Err(ParseError { line: lines.len(), message: "unterminated function".into() });
+            return Err(ParseError {
+                line: lines.len(),
+                message: "unterminated function".into(),
+            });
         }
         let lineno = i + 1;
         let trimmed = lines[i].trim();
@@ -345,7 +365,10 @@ fn parse_function(lines: &[&str], start: usize) -> Result<(Function, usize)> {
             let label = match &toks[0] {
                 Tok::Word(w) => w.clone(),
                 other => {
-                    return Err(ParseError { line: lineno, message: format!("bad label {other:?}") })
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("bad label {other:?}"),
+                    })
                 }
             };
             let bid = if first_label {
@@ -356,7 +379,10 @@ fn parse_function(lines: &[&str], start: usize) -> Result<(Function, usize)> {
                 f.add_block(label.clone())
             };
             if blocks.insert(label.clone(), bid).is_some() {
-                return Err(ParseError { line: lineno, message: format!("duplicate label {label}") });
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("duplicate label {label}"),
+                });
             }
             cur_block = Some(bid);
             continue;
@@ -385,10 +411,18 @@ fn parse_function(lines: &[&str], start: usize) -> Result<(Function, usize)> {
         if let Some(n) = result_name {
             f.set_name(value, n.clone());
             if names.insert(n.clone(), value).is_some() {
-                return Err(ParseError { line: lineno, message: format!("redefinition of %{n}") });
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("redefinition of %{n}"),
+                });
             }
         }
-        pending.push(Pending { toks: toks[body_start..].to_vec(), lineno, block, value });
+        pending.push(Pending {
+            toks: toks[body_start..].to_vec(),
+            lineno,
+            block,
+            value,
+        });
     }
 
     // Pass two: fill in opcodes and operands.
@@ -406,7 +440,10 @@ fn parse_function(lines: &[&str], start: usize) -> Result<(Function, usize)> {
 /// Determines an instruction's result type from its body tokens without
 /// resolving operands.
 fn peek_result_type(toks: &[Tok], lineno: usize) -> Result<Type> {
-    let err = |m: &str| ParseError { line: lineno, message: m.into() };
+    let err = |m: &str| ParseError {
+        line: lineno,
+        message: m.into(),
+    };
     let word = |k: usize| match toks.get(k) {
         Some(Tok::Word(w)) => Some(w.as_str()),
         _ => None,
@@ -482,7 +519,10 @@ fn resolve_operand(
                 Ok(f.const_int(ty.clone(), v))
             }
         }
-        other => Err(ParseError { line: lineno, message: format!("bad operand {other:?}") }),
+        other => Err(ParseError {
+            line: lineno,
+            message: format!("bad operand {other:?}"),
+        }),
     }
 }
 
@@ -508,10 +548,10 @@ fn parse_instr_body(
             return Err(cur.err("expected 'label'"));
         }
         let name = cur.local()?;
-        blocks
-            .get(&name)
-            .copied()
-            .ok_or(ParseError { line: lineno, message: format!("unknown label %{name}") })
+        blocks.get(&name).copied().ok_or(ParseError {
+            line: lineno,
+            message: format!("unknown label %{name}"),
+        })
     };
     match mn.as_str() {
         "add" | "sub" | "mul" | "sdiv" | "srem" | "and" | "or" | "xor" | "shl" | "ashr"
@@ -631,36 +671,34 @@ fn parse_instr_body(
                 callee: None,
             })
         }
-        "br" => {
-            match cur.peek() {
-                Some(Tok::Word(w)) if w == "label" => {
-                    let t = block_ref(&mut cur, blocks)?;
-                    Ok(Instr {
-                        opcode: Opcode::Br,
-                        operands: Vec::new(),
-                        incoming: Vec::new(),
-                        targets: vec![t],
-                        callee: None,
-                    })
-                }
-                _ => {
-                    let cty = cur.ty()?;
-                    let c = cur.next()?;
-                    cur.expect(&Tok::Comma)?;
-                    let t = block_ref(&mut cur, blocks)?;
-                    cur.expect(&Tok::Comma)?;
-                    let e = block_ref(&mut cur, blocks)?;
-                    let c = resolve_operand(f, names, &c, &cty, lineno)?;
-                    Ok(Instr {
-                        opcode: Opcode::CondBr,
-                        operands: vec![c],
-                        incoming: Vec::new(),
-                        targets: vec![t, e],
-                        callee: None,
-                    })
-                }
+        "br" => match cur.peek() {
+            Some(Tok::Word(w)) if w == "label" => {
+                let t = block_ref(&mut cur, blocks)?;
+                Ok(Instr {
+                    opcode: Opcode::Br,
+                    operands: Vec::new(),
+                    incoming: Vec::new(),
+                    targets: vec![t],
+                    callee: None,
+                })
             }
-        }
+            _ => {
+                let cty = cur.ty()?;
+                let c = cur.next()?;
+                cur.expect(&Tok::Comma)?;
+                let t = block_ref(&mut cur, blocks)?;
+                cur.expect(&Tok::Comma)?;
+                let e = block_ref(&mut cur, blocks)?;
+                let c = resolve_operand(f, names, &c, &cty, lineno)?;
+                Ok(Instr {
+                    opcode: Opcode::CondBr,
+                    operands: vec![c],
+                    incoming: Vec::new(),
+                    targets: vec![t, e],
+                    callee: None,
+                })
+            }
+        },
         "ret" => {
             if let Some(Tok::Word(w)) = cur.peek() {
                 if w == "void" {
@@ -737,7 +775,10 @@ fn parse_instr_body(
             let _target = cur.ty()?;
             Ok(simple(opcode, vec![v]))
         }
-        other => Err(ParseError { line: lineno, message: format!("unknown mnemonic {other:?}") }),
+        other => Err(ParseError {
+            line: lineno,
+            message: format!("unknown mnemonic {other:?}"),
+        }),
     }
 }
 

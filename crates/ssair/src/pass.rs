@@ -68,6 +68,76 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
     }
 }
 
+/// Removes blocks unreachable from the entry, compacting block ids and
+/// rewriting branch targets and phi incoming lists. Phi edges from removed
+/// predecessors are dropped; phis left with a single incoming value are
+/// replaced by that value. Used after idiom replacement excises a loop.
+pub fn remove_unreachable_blocks(f: &mut Function) -> usize {
+    use crate::function::BlockId;
+    // Reachability.
+    let n = f.num_blocks();
+    let mut reach = vec![false; n];
+    let mut stack = vec![BlockId(0)];
+    reach[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.successors(b) {
+            if !reach[s.0 as usize] {
+                reach[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let removed = reach.iter().filter(|r| !**r).count();
+    if removed == 0 {
+        return 0;
+    }
+    // Remap ids.
+    let mut remap: Vec<Option<u32>> = vec![None; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if reach[i] {
+            remap[i] = Some(next);
+            next += 1;
+        }
+    }
+    // Drop phi edges from unreachable preds, then single-entry phis.
+    let mut simplify: Vec<(ValueId, ValueId)> = Vec::new();
+    for b in 0..n {
+        if !reach[b] {
+            continue;
+        }
+        for &v in f.block(BlockId(b as u32)).instrs.clone().iter() {
+            let Some(i) = f.instr(v) else { continue };
+            if i.opcode != Opcode::Phi {
+                continue;
+            }
+            let keep: Vec<(ValueId, crate::BlockId)> = i
+                .operands
+                .iter()
+                .zip(&i.incoming)
+                .filter(|(_, inb)| reach[inb.0 as usize])
+                .map(|(&op, &inb)| (op, inb))
+                .collect();
+            let instr = f.instr_mut(v).expect("phi");
+            instr.operands = keep.iter().map(|(op, _)| *op).collect();
+            instr.incoming = keep.iter().map(|(_, b)| *b).collect();
+            if instr.operands.len() == 1 {
+                simplify.push((v, instr.operands[0]));
+            }
+        }
+    }
+    for (phi, val) in simplify {
+        replace_all_uses(f, phi, val);
+        remove_instruction(f, phi);
+    }
+    // Rebuild block vector and rewrite ids.
+    f.retain_blocks(
+        |b| reach[b.0 as usize],
+        |old| BlockId(remap[old.0 as usize].expect("reachable")),
+    );
+    removed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,73 +216,10 @@ entry:
         remove_instruction(&mut f, store);
         let removed = eliminate_dead_code(&mut f);
         assert_eq!(removed, 1, "the fmul feeding the removed store");
-        assert_eq!(f.block(crate::BlockId(0)).instrs.len(), 1, "only ret remains");
+        assert_eq!(
+            f.block(crate::BlockId(0)).instrs.len(),
+            1,
+            "only ret remains"
+        );
     }
-}
-
-/// Removes blocks unreachable from the entry, compacting block ids and
-/// rewriting branch targets and phi incoming lists. Phi edges from removed
-/// predecessors are dropped; phis left with a single incoming value are
-/// replaced by that value. Used after idiom replacement excises a loop.
-pub fn remove_unreachable_blocks(f: &mut Function) -> usize {
-    use crate::function::BlockId;
-    // Reachability.
-    let n = f.num_blocks();
-    let mut reach = vec![false; n];
-    let mut stack = vec![BlockId(0)];
-    reach[0] = true;
-    while let Some(b) = stack.pop() {
-        for s in f.successors(b) {
-            if !reach[s.0 as usize] {
-                reach[s.0 as usize] = true;
-                stack.push(s);
-            }
-        }
-    }
-    let removed = reach.iter().filter(|r| !**r).count();
-    if removed == 0 {
-        return 0;
-    }
-    // Remap ids.
-    let mut remap: Vec<Option<u32>> = vec![None; n];
-    let mut next = 0u32;
-    for i in 0..n {
-        if reach[i] {
-            remap[i] = Some(next);
-            next += 1;
-        }
-    }
-    // Drop phi edges from unreachable preds, then single-entry phis.
-    let mut simplify: Vec<(ValueId, ValueId)> = Vec::new();
-    for b in 0..n {
-        if !reach[b] {
-            continue;
-        }
-        for &v in f.block(BlockId(b as u32)).instrs.clone().iter() {
-            let Some(i) = f.instr(v) else { continue };
-            if i.opcode != Opcode::Phi {
-                continue;
-            }
-            let keep: Vec<(ValueId, crate::BlockId)> = i
-                .operands
-                .iter()
-                .zip(&i.incoming)
-                .filter(|(_, inb)| reach[inb.0 as usize])
-                .map(|(&op, &inb)| (op, inb))
-                .collect();
-            let instr = f.instr_mut(v).expect("phi");
-            instr.operands = keep.iter().map(|(op, _)| *op).collect();
-            instr.incoming = keep.iter().map(|(_, b)| *b).collect();
-            if instr.operands.len() == 1 {
-                simplify.push((v, instr.operands[0]));
-            }
-        }
-    }
-    for (phi, val) in simplify {
-        replace_all_uses(f, phi, val);
-        remove_instruction(f, phi);
-    }
-    // Rebuild block vector and rewrite ids.
-    f.retain_blocks(|b| reach[b.0 as usize], |old| BlockId(remap[old.0 as usize].expect("reachable")));
-    removed
 }

@@ -75,7 +75,11 @@ fn float_literal(v: f64) -> String {
     if v.is_nan() {
         "nan".to_owned()
     } else if v.is_infinite() {
-        if v > 0.0 { "inf".to_owned() } else { "-inf".to_owned() }
+        if v > 0.0 {
+            "inf".to_owned()
+        } else {
+            "-inf".to_owned()
+        }
     } else {
         let s = format!("{v:?}"); // shortest round-trip form
         s
@@ -97,7 +101,11 @@ fn typed_operand(f: &Function, namer: &Namer, id: ValueId) -> String {
 /// Renders one instruction (without trailing newline).
 fn instr_text(f: &Function, namer: &Namer, id: ValueId, i: &Instr) -> String {
     let ty = &f.value(id).ty;
-    let lhs = if *ty == Type::Void { String::new() } else { format!("%{} = ", namer.value(id)) };
+    let lhs = if *ty == Type::Void {
+        String::new()
+    } else {
+        format!("%{} = ", namer.value(id))
+    };
     let ops = |k: usize| operand(f, namer, i.operands[k]);
     match i.opcode {
         Opcode::Add
@@ -142,7 +150,11 @@ fn instr_text(f: &Function, namer: &Namer, id: ValueId, i: &Instr) -> String {
             format!("{lhs}load {ty}, {pty} {}", ops(0))
         }
         Opcode::Store => {
-            format!("store {}, {}", typed_operand(f, namer, i.operands[0]), typed_operand(f, namer, i.operands[1]))
+            format!(
+                "store {}, {}",
+                typed_operand(f, namer, i.operands[0]),
+                typed_operand(f, namer, i.operands[1])
+            )
         }
         Opcode::Phi => {
             let mut s = format!("{lhs}phi {ty} ");
@@ -169,8 +181,11 @@ fn instr_text(f: &Function, namer: &Namer, id: ValueId, i: &Instr) -> String {
             }
         }
         Opcode::Call => {
-            let args: Vec<String> =
-                i.operands.iter().map(|&a| typed_operand(f, namer, a)).collect();
+            let args: Vec<String> = i
+                .operands
+                .iter()
+                .map(|&a| typed_operand(f, namer, a))
+                .collect();
             format!(
                 "{lhs}call {ty} @{}({})",
                 i.callee.as_deref().unwrap_or("?"),
@@ -179,11 +194,23 @@ fn instr_text(f: &Function, namer: &Namer, id: ValueId, i: &Instr) -> String {
         }
         Opcode::Alloca => {
             let ety = ty.pointee().expect("alloca result must be pointer");
-            format!("{lhs}alloca {ety}, {}", typed_operand(f, namer, i.operands[0]))
+            format!(
+                "{lhs}alloca {ety}, {}",
+                typed_operand(f, namer, i.operands[0])
+            )
         }
-        Opcode::SExt | Opcode::ZExt | Opcode::Trunc | Opcode::SIToFP | Opcode::FPToSI
-        | Opcode::FPExt | Opcode::FPTrunc => {
-            format!("{lhs}{} {} to {ty}", i.opcode.mnemonic(), typed_operand(f, namer, i.operands[0]))
+        Opcode::SExt
+        | Opcode::ZExt
+        | Opcode::Trunc
+        | Opcode::SIToFP
+        | Opcode::FPToSI
+        | Opcode::FPExt
+        | Opcode::FPTrunc => {
+            format!(
+                "{lhs}{} {} to {ty}",
+                i.opcode.mnemonic(),
+                typed_operand(f, namer, i.operands[0])
+            )
         }
     }
 }
@@ -198,7 +225,13 @@ pub fn print_function(f: &Function) -> String {
         .iter()
         .map(|&p| format!("{} %{}", f.value(p).ty, namer.value(p)))
         .collect();
-    let _ = writeln!(out, "define {} @{}({}) {{", f.ret_ty, f.name, params.join(", "));
+    let _ = writeln!(
+        out,
+        "define {} @{}({}) {{",
+        f.ret_ty,
+        f.name,
+        params.join(", ")
+    );
     for b in f.block_ids() {
         let _ = writeln!(out, "{}:", namer.block(b));
         for &id in &f.block(b).instrs {
@@ -244,7 +277,11 @@ mod tests {
         // Figure 3 of the paper: example(a, b, c) = a*b + c*a
         let mut f = Function::new(
             "example",
-            &[("a".into(), Type::I32), ("b".into(), Type::I32), ("c".into(), Type::I32)],
+            &[
+                ("a".into(), Type::I32),
+                ("b".into(), Type::I32),
+                ("c".into(), Type::I32),
+            ],
             Type::I32,
         );
         let e = BlockId(0);

@@ -72,7 +72,9 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
                 );
             }
             if i.opcode == Opcode::Phi
-                && instrs[..pos].iter().any(|&p| f.opcode(p) != Some(Opcode::Phi))
+                && instrs[..pos]
+                    .iter()
+                    .any(|&p| f.opcode(p) != Some(Opcode::Phi))
             {
                 err!("block {b}: phi {v} after non-phi instruction");
             }
@@ -99,8 +101,7 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
             // Phi incoming edges must exactly match CFG predecessors.
             if i.opcode == Opcode::Phi {
                 let preds = an.cfg.preds(b);
-                if i.incoming.len() != preds.len()
-                    || !preds.iter().all(|p| i.incoming.contains(p))
+                if i.incoming.len() != preds.len() || !preds.iter().all(|p| i.incoming.contains(p))
                 {
                     err!(
                         "phi {v} in {b}: incoming blocks {:?} do not match predecessors {:?}",
@@ -144,6 +145,9 @@ pub fn verify_function(f: &Function) -> Result<(), Vec<VerifyError>> {
     }
 }
 
+// Collapsing the per-opcode checks into match guards would make failing
+// arms fall through to `_`, losing the per-opcode error messages.
+#[allow(clippy::collapsible_match)]
 fn verify_types(f: &Function, v: crate::ValueId, errors: &mut Vec<VerifyError>) {
     let i = f.instr(v).expect("instruction");
     let ty = &f.value(v).ty;

@@ -14,7 +14,8 @@ use ssair::Function;
 #[must_use]
 pub fn lift_program(f: &Function, inst: &IdiomInstance, kernel_c: &str) -> String {
     let name = |var: &str| {
-        inst.value(var).map_or_else(|| "?".to_owned(), |v| f.display_name(v))
+        inst.value(var)
+            .map_or_else(|| "?".to_owned(), |v| f.display_name(v))
     };
     match inst.kind {
         IdiomKind::Reduction => format!(
@@ -56,7 +57,8 @@ pub fn lift_program(f: &Function, inst: &IdiomInstance, kernel_c: &str) -> Strin
 #[must_use]
 pub fn halide_program(f: &Function, inst: &IdiomInstance) -> Option<String> {
     let name = |var: &str| {
-        inst.value(var).map_or_else(|| "?".to_owned(), |v| f.display_name(v))
+        inst.value(var)
+            .map_or_else(|| "?".to_owned(), |v| f.display_name(v))
     };
     match inst.kind {
         IdiomKind::Stencil1D => {
@@ -102,7 +104,10 @@ mod tests {
         );
         let f = m.function("blur").unwrap();
         let insts = detect(f);
-        let st = insts.iter().find(|i| i.kind == IdiomKind::Stencil1D).expect("stencil");
+        let st = insts
+            .iter()
+            .find(|i| i.kind == IdiomKind::Stencil1D)
+            .expect("stencil");
         let lift = lift_program(f, st, "/* kernel */");
         assert!(lift.contains("slide"));
         let halide = halide_program(f, st).expect("halide handles stencils");
@@ -118,7 +123,10 @@ mod tests {
         );
         let f = m.function("histo").unwrap();
         let insts = detect(f);
-        let h = insts.iter().find(|i| i.kind == IdiomKind::Histogram).expect("histogram");
+        let h = insts
+            .iter()
+            .find(|i| i.kind == IdiomKind::Histogram)
+            .expect("histogram");
         assert!(halide_program(f, h).is_none());
         assert!(lift_program(f, h, "").contains("atomic_update"));
     }

@@ -90,8 +90,11 @@ pub fn outline_kernel(
     }
     for &v in &slice {
         let instr = src.instr(v).expect("slice instruction").clone();
-        let operands: Vec<ValueId> =
-            instr.operands.iter().map(|&op| remap(&map, &mut out, src, op)).collect();
+        let operands: Vec<ValueId> = instr
+            .operands
+            .iter()
+            .map(|&op| remap(&map, &mut out, src, op))
+            .collect();
         let cloned = Instr {
             opcode: instr.opcode,
             operands,
@@ -110,7 +113,10 @@ pub fn outline_kernel(
     out.append_ret(entry, Some(result));
     let mut inputs_all: Vec<ValueId> = inputs.to_vec();
     inputs_all.extend(extra_inputs);
-    Some(OutlinedKernel { function: out, inputs: inputs_all })
+    Some(OutlinedKernel {
+        function: out,
+        inputs: inputs_all,
+    })
 }
 
 /// Trivial kernels (`output` *is* one of the inputs) still outline: the

@@ -101,7 +101,9 @@ fn region_live_outs(f: &Function, an: &Analyses, inst: &IdiomInstance) -> Vec<Va
     for &b in &inst.blocks {
         for &v in &f.block(b).instrs {
             let escapes = an.defuse.users(v).iter().any(|&u| {
-                an.layout.block_of(u).is_none_or(|ub| !inst.blocks.contains(&ub))
+                an.layout
+                    .block_of(u)
+                    .is_none_or(|ub| !inst.blocks.contains(&ub))
             });
             if escapes {
                 outs.push(v);
@@ -119,7 +121,9 @@ pub fn check_soundness(f: &Function, inst: &IdiomInstance) -> Result<()> {
     let an = Analyses::new(f);
     let (stores, calls) = region_side_effects(f, inst);
     if !calls.is_empty() {
-        return Err(XformError::Unsound("impure call inside the replaced region".into()));
+        return Err(XformError::Unsound(
+            "impure call inside the replaced region".into(),
+        ));
     }
     let allowed_result: Option<ValueId> = match inst.kind {
         IdiomKind::Reduction => Some(bind(inst, "acc")?),
@@ -287,7 +291,11 @@ fn excise_and_call(
 fn replace_gemm(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Result<Replacement> {
     let f = &module.functions[fidx];
     // Bounds must start at zero for the fixed-function entry point.
-    for lo in ["loop[0].iter_begin", "loop[1].iter_begin", "loop[2].iter_begin"] {
+    for lo in [
+        "loop[0].iter_begin",
+        "loop[1].iter_begin",
+        "loop[2].iter_begin",
+    ] {
         if const_i64(f, bind(inst, lo)?) != Some(0) {
             return Err(XformError::Unsupported("GEMM loops must start at 0".into()));
         }
@@ -298,7 +306,9 @@ fn replace_gemm(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Resul
     } else if f.opcode(init) == Some(Opcode::Load) {
         1.0
     } else {
-        return Err(XformError::Unsupported("GEMM accumulator init is neither 0 nor C".into()));
+        return Err(XformError::Unsupported(
+            "GEMM accumulator init is neither 0 nor C".into(),
+        ));
     };
     // The plain form stores the accumulator; the alpha/beta epilogue is
     // detected but not offloaded by this backend.
@@ -308,7 +318,9 @@ fn replace_gemm(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Resul
         ));
     }
     let row_scaled = |mat: &str, row_var: &str| -> Result<i64> {
-        Ok(i64::from(inst.value(&format!("{mat}.addr.mulidx")) == inst.value(row_var)))
+        Ok(i64::from(
+            inst.value(&format!("{mat}.addr.mulidx")) == inst.value(row_var),
+        ))
     };
     let ar = row_scaled("input1", "iterator[2]")?;
     let br = row_scaled("input2", "iterator[2]")?;
@@ -346,16 +358,24 @@ fn replace_gemm(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Resul
         args,
         None,
     )?;
-    Ok(Replacement { kind: IdiomKind::Gemm, callee: "gemm_f64".into(), generated: vec![] })
+    Ok(Replacement {
+        kind: IdiomKind::Gemm,
+        callee: "gemm_f64".into(),
+        generated: vec![],
+    })
 }
 
 fn replace_spmv(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Result<Replacement> {
     let f = &module.functions[fidx];
     if const_i64(f, bind(inst, "iter_begin")?) != Some(0) {
-        return Err(XformError::Unsupported("SPMV outer loop must start at 0".into()));
+        return Err(XformError::Unsupported(
+            "SPMV outer loop must start at 0".into(),
+        ));
     }
     if const_f64(f, bind(inst, "dot.init")?) != Some(0.0) {
-        return Err(XformError::Unsupported("SPMV accumulator must start at 0.0".into()));
+        return Err(XformError::Unsupported(
+            "SPMV accumulator must start at 0.0".into(),
+        ));
     }
     let width = |v: ValueId| -> i64 {
         module.functions[fidx]
@@ -391,7 +411,11 @@ fn replace_spmv(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Resul
         args,
         None,
     )?;
-    Ok(Replacement { kind: IdiomKind::Spmv, callee: "csrmv_f64".into(), generated: vec![] })
+    Ok(Replacement {
+        kind: IdiomKind::Spmv,
+        callee: "csrmv_f64".into(),
+        generated: vec![],
+    })
 }
 
 // ----- DSL path: generate device code as IR text, then link it in -----
@@ -410,7 +434,7 @@ fn emit_indexed_load(
     ity: &Type,
     offset: i64,
 ) -> String {
-    let mut idx = format!("%i");
+    let mut idx = "%i".to_owned();
     if offset != 0 {
         let _ = std::fmt::Write::write_fmt(
             text,
@@ -419,10 +443,8 @@ fn emit_indexed_load(
         idx = format!("%off{r}");
     }
     let wide = if *ity == Type::I32 {
-        let _ = std::fmt::Write::write_fmt(
-            text,
-            format_args!("  %iw{r} = sext {ity} {idx} to i64\n"),
-        );
+        let _ =
+            std::fmt::Write::write_fmt(text, format_args!("  %iw{r} = sext {ity} {idx} to i64\n"));
         format!("%iw{r}")
     } else {
         idx
@@ -440,18 +462,24 @@ fn emit_indexed_load(
 fn check_step_and_cmp(f: &Function, inst: &IdiomInstance, prefix: &str) -> Result<()> {
     let step = bind(inst, &format!("{prefix}step"))?;
     if const_i64(f, step) != Some(1) {
-        return Err(XformError::Unsupported("only unit-stride loops are offloaded".into()));
+        return Err(XformError::Unsupported(
+            "only unit-stride loops are offloaded".into(),
+        ));
     }
     let cmp = bind(inst, &format!("{prefix}comparison"))?;
     match f.opcode(cmp) {
         Some(Opcode::ICmp(ICmpPred::Slt)) => Ok(()),
-        _ => Err(XformError::Unsupported("only `<` loop bounds are offloaded".into())),
+        _ => Err(XformError::Unsupported(
+            "only `<` loop bounds are offloaded".into(),
+        )),
     }
 }
 
 fn parse_and_push(module: &mut Module, text: &str) -> Result<String> {
     let func = ssair::parser::parse_function_text(text).map_err(|e| {
-        XformError::Unsupported(format!("generated device code failed to parse: {e}\n{text}"))
+        XformError::Unsupported(format!(
+            "generated device code failed to parse: {e}\n{text}"
+        ))
     })?;
     ssair::verify::verify_function(&func).map_err(|es| {
         XformError::Unsupported(format!(
@@ -563,7 +591,9 @@ fn replace_histogram(
     let sb = an.layout.block_of(store).unwrap();
     let lb = an.layout.block_of(latch_term).unwrap();
     if !an.dom.dominates(sb, lb) {
-        return Err(XformError::Unsupported("conditional histogram update".into()));
+        return Err(XformError::Unsupported(
+            "conditional histogram update".into(),
+        ));
     }
     let reads = inst.family("read_value");
     let old = bind(inst, "old_value")?;
@@ -808,9 +838,8 @@ fn replace_stencil2d(
     for (r, &rv) in reads.iter().enumerate() {
         let rowexpr = bind(inst, &format!("read[{r}].rowexpr"))?;
         let colexpr = bind(inst, &format!("read[{r}].colexpr"))?;
-        let roff = offset_from(f, rowexpr, row_iter).ok_or_else(|| {
-            XformError::Unsupported("stencil row offset is not constant".into())
-        })?;
+        let roff = offset_from(f, rowexpr, row_iter)
+            .ok_or_else(|| XformError::Unsupported("stencil row offset is not constant".into()))?;
         let coff = offset_from(f, colexpr, col_iter).ok_or_else(|| {
             XformError::Unsupported("stencil column offset is not constant".into())
         })?;
@@ -826,16 +855,15 @@ fn replace_stencil2d(
     let oty = f.value(write_value).ty.clone();
     let ity = f.value(row_iter).ty.clone();
     if f.value(col_iter).ty != ity {
-        return Err(XformError::Unsupported("mixed-width stencil iterators".into()));
+        return Err(XformError::Unsupported(
+            "mixed-width stencil iterators".into(),
+        ));
     }
 
     let devname = format!("halide_st2_{uid}");
     let ity_s = ty_str(&ity);
     let oty_s = ty_str(&oty);
-    let mut params: Vec<String> = vec![
-        format!("{oty_s}* %out"),
-        format!("{ity_s} %sw"),
-    ];
+    let mut params: Vec<String> = vec![format!("{oty_s}* %out"), format!("{ity_s} %sw")];
     for (r, rd) in rs.iter().enumerate() {
         params.push(format!("{}* %b{r}", ty_str(&rd.elem)));
         params.push(format!("{ity_s} %s{r}"));
@@ -852,28 +880,28 @@ fn replace_stencil2d(
     use std::fmt::Write as _;
     for (r, rd) in rs.iter().enumerate() {
         let rexp = if rd.roff != 0 {
-            let _ = write!(body, "  %ro{r} = add {ity_s} %i, {}\n", rd.roff);
+            let _ = writeln!(body, "  %ro{r} = add {ity_s} %i, {}", rd.roff);
             format!("%ro{r}")
         } else {
             "%i".to_owned()
         };
         let cexp = if rd.coff != 0 {
-            let _ = write!(body, "  %co{r} = add {ity_s} %j, {}\n", rd.coff);
+            let _ = writeln!(body, "  %co{r} = add {ity_s} %j, {}", rd.coff);
             format!("%co{r}")
         } else {
             "%j".to_owned()
         };
-        let _ = write!(body, "  %m{r} = mul {ity_s} {rexp}, %s{r}\n");
-        let _ = write!(body, "  %f{r} = add {ity_s} %m{r}, {cexp}\n");
+        let _ = writeln!(body, "  %m{r} = mul {ity_s} {rexp}, %s{r}");
+        let _ = writeln!(body, "  %f{r} = add {ity_s} %m{r}, {cexp}");
         let wide = if ity == Type::I32 {
-            let _ = write!(body, "  %fw{r} = sext i32 %f{r} to i64\n");
+            let _ = writeln!(body, "  %fw{r} = sext i32 %f{r} to i64");
             format!("%fw{r}")
         } else {
             format!("%f{r}")
         };
         let e = ty_str(&rd.elem);
-        let _ = write!(body, "  %a{r} = getelementptr {e}, {e}* %b{r}, i64 {wide}\n");
-        let _ = write!(body, "  %v{r} = load {e}, {e}* %a{r}\n");
+        let _ = writeln!(body, "  %a{r} = getelementptr {e}, {e}* %b{r}, i64 {wide}");
+        let _ = writeln!(body, "  %v{r} = load {e}, {e}* %a{r}");
         kargs.push(format!("{e} %v{r}"));
     }
     for (k, &e) in extras.iter().enumerate() {

@@ -38,7 +38,12 @@ pub fn ir_to_c(f: &Function) -> Option<String> {
         .enumerate()
         .map(|(k, &p)| format!("{} in{k}", c_type(&f.value(p).ty)))
         .collect();
-    let mut out = format!("{} {}({}) {{\n", c_type(&f.ret_ty), f.name, params.join(", "));
+    let mut out = format!(
+        "{} {}({}) {{\n",
+        c_type(&f.ret_ty),
+        f.name,
+        params.join(", ")
+    );
     for &v in &f.block(BlockId(0)).instrs {
         let i = f.instr(v)?;
         let ty = c_type(&f.value(v).ty);
@@ -75,14 +80,20 @@ pub fn ir_to_c(f: &Function) -> Option<String> {
             Opcode::Select => {
                 format!("{ty} {name} = {} ? {} : {};", op(0), op(1), op(2))
             }
-            Opcode::SExt | Opcode::ZExt | Opcode::Trunc | Opcode::SIToFP | Opcode::FPToSI
-            | Opcode::FPExt | Opcode::FPTrunc => {
+            Opcode::SExt
+            | Opcode::ZExt
+            | Opcode::Trunc
+            | Opcode::SIToFP
+            | Opcode::FPToSI
+            | Opcode::FPExt
+            | Opcode::FPTrunc => {
                 format!("{ty} {name} = ({ty}){};", op(0))
             }
             Opcode::Call => {
                 let callee = i.callee.as_deref()?;
-                let args: Vec<String> =
-                    (0..i.operands.len()).map(|k| c_operand(f, i.operands[k])).collect();
+                let args: Vec<String> = (0..i.operands.len())
+                    .map(|k| c_operand(f, i.operands[k]))
+                    .collect();
                 format!("{ty} {name} = {callee}({});", args.join(", "))
             }
             Opcode::Ret => {

@@ -23,7 +23,11 @@ fn register_hosts(vm: &mut Machine) {
             let (ar, br, cr) = (args[9].as_i(), args[10].as_i(), args[11].as_i());
             let beta = args[12].as_f();
             let addr = |base: u64, col: i64, row: i64, stride: i64, row_scaled: i64| {
-                let idx = if row_scaled != 0 { row * stride + col } else { col * stride + row };
+                let idx = if row_scaled != 0 {
+                    row * stride + col
+                } else {
+                    col * stride + row
+                };
                 base + 8 * idx as u64
             };
             for i0 in 0..m {
@@ -35,7 +39,11 @@ fn register_hosts(vm: &mut Machine) {
                         acc += av * bv;
                     }
                     let ca = addr(c, i0, i1, sc, cr);
-                    let old = if beta != 0.0 { mem.load_f64(ca)? * beta } else { 0.0 };
+                    let old = if beta != 0.0 {
+                        mem.load_f64(ca)? * beta
+                    } else {
+                        0.0
+                    };
                     mem.store_f64(ca, acc + old)?;
                 }
             }
@@ -45,8 +53,13 @@ fn register_hosts(vm: &mut Machine) {
     vm.register_host(
         "csrmv_f64",
         Rc::new(|mem, args| {
-            let (vals, rowptr, colidx, x, y) =
-                (args[0].as_p(), args[1].as_p(), args[2].as_p(), args[3].as_p(), args[4].as_p());
+            let (vals, rowptr, colidx, x, y) = (
+                args[0].as_p(),
+                args[1].as_p(),
+                args[2].as_p(),
+                args[3].as_p(),
+                args[4].as_p(),
+            );
             let m = args[5].as_i();
             let (rw, cw) = (args[6].as_i(), args[7].as_i());
             let load_idx = |mem: &interp::Memory, base: u64, k: i64, w: i64| {
@@ -62,8 +75,7 @@ fn register_hosts(vm: &mut Machine) {
                 let mut d = 0.0;
                 for k in lo..hi {
                     let col = load_idx(mem, colidx, k, cw)?;
-                    d += mem.load_f64(vals + 8 * k as u64)?
-                        * mem.load_f64(x + 8 * col as u64)?;
+                    d += mem.load_f64(vals + 8 * k as u64)? * mem.load_f64(x + 8 * col as u64)?;
                 }
                 mem.store_f64(y + 8 * j as u64, d)?;
             }
@@ -82,10 +94,16 @@ fn reduction_replacement_preserves_results() {
     let original = compile(src);
     let mut transformed = original.clone();
     let insts = detect(original.function("dot").unwrap());
-    let red = insts.iter().find(|i| i.kind == IdiomKind::Reduction).expect("found");
+    let red = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Reduction)
+        .expect("found");
     let rep = xform::apply_replacement(&mut transformed, red, 0).expect("replaced");
     assert!(rep.callee.starts_with("lift_red_"));
-    assert!(transformed.function(&rep.callee).is_some(), "device code linked in");
+    assert!(
+        transformed.function(&rep.callee).is_some(),
+        "device code linked in"
+    );
 
     let xs: Vec<f64> = (0..37).map(|i| 0.5 + i as f64).collect();
     let ys: Vec<f64> = (0..37).map(|i| 2.0 - 0.25 * i as f64).collect();
@@ -93,7 +111,9 @@ fn reduction_replacement_preserves_results() {
         let mut vm = Machine::new(m);
         let xp = vm.mem.alloc_f64_slice(&xs);
         let yp = vm.mem.alloc_f64_slice(&ys);
-        vm.run("dot", &[Value::P(xp), Value::P(yp), Value::I(37)]).unwrap().as_f()
+        vm.run("dot", &[Value::P(xp), Value::P(yp), Value::I(37)])
+            .unwrap()
+            .as_f()
     };
     assert_eq!(run(&original), run(&transformed));
 }
@@ -108,13 +128,18 @@ fn max_reduction_with_intrinsics_round_trips() {
     let original = compile(src);
     let mut transformed = original.clone();
     let insts = detect(original.function("norm").unwrap());
-    let red = insts.iter().find(|i| i.kind == IdiomKind::Reduction).expect("found");
+    let red = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Reduction)
+        .expect("found");
     xform::apply_replacement(&mut transformed, red, 1).expect("replaced");
     let xs: Vec<f64> = (0..29).map(|i| ((i * 37) % 13) as f64 - 6.0).collect();
     let run = |m: &Module| {
         let mut vm = Machine::new(m);
         let xp = vm.mem.alloc_f64_slice(&xs);
-        vm.run("norm", &[Value::P(xp), Value::I(29)]).unwrap().as_f()
+        vm.run("norm", &[Value::P(xp), Value::I(29)])
+            .unwrap()
+            .as_f()
     };
     assert_eq!(run(&original), run(&transformed));
 }
@@ -127,14 +152,18 @@ fn histogram_replacement_preserves_bins() {
     let original = compile(src);
     let mut transformed = original.clone();
     let insts = detect(original.function("histo").unwrap());
-    let h = insts.iter().find(|i| i.kind == IdiomKind::Histogram).expect("found");
+    let h = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Histogram)
+        .expect("found");
     xform::apply_replacement(&mut transformed, h, 2).expect("replaced");
     let img: Vec<i32> = (0..101).map(|i| (i * 7) % 16).collect();
     let run = |m: &Module| {
         let mut vm = Machine::new(m);
         let ip = vm.mem.alloc_i32_slice(&img);
         let bp = vm.mem.alloc_i32_slice(&[0; 16]);
-        vm.run("histo", &[Value::P(ip), Value::P(bp), Value::I(101)]).unwrap();
+        vm.run("histo", &[Value::P(ip), Value::P(bp), Value::I(101)])
+            .unwrap();
         vm.mem.read_i32_slice(bp, 16)
     };
     assert_eq!(run(&original), run(&transformed));
@@ -149,14 +178,18 @@ fn stencil1d_replacement_preserves_output() {
     let original = compile(src);
     let mut transformed = original.clone();
     let insts = detect(original.function("blur").unwrap());
-    let st = insts.iter().find(|i| i.kind == IdiomKind::Stencil1D).expect("found");
+    let st = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Stencil1D)
+        .expect("found");
     xform::apply_replacement(&mut transformed, st, 3).expect("replaced");
     let input: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
     let run = |m: &Module| {
         let mut vm = Machine::new(m);
         let op = vm.mem.alloc_f64_slice(&vec![0.0; 50]);
         let ip = vm.mem.alloc_f64_slice(&input);
-        vm.run("blur", &[Value::P(op), Value::P(ip), Value::I(50)]).unwrap();
+        vm.run("blur", &[Value::P(op), Value::P(ip), Value::I(50)])
+            .unwrap();
         vm.mem.read_f64_slice(op, 50)
     };
     assert_eq!(run(&original), run(&transformed));
@@ -173,7 +206,10 @@ fn stencil2d_replacement_preserves_output() {
     let original = compile(src);
     let mut transformed = original.clone();
     let insts = detect(original.function("jacobi").unwrap());
-    let st = insts.iter().find(|i| i.kind == IdiomKind::Stencil2D).expect("found");
+    let st = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Stencil2D)
+        .expect("found");
     xform::apply_replacement(&mut transformed, st, 4).expect("replaced");
     let n = 12;
     let input: Vec<f64> = (0..n * n).map(|i| ((i * 31) % 17) as f64 * 0.5).collect();
@@ -181,7 +217,8 @@ fn stencil2d_replacement_preserves_output() {
         let mut vm = Machine::new(m);
         let op = vm.mem.alloc_f64_slice(&vec![0.0; n * n]);
         let ip = vm.mem.alloc_f64_slice(&input);
-        vm.run("jacobi", &[Value::P(op), Value::P(ip), Value::I(n as i64)]).unwrap();
+        vm.run("jacobi", &[Value::P(op), Value::P(ip), Value::I(n as i64)])
+            .unwrap();
         vm.mem.read_f64_slice(op, n * n)
     };
     assert_eq!(run(&original), run(&transformed));
@@ -200,7 +237,10 @@ fn gemm_replacement_calls_the_library() {
     let original = compile(src);
     let mut transformed = original.clone();
     let insts = detect(original.function("mm").unwrap());
-    let g = insts.iter().find(|i| i.kind == IdiomKind::Gemm).expect("found");
+    let g = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Gemm)
+        .expect("found");
     let rep = xform::apply_replacement(&mut transformed, g, 5).expect("replaced");
     assert_eq!(rep.callee, "gemm_f64");
     let n = 9;
@@ -212,8 +252,11 @@ fn gemm_replacement_calls_the_library() {
         let ap = vm.mem.alloc_f64_slice(&a);
         let bp = vm.mem.alloc_f64_slice(&b);
         let cp = vm.mem.alloc_f64_slice(&vec![0.0; n * n]);
-        vm.run("mm", &[Value::P(ap), Value::P(bp), Value::P(cp), Value::I(n as i64)])
-            .unwrap();
+        vm.run(
+            "mm",
+            &[Value::P(ap), Value::P(bp), Value::P(cp), Value::I(n as i64)],
+        )
+        .unwrap();
         vm.mem.read_f64_slice(cp, n * n)
     };
     assert_eq!(run(&original), run(&transformed));
@@ -232,7 +275,10 @@ fn spmv_replacement_calls_the_library() {
     let original = compile(src);
     let mut transformed = original.clone();
     let insts = detect(original.function("spmv").unwrap());
-    let s = insts.iter().find(|i| i.kind == IdiomKind::Spmv).expect("found");
+    let s = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Spmv)
+        .expect("found");
     let rep = xform::apply_replacement(&mut transformed, s, 6).expect("replaced");
     assert_eq!(rep.callee, "csrmv_f64");
     // A small CSR matrix: 4 rows.
@@ -250,7 +296,14 @@ fn spmv_replacement_calls_the_library() {
         let yp = vm.mem.alloc_f64_slice(&[0.0; 4]);
         vm.run(
             "spmv",
-            &[Value::P(ap), Value::P(rp), Value::P(cp), Value::P(zp), Value::P(yp), Value::I(4)],
+            &[
+                Value::P(ap),
+                Value::P(rp),
+                Value::P(cp),
+                Value::P(zp),
+                Value::P(yp),
+                Value::I(4),
+            ],
         )
         .unwrap();
         vm.mem.read_f64_slice(yp, 4)
@@ -307,10 +360,16 @@ fn alpha_beta_gemm_is_detected_but_not_offloaded() {
     }";
     let m = compile(src);
     let insts = detect(m.function("g").unwrap());
-    let g = insts.iter().find(|i| i.kind == IdiomKind::Gemm).expect("detected");
+    let g = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Gemm)
+        .expect("detected");
     let mut t = m.clone();
     let err = xform::apply_replacement(&mut t, g, 20).unwrap_err();
-    assert!(matches!(err, xform::XformError::Unsupported(_)), "got {err:?}");
+    assert!(
+        matches!(err, xform::XformError::Unsupported(_)),
+        "got {err:?}"
+    );
 }
 
 #[test]
@@ -322,7 +381,10 @@ fn strided_reduction_is_detected_but_not_offloaded() {
     }";
     let m = compile(src);
     let insts = detect(m.function("s").unwrap());
-    let r = insts.iter().find(|i| i.kind == IdiomKind::Reduction).expect("detected");
+    let r = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Reduction)
+        .expect("detected");
     let mut t = m.clone();
     let err = xform::apply_replacement(&mut t, r, 21).unwrap_err();
     assert!(matches!(err, xform::XformError::Unsupported(_)));

@@ -22,7 +22,11 @@ fn main() {
     let f = module.function("dot").unwrap();
     let instances = idiomatch::idioms::detect(f);
     for inst in &instances {
-        println!("detected {:?} anchored at {}", inst.kind, f.display_name(inst.anchor));
+        println!(
+            "detected {:?} anchored at {}",
+            inst.kind,
+            f.display_name(inst.anchor)
+        );
         for (name, v) in inst.bindings.iter().take(8) {
             println!("   {name} = {}", f.display_name(*v));
         }
@@ -50,6 +54,8 @@ fn main() {
     idiomatch::hetero::hosts::register_all(&mut vm);
     let x = vm.mem.alloc_f64_slice(&[1.0, 2.0, 3.0, 4.0]);
     let y = vm.mem.alloc_f64_slice(&[2.0, 2.0, 2.0, 2.0]);
-    let r = vm.run("dot", &[Value::P(x), Value::P(y), Value::I(4)]).unwrap();
+    let r = vm
+        .run("dot", &[Value::P(x), Value::P(y), Value::I(4)])
+        .unwrap();
     println!("dot([1,2,3,4],[2,2,2,2]) = {:?}  (expected 20)", r);
 }

@@ -24,19 +24,36 @@ fn setup(mem: &mut idiomatch::interp::Memory) -> Vec<Value> {
     let vals = mem.alloc_f64_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
     let z = mem.alloc_f64_slice(&[1.5, -2.0, 0.5, 3.0]);
     let r = mem.alloc_f64_slice(&[0.0; 4]);
-    vec![Value::P(vals), Value::P(rowstr), Value::P(colidx), Value::P(z), Value::P(r), Value::I(4)]
+    vec![
+        Value::P(vals),
+        Value::P(rowstr),
+        Value::P(colidx),
+        Value::P(z),
+        Value::P(r),
+        Value::I(4),
+    ]
 }
 
 fn main() {
     let module = idiomatch::minicc::compile(CG_KERNEL, "cg").expect("compiles");
     let f = module.function("spmv").unwrap();
     let insts = idiomatch::idioms::detect(f);
-    let spmv = insts.iter().find(|i| i.kind == IdiomKind::Spmv).expect("SPMV detected");
+    let spmv = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Spmv)
+        .expect("SPMV detected");
     println!("== Figure 5: constraint solution ==");
     for var in [
-        "iterator", "inner.iter_begin", "inner.iter_end", "inner.iterator",
-        "idx_read.value", "indir_read.value", "output.address",
-        "idx_read.base_pointer", "seq_read.base_pointer", "indir_read.base_pointer",
+        "iterator",
+        "inner.iter_begin",
+        "inner.iter_end",
+        "inner.iterator",
+        "idx_read.value",
+        "indir_read.value",
+        "output.address",
+        "idx_read.base_pointer",
+        "seq_read.base_pointer",
+        "indir_read.base_pointer",
     ] {
         println!("  {var:>24} = {}", f.display_name(spmv.value(var).unwrap()));
     }

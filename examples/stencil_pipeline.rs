@@ -19,8 +19,14 @@ fn main() {
     let mut module = idiomatch::minicc::compile(JACOBI, "jacobi").expect("compiles");
     let f = module.function("jacobi").unwrap();
     let insts = idiomatch::idioms::detect(f);
-    let st = insts.iter().find(|i| i.kind == IdiomKind::Stencil2D).expect("stencil found");
-    println!("detected Stencil2D with {} taps", st.family("read_value").len());
+    let st = insts
+        .iter()
+        .find(|i| i.kind == IdiomKind::Stencil2D)
+        .expect("stencil found");
+    println!(
+        "detected Stencil2D with {} taps",
+        st.family("read_value").len()
+    );
 
     // Outline the kernel and show the paper's IR-to-C backend output.
     let reads = st.family("read_value");
@@ -28,8 +34,14 @@ fn main() {
     let kernel = xform::outline_kernel(f, out_value, &reads, "jacobi_kernel").expect("pure");
     let c = xform::ir_to_c(&kernel.function).expect("expressible in C");
     println!("\n== kernel function (IR-to-C backend, for Lift) ==\n{c}");
-    println!("== Lift program ==\n{}", xform::dsl::lift_program(f, st, &c));
-    println!("== Halide pipeline ==\n{}", xform::dsl::halide_program(f, st).unwrap());
+    println!(
+        "== Lift program ==\n{}",
+        xform::dsl::lift_program(f, st, &c)
+    );
+    println!(
+        "== Halide pipeline ==\n{}",
+        xform::dsl::halide_program(f, st).unwrap()
+    );
 
     // Generate device code and rewrite the program.
     let rep = xform::apply_replacement(&mut module, st, 0).expect("replaced");

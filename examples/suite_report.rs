@@ -6,7 +6,10 @@
 
 fn main() {
     let mut total = 0;
-    println!("{:<8} {:>7} {:>9}  best platform", "bench", "idioms", "coverage");
+    println!(
+        "{:<8} {:>7} {:>9}  best platform",
+        "bench", "idioms", "coverage"
+    );
     for b in idiomatch::benchsuite::all() {
         let a = idiomatch::core::analyze(&b);
         let n: usize = a.by_class.values().sum();
@@ -17,9 +20,7 @@ fn main() {
             idiomatch::hetero::Platform::Gpu,
         ]
         .iter()
-        .filter_map(|&p| {
-            idiomatch::core::speedup_on(&a, p, a.lazy).map(|(api, s)| (p, api, s))
-        })
+        .filter_map(|&p| idiomatch::core::speedup_on(&a, p, a.lazy).map(|(api, s)| (p, api, s)))
         .max_by(|x, y| x.2.total_cmp(&y.2));
         match best {
             Some((p, api, s)) if a.covered => println!(
@@ -31,7 +32,12 @@ fn main() {
                 p.label(),
                 api.label()
             ),
-            _ => println!("{:<8} {:>7} {:>8.1}%  (idioms not worth offloading)", a.name, n, 100.0 * a.coverage),
+            _ => println!(
+                "{:<8} {:>7} {:>8.1}%  (idioms not worth offloading)",
+                a.name,
+                n,
+                100.0 * a.coverage
+            ),
         }
     }
     println!("\ntotal idiom instances: {total} (paper: 60)");

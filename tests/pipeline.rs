@@ -84,7 +84,10 @@ fn figure_8_both_forms_are_the_same_idiom() {
 
 #[test]
 fn transformed_spmv_runs_on_the_simulated_library() {
-    let b = idiomatch::benchsuite::all().into_iter().find(|b| b.name == "spmv").unwrap();
+    let b = idiomatch::benchsuite::all()
+        .into_iter()
+        .find(|b| b.name == "spmv")
+        .unwrap();
     let module = idiomatch::minicc::compile(b.source, b.name).unwrap();
     let (transformed, rep) =
         pipeline::transform_and_validate(&module, b.entry, b.setup, IdiomKind::Spmv)
@@ -99,7 +102,10 @@ fn transformed_spmv_runs_on_the_simulated_library() {
 
 #[test]
 fn detection_is_deterministic() {
-    let b = idiomatch::benchsuite::all().into_iter().find(|b| b.name == "CG").unwrap();
+    let b = idiomatch::benchsuite::all()
+        .into_iter()
+        .find(|b| b.name == "CG")
+        .unwrap();
     let m = idiomatch::minicc::compile(b.source, b.name).unwrap();
     let run = || {
         let mut v = Vec::new();

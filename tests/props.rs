@@ -10,7 +10,11 @@ fn arb_program() -> impl Strategy<Value = String> {
         let mut vals = vec!["%a".to_owned(), "%b".to_owned()];
         for (k, (op, pick)) in steps.iter().enumerate() {
             let x = vals[k % vals.len()].clone();
-            let y = if *pick { vals[0].clone() } else { vals[vals.len() - 1].clone() };
+            let y = if *pick {
+                vals[0].clone()
+            } else {
+                vals[vals.len() - 1].clone()
+            };
             let mn = match op {
                 0 => "add",
                 1 => "mul",
@@ -26,6 +30,38 @@ fn arb_program() -> impl Strategy<Value = String> {
     })
 }
 
+/// Random small minicc programs exercising the statement/expression forms
+/// the frontend supports: loops, compound assignment, intrinsic calls,
+/// ternaries, guards and array writes.
+fn arb_minicc() -> impl Strategy<Value = String> {
+    let stmt = (0u8..6, -4i32..5).prop_map(|(kind, c)| match kind {
+        0 => format!("s = s + x[i] * {c}.0;"),
+        1 => "s = fmax(s, fabs(x[i]));".to_owned(),
+        2 => format!("y[i] = x[i] * {c}.0;"),
+        3 => format!("s += x[i] > {c}.0 ? x[i] : 0.0;"),
+        4 => format!("if (x[i] > {c}.0) {{ y[i] = x[i]; }}"),
+        _ => format!("t = t + {c};"),
+    });
+    (proptest::collection::vec(stmt, 1..6), 0u8..3).prop_map(|(stmts, bound)| {
+        let body = stmts.join("\n                ");
+        let header = match bound {
+            0 => "for (int i = 0; i < n; i++)",
+            1 => "for (int i = 0; i < n - 1; i += 2)",
+            _ => "for (int i = 1; n > i; i++)",
+        };
+        format!(
+            "double f(double* x, double* y, int n) {{
+            double s = 0.0;
+            int t = 0;
+            {header} {{
+                {body}
+            }}
+            return s + (double)t;
+        }}"
+        )
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -36,6 +72,29 @@ proptest! {
         let f2 = idiomatch::ssair::parser::parse_function_text(&p1).unwrap();
         let p2 = idiomatch::ssair::printer::print_function(&f2);
         prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn printer_parser_round_trip_preserves_module_equality(src in arb_program()) {
+        // Module-level: parsing the printed form reproduces the module
+        // structurally (same arenas, blocks and operands), not just the
+        // same text.
+        let m1 = idiomatch::ssair::parser::parse_module(&src).unwrap();
+        let p1 = idiomatch::ssair::printer::print_module(&m1);
+        let m2 = idiomatch::ssair::parser::parse_module(&p1).unwrap();
+        prop_assert_eq!(&m1, &m2);
+    }
+
+    #[test]
+    fn verify_accepts_everything_minicc_lowers(src in arb_minicc()) {
+        // The frontend contract: both the raw lowering and the optimized
+        // pipeline only ever produce verifier-clean modules.
+        let raw = idiomatch::minicc::compile_unoptimized(&src, "prop").unwrap();
+        prop_assert!(idiomatch::ssair::verify::verify_module(&raw).is_ok(),
+            "unoptimized module fails verification");
+        let opt = idiomatch::minicc::compile(&src, "prop").unwrap();
+        prop_assert!(idiomatch::ssair::verify::verify_module(&opt).is_ok(),
+            "optimized module fails verification");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Offline stand-in for the real `criterion` crate.
+//!
+//! The build environment has no network access, so this vendors a
+//! minimal wall-clock bench harness with the criterion surface the
+//! workspace uses: `Criterion::default().sample_size(n)`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros (with `harness = false` in the bench
+//! target, exactly like real criterion). No statistics beyond
+//! min/mean — this exists so benches compile, run and print numbers,
+//! not to replace criterion's analysis.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Bench driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each bench takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+        };
+        // One untimed warmup pass, then the timed samples.
+        f(&mut b);
+        b.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let n = b.samples_ns.len().max(1) as f64;
+        let mean = b.samples_ns.iter().sum::<f64>() / n;
+        let min = b.samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "bench: {name:<40} mean {:>12} min {:>12}",
+            fmt_ns(mean),
+            fmt_ns(min)
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Per-bench timing handle (stand-in for `criterion::Bencher`).
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.samples_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+    }
+}
+
+/// Declares a bench group (stand-in for `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point (stand-in for `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build environment has no network access; the workspace only uses
+//! serde as `#[derive(Serialize)]` markers today, so this exposes the
+//! trait names and re-exports the stand-in derives. Swap this vendor
+//! crate for the real dependency when a registry is available — call
+//! sites will not need to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided — the
+/// stand-in never borrows from an input).
+pub trait Deserialize {}

@@ -1,0 +1,53 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no network access, so instead of the real
+//! serde derive machinery this emits a marker-trait impl. The derives
+//! accept the same invocation sites (`#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]`) and produce `impl serde::Serialize` /
+//! `impl serde::Deserialize` for the annotated type, which is all the
+//! workspace needs until real serialization is wired up.
+
+use proc_macro::TokenStream;
+
+/// Extracts the identifier of the type a `derive` was attached to.
+///
+/// Walks the token stream past attributes, doc comments, visibility and
+/// generics-free struct/enum/union keywords to the type name.
+fn type_ident(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(proc_macro::TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    match type_ident(&input) {
+        // Generic types would need where-clauses; none of the workspace
+        // types that derive serde traits are generic.
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
+
+/// Stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}

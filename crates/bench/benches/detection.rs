@@ -12,13 +12,16 @@ fn bench_detection(c: &mut Criterion) {
         .map(|b| minicc::compile(b.source, b.name).unwrap())
         .collect();
     c.bench_function("detect_all_21_benchmarks", |b| {
+        // The parallel driver fans out over ALL functions of the suite at
+        // once (not per module) so the fan-out isn't throttled by small
+        // modules.
+        let fs: Vec<&ssair::Function> = modules.iter().flat_map(|m| &m.functions).collect();
+        let opts = idioms::DetectOptions::default();
         b.iter(|| {
-            let mut n = 0;
-            for m in &modules {
-                for f in &m.functions {
-                    n += idioms::detect(f).len();
-                }
-            }
+            let n: usize = idioms::detect_functions(&fs, &opts)
+                .iter()
+                .map(|d| d.instances.len())
+                .sum();
             assert_eq!(n, 60);
         })
     });

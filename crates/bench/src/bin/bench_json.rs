@@ -1,0 +1,78 @@
+//! Machine-readable perf baseline: times suite-wide idiom detection and
+//! writes `BENCH_detect.json` (mean/min ms per full-suite pass, total and
+//! per-idiom solver steps) so the performance trajectory across PRs has
+//! comparable data points.
+//!
+//! Usage: `cargo run --release -p idiomatch-bench --bin bench_json`
+//! (optionally `[passes] [output-path]`).
+
+use idioms::{DetectOptions, IdiomKind};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() {
+    // Arguments in any order: a number is the pass count, anything else
+    // is the output path.
+    let mut passes: usize = 10;
+    let mut out_path = String::from("BENCH_detect.json");
+    for arg in std::env::args().skip(1) {
+        match arg.parse::<usize>() {
+            Ok(n) => passes = n.max(1),
+            Err(_) => out_path = arg,
+        }
+    }
+
+    let modules: Vec<ssair::Module> = benchsuite::all()
+        .iter()
+        .map(|b| minicc::compile(b.source, b.name).expect("bundled benchmark compiles"))
+        .collect();
+    let fs: Vec<&ssair::Function> = modules.iter().flat_map(|m| &m.functions).collect();
+    let opts = DetectOptions::default();
+
+    // Warm-up pass (also the source of the step/instance counts, which
+    // are deterministic across passes).
+    let detections = idioms::detect_functions(&fs, &opts);
+    let instances: usize = detections.iter().map(|d| d.instances.len()).sum();
+    let complete = detections.iter().all(|d| d.complete);
+    let total_steps: u64 = detections.iter().map(|d| d.steps).sum();
+    let mut steps_by_idiom: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for d in &detections {
+        for (&kind, &s) in &d.steps_by_kind {
+            *steps_by_idiom.entry(kind.constraint_name()).or_default() += s;
+        }
+    }
+    debug_assert_eq!(steps_by_idiom.len(), IdiomKind::ALL.len());
+
+    let mut samples_ms: Vec<f64> = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let t = Instant::now();
+        let n: usize = idioms::detect_functions(&fs, &opts)
+            .iter()
+            .map(|d| d.instances.len())
+            .sum();
+        assert_eq!(n, instances, "detection must be deterministic");
+        samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean_ms = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
+    let min_ms = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+
+    // Hand-rolled JSON: flat, deterministic key order, no dependencies.
+    let steps_json: Vec<String> = steps_by_idiom
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"detect_all_21_benchmarks\",\n  \"functions\": {},\n  \"instances\": {},\n  \"passes\": {},\n  \"mean_ms\": {:.3},\n  \"min_ms\": {:.3},\n  \"complete\": {},\n  \"total_solve_steps\": {},\n  \"solve_steps_by_idiom\": {{\n{}\n  }}\n}}\n",
+        fs.len(),
+        instances,
+        passes,
+        mean_ms,
+        min_ms,
+        complete,
+        total_steps,
+        steps_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("BENCH_detect.json is writable");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -1,10 +1,8 @@
 fn main() {
     for b in benchsuite::all() {
         let module = minicc::compile(b.source, b.name).unwrap();
-        for f in &module.functions {
-            for inst in idioms::detect(f) {
-                println!("{:10} {:20} {:?}", b.name, f.name, inst.kind);
-            }
+        for inst in idioms::detect_module(&module) {
+            println!("{:10} {:20} {:?}", b.name, inst.function, inst.kind);
         }
     }
 }

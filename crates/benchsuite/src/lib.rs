@@ -141,10 +141,8 @@ mod tests {
         let mut by_class: BTreeMap<&str, usize> = BTreeMap::new();
         for b in all() {
             let module = minicc::compile(b.source, b.name).unwrap();
-            for f in &module.functions {
-                for inst in idioms::detect(f) {
-                    *by_class.entry(inst.kind.class_label()).or_default() += 1;
-                }
+            for inst in idioms::detect_module(&module) {
+                *by_class.entry(inst.kind.class_label()).or_default() += 1;
             }
         }
         assert_eq!(
@@ -230,6 +228,36 @@ mod tests {
             }
             if !b.covered {
                 assert!(cov < 0.5, "{}: coverage {cov:.2} should be minor", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_detection_over_the_whole_suite() {
+        // The parallel module driver must be byte-identical to the serial
+        // per-function loop on every benchmark of the suite: same
+        // instances, same order, same bindings.
+        for b in all() {
+            let module = minicc::compile(b.source, b.name).unwrap();
+            let serial: Vec<idioms::IdiomInstance> =
+                module.functions.iter().flat_map(idioms::detect).collect();
+            let parallel = idioms::detect_module(&module);
+            assert_eq!(serial, parallel, "{}: parallel != serial", b.name);
+        }
+    }
+
+    #[test]
+    fn suite_detection_is_complete_under_default_budgets() {
+        // The default budgets must be generous enough that no benchmark's
+        // detection is silently truncated (the Table-1 counts are real).
+        for b in all() {
+            let module = minicc::compile(b.source, b.name).unwrap();
+            for (f, d) in module
+                .functions
+                .iter()
+                .map(|f| (f, idioms::detect_with(f, &idioms::DetectOptions::default())))
+            {
+                assert!(d.complete, "{}::{} detection truncated", b.name, f.name);
             }
         }
     }

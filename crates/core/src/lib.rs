@@ -69,10 +69,8 @@ pub fn analyze(b: &benchsuite::Benchmark) -> Analysis {
     let compile_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let mut instances = Vec::new();
-    for f in &module.functions {
-        instances.extend(idioms::detect(f));
-    }
+    // Parallel fan-out over functions; deterministic module-ordered output.
+    let instances = idioms::detect_module(&module);
     let detect_s = t1.elapsed().as_secs_f64();
 
     let mut by_class: BTreeMap<&'static str, usize> = BTreeMap::new();
@@ -277,10 +275,10 @@ pub fn transform_and_validate(
     setup: fn(&mut interp::Memory) -> Vec<Value>,
     kind: IdiomKind,
 ) -> Result<(Module, xform::Replacement), String> {
-    let mut insts = Vec::new();
-    for f in &module.functions {
-        insts.extend(idioms::detect(f).into_iter().filter(|i| i.kind == kind));
-    }
+    let insts: Vec<_> = idioms::detect_module(module)
+        .into_iter()
+        .filter(|i| i.kind == kind)
+        .collect();
     let inst = insts
         .first()
         .ok_or_else(|| format!("no {kind:?} instance found"))?;

@@ -11,7 +11,12 @@
 //! `solver` crate.
 //!
 //! [`detect`] runs every idiom over a function and post-processes raw
-//! solver solutions into deduplicated [`IdiomInstance`]s:
+//! solver solutions into deduplicated [`IdiomInstance`]s;
+//! [`detect_module`] fans the per-function searches out over scoped
+//! threads (functions are independent) and re-assembles the results in
+//! deterministic module order, and [`detect_with`] additionally reports
+//! solver cost and whether any search was truncated by a limit
+//! ([`Detection`]). Post-processing:
 //!
 //! * solver symmetries (commuted operands, transposed matrix roles)
 //!   collapse onto one instance per anchor instruction;
@@ -21,9 +26,10 @@
 
 use idl::{CompiledConstraint, Library};
 use solver::{Solution, SolveOptions, Solver};
-use ssair::{BlockId, Function, ValueId};
+use ssair::{BlockId, Function, Module, ValueId};
 use std::collections::BTreeMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// The building-block IDL source (paper §4.1).
 pub const BUILDING_BLOCKS_IDL: &str = include_str!("../idl/building_blocks.idl");
@@ -136,7 +142,7 @@ pub fn idl_line_count() -> usize {
 }
 
 /// One detected idiom instance in a function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdiomInstance {
     /// The idiom class.
     pub kind: IdiomKind,
@@ -203,29 +209,54 @@ impl Default for DetectOptions {
     }
 }
 
+/// The outcome of running the full idiom library over one function.
+///
+/// Detection that hits a solver limit (`max_solutions`/`max_steps`) may
+/// silently miss instances; `complete` surfaces that truncation so
+/// callers can widen the budget or flag the result, instead of treating
+/// an undercount as the true population.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Deduplicated, priority-filtered instances.
+    pub instances: Vec<IdiomInstance>,
+    /// `false` if any idiom's search was cut off by a limit.
+    pub complete: bool,
+    /// Total solver assignment steps across all idioms.
+    pub steps: u64,
+    /// Solver steps per idiom kind (the per-idiom cost profile).
+    pub steps_by_kind: BTreeMap<IdiomKind, u64>,
+}
+
 /// Runs the full idiom library over `f` and returns deduplicated,
 /// priority-filtered instances.
 #[must_use]
 pub fn detect(f: &Function) -> Vec<IdiomInstance> {
-    detect_with(f, &DetectOptions::default())
+    detect_with(f, &DetectOptions::default()).instances
 }
 
-/// [`detect`] with explicit limits.
+/// [`detect`] with explicit limits, reporting completeness and cost.
 #[must_use]
-pub fn detect_with(f: &Function, opts: &DetectOptions) -> Vec<IdiomInstance> {
+pub fn detect_with(f: &Function, opts: &DetectOptions) -> Detection {
     let solver = Solver::new(f);
     let solve_opts = SolveOptions {
         max_solutions: opts.max_solutions,
         max_steps: opts.max_steps,
     };
-    let an = ssair::analysis::Analyses::new(f);
+    // The solver already computed every analysis detection needs.
+    let an = solver.analyses();
     let mut out: Vec<IdiomInstance> = Vec::new();
+    let mut complete = true;
+    let mut steps = 0u64;
+    let mut steps_by_kind = BTreeMap::new();
     for &kind in &IdiomKind::ALL {
         let c = compiled(kind);
-        let sols = solver.solve(c, &solve_opts);
+        let res = solver.solve_outcome(c, &solve_opts);
+        complete &= res.complete;
+        steps += res.steps;
+        steps_by_kind.insert(kind, res.steps);
         let mut seen_anchor: Vec<ValueId> = Vec::new();
-        for sol in &sols {
-            let Some(inst) = instance_from_solution(f, &an, kind, sol) else {
+        for sol in &res.solutions {
+            let Some(inst) = instance_from_solution(f, an, kind, sol) else {
                 continue;
             };
             if seen_anchor.contains(&inst.anchor) {
@@ -242,7 +273,70 @@ pub fn detect_with(f: &Function, opts: &DetectOptions) -> Vec<IdiomInstance> {
             out.push(inst);
         }
     }
-    out
+    Detection {
+        instances: out,
+        complete,
+        steps,
+        steps_by_kind,
+    }
+}
+
+/// Runs detection over every function of `m` in parallel and returns the
+/// instances in function order — byte-identical to running [`detect`] on
+/// each function serially, because per-function detection is independent
+/// and results are stitched back in module order.
+#[must_use]
+pub fn detect_module(m: &Module) -> Vec<IdiomInstance> {
+    detect_module_with(m, &DetectOptions::default())
+}
+
+/// [`detect_module`] with explicit limits.
+#[must_use]
+pub fn detect_module_with(m: &Module, opts: &DetectOptions) -> Vec<IdiomInstance> {
+    let fs: Vec<&Function> = m.functions.iter().collect();
+    detect_functions(&fs, opts)
+        .into_iter()
+        .flat_map(|d| d.instances)
+        .collect()
+}
+
+/// The parallel detection driver: fans `detect_with` out over `fs` with
+/// scoped threads (no extra dependencies) and returns one [`Detection`]
+/// per function, in input order. Functions are handed out through a
+/// shared counter so long functions don't serialize behind short ones.
+#[must_use]
+pub fn detect_functions(fs: &[&Function], opts: &DetectOptions) -> Vec<Detection> {
+    // Compile the idiom library once, before fanning out, so workers
+    // don't contend on the lazy-init lock.
+    for kind in IdiomKind::ALL {
+        let _ = compiled(kind);
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(fs.len());
+    if workers <= 1 {
+        return fs.iter().map(|f| detect_with(f, opts)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Detection>>> = fs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(f) = fs.get(i) else { break };
+                let d = detect_with(f, opts);
+                *slots[i].lock().expect("no poisoned result slot") = Some(d);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned result slot")
+                .expect("every function slot filled")
+        })
+        .collect()
 }
 
 fn instance_from_solution(

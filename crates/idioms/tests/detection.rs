@@ -229,3 +229,79 @@ fn bindings_expose_the_figure_5_variables() {
         assert!(spmv.value(var).is_some(), "missing binding for {var}");
     }
 }
+
+#[test]
+fn detect_module_matches_the_serial_per_function_loop() {
+    // The parallel driver must be observably identical to the serial
+    // loop: same instances, same order, same bindings.
+    let m = minicc::compile(
+        "double mixed(double* x, double* y, int* bins, int* key, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s += x[i];
+            for (int i = 0; i < n; i++) bins[key[i]] += 1;
+            for (int i = 1; i < n - 1; i++) y[i] = x[i-1] + x[i] + x[i+1];
+            return s;
+        }
+        double dot(double* x, double* y, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s += x[i] * y[i];
+            return s;
+        }
+        double plain(double* x, int n) {
+            double last = 0.0;
+            for (int i = 0; i < n; i++) last = x[i];
+            return last;
+        }",
+        "t",
+    )
+    .unwrap();
+    let serial: Vec<_> = m.functions.iter().flat_map(detect).collect();
+    let parallel = idioms::detect_module(&m);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.kind, p.kind);
+        assert_eq!(s.function, p.function);
+        assert_eq!(s.anchor, p.anchor);
+        assert_eq!(s.blocks, p.blocks);
+        assert_eq!(s.bindings, p.bindings);
+    }
+}
+
+#[test]
+fn detect_with_surfaces_truncation() {
+    let m = minicc::compile(
+        "double many(double* x, double* y, double* z, int n) {
+            double a = 0.0; double b = 0.0; double c = 0.0;
+            for (int i = 0; i < n; i++) a += x[i];
+            for (int i = 0; i < n; i++) b += y[i];
+            for (int i = 0; i < n; i++) c += z[i];
+            return a + b + c;
+        }",
+        "t",
+    )
+    .unwrap();
+    let f = m.function("many").unwrap();
+    let full = idioms::detect_with(f, &idioms::DetectOptions::default());
+    assert!(full.complete, "generous limits: enumeration finishes");
+    assert_eq!(full.instances.len(), 3);
+    assert!(full.steps > 0);
+    assert_eq!(full.steps_by_kind.len(), 6, "one entry per idiom kind");
+    assert_eq!(
+        full.steps,
+        full.steps_by_kind.values().sum::<u64>(),
+        "total is the sum of the per-kind costs"
+    );
+    // A starved budget must be reported, not silently undercounted.
+    let starved = idioms::detect_with(
+        f,
+        &idioms::DetectOptions {
+            max_steps: 10,
+            ..idioms::DetectOptions::default()
+        },
+    );
+    assert!(
+        !starved.complete,
+        "step-starved detection reports truncation"
+    );
+    assert!(starved.instances.len() < 3);
+}

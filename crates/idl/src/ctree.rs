@@ -317,6 +317,118 @@ impl CTree {
     }
 }
 
+/// The shape of one node in a [`TreeIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexedKind<'t> {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Atomic constraint.
+    Atom(&'t Atom),
+    /// All-solutions sub-search (a leaf for evaluation purposes: its
+    /// instances are solved at finalization, not during the search).
+    Collect,
+}
+
+/// One flattened node of a [`TreeIndex`].
+#[derive(Debug, Clone)]
+pub struct IndexedNode<'t> {
+    /// Node shape (and the atom itself for leaves).
+    pub kind: IndexedKind<'t>,
+    /// Parent node id (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child node ids (empty for `Atom`/`Collect`).
+    pub children: Vec<usize>,
+}
+
+/// A flat, pre-order index over a [`CTree`], built once per search.
+///
+/// The solver's incremental evaluator needs two things the recursive tree
+/// cannot answer cheaply: *which atoms mention a given variable* (the
+/// watcher lists) and *how to reach every ancestor of a node* (the parent
+/// links along which cached `And`/`Or` truth values are repaired after a
+/// binding). Node 0 is the root; children always have larger ids than
+/// their parent, so a reverse iteration visits children before parents.
+#[derive(Debug, Clone)]
+pub struct TreeIndex<'t> {
+    nodes: Vec<IndexedNode<'t>>,
+    watchers: std::collections::BTreeMap<&'t str, Vec<usize>>,
+}
+
+impl<'t> TreeIndex<'t> {
+    fn push(&mut self, tree: &'t CTree, parent: Option<usize>) -> usize {
+        let id = self.nodes.len();
+        let kind = match tree {
+            CTree::And(_) => IndexedKind::And,
+            CTree::Or(_) => IndexedKind::Or,
+            CTree::Atom(a) => IndexedKind::Atom(a),
+            CTree::Collect { .. } => IndexedKind::Collect,
+        };
+        self.nodes.push(IndexedNode {
+            kind,
+            parent,
+            children: Vec::new(),
+        });
+        match tree {
+            CTree::And(cs) | CTree::Or(cs) => {
+                for c in cs {
+                    let child = self.push(c, Some(id));
+                    self.nodes[id].children.push(child);
+                }
+            }
+            CTree::Atom(a) => {
+                for v in &a.vars {
+                    let w = self.watchers.entry(v.as_str()).or_default();
+                    if w.last() != Some(&id) {
+                        w.push(id);
+                    }
+                }
+            }
+            CTree::Collect { .. } => {}
+        }
+        id
+    }
+
+    /// All nodes, pre-order (node 0 is the root).
+    #[must_use]
+    pub fn nodes(&self) -> &[IndexedNode<'t>] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for an empty index (never produced by [`CTree::index`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of the atom nodes that mention `var` (the atoms whose truth may
+    /// change when `var` is bound or unbound).
+    #[must_use]
+    pub fn watchers(&self, var: &str) -> &[usize] {
+        self.watchers.get(var).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl CTree {
+    /// Builds the flat evaluation index for this tree.
+    #[must_use]
+    pub fn index(&self) -> TreeIndex<'_> {
+        let mut idx = TreeIndex {
+            nodes: Vec::new(),
+            watchers: std::collections::BTreeMap::new(),
+        };
+        idx.push(self, None);
+        idx
+    }
+}
+
 /// A fully compiled, solver-ready idiom definition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledConstraint {
@@ -326,6 +438,101 @@ pub struct CompiledConstraint {
     pub tree: CTree,
     /// Searchable variables in first-occurrence order.
     pub variables: Vec<String>,
+    /// Search order for `variables` (precomputed by [`order_variables`]
+    /// at compile time so per-query solve setup stays cheap).
+    pub order: Vec<String>,
+}
+
+/// Orders variables so that each one (after the first) is connected to an
+/// already-ordered variable through a generator-capable atom — the §4.4
+/// "variables are collected and ordered to assist constraint solving".
+///
+/// Precomputed adjacency and hash lookups keep this near-linear; the
+/// greedy choice (and therefore the produced order) is identical to the
+/// naive quadratic formulation.
+#[must_use]
+pub fn order_variables(tree: &CTree, vars: &[String]) -> Vec<String> {
+    use std::collections::{HashMap, HashSet};
+    let mut atoms = Vec::new();
+    collect_shallow_atoms(tree, &mut atoms);
+    // Variables with a unary bucket generator (candidate enumerable).
+    let mut anchored: HashSet<&str> = HashSet::new();
+    // var -> connector atoms (binary/ternary generators) mentioning it.
+    let mut adj: HashMap<&str, Vec<&Atom>> = HashMap::new();
+    for &a in &atoms {
+        match a.kind {
+            AtomKind::OpcodeIs(_)
+            | AtomKind::IsConstant
+            | AtomKind::IsArgument
+            | AtomKind::IsInstruction
+            | AtomKind::IsPreexecution => {
+                if let Some(v) = a.vars.first() {
+                    anchored.insert(v.as_str());
+                }
+            }
+            AtomKind::ArgumentOf { .. }
+            | AtomKind::HasEdge(_)
+            | AtomKind::ReachesPhi
+            | AtomKind::Same { negated: false } => {
+                for v in &a.vars {
+                    let entry = adj.entry(v.as_str()).or_default();
+                    // An atom lists a variable at most a couple of times;
+                    // dedup cheaply.
+                    if !entry.iter().any(|x| std::ptr::eq(*x, a)) {
+                        entry.push(a);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let has_anchor = |v: &String| anchored.contains(v.as_str());
+    let connected = |v: &String, ordered: &HashSet<String>| {
+        adj.get(v.as_str()).is_some_and(|atoms| {
+            atoms
+                .iter()
+                .any(|a| a.vars.iter().any(|w| ordered.contains(w)))
+        })
+    };
+    let mut remaining: Vec<String> = vars.to_vec();
+    let mut order: Vec<String> = Vec::with_capacity(vars.len());
+    let mut ordered_set: HashSet<String> = HashSet::new();
+    let take = |remaining: &mut Vec<String>,
+                order: &mut Vec<String>,
+                ordered_set: &mut HashSet<String>,
+                i: usize| {
+        let v = remaining.remove(i);
+        ordered_set.insert(v.clone());
+        order.push(v);
+    };
+    // Seed: an anchored variable if possible.
+    if let Some(i) = remaining.iter().position(has_anchor) {
+        take(&mut remaining, &mut order, &mut ordered_set, i);
+    } else if !remaining.is_empty() {
+        take(&mut remaining, &mut order, &mut ordered_set, 0);
+    }
+    while !remaining.is_empty() {
+        let next = remaining
+            .iter()
+            .position(|v| connected(v, &ordered_set) && has_anchor(v))
+            .or_else(|| remaining.iter().position(|v| connected(v, &ordered_set)))
+            .or_else(|| remaining.iter().position(has_anchor))
+            .unwrap_or(0);
+        take(&mut remaining, &mut order, &mut ordered_set, next);
+    }
+    order
+}
+
+fn collect_shallow_atoms<'t>(tree: &'t CTree, out: &mut Vec<&'t Atom>) {
+    match tree {
+        CTree::And(cs) | CTree::Or(cs) => {
+            for c in cs {
+                collect_shallow_atoms(c, out);
+            }
+        }
+        CTree::Atom(a) => out.push(a),
+        CTree::Collect { .. } => {}
+    }
 }
 
 #[cfg(test)]
@@ -365,5 +572,47 @@ mod tests {
         ]);
         assert_eq!(t.variables(), vec!["sum".to_owned(), "factor".to_owned()]);
         assert_eq!(t.atom_count(), 3);
+    }
+
+    #[test]
+    fn tree_index_parents_children_and_watchers() {
+        let t = CTree::And(vec![
+            CTree::Atom(Atom {
+                kind: AtomKind::OpcodeIs(OpcodeClass::Add),
+                vars: vec!["sum".into()],
+                families: vec![],
+            }),
+            CTree::Or(vec![
+                CTree::Atom(Atom {
+                    kind: AtomKind::ArgumentOf { pos: 0 },
+                    vars: vec!["factor".into(), "sum".into()],
+                    families: vec![],
+                }),
+                CTree::Atom(Atom {
+                    kind: AtomKind::ArgumentOf { pos: 1 },
+                    vars: vec!["factor".into(), "sum".into()],
+                    families: vec![],
+                }),
+            ]),
+            CTree::Collect { instances: vec![] },
+        ]);
+        let idx = t.index();
+        assert_eq!(idx.len(), 6);
+        let nodes = idx.nodes();
+        assert_eq!(nodes[0].kind, IndexedKind::And);
+        assert_eq!(nodes[0].parent, None);
+        assert_eq!(nodes[0].children, vec![1, 2, 5]);
+        assert_eq!(nodes[2].kind, IndexedKind::Or);
+        assert_eq!(nodes[2].children, vec![3, 4]);
+        assert_eq!(nodes[5].kind, IndexedKind::Collect);
+        // Children always have larger ids than their parent.
+        for (id, n) in nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!(p < id);
+            }
+        }
+        assert_eq!(idx.watchers("sum"), &[1, 3, 4]);
+        assert_eq!(idx.watchers("factor"), &[3, 4]);
+        assert!(idx.watchers("unknown").is_empty());
     }
 }

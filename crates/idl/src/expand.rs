@@ -40,10 +40,12 @@ pub fn compile(lib: &Library, name: &str) -> Result<CompiledConstraint> {
     let env = HashMap::new();
     let tree = cx.expand(&def.body, &env)?;
     let variables = tree.variables();
+    let order = crate::ctree::order_variables(&tree, &variables);
     Ok(CompiledConstraint {
         name: name.to_owned(),
         tree,
         variables,
+        order,
     })
 }
 

@@ -62,7 +62,8 @@ pub mod parser;
 
 pub use ast::{Calc, Constraint, Definition, Library, VarName};
 pub use ctree::{
-    Atom, AtomKind, CTree, CompiledConstraint, DomKind, EdgeKind, OpcodeClass, TypeClass,
+    order_variables, Atom, AtomKind, CTree, CompiledConstraint, DomKind, EdgeKind, IndexedKind,
+    IndexedNode, OpcodeClass, TreeIndex, TypeClass,
 };
 pub use expand::{compile, ExpandError};
 pub use parser::{parse_library, ParseError};

@@ -1,6 +1,6 @@
 //! The search engine.
 
-use idl::{Atom, AtomKind, CTree, CompiledConstraint, EdgeKind, TypeClass};
+use idl::{Atom, AtomKind, CTree, CompiledConstraint, EdgeKind, IndexedKind, TreeIndex, TypeClass};
 use ssair::analysis::{
     all_control_flow_passes_through, all_data_flow_passes_through, kernel_slice, Analyses,
 };
@@ -19,6 +19,27 @@ pub struct Solution {
     /// The bindings, including family members produced by `collect` and
     /// `Concat`.
     pub bindings: BTreeMap<String, ValueId>,
+}
+
+/// The result of a search, including whether it was exhaustive.
+///
+/// A search cut off by [`SolveOptions::max_solutions`] or
+/// [`SolveOptions::max_steps`] may have missed solutions; `complete`
+/// distinguishes that from a genuinely finished enumeration so callers
+/// (e.g. idiom detection) can surface truncation instead of silently
+/// undercounting.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The deduplicated solutions found.
+    pub solutions: Vec<Solution>,
+    /// `true` if the enumeration finished without hitting a limit
+    /// (including inside `collect` sub-searches). A `collect` body that
+    /// fills its IDL-declared family capacity is *not* truncation — that
+    /// cap is structural, so it never clears this flag.
+    pub complete: bool,
+    /// Assignment steps consumed, *including* `collect` sub-searches —
+    /// never more than `max_steps`.
+    pub steps: u64,
 }
 
 /// Search limits.
@@ -111,10 +132,24 @@ impl<'f> Solver<'f> {
         }
     }
 
+    /// The per-function analyses computed at construction (shared with
+    /// detection post-processing so they are not recomputed).
+    #[must_use]
+    pub fn analyses(&self) -> &Analyses {
+        &self.an
+    }
+
     /// Enumerates all solutions of `c` (deduplicated), subject to `opts`.
     #[must_use]
     pub fn solve(&self, c: &CompiledConstraint, opts: &SolveOptions) -> Vec<Solution> {
-        self.solve_with(&c.tree, Assignment::new(), opts)
+        self.solve_outcome(c, opts).solutions
+    }
+
+    /// [`Solver::solve`], also reporting completeness and steps consumed.
+    /// Uses the variable order precomputed at constraint compile time.
+    #[must_use]
+    pub fn solve_outcome(&self, c: &CompiledConstraint, opts: &SolveOptions) -> SolveOutcome {
+        self.run_search(&c.tree, Assignment::new(), c.order.clone(), opts)
     }
 
     /// Solves `tree` starting from a partial assignment (used for `collect`
@@ -126,24 +161,51 @@ impl<'f> Solver<'f> {
         initial: Assignment,
         opts: &SolveOptions,
     ) -> Vec<Solution> {
+        self.solve_with_outcome(tree, initial, opts).solutions
+    }
+
+    /// [`Solver::solve_with`], also reporting completeness and steps.
+    #[must_use]
+    pub fn solve_with_outcome(
+        &self,
+        tree: &CTree,
+        initial: Assignment,
+        opts: &SolveOptions,
+    ) -> SolveOutcome {
         let vars: Vec<String> = tree
             .variables()
             .into_iter()
             .filter(|v| !initial.contains_key(v))
             .collect();
-        let order = order_variables(tree, &vars);
+        let order = idl::order_variables(tree, &vars);
+        self.run_search(tree, initial, order, opts)
+    }
+
+    fn run_search(
+        &self,
+        tree: &CTree,
+        initial: Assignment,
+        order: Vec<String>,
+        opts: &SolveOptions,
+    ) -> SolveOutcome {
         let mut cx = SearchCx {
             solver: self,
             tree,
+            inc: IncEval::new(self, tree, &initial),
             order,
             opts,
             steps: 0,
+            complete: true,
             out: Vec::new(),
             seen: HashSet::new(),
         };
         let mut asg = initial;
         cx.search(0, &mut asg);
-        cx.out
+        SolveOutcome {
+            solutions: cx.out,
+            complete: cx.complete,
+            steps: cx.steps,
+        }
     }
 
     // ----- atom evaluation -----
@@ -428,52 +490,11 @@ impl<'f> Solver<'f> {
         }
     }
 
-    fn gen_tree(&self, tree: &CTree, var: &str, asg: &Assignment) -> Option<Vec<ValueId>> {
-        match tree {
-            CTree::Atom(a) => self.gen_atom(a, var, asg),
-            CTree::And(cs) => {
-                let mut acc: Option<Vec<ValueId>> = None;
-                for c in cs {
-                    if let Some(g) = self.gen_tree(c, var, asg) {
-                        acc = Some(match acc {
-                            None => g,
-                            Some(prev) => {
-                                let set: HashSet<ValueId> = g.into_iter().collect();
-                                prev.into_iter().filter(|v| set.contains(v)).collect()
-                            }
-                        });
-                        if acc.as_ref().is_some_and(Vec::is_empty) {
-                            return acc; // empty intersection, prune hard
-                        }
-                    }
-                }
-                acc
-            }
-            CTree::Or(cs) => {
-                // A union is only a sound generator if EVERY branch
-                // generates (otherwise an ungenerated branch might admit
-                // other values). Branches already falsified under the
-                // current assignment admit nothing and are skipped.
-                let mut union: Vec<ValueId> = Vec::new();
-                for c in cs {
-                    if self.eval3(c, asg) == Tri::False {
-                        continue;
-                    }
-                    let g = self.gen_tree(c, var, asg)?;
-                    for v in g {
-                        if !union.contains(&v) {
-                            union.push(v);
-                        }
-                    }
-                }
-                Some(union)
-            }
-            CTree::Collect { .. } => None,
-        }
-    }
-
     // ----- 3-valued evaluation -----
 
+    /// Recursive whole-tree evaluation. Superseded on the search hot path
+    /// by the incremental [`IncEval`]; kept as the `debug_assert!` oracle
+    /// the incremental evaluator is checked against under test.
     fn eval3(&self, tree: &CTree, asg: &Assignment) -> Tri {
         match tree {
             CTree::Atom(a) => self.eval_atom(a, asg),
@@ -503,31 +524,6 @@ impl<'f> Solver<'f> {
                 result
             }
             CTree::Collect { .. } => Tri::Unknown,
-        }
-    }
-
-    /// `true` if assigning `var` can still influence the truth of `tree`
-    /// under the partial assignment `asg` (see don't-care elimination in
-    /// the search loop).
-    fn is_relevant(&self, tree: &CTree, var: &str, asg: &Assignment) -> bool {
-        match tree {
-            CTree::And(cs) => cs.iter().any(|c| self.is_relevant(c, var, asg)),
-            CTree::Or(cs) => {
-                // A branch that is already false stays false: ground atoms
-                // never change once their variables are bound, so variables
-                // appearing only under a falsified branch cannot influence
-                // the formula either. One evaluation pass serves both the
-                // satisfied-disjunction check and the per-branch filter.
-                let branch_vals: Vec<Tri> = cs.iter().map(|c| self.eval3(c, asg)).collect();
-                if branch_vals.contains(&Tri::True) {
-                    return false;
-                }
-                cs.iter()
-                    .zip(&branch_vals)
-                    .any(|(c, &v)| v != Tri::False && self.is_relevant(c, var, asg))
-            }
-            CTree::Atom(a) => a.vars.iter().any(|v| v == var),
-            CTree::Collect { .. } => false,
         }
     }
 
@@ -563,9 +559,22 @@ impl<'f> Solver<'f> {
 
     /// Runs collects/concats and checks deferred atoms. Returns the
     /// completed assignment or `None` if some deferred constraint fails.
-    fn finalize(&self, tree: &CTree, asg: &Assignment, opts: &SolveOptions) -> Option<Assignment> {
+    ///
+    /// `steps` is the *shared* step counter of the enclosing search:
+    /// `collect` sub-searches only spend what remains of the budget and
+    /// charge their consumption back, so total work stays bounded by
+    /// `opts.max_steps` even across nested searches. An exhausted or
+    /// truncated sub-search clears `complete`.
+    fn finalize(
+        &self,
+        tree: &CTree,
+        asg: &Assignment,
+        opts: &SolveOptions,
+        steps: &mut u64,
+        complete: &mut bool,
+    ) -> Option<Assignment> {
         let mut full = asg.clone();
-        self.run_bindings(tree, &mut full, opts)?;
+        self.run_bindings(tree, &mut full, opts, steps, complete)?;
         if self.eval_final(tree, &full) {
             Some(full)
         } else {
@@ -574,11 +583,18 @@ impl<'f> Solver<'f> {
     }
 
     /// Executes `collect` and `Concat` nodes along the conjunctive spine.
-    fn run_bindings(&self, tree: &CTree, full: &mut Assignment, opts: &SolveOptions) -> Option<()> {
+    fn run_bindings(
+        &self,
+        tree: &CTree,
+        full: &mut Assignment,
+        opts: &SolveOptions,
+        steps: &mut u64,
+        complete: &mut bool,
+    ) -> Option<()> {
         match tree {
             CTree::And(cs) => {
                 for c in cs {
-                    self.run_bindings(c, full, opts)?;
+                    self.run_bindings(c, full, opts, steps, complete)?;
                 }
                 Some(())
             }
@@ -603,11 +619,20 @@ impl<'f> Solver<'f> {
                 }
                 let sub_opts = SolveOptions {
                     max_solutions: instances.len(),
-                    max_steps: opts.max_steps,
+                    max_steps: opts.max_steps.saturating_sub(*steps),
                 };
-                let sols = self.solve_with(&instances[0], full.clone(), &sub_opts);
+                let out = self.solve_with_outcome(&instances[0], full.clone(), &sub_opts);
+                *steps = steps.saturating_add(out.steps);
+                // Only *budget* truncation counts as incompleteness. The
+                // solution cap here is the IDL-declared family capacity
+                // (`collect i N`): stopping at N members is the constraint
+                // working as written, not a missed enumeration, and no
+                // budget widening could ever "fix" it.
+                if !out.complete && out.steps >= sub_opts.max_steps {
+                    *complete = false;
+                }
                 let v0 = instances[0].variables_deep();
-                for (k, sol) in sols.iter().enumerate() {
+                for (k, sol) in out.solutions.iter().enumerate() {
                     if k >= instances.len() {
                         break;
                     }
@@ -658,23 +683,168 @@ impl<'f> Solver<'f> {
     }
 }
 
+/// Incremental watched-atom evaluation over a [`TreeIndex`].
+///
+/// Replaces the O(|tree|)-per-step recursive `eval3` walk: every node's
+/// 3-valued truth is cached, and each `And`/`Or` keeps counts of its
+/// children per truth value so a child change repairs the parent in O(1).
+/// Binding (or unbinding) a variable re-evaluates only the atoms watching
+/// that variable and propagates dirtiness along parent links — worst case
+/// O(watchers × depth) per step instead of the size of the whole tree.
+struct IncEval<'t> {
+    idx: TreeIndex<'t>,
+    /// Cached truth per node (pre-order, `vals[0]` is the root).
+    vals: Vec<Tri>,
+    /// Per composite node: how many children are currently true /
+    /// false / unknown.
+    n_true: Vec<u32>,
+    n_false: Vec<u32>,
+    n_unknown: Vec<u32>,
+}
+
+fn composite_val(kind: IndexedKind, n_true: u32, n_false: u32, n_unknown: u32) -> Tri {
+    match kind {
+        // Empty conjunction = true, empty disjunction = false (as eval3).
+        IndexedKind::And => {
+            if n_false > 0 {
+                Tri::False
+            } else if n_unknown > 0 {
+                Tri::Unknown
+            } else {
+                Tri::True
+            }
+        }
+        IndexedKind::Or => {
+            if n_true > 0 {
+                Tri::True
+            } else if n_unknown > 0 {
+                Tri::Unknown
+            } else {
+                Tri::False
+            }
+        }
+        IndexedKind::Atom(_) | IndexedKind::Collect => unreachable!("leaf"),
+    }
+}
+
+impl<'t> IncEval<'t> {
+    /// Builds the index and seeds every cache from `asg` (one full
+    /// evaluation pass; everything after is incremental).
+    fn new(solver: &Solver, tree: &'t CTree, asg: &Assignment) -> IncEval<'t> {
+        let idx = tree.index();
+        let n = idx.len();
+        let mut ev = IncEval {
+            idx,
+            vals: vec![Tri::Unknown; n],
+            n_true: vec![0; n],
+            n_false: vec![0; n],
+            n_unknown: vec![0; n],
+        };
+        // Children have larger ids than parents: reverse pre-order visits
+        // children first.
+        for id in (0..n).rev() {
+            let v = match ev.idx.nodes()[id].kind {
+                IndexedKind::Atom(a) => solver.eval_atom(a, asg),
+                IndexedKind::Collect => Tri::Unknown,
+                kind @ (IndexedKind::And | IndexedKind::Or) => {
+                    let (mut t, mut f, mut u) = (0u32, 0u32, 0u32);
+                    for &c in &ev.idx.nodes()[id].children {
+                        match ev.vals[c] {
+                            Tri::True => t += 1,
+                            Tri::False => f += 1,
+                            Tri::Unknown => u += 1,
+                        }
+                    }
+                    ev.n_true[id] = t;
+                    ev.n_false[id] = f;
+                    ev.n_unknown[id] = u;
+                    composite_val(kind, t, f, u)
+                }
+            };
+            ev.vals[id] = v;
+        }
+        ev
+    }
+
+    /// Cached truth of the whole formula.
+    fn root_val(&self) -> Tri {
+        self.vals[0]
+    }
+
+    /// Re-evaluates the atoms watching `var` against `asg` (which must
+    /// already reflect the bind or unbind) and repairs ancestor caches.
+    fn rebind(&mut self, solver: &Solver, var: &str, asg: &Assignment) {
+        let IncEval {
+            idx,
+            vals,
+            n_true,
+            n_false,
+            n_unknown,
+        } = self;
+        for &a in idx.watchers(var) {
+            let IndexedKind::Atom(atom) = idx.nodes()[a].kind else {
+                unreachable!("watchers point at atoms");
+            };
+            let mut node = a;
+            let mut newv = solver.eval_atom(atom, asg);
+            loop {
+                let old = vals[node];
+                if old == newv {
+                    break;
+                }
+                vals[node] = newv;
+                let Some(p) = idx.nodes()[node].parent else {
+                    break;
+                };
+                match old {
+                    Tri::True => n_true[p] -= 1,
+                    Tri::False => n_false[p] -= 1,
+                    Tri::Unknown => n_unknown[p] -= 1,
+                }
+                match newv {
+                    Tri::True => n_true[p] += 1,
+                    Tri::False => n_false[p] += 1,
+                    Tri::Unknown => n_unknown[p] += 1,
+                }
+                newv = composite_val(idx.nodes()[p].kind, n_true[p], n_false[p], n_unknown[p]);
+                node = p;
+            }
+        }
+    }
+}
+
 struct SearchCx<'a, 'f> {
     solver: &'a Solver<'f>,
     tree: &'a CTree,
+    inc: IncEval<'a>,
     order: Vec<String>,
     opts: &'a SolveOptions,
     steps: u64,
+    complete: bool,
     out: Vec<Solution>,
     seen: HashSet<Vec<(String, u32)>>,
 }
 
 impl SearchCx<'_, '_> {
+    /// Checks the incremental evaluator against the recursive oracle
+    /// (compiled out of release builds).
+    fn check_oracle(&self, asg: &Assignment) {
+        debug_assert_eq!(
+            self.inc.root_val(),
+            self.solver.eval3(self.tree, asg),
+            "incremental evaluator diverged from eval3 under {asg:?}"
+        );
+    }
+
     fn search(&mut self, k: usize, asg: &mut Assignment) {
-        if self.out.len() >= self.opts.max_solutions || self.steps > self.opts.max_steps {
-            return;
-        }
         if k == self.order.len() {
-            if let Some(full) = self.solver.finalize(self.tree, asg, self.opts) {
+            if let Some(full) = self.solver.finalize(
+                self.tree,
+                asg,
+                self.opts,
+                &mut self.steps,
+                &mut self.complete,
+            ) {
                 let key: Vec<(String, u32)> = full.iter().map(|(n, v)| (n.clone(), v.0)).collect();
                 if self.seen.insert(key) {
                     self.out.push(Solution { bindings: full });
@@ -689,93 +859,102 @@ impl SearchCx<'_, '_> {
         // enumerating (this is what keeps helper variables of untaken
         // `or` branches, e.g. the offset of an identity OffsetChain, from
         // multiplying solutions).
-        if !self.solver.is_relevant(self.tree, &var, asg) {
+        if !self.relevant(&var) {
             asg.insert(var.clone(), ValueId(0));
+            self.inc.rebind(self.solver, &var, asg);
+            self.check_oracle(asg);
             self.search(k + 1, asg);
             asg.remove(&var);
+            self.inc.rebind(self.solver, &var, asg);
             return;
         }
         let candidates = self
-            .solver
-            .gen_tree(self.tree, &var, asg)
+            .gen_node(0, &var, asg)
             .unwrap_or_else(|| self.solver.all_values.clone());
         for c in candidates {
-            self.steps += 1;
-            if self.steps > self.opts.max_steps {
+            if self.out.len() >= self.opts.max_solutions || self.steps >= self.opts.max_steps {
+                // Cut off with candidates still unexplored: solutions may
+                // have been missed.
+                self.complete = false;
                 return;
             }
+            self.steps += 1;
             asg.insert(var.clone(), c);
-            if self.solver.eval3(self.tree, asg) != Tri::False {
+            self.inc.rebind(self.solver, &var, asg);
+            self.check_oracle(asg);
+            if self.inc.root_val() != Tri::False {
                 self.search(k + 1, asg);
             }
             asg.remove(&var);
-            if self.out.len() >= self.opts.max_solutions {
-                return;
-            }
+            self.inc.rebind(self.solver, &var, asg);
         }
     }
-}
 
-/// Orders variables so that each one (after the first) is connected to an
-/// already-ordered variable through a generator-capable atom — the §4.4
-/// "variables are collected and ordered to assist constraint solving".
-fn order_variables(tree: &CTree, vars: &[String]) -> Vec<String> {
-    let mut atoms = Vec::new();
-    collect_atoms(tree, &mut atoms);
-    let has_anchor = |v: &String| {
-        atoms.iter().any(|a| {
-            a.vars.first() == Some(v)
-                && matches!(
-                    a.kind,
-                    AtomKind::OpcodeIs(_)
-                        | AtomKind::IsConstant
-                        | AtomKind::IsArgument
-                        | AtomKind::IsInstruction
-                        | AtomKind::IsPreexecution
-                )
-        })
-    };
-    let connected = |v: &String, ordered: &[String]| {
-        atoms.iter().any(|a| {
-            matches!(
-                a.kind,
-                AtomKind::ArgumentOf { .. }
-                    | AtomKind::HasEdge(_)
-                    | AtomKind::ReachesPhi
-                    | AtomKind::Same { negated: false }
-            ) && a.vars.contains(v)
-                && a.vars.iter().any(|w| ordered.contains(w))
-        })
-    };
-    let mut remaining: Vec<String> = vars.to_vec();
-    let mut order: Vec<String> = Vec::new();
-    // Seed: an anchored variable if possible.
-    if let Some(i) = remaining.iter().position(has_anchor) {
-        order.push(remaining.remove(i));
-    } else if !remaining.is_empty() {
-        order.push(remaining.remove(0));
-    }
-    while !remaining.is_empty() {
-        let next = remaining
-            .iter()
-            .position(|v| connected(v, &order) && has_anchor(v))
-            .or_else(|| remaining.iter().position(|v| connected(v, &order)))
-            .or_else(|| remaining.iter().position(has_anchor))
-            .unwrap_or(0);
-        order.push(remaining.remove(next));
-    }
-    order
-}
-
-fn collect_atoms<'t>(tree: &'t CTree, out: &mut Vec<&'t Atom>) {
-    match tree {
-        CTree::And(cs) | CTree::Or(cs) => {
-            for c in cs {
-                collect_atoms(c, out);
+    /// `true` if assigning `var` can still influence the truth of the
+    /// formula: some atom watching `var` has no disjunction ancestor that
+    /// is already satisfied, along a branch path not yet falsified.
+    fn relevant(&self, var: &str) -> bool {
+        let nodes = self.inc.idx.nodes();
+        'watcher: for &a in self.inc.idx.watchers(var) {
+            let mut x = a;
+            while let Some(p) = nodes[x].parent {
+                if matches!(nodes[p].kind, IndexedKind::Or)
+                    && (self.inc.n_true[p] > 0 || self.inc.vals[x] == Tri::False)
+                {
+                    continue 'watcher;
+                }
+                x = p;
             }
+            return true;
         }
-        CTree::Atom(a) => out.push(a),
-        CTree::Collect { .. } => {}
+        false
+    }
+
+    /// Candidates for `var` implied by the subtree at `node`, using the
+    /// cached branch truth values to skip falsified `or` branches.
+    fn gen_node(&self, node: usize, var: &str, asg: &Assignment) -> Option<Vec<ValueId>> {
+        let n = &self.inc.idx.nodes()[node];
+        match n.kind {
+            IndexedKind::Atom(a) => self.solver.gen_atom(a, var, asg),
+            IndexedKind::And => {
+                let mut acc: Option<Vec<ValueId>> = None;
+                for &c in &n.children {
+                    if let Some(g) = self.gen_node(c, var, asg) {
+                        acc = Some(match acc {
+                            None => g,
+                            Some(prev) => {
+                                let set: HashSet<ValueId> = g.into_iter().collect();
+                                prev.into_iter().filter(|v| set.contains(v)).collect()
+                            }
+                        });
+                        if acc.as_ref().is_some_and(Vec::is_empty) {
+                            return acc; // empty intersection, prune hard
+                        }
+                    }
+                }
+                acc
+            }
+            IndexedKind::Or => {
+                // A union is only a sound generator if EVERY branch
+                // generates (otherwise an ungenerated branch might admit
+                // other values). Branches already falsified under the
+                // current assignment admit nothing and are skipped.
+                let mut union: Vec<ValueId> = Vec::new();
+                for &c in &n.children {
+                    if self.inc.vals[c] == Tri::False {
+                        continue;
+                    }
+                    let g = self.gen_node(c, var, asg)?;
+                    for v in g {
+                        if !union.contains(&v) {
+                            union.push(v);
+                        }
+                    }
+                }
+                Some(union)
+            }
+            IndexedKind::Collect => None,
+        }
     }
 }
 
@@ -798,10 +977,10 @@ End
         )
         .unwrap();
         let c = compile(&lib, "X").unwrap();
-        let order = order_variables(&c.tree, &c.variables);
-        assert_eq!(order[0], "a", "anchored variable first");
-        assert_eq!(order[1], "b", "connected to a");
-        assert_eq!(order[2], "c");
+        // The compile-time precomputed order is what solve_outcome uses.
+        assert_eq!(c.order[0], "a", "anchored variable first");
+        assert_eq!(c.order[1], "b", "connected to a");
+        assert_eq!(c.order[2], "c");
     }
 
     #[test]
@@ -930,6 +1109,248 @@ exit:
         // Terminates quickly and reports only genuine assignments.
         for sol in &sols {
             assert_ne!(sol.bindings["a"], sol.bindings["b"]);
+        }
+    }
+
+    // ----- budget semantics and truncation reporting -----
+
+    /// A function with `n` independent add instructions.
+    fn wide_function(n: usize) -> Function {
+        let mut body = String::new();
+        for k in 0..n {
+            body.push_str(&format!("  %t{k} = add i64 %n, {k}\n"));
+        }
+        parse_function_text(&format!(
+            "define void @f(i64 %n) {{\nentry:\n{body}  ret void\n}}\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn collect_sub_searches_share_the_total_step_budget() {
+        // The outer search binds only the cheap anchor; the collect body
+        // pairs every load with every load through a non-generator
+        // dependence atom that never holds (all loads have distinct
+        // roots), so the sub-search burns ~n² steps and finds nothing.
+        // With the budget threaded through, the TOTAL work (outer + all
+        // sub-searches) must stay within max_steps instead of getting a
+        // fresh budget per collect — and the step cut must be reported.
+        let lib = parse_library(
+            "Constraint PathologicalCollect ( {anchor} is return instruction and collect i 64 ( {a[i]} is load instruction and {b[i]} is load instruction and {a[i]} has dependence edge to {b[i]} ) ) End",
+        )
+        .unwrap();
+        let c = compile(&lib, "PathologicalCollect").unwrap();
+        let k = 24;
+        let params: Vec<String> = (0..k).map(|i| format!("double* %p{i}")).collect();
+        let mut body = String::new();
+        for i in 0..k {
+            body.push_str(&format!("  %x{i} = load double, double* %p{i}\n"));
+        }
+        let f = parse_function_text(&format!(
+            "define void @f({}) {{\nentry:\n{body}  ret void\n}}\n",
+            params.join(", ")
+        ))
+        .unwrap();
+        let opts = SolveOptions {
+            max_solutions: usize::MAX,
+            max_steps: 300,
+        };
+        let out = Solver::new(&f).solve_outcome(&c, &opts);
+        assert!(
+            out.steps <= opts.max_steps,
+            "total steps {} exceed the budget {}",
+            out.steps,
+            opts.max_steps
+        );
+        assert!(
+            !out.complete,
+            "a step-cut search must report incompleteness"
+        );
+        // Sanity: with a generous budget the same query completes (and
+        // proves the n² search space really is larger than 300 steps).
+        let generous = Solver::new(&f).solve_outcome(&c, &SolveOptions::default());
+        assert!(generous.complete);
+        assert!(generous.steps > 300);
+    }
+
+    #[test]
+    fn overfull_collect_family_is_not_reported_as_truncation() {
+        // Four loads, family capacity two: the sub-search stops at the
+        // IDL-declared cap. That is the constraint working as written —
+        // not budget truncation — so the search stays `complete`.
+        let lib = parse_library(
+            "Constraint SmallFamily ( {anchor} is return instruction and collect i 2 ( {read[i]} is load instruction ) ) End",
+        )
+        .unwrap();
+        let c = compile(&lib, "SmallFamily").unwrap();
+        let f = parse_function_text(
+            r#"
+define double @f(double* %p) {
+entry:
+  %a = load double, double* %p
+  %b = load double, double* %p
+  %c = load double, double* %p
+  %d = load double, double* %p
+  %s = fadd double %a, %b
+  ret double %s
+}
+"#,
+        )
+        .unwrap();
+        let out = Solver::new(&f).solve_outcome(&c, &SolveOptions::default());
+        assert_eq!(out.solutions.len(), 1);
+        let b = &out.solutions[0].bindings;
+        assert!(b.contains_key("read[0]") && b.contains_key("read[1]"));
+        assert!(!b.contains_key("read[2]"), "family capped at capacity 2");
+        assert!(
+            out.complete,
+            "a structurally-capped family is not an incomplete search"
+        );
+    }
+
+    #[test]
+    fn step_budget_is_not_exceeded_by_one() {
+        // The off-by-one regression: `steps > max_steps` allowed
+        // max_steps + 1 assignment steps.
+        let lib = parse_library(
+            "Constraint Wide2 ( {a} is an instruction and {b} is an instruction ) End",
+        )
+        .unwrap();
+        let c = compile(&lib, "Wide2").unwrap();
+        let f = wide_function(10);
+        for budget in [1u64, 7, 50] {
+            let opts = SolveOptions {
+                max_solutions: usize::MAX,
+                max_steps: budget,
+            };
+            let out = Solver::new(&f).solve_outcome(&c, &opts);
+            assert!(
+                out.steps <= budget,
+                "{} steps under budget {budget}",
+                out.steps
+            );
+            assert!(!out.complete);
+        }
+    }
+
+    #[test]
+    fn truncated_search_reports_incomplete() {
+        let lib = parse_library("Constraint AnyAdd ( {x} is add instruction ) End").unwrap();
+        let c = compile(&lib, "AnyAdd").unwrap();
+        let f = wide_function(20);
+        let solver = Solver::new(&f);
+        // Cut by max_solutions.
+        let capped = solver.solve_outcome(
+            &c,
+            &SolveOptions {
+                max_solutions: 5,
+                ..SolveOptions::default()
+            },
+        );
+        assert_eq!(capped.solutions.len(), 5);
+        assert!(!capped.complete, "solution cap hit mid-enumeration");
+        // Cut by max_steps.
+        let starved = solver.solve_outcome(
+            &c,
+            &SolveOptions {
+                max_solutions: usize::MAX,
+                max_steps: 3,
+            },
+        );
+        assert!(starved.solutions.len() < 20);
+        assert!(!starved.complete, "step cut must report incompleteness");
+        // No limits hit: the full enumeration is complete.
+        let full = solver.solve_outcome(&c, &SolveOptions::default());
+        assert_eq!(full.solutions.len(), 20);
+        assert!(full.complete);
+        assert!(full.steps >= 20);
+    }
+
+    // ----- incremental evaluator vs the recursive oracle -----
+
+    /// The subtrees of `t` in the same pre-order the `TreeIndex` uses
+    /// (collect bodies are leaves, exactly as in the index).
+    fn pre_order<'t>(t: &'t CTree, out: &mut Vec<&'t CTree>) {
+        out.push(t);
+        if let CTree::And(cs) | CTree::Or(cs) = t {
+            for c in cs {
+                pre_order(c, out);
+            }
+        }
+    }
+
+    /// A disjunction/conjunction-rich constraint whose atoms cover the
+    /// three truth values under partial assignments.
+    fn rich_constraint() -> idl::CompiledConstraint {
+        let lib = parse_library(
+            r#"
+Constraint Rich
+( {a} is add instruction and
+  ( {b} is first argument of {a} or {b} is second argument of {a} ) and
+  ( {b} is a constant or
+    ( {b} is an instruction and {c} has data flow to {b} ) or
+    {b} is an argument ) and
+  {a} is not the same as {c} and
+  ( {d} is mul instruction or {d} is unused ) )
+End
+"#,
+        )
+        .unwrap();
+        compile(&lib, "Rich").unwrap()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn incremental_eval_agrees_with_eval3_on_random_partial_assignments(
+            picks in proptest::collection::vec((0usize..4, 0u32..16, proptest::prelude::any::<bool>()), 1..24),
+        ) {
+            let c = rich_constraint();
+            let f = parse_function_text(
+                r#"
+define i64 @g(i64 %n, i64 %m) {
+entry:
+  %x = add i64 %n, 3
+  %y = mul i64 %x, %m
+  %z = add i64 %y, %x
+  %w = sub i64 %z, %n
+  ret i64 %w
+}
+"#,
+            )
+            .unwrap();
+            let solver = Solver::new(&f);
+            let vars = ["a", "b", "c", "d"];
+            let mut subtrees = Vec::new();
+            pre_order(&c.tree, &mut subtrees);
+
+            // Replay a random bind/unbind history, comparing EVERY cached
+            // node value against the recursive evaluation of its subtree.
+            let mut asg = Assignment::new();
+            let mut inc = IncEval::new(&solver, &c.tree, &asg);
+            proptest::prop_assert_eq!(subtrees.len(), inc.idx.len());
+            for (slot, raw, unbind) in picks {
+                let var = vars[slot];
+                if unbind {
+                    asg.remove(var);
+                } else {
+                    // Values deliberately include ids that are not valid
+                    // for some atoms — the evaluators must agree anyway.
+                    let vals = solver.all_values.clone();
+                    asg.insert(var.to_owned(), vals[(raw as usize) % vals.len()]);
+                }
+                inc.rebind(&solver, var, &asg);
+                for (id, sub) in subtrees.iter().enumerate() {
+                    proptest::prop_assert_eq!(
+                        inc.vals[id],
+                        solver.eval3(sub, &asg),
+                        "node {} diverged under {:?}",
+                        id,
+                        &asg
+                    );
+                }
+            }
         }
     }
 

@@ -13,19 +13,29 @@
 //!   candidate; opcode/type atoms restrict unassigned variables to
 //!   precomputed buckets (the variable-ordering pass of §4.4 makes sure a
 //!   generator is usually available);
-//! * **three-valued pruning** — after each assignment the whole formula is
-//!   evaluated in {true, false, unknown}; definitely-false partial
-//!   assignments are abandoned immediately.
+//! * **incremental three-valued pruning** — every node of the constraint
+//!   tree caches its truth value in {true, false, unknown}; binding a
+//!   variable re-evaluates only the atoms *watching* that variable
+//!   (per-variable watcher lists built from the [`idl::TreeIndex`]) and
+//!   repairs ancestor `and`/`or` caches through per-node truth counters,
+//!   so each step costs O(watchers × depth) instead of O(|tree|).
+//!   Definitely-false partial assignments are abandoned immediately; the
+//!   old recursive evaluator survives as a `debug_assert!` oracle the
+//!   incremental one is checked against in every test run.
 //!
 //! `collect` nodes are executed once all outer variables are assigned:
 //! each runs a nested all-solutions search and binds the solutions as an
 //! indexed variable family (`read[0].value`, `read[1].value`, ...), the
 //! `Concat` pseudo-atom concatenates families, and the `KilledBy` purity
-//! check runs last against the fully bound assignment.
+//! check runs last against the fully bound assignment. Sub-searches spend
+//! the *remaining* step budget of the enclosing search and charge their
+//! consumption back, so [`SolveOptions::max_steps`] bounds the total work
+//! of a query; [`SolveOutcome`] reports whether any limit truncated the
+//! enumeration.
 
 mod engine;
 
-pub use engine::{Solution, SolveOptions, Solver, PURE_CALLS};
+pub use engine::{Solution, SolveOptions, SolveOutcome, Solver, PURE_CALLS};
 
 #[cfg(test)]
 mod tests {

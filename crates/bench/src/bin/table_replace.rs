@@ -1,0 +1,125 @@
+//! Machine-readable transformation coverage: runs detect → transform-all
+//! → differential validation (original vs transformed under several
+//! seeded inputs) for every benchmark and writes `BENCH_replace.json` —
+//! the replacement-side companion of `BENCH_detect.json`.
+//!
+//! Usage: `cargo run --release -p idiomatch-bench --bin table_replace`
+//! (optionally `[output-path]`).
+
+use idiomatch_core::ValidationError;
+use xform::{Outcome, XformError};
+
+struct Row {
+    name: &'static str,
+    detected: usize,
+    replaced: usize,
+    unsupported: usize,
+    unsound: usize,
+    shadowed: usize,
+    validated: bool,
+    failure: Option<ValidationError>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_replace.json".into());
+    let seeds = benchsuite::VALIDATION_SEEDS;
+
+    let mut rows: Vec<Row> = Vec::new();
+    for b in benchsuite::all() {
+        let module = minicc::compile(b.source, b.name).expect("bundled benchmark compiles");
+        let report =
+            idiomatch_core::transform_and_validate_module(&module, b.entry, b.setup, &seeds);
+        let mut row = Row {
+            name: b.name,
+            detected: report.xform.outcomes.len(),
+            replaced: 0,
+            unsupported: 0,
+            unsound: 0,
+            shadowed: 0,
+            validated: report.validation.is_ok(),
+            failure: report.validation.err(),
+        };
+        for o in &report.xform.outcomes {
+            match &o.outcome {
+                Outcome::Replaced(_) => row.replaced += 1,
+                Outcome::Shadowed { .. } => row.shadowed += 1,
+                Outcome::Failed(XformError::Unsupported(_)) => row.unsupported += 1,
+                Outcome::Failed(XformError::Unsound(_)) => row.unsound += 1,
+            }
+        }
+        rows.push(row);
+    }
+
+    let headers = [
+        "benchmark",
+        "detected",
+        "replaced",
+        "unsupported",
+        "unsound",
+        "shadowed",
+        "validated",
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                r.detected.to_string(),
+                r.replaced.to_string(),
+                r.unsupported.to_string(),
+                r.unsound.to_string(),
+                r.shadowed.to_string(),
+                if r.validated { "ok" } else { "FAIL" }.to_owned(),
+            ]
+        })
+        .collect();
+    idiomatch_bench::print_rows(&headers, &table);
+    for r in rows.iter().filter(|r| !r.validated) {
+        eprintln!(
+            "{}: VALIDATION FAILED: {}",
+            r.name,
+            r.failure.as_ref().expect("failing rows carry the error")
+        );
+    }
+
+    let totals = rows.iter().fold((0, 0, 0, 0, 0), |t, r| {
+        (
+            t.0 + r.detected,
+            t.1 + r.replaced,
+            t.2 + r.unsupported,
+            t.3 + r.unsound,
+            t.4 + r.shadowed,
+        )
+    });
+    let failures = rows.iter().filter(|r| !r.validated).count();
+
+    // Hand-rolled JSON: flat, deterministic key order, no dependencies.
+    let bench_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"detected\": {}, \"replaced\": {}, \"unsupported\": {}, \"unsound\": {}, \"shadowed\": {}, \"validated\": {}}}",
+                r.name, r.detected, r.replaced, r.unsupported, r.unsound, r.shadowed, r.validated
+            )
+        })
+        .collect();
+    let seeds_json: Vec<String> = seeds.iter().map(u64::to_string).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"replace_all_21_benchmarks\",\n  \"seeds\": [{}],\n  \"detected\": {},\n  \"replaced\": {},\n  \"unsupported\": {},\n  \"unsound\": {},\n  \"shadowed\": {},\n  \"validation_failures\": {},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        seeds_json.join(", "),
+        totals.0,
+        totals.1,
+        totals.2,
+        totals.3,
+        totals.4,
+        failures,
+        bench_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("BENCH_replace.json is writable");
+    eprintln!("wrote {out_path}");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

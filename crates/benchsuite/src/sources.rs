@@ -2,7 +2,7 @@
 //! carries (matching the paper's Figure 16 population) and why the
 //! baseline detectors succeed or fail on them.
 
-use crate::{csr, fill_f64, fill_i32_mod, zeros_f64, zeros_i32, Benchmark, Suite, GRID, N};
+use crate::{csr, fill_f64, fill_i32_mod, mix, zeros_f64, zeros_i32, Benchmark, Suite, GRID, N};
 use interp::Value;
 
 /// All 21 benchmarks in the paper's order (NAS then Parboil).
@@ -60,10 +60,10 @@ double bt_run(double* x, double* y, double* w, int n) {
 }
 "#,
             entry: "bt_run",
-            setup: |mem| {
-                let x = fill_f64(mem, N, 1);
-                let y = fill_f64(mem, N, 2);
-                let w = fill_f64(mem, N, 3);
+            setup: |mem, seed| {
+                let x = fill_f64(mem, N, mix(seed, 1));
+                let y = fill_f64(mem, N, mix(seed, 2));
+                let w = fill_f64(mem, N, mix(seed, 3));
                 vec![Value::P(x), Value::P(y), Value::P(w), Value::I(N as i64)]
             },
             invocations: 200.0,
@@ -123,13 +123,13 @@ double cg_run(double* a, int* rowstr, int* colidx, double* z, double* r,
 }
 "#,
             entry: "cg_run",
-            setup: |mem| {
-                let (vals, rs, ci) = csr(mem, N, 8);
-                let z = fill_f64(mem, N, 4);
+            setup: |mem, seed| {
+                let (vals, rs, ci) = csr(mem, N, 8, seed);
+                let z = fill_f64(mem, N, mix(seed, 4));
                 let r = zeros_f64(mem, N);
-                let p = fill_f64(mem, N, 5);
+                let p = fill_f64(mem, N, mix(seed, 5));
                 let q = zeros_f64(mem, N);
-                let w = fill_f64(mem, N, 6);
+                let w = fill_f64(mem, N, mix(seed, 6));
                 vec![
                     Value::P(vals),
                     Value::P(rs),
@@ -176,8 +176,8 @@ int dc_run(int* keys, int* views, int* tmp, int n) {
 }
 "#,
             entry: "dc_run",
-            setup: |mem| {
-                let keys = fill_i32_mod(mem, N, 64, 7);
+            setup: |mem, seed| {
+                let keys = fill_i32_mod(mem, N, 64, mix(seed, 7));
                 let views = zeros_i32(mem, 64);
                 let tmp = zeros_i32(mem, N);
                 vec![
@@ -231,9 +231,9 @@ double ep_run(double* xs, double* ys, int* bins, int n) {
 }
 "#,
             entry: "ep_run",
-            setup: |mem| {
-                let xs = fill_f64(mem, 4 * N, 8);
-                let ys = fill_f64(mem, 4 * N, 9);
+            setup: |mem, seed| {
+                let xs = fill_f64(mem, 4 * N, mix(seed, 8));
+                let ys = fill_f64(mem, 4 * N, mix(seed, 9));
                 let bins = zeros_i32(mem, 10);
                 vec![
                     Value::P(xs),
@@ -283,9 +283,9 @@ double ft_run(double* re, double* im, int n) {
 }
 "#,
             entry: "ft_run",
-            setup: |mem| {
-                let re = fill_f64(mem, N, 10);
-                let im = fill_f64(mem, N, 11);
+            setup: |mem, seed| {
+                let re = fill_f64(mem, N, mix(seed, 10));
+                let im = fill_f64(mem, N, mix(seed, 11));
                 vec![Value::P(re), Value::P(im), Value::I(N as i64)]
             },
             invocations: 6.0,
@@ -325,8 +325,8 @@ int is_run(int* keys, int* counts, int* ranks, int* out, int n) {
 }
 "#,
             entry: "is_run",
-            setup: |mem| {
-                let keys = fill_i32_mod(mem, 4 * N, 256, 12);
+            setup: |mem, seed| {
+                let keys = fill_i32_mod(mem, 4 * N, 256, mix(seed, 12));
                 let counts = zeros_i32(mem, 256);
                 let ranks = zeros_i32(mem, 256);
                 let out = zeros_i32(mem, 4 * N);
@@ -369,9 +369,9 @@ double lu_run(double* v, double* w, int n) {
 }
 "#,
             entry: "lu_run",
-            setup: |mem| {
-                let v = fill_f64(mem, N, 13);
-                let w = fill_f64(mem, N, 14);
+            setup: |mem, seed| {
+                let v = fill_f64(mem, N, mix(seed, 13));
+                let w = fill_f64(mem, N, mix(seed, 14));
                 vec![Value::P(v), Value::P(w), Value::I(N as i64)]
             },
             invocations: 250.0,
@@ -416,8 +416,8 @@ double mg_run(double* a, double* b, int n) {
 }
 "#,
             entry: "mg_run",
-            setup: |mem| {
-                let a = fill_f64(mem, GRID * GRID, 15);
+            setup: |mem, seed| {
+                let a = fill_f64(mem, GRID * GRID, mix(seed, 15));
                 let b = zeros_f64(mem, GRID * GRID);
                 vec![Value::P(a), Value::P(b), Value::I(GRID as i64)]
             },
@@ -451,9 +451,9 @@ double sp_run(double* v, double* w, int n) {
 }
 "#,
             entry: "sp_run",
-            setup: |mem| {
-                let v = fill_f64(mem, N, 16);
-                let w = fill_f64(mem, N, 17);
+            setup: |mem, seed| {
+                let v = fill_f64(mem, N, mix(seed, 16));
+                let w = fill_f64(mem, N, mix(seed, 17));
                 vec![Value::P(v), Value::P(w), Value::I(N as i64)]
             },
             invocations: 400.0,
@@ -487,10 +487,10 @@ double ua_run(double* v, double* w, int* map, double* tmp, int n) {
 }
 "#,
             entry: "ua_run",
-            setup: |mem| {
-                let v = fill_f64(mem, N, 18);
-                let w = fill_f64(mem, N, 19);
-                let map = fill_i32_mod(mem, N, N as i32, 20);
+            setup: |mem, seed| {
+                let v = fill_f64(mem, N, mix(seed, 18));
+                let w = fill_f64(mem, N, mix(seed, 19));
+                let map = fill_i32_mod(mem, N, N as i32, mix(seed, 20));
                 let tmp = zeros_f64(mem, N);
                 vec![
                     Value::P(v),
@@ -533,7 +533,7 @@ int bfs_run(int* edges, int* offsets, int* dist, int* flags, int n) {
 }
 "#,
             entry: "bfs_run",
-            setup: |mem| {
+            setup: |mem, seed| {
                 let rows = N;
                 let mut offs = Vec::with_capacity(rows + 1);
                 let mut edges = Vec::new();
@@ -550,7 +550,7 @@ int bfs_run(int* edges, int* offsets, int* dist, int* flags, int n) {
                     .map(|i| if i == 0 { 0 } else { 1000 })
                     .collect();
                 let d = mem.alloc_i32_slice(&dist);
-                let flags = fill_i32_mod(mem, rows, 2, 21);
+                let flags = fill_i32_mod(mem, rows, 2, mix(seed, 21));
                 vec![
                     Value::P(e),
                     Value::P(o),
@@ -590,11 +590,11 @@ double cutcp_run(double* grid, double* atoms, double* d2, int* cells, int n) {
 }
 "#,
             entry: "cutcp_run",
-            setup: |mem| {
+            setup: |mem, seed| {
                 let grid = zeros_f64(mem, N);
-                let atoms = fill_f64(mem, N, 22);
-                let d2 = fill_f64(mem, N, 23);
-                let cells = fill_i32_mod(mem, N, N as i32, 24);
+                let atoms = fill_f64(mem, N, mix(seed, 22));
+                let d2 = fill_f64(mem, N, mix(seed, 23));
+                let cells = fill_i32_mod(mem, N, N as i32, mix(seed, 24));
                 vec![
                     Value::P(grid),
                     Value::P(atoms),
@@ -625,8 +625,8 @@ void histo_run(int* img, int* bins, int n) {
 }
 "#,
             entry: "histo_run",
-            setup: |mem| {
-                let img = fill_i32_mod(mem, 8 * N, 1024, 25);
+            setup: |mem, seed| {
+                let img = fill_i32_mod(mem, 8 * N, 1024, mix(seed, 25));
                 let bins = zeros_i32(mem, 1024);
                 vec![Value::P(img), Value::P(bins), Value::I(8 * N as i64)]
             },
@@ -658,8 +658,8 @@ void lbm_run(double* f0, double* f1, int n) {
 }
 "#,
             entry: "lbm_run",
-            setup: |mem| {
-                let f0 = fill_f64(mem, 8 * N, 26);
+            setup: |mem, seed| {
+                let f0 = fill_f64(mem, 8 * N, mix(seed, 26));
                 let f1 = zeros_f64(mem, 8 * N);
                 vec![Value::P(f0), Value::P(f1), Value::I(8 * N as i64)]
             },
@@ -696,12 +696,12 @@ double mrig_run(double* grid, double* sam, double* k, double* x, int* pos, int n
 }
 "#,
             entry: "mrig_run",
-            setup: |mem| {
+            setup: |mem, seed| {
                 let grid = zeros_f64(mem, N);
-                let sam = fill_f64(mem, N, 27);
-                let k = fill_f64(mem, N, 28);
-                let x = fill_f64(mem, N, 29);
-                let pos = fill_i32_mod(mem, N, N as i32, 30);
+                let sam = fill_f64(mem, N, mix(seed, 27));
+                let k = fill_f64(mem, N, mix(seed, 28));
+                let x = fill_f64(mem, N, mix(seed, 29));
+                let pos = fill_i32_mod(mem, N, N as i32, mix(seed, 30));
                 vec![
                     Value::P(grid),
                     Value::P(sam),
@@ -744,10 +744,10 @@ double mriq_run(double* q, double* phi, double* d, int n) {
 }
 "#,
             entry: "mriq_run",
-            setup: |mem| {
+            setup: |mem, seed| {
                 let q = zeros_f64(mem, N);
-                let phi = fill_f64(mem, N, 31);
-                let d = fill_f64(mem, N, 32);
+                let phi = fill_f64(mem, N, mix(seed, 31));
+                let d = fill_f64(mem, N, mix(seed, 32));
                 vec![Value::P(q), Value::P(phi), Value::P(d), Value::I(N as i64)]
             },
             invocations: 5.0,
@@ -792,10 +792,10 @@ double sad_run(double* cur, double* ref_, double* best, int n) {
 }
 "#,
             entry: "sad_run",
-            setup: |mem| {
-                let cur = fill_f64(mem, N, 33);
-                let r = fill_f64(mem, N, 34);
-                let best = fill_f64(mem, N, 35);
+            setup: |mem, seed| {
+                let cur = fill_f64(mem, N, mix(seed, 33));
+                let r = fill_f64(mem, N, mix(seed, 34));
+                let best = fill_f64(mem, N, mix(seed, 35));
                 vec![
                     Value::P(cur),
                     Value::P(r),
@@ -829,9 +829,9 @@ void sgemm_run(double* A, double* B, double* C, int m) {
 }
 "#,
             entry: "sgemm_run",
-            setup: |mem| {
-                let a = fill_f64(mem, GRID * GRID, 36);
-                let b = fill_f64(mem, GRID * GRID, 37);
+            setup: |mem, seed| {
+                let a = fill_f64(mem, GRID * GRID, mix(seed, 36));
+                let b = fill_f64(mem, GRID * GRID, mix(seed, 37));
                 let c = zeros_f64(mem, GRID * GRID);
                 vec![Value::P(a), Value::P(b), Value::P(c), Value::I(GRID as i64)]
             },
@@ -860,9 +860,9 @@ void spmv_run(double* val, int* rowstr, int* colidx, double* x, double* y, int m
 }
 "#,
             entry: "spmv_run",
-            setup: |mem| {
-                let (vals, rs, ci) = csr(mem, N, 6);
-                let x = fill_f64(mem, N, 38);
+            setup: |mem, seed| {
+                let (vals, rs, ci) = csr(mem, N, 6, seed);
+                let x = fill_f64(mem, N, mix(seed, 38));
                 let y = zeros_f64(mem, N);
                 vec![
                     Value::P(vals),
@@ -895,8 +895,8 @@ void stencil_run(double* a, double* b, int n) {
 }
 "#,
             entry: "stencil_run",
-            setup: |mem| {
-                let a = fill_f64(mem, GRID * GRID, 39);
+            setup: |mem, seed| {
+                let a = fill_f64(mem, GRID * GRID, mix(seed, 39));
                 let b = zeros_f64(mem, GRID * GRID);
                 vec![Value::P(a), Value::P(b), Value::I(GRID as i64)]
             },
@@ -930,8 +930,8 @@ double tpacf_run(double* dots, int* bins, int n) {
 }
 "#,
             entry: "tpacf_run",
-            setup: |mem| {
-                let dots = fill_f64(mem, 4 * N, 40);
+            setup: |mem, seed| {
+                let dots = fill_f64(mem, 4 * N, mix(seed, 40));
                 let bins = zeros_i32(mem, 32);
                 vec![Value::P(dots), Value::P(bins), Value::I(4 * N as i64)]
             },

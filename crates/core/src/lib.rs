@@ -7,16 +7,26 @@
 //!
 //! [`analyze`] runs detection, profiling and modeling for one benchmark
 //! and returns everything the evaluation harness (crates/bench) needs to
-//! regenerate the paper's tables and figures; [`transform_and_validate`]
-//! performs an actual replacement and checks the transformed program
-//! against the original by execution.
+//! regenerate the paper's tables and figures;
+//! [`transform_and_validate_module`] performs *every* detected
+//! replacement ([`xform::transform_module`]) and checks the transformed
+//! program against the original by seeded differential execution
+//! ([`validate_transform`]: element-wise bitwise comparison of every
+//! program array plus the entry return value).
+//! [`transform_and_validate`] is the single-instance convenience used by
+//! the walkthrough examples.
 
 use hetero::{Platform, Workload};
 use idioms::{IdiomInstance, IdiomKind};
-use interp::{Machine, Value};
-use ssair::Module;
+use interp::{Allocation, Machine, Memory, Value};
+use ssair::{Module, Type};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// A benchmark input generator: allocates the program's arrays for one
+/// input seed and returns the entry-point arguments (the signature of
+/// [`benchsuite::Benchmark::setup`]).
+pub type SetupFn = fn(&mut Memory, u64) -> Vec<Value>;
 
 /// Everything measured about one benchmark.
 pub struct Analysis {
@@ -78,9 +88,9 @@ pub fn analyze(b: &benchsuite::Benchmark) -> Analysis {
         *by_class.entry(inst.kind.class_label()).or_default() += 1;
     }
 
-    // Profile one full run.
+    // Profile one full run of the canonical workload.
     let mut vm = Machine::new(&module);
-    let args = (b.setup)(&mut vm.mem);
+    let args = (b.setup)(&mut vm.mem, benchsuite::CANONICAL_SEED);
     vm.run(b.entry, &args).expect("bundled benchmark executes");
 
     let mut total_cost = 0.0;
@@ -264,15 +274,283 @@ pub fn reference_speedup(a: &Analysis, platform: Platform) -> Option<f64> {
     Some(a.sequential_ms / (rest_ms + accel_ms_base))
 }
 
+// ---------------------------------------------------------------------
+// Differential validation (paper §6: "the transformed program computes
+// the same results").
+// ---------------------------------------------------------------------
+
+/// Why a transformed program failed differential validation. Every
+/// variant pinpoints *where* the two runs diverged; there is no
+/// tolerance anywhere — float payloads are compared bitwise, and a
+/// memory-size mismatch is itself a failure rather than a reason to
+/// truncate the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// Validation was requested with an empty seed set: nothing was
+    /// executed, so an `Ok` would be vacuous evidence of equivalence.
+    NoSeeds,
+    /// One of the two runs failed to execute (e.g. a type-confused or
+    /// out-of-bounds API call introduced by a bad replacement).
+    Exec {
+        /// Which run failed: `"original"` or `"transformed"`.
+        which: &'static str,
+        /// The input seed of the failing run.
+        seed: u64,
+        /// The interpreter's error message.
+        message: String,
+    },
+    /// The two runs ended with different memory sizes.
+    MemorySize {
+        /// The input seed.
+        seed: u64,
+        /// Final memory size of the original run.
+        original: usize,
+        /// Final memory size of the transformed run.
+        transformed: usize,
+    },
+    /// The entry-point return values differ (floats compared bitwise).
+    ReturnValue {
+        /// The input seed.
+        seed: u64,
+        /// Return value of the original run.
+        original: Value,
+        /// Return value of the transformed run.
+        transformed: Value,
+    },
+    /// One element of one program array differs (floats compared
+    /// bitwise).
+    Element {
+        /// The input seed.
+        seed: u64,
+        /// Index of the diverging array in setup allocation order.
+        array: usize,
+        /// The diverging array's allocation record.
+        allocation: Allocation,
+        /// Element index within the array.
+        index: usize,
+        /// Element value in the original run.
+        original: Value,
+        /// Element value in the transformed run.
+        transformed: Value,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::NoSeeds => {
+                write!(f, "validation ran under zero input seeds (vacuous)")
+            }
+            ValidationError::Exec {
+                which,
+                seed,
+                message,
+            } => write!(f, "{which} run failed under seed {seed}: {message}"),
+            ValidationError::MemorySize {
+                seed,
+                original,
+                transformed,
+            } => write!(
+                f,
+                "memory size diverged under seed {seed}: original {original} bytes, transformed {transformed} bytes"
+            ),
+            ValidationError::ReturnValue {
+                seed,
+                original,
+                transformed,
+            } => write!(
+                f,
+                "return value diverged under seed {seed}: original {original:?}, transformed {transformed:?}"
+            ),
+            ValidationError::Element {
+                seed,
+                array,
+                allocation,
+                index,
+                original,
+                transformed,
+            } => write!(
+                f,
+                "array #{array} ({:?}[{}] at base {}) diverged at index {index} under seed {seed}: original {original:?}, transformed {transformed:?}",
+                allocation.elem, allocation.count, allocation.base
+            ),
+        }
+    }
+}
+
+/// What a passing validation actually covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationSummary {
+    /// Number of input seeds executed.
+    pub seeds: usize,
+    /// Program arrays compared per seed.
+    pub arrays: usize,
+    /// Total elements compared across all seeds.
+    pub elements: usize,
+}
+
+/// Bitwise value equality: floats by bit pattern (NaN-safe, no epsilon),
+/// everything else exactly.
+fn bitwise_eq(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::F(x), Value::F(y)) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    }
+}
+
+/// Loads element `i` of a recorded allocation with its own type.
+fn load_elem(mem: &Memory, al: &Allocation, i: usize) -> Result<Value, String> {
+    let addr = al.base + (al.elem.size_bytes() * i) as u64;
+    match &al.elem {
+        Type::F64 => mem.load_f64(addr).map(Value::F),
+        Type::F32 => mem.load_f32(addr).map(Value::F),
+        Type::I64 => mem.load_i64(addr).map(Value::I),
+        Type::I32 => mem.load_i32(addr).map(Value::I),
+        Type::I1 => mem.load_i8(addr).map(Value::I),
+        Type::Ptr(_) => mem.load_i64(addr).map(|x| Value::P(x as u64)),
+        Type::Void => Err("void allocation".into()),
+    }
+}
+
+/// One full run: fresh machine, registered vendor hosts, seeded setup,
+/// entry execution. Returns the entry's return value, the final memory
+/// and how many allocations the setup made (the program's declared
+/// arrays — everything allocated later is runtime-internal).
+fn run_once(
+    m: &Module,
+    entry: &str,
+    setup: SetupFn,
+    seed: u64,
+) -> Result<(Value, Memory, usize), String> {
+    let mut vm = Machine::new(m);
+    hetero::hosts::register_all(&mut vm);
+    let args = setup(&mut vm.mem, seed);
+    let setup_allocs = vm.mem.allocations().len();
+    let ret = vm.run(entry, &args).map_err(|e| e.to_string())?;
+    Ok((ret, std::mem::take(&mut vm.mem), setup_allocs))
+}
+
+/// Differential validation of `transformed` against `original`: runs
+/// `entry` on both modules under every seed in `seeds` and compares
+/// (1) the entry return value, (2) the final memory size, and (3) every
+/// element of every array the setup allocated, typed and bitwise.
+///
+/// This replaces the earlier whole-memory prefix snapshot, which
+/// tolerated out-of-bounds reads (`unwrap_or(0)`), skipped the low
+/// bytes, and silently ignored any divergence past the shorter run's
+/// memory — and which could not see results that never touch memory at
+/// all (a scalar reduction returned from the entry point).
+pub fn validate_transform(
+    original: &Module,
+    transformed: &Module,
+    entry: &str,
+    setup: SetupFn,
+    seeds: &[u64],
+) -> Result<ValidationSummary, ValidationError> {
+    if seeds.is_empty() {
+        return Err(ValidationError::NoSeeds);
+    }
+    let mut arrays = 0usize;
+    let mut elements = 0usize;
+    for &seed in seeds {
+        let (ret_o, mem_o, n_setup) =
+            run_once(original, entry, setup, seed).map_err(|e| ValidationError::Exec {
+                which: "original",
+                seed,
+                message: e,
+            })?;
+        let (ret_t, mem_t, n_setup_t) =
+            run_once(transformed, entry, setup, seed).map_err(|e| ValidationError::Exec {
+                which: "transformed",
+                seed,
+                message: e,
+            })?;
+        debug_assert_eq!(n_setup, n_setup_t, "setup is deterministic");
+        if !bitwise_eq(ret_o, ret_t) {
+            return Err(ValidationError::ReturnValue {
+                seed,
+                original: ret_o,
+                transformed: ret_t,
+            });
+        }
+        if mem_o.size() != mem_t.size() {
+            return Err(ValidationError::MemorySize {
+                seed,
+                original: mem_o.size(),
+                transformed: mem_t.size(),
+            });
+        }
+        arrays = n_setup;
+        for (array, al) in mem_o.allocations()[..n_setup].iter().enumerate() {
+            for index in 0..al.count {
+                let exec = |which, message| ValidationError::Exec {
+                    which,
+                    seed,
+                    message,
+                };
+                let vo = load_elem(&mem_o, al, index).map_err(|e| exec("original", e))?;
+                let vt = load_elem(&mem_t, al, index).map_err(|e| exec("transformed", e))?;
+                elements += 1;
+                if !bitwise_eq(vo, vt) {
+                    return Err(ValidationError::Element {
+                        seed,
+                        array,
+                        allocation: al.clone(),
+                        index,
+                        original: vo,
+                        transformed: vt,
+                    });
+                }
+            }
+        }
+    }
+    Ok(ValidationSummary {
+        seeds: seeds.len(),
+        arrays,
+        elements,
+    })
+}
+
+/// Whole-module transformation plus differential validation: detects all
+/// idiom instances, applies every non-overlapping replacement
+/// ([`xform::transform_module`]) and validates the surviving module
+/// against the original under every seed.
+#[derive(Debug)]
+pub struct ModuleReport {
+    /// The transformation outcomes (transformed module + per-instance
+    /// replaced/shadowed/failed records).
+    pub xform: xform::ModuleXform,
+    /// The differential-validation verdict over all seeds.
+    pub validation: Result<ValidationSummary, ValidationError>,
+}
+
+/// Runs detect → transform-all → execute-and-compare for one program.
+/// The validation runs even when nothing was replaced (it then checks
+/// interpreter determinism for free).
+#[must_use]
+pub fn transform_and_validate_module(
+    module: &Module,
+    entry: &str,
+    setup: SetupFn,
+    seeds: &[u64],
+) -> ModuleReport {
+    let xf = xform::transform_module(module);
+    let validation = validate_transform(module, &xf.module, entry, setup, seeds);
+    ModuleReport {
+        xform: xf,
+        validation,
+    }
+}
+
 /// Applies the first applicable replacement of `kind` in `module` and
-/// validates it by running `entry` with `setup` twice (original vs
-/// transformed) and comparing all output arrays byte-for-byte.
+/// validates it differentially under the default seed set
+/// ([`benchsuite::VALIDATION_SEEDS`]).
 ///
 /// Returns the transformed module and the replacement description.
 pub fn transform_and_validate(
     module: &Module,
     entry: &str,
-    setup: fn(&mut interp::Memory) -> Vec<Value>,
+    setup: SetupFn,
     kind: IdiomKind,
 ) -> Result<(Module, xform::Replacement), String> {
     let insts: Vec<_> = idioms::detect_module(module)
@@ -284,30 +562,14 @@ pub fn transform_and_validate(
         .ok_or_else(|| format!("no {kind:?} instance found"))?;
     let mut transformed = module.clone();
     let rep = xform::apply_replacement(&mut transformed, inst, 0).map_err(|e| e.to_string())?;
-    let run = |m: &Module| -> Result<(Vec<u8>,), String> {
-        let mut vm = Machine::new(m);
-        hetero::hosts::register_all(&mut vm);
-        let args = setup(&mut vm.mem);
-        vm.run(entry, &args).map_err(|e| e.to_string())?;
-        // Snapshot the whole memory for comparison.
-        let size = vm.mem.size();
-        let mut snap = Vec::with_capacity(size / 8);
-        let mut addr = 8u64;
-        while (addr as usize) + 8 <= size {
-            snap.extend_from_slice(&vm.mem.load_i64(addr).unwrap_or(0).to_le_bytes());
-            addr += 8;
-        }
-        Ok((snap,))
-    };
-    let (orig,) = run(module)?;
-    let (xfmd,) = run(&transformed)?;
-    // The transformed run may allocate more (generated kernels don't, but
-    // be tolerant): compare the common prefix, which covers all benchmark
-    // arrays (allocated during setup, before any growth).
-    let n = orig.len().min(xfmd.len());
-    if orig[..n] != xfmd[..n] {
-        return Err("transformed program produced different memory contents".into());
-    }
+    validate_transform(
+        module,
+        &transformed,
+        entry,
+        setup,
+        &benchsuite::VALIDATION_SEEDS,
+    )
+    .map_err(|e| e.to_string())?;
     Ok((transformed, rep))
 }
 
@@ -367,5 +629,150 @@ mod tests {
         let (_, rep) = transform_and_validate(&module, b.entry, b.setup, IdiomKind::Stencil2D)
             .expect("stencil replacement validates");
         assert!(rep.callee.starts_with("halide_st2_"));
+    }
+
+    /// Applies the first replacement of `kind` and hands the transformed
+    /// module to `corrupt` for tampering.
+    fn replaced_and_corrupted(
+        src: &str,
+        fname: &str,
+        kind: IdiomKind,
+        corrupt: impl Fn(&mut Module),
+    ) -> (Module, Module) {
+        let module = minicc::compile(src, fname).unwrap();
+        let inst = idioms::detect_module(&module)
+            .into_iter()
+            .find(|i| i.kind == kind)
+            .expect("instance detected");
+        let mut transformed = module.clone();
+        xform::apply_replacement(&mut transformed, &inst, 0).expect("replaces");
+        corrupt(&mut transformed);
+        (module, transformed)
+    }
+
+    /// The masked-divergence regression (old validator bug): a corrupted
+    /// replacement whose damage never touches memory — a wrong `init`
+    /// argument on a reduction, whose result only flows into the entry's
+    /// return value — was invisible to the whole-memory prefix snapshot.
+    /// The precise validator must catch it via the return value.
+    #[test]
+    fn corrupted_call_argument_is_caught_even_when_memory_is_identical() {
+        let src = "double s(double* x, int n) { double a = 0.0; for (int i = 0; i < n; i++) a += x[i]; return a; }";
+        let setup: SetupFn = |m, seed| {
+            let x = m.alloc_f64_slice(&[1.0, -2.0, 3.5, 0.25, seed as f64]);
+            vec![Value::P(x), Value::I(5)]
+        };
+        let (module, corrupted) = replaced_and_corrupted(src, "s", IdiomKind::Reduction, |t| {
+            // Swap the device call's `init` argument (0.0 -> 12.5):
+            // args are [read bases.., begin, end, init, extras..].
+            let f = t.function_mut("s").expect("entry function");
+            let call = f
+                .value_ids()
+                .find(|&v| {
+                    f.instr(v)
+                        .and_then(|i| i.callee.as_deref())
+                        .is_some_and(|c| c.starts_with("lift_red_"))
+                })
+                .expect("device call present");
+            let bad = f.const_float(Type::F64, 12.5);
+            f.instr_mut(call).expect("call").operands[3] = bad;
+        });
+        let err = validate_transform(&module, &corrupted, "s", setup, &[0])
+            .expect_err("corruption must be caught");
+        assert!(
+            matches!(err, ValidationError::ReturnValue { .. }),
+            "divergence is return-value-only (memory identical): {err}"
+        );
+    }
+
+    /// A corrupted pointer argument redirects the stencil output into its
+    /// input array; the validator must name the diverging array and
+    /// element instead of a generic "memory differs".
+    #[test]
+    fn corrupted_pointer_argument_reports_array_and_index() {
+        let src = "void st(double* o, double* a, int n) { for (int i = 1; i < n - 1; i++) o[i] = a[i-1] + 2.0*a[i] + a[i+1]; }";
+        let setup: SetupFn = |m, _seed| {
+            let o = m.alloc_f64_slice(&[0.0; 8]);
+            let a = m.alloc_f64_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+            vec![Value::P(o), Value::P(a), Value::I(8)]
+        };
+        let (module, corrupted) = replaced_and_corrupted(src, "st", IdiomKind::Stencil1D, |t| {
+            // Point the device call's output base at the input array:
+            // args are [out_base, read bases.., begin, end, extras..].
+            let f = t.function_mut("st").expect("entry function");
+            let call = f
+                .value_ids()
+                .find(|&v| {
+                    f.instr(v)
+                        .and_then(|i| i.callee.as_deref())
+                        .is_some_and(|c| c.starts_with("halide_st1_"))
+                })
+                .expect("device call present");
+            let ops = &mut f.instr_mut(call).expect("call").operands;
+            ops[0] = ops[1];
+        });
+        let err = validate_transform(&module, &corrupted, "st", setup, &[0])
+            .expect_err("corruption must be caught");
+        match err {
+            ValidationError::Element { array, index, .. } => {
+                // The untouched output array (allocation #0) diverges
+                // first, at the first interior element.
+                assert_eq!(array, 0, "output array is setup allocation #0");
+                assert_eq!(index, 1, "first stencil-written element");
+            }
+            other => panic!("expected an element divergence, got {other}"),
+        }
+    }
+
+    /// Zero seeds means zero evidence: the validator refuses instead of
+    /// returning a vacuous `Ok`.
+    #[test]
+    fn empty_seed_set_is_a_validation_error() {
+        let src = "double s(double* x, int n) { double a = 0.0; for (int i = 0; i < n; i++) a += x[i]; return a; }";
+        let setup: SetupFn = |m, _seed| {
+            let x = m.alloc_f64_slice(&[1.0, 2.0]);
+            vec![Value::P(x), Value::I(2)]
+        };
+        let module = minicc::compile(src, "s").unwrap();
+        let err = validate_transform(&module, &module, "s", setup, &[]).unwrap_err();
+        assert_eq!(err, ValidationError::NoSeeds);
+    }
+
+    /// A type-confused call (bad replacement) fails validation through
+    /// `ExecError` instead of aborting the process.
+    #[test]
+    fn type_confused_replacement_fails_validation_gracefully() {
+        let src = "double s(double* x, int n) { double a = 0.0; for (int i = 0; i < n; i++) a += x[i]; return a; }";
+        let setup: SetupFn = |m, _seed| {
+            let x = m.alloc_f64_slice(&[1.0, 2.0]);
+            vec![Value::P(x), Value::I(2)]
+        };
+        let (module, corrupted) = replaced_and_corrupted(src, "s", IdiomKind::Reduction, |t| {
+            // Pass the float init where the device loop expects the
+            // integer end bound.
+            let f = t.function_mut("s").expect("entry function");
+            let call = f
+                .value_ids()
+                .find(|&v| {
+                    f.instr(v)
+                        .and_then(|i| i.callee.as_deref())
+                        .is_some_and(|c| c.starts_with("lift_red_"))
+                })
+                .expect("device call present");
+            let bad = f.const_float(Type::F64, 2.0);
+            f.instr_mut(call).expect("call").operands[2] = bad;
+        });
+        let err = validate_transform(&module, &corrupted, "s", setup, &[0])
+            .expect_err("type confusion must fail validation");
+        assert!(
+            matches!(
+                &err,
+                ValidationError::Exec {
+                    which: "transformed",
+                    ..
+                }
+            ),
+            "got {err}"
+        );
     }
 }

@@ -16,6 +16,16 @@ fn load_idx(mem: &Memory, base: u64, k: i64, width: i64) -> Result<i64, String> 
     }
 }
 
+/// Rejects calls with the wrong argument count — a corrupted replacement
+/// must fail its validation run, not index out of bounds and abort.
+fn arity(name: &str, args: &[Value], n: usize) -> Result<(), String> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(format!("{name} expects {n} arguments, got {}", args.len()))
+    }
+}
+
 /// Registers `gemm_f64` and `csrmv_f64` with the machine.
 ///
 /// `gemm_f64(a, b, c, m, n, k, sa, sb, sc, a_row_scaled, b_row_scaled,
@@ -32,11 +42,12 @@ pub fn register_all(vm: &mut Machine<'_>) {
     vm.register_host(
         "gemm_f64",
         Rc::new(|mem, args| {
-            let (a, b, c) = (args[0].as_p(), args[1].as_p(), args[2].as_p());
-            let (m, n, k) = (args[3].as_i(), args[4].as_i(), args[5].as_i());
-            let (sa, sb, sc) = (args[6].as_i(), args[7].as_i(), args[8].as_i());
-            let (ar, br, cr) = (args[9].as_i(), args[10].as_i(), args[11].as_i());
-            let beta = args[12].as_f();
+            arity("gemm_f64", args, 13)?;
+            let (a, b, c) = (args[0].try_p()?, args[1].try_p()?, args[2].try_p()?);
+            let (m, n, k) = (args[3].try_i()?, args[4].try_i()?, args[5].try_i()?);
+            let (sa, sb, sc) = (args[6].try_i()?, args[7].try_i()?, args[8].try_i()?);
+            let (ar, br, cr) = (args[9].try_i()?, args[10].try_i()?, args[11].try_i()?);
+            let beta = args[12].try_f()?;
             let addr = |base: u64, col: i64, row: i64, stride: i64, row_scaled: i64| {
                 let idx = if row_scaled != 0 {
                     row * stride + col
@@ -68,15 +79,16 @@ pub fn register_all(vm: &mut Machine<'_>) {
     vm.register_host(
         "csrmv_f64",
         Rc::new(|mem, args| {
+            arity("csrmv_f64", args, 8)?;
             let (vals, rowptr, colidx, x, y) = (
-                args[0].as_p(),
-                args[1].as_p(),
-                args[2].as_p(),
-                args[3].as_p(),
-                args[4].as_p(),
+                args[0].try_p()?,
+                args[1].try_p()?,
+                args[2].try_p()?,
+                args[3].try_p()?,
+                args[4].try_p()?,
             );
-            let m = args[5].as_i();
-            let (rw, cw) = (args[6].as_i(), args[7].as_i());
+            let m = args[5].try_i()?;
+            let (rw, cw) = (args[6].try_i()?, args[7].try_i()?);
             for j in 0..m {
                 let lo = load_idx(mem, rowptr, j, rw)?;
                 let hi = load_idx(mem, rowptr, j + 1, rw)?;

@@ -99,7 +99,10 @@ impl IdiomKind {
         }
     }
 
-    fn outer_iterator_var(self) -> &'static str {
+    /// The binding name of the outermost loop's iterator phi — the value
+    /// that anchors the replacement region.
+    #[must_use]
+    pub fn outer_iterator_var(self) -> &'static str {
         match self {
             IdiomKind::Gemm | IdiomKind::Stencil2D => "loop[0].iterator",
             _ => "iterator",
@@ -184,6 +187,33 @@ impl IdiomInstance {
         }
         found.sort_by_key(|&(i, _)| i);
         found.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Recomputes [`IdiomInstance::blocks`] against the *current* state of
+    /// `f`.
+    ///
+    /// Block ids are compacted when a replacement excises a loop
+    /// (`remove_unreachable_blocks`), so an instance detected before an
+    /// earlier replacement in the same function must refresh its region
+    /// before being applied. Value ids are stable across excision, which
+    /// is why re-anchoring on the outer iterator phi works. Returns
+    /// `false` (leaving `blocks` untouched) when the iterator is no
+    /// longer placed in `f` — i.e. the instance's loop no longer exists.
+    pub fn refresh_blocks(&mut self, f: &Function) -> bool {
+        let Some(iter) = self.value(self.kind.outer_iterator_var()) else {
+            return false;
+        };
+        let Some(header) = f.find_block_of(iter) else {
+            return false;
+        };
+        let cfg = ssair::analysis::Cfg::new(f);
+        let dom = ssair::analysis::DomTree::dominators(&cfg);
+        let loops = ssair::analysis::LoopForest::new(&cfg, &dom);
+        self.blocks = loops
+            .loop_with_header(header)
+            .map(|l| l.blocks.clone())
+            .unwrap_or_else(|| vec![header]);
+        true
     }
 }
 

@@ -23,5 +23,5 @@ mod memory;
 mod profile;
 
 pub use machine::{ExecError, HostFn, Machine, Value};
-pub use memory::Memory;
+pub use memory::{Allocation, Memory};
 pub use profile::Profile;

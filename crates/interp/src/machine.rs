@@ -20,40 +20,63 @@ pub enum Value {
 }
 
 impl Value {
+    /// The integer payload, or an error describing the type confusion.
+    ///
+    /// The interpreter and the host-function executors use this (not the
+    /// panicking accessors) so a type-confused call — e.g. a corrupted
+    /// replacement passing a float where an API expects a length — fails
+    /// the run with an [`ExecError`] instead of aborting the process.
+    pub fn try_i(self) -> std::result::Result<i64, String> {
+        match self {
+            Value::I(v) => Ok(v),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    /// The float payload, or an error describing the type confusion.
+    pub fn try_f(self) -> std::result::Result<f64, String> {
+        match self {
+            Value::F(v) => Ok(v),
+            other => Err(format!("expected float, got {other:?}")),
+        }
+    }
+
+    /// The pointer payload, or an error describing the type confusion.
+    pub fn try_p(self) -> std::result::Result<u64, String> {
+        match self {
+            Value::P(v) => Ok(v),
+            other => Err(format!("expected pointer, got {other:?}")),
+        }
+    }
+
     /// The integer payload.
     ///
     /// # Panics
-    /// Panics if the value is not an integer.
+    /// Panics if the value is not an integer. Use [`Value::try_i`] in any
+    /// path that must survive malformed programs.
     #[must_use]
     pub fn as_i(self) -> i64 {
-        match self {
-            Value::I(v) => v,
-            other => panic!("expected integer, got {other:?}"),
-        }
+        self.try_i().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The float payload.
     ///
     /// # Panics
-    /// Panics if the value is not a float.
+    /// Panics if the value is not a float. Use [`Value::try_f`] in any
+    /// path that must survive malformed programs.
     #[must_use]
     pub fn as_f(self) -> f64 {
-        match self {
-            Value::F(v) => v,
-            other => panic!("expected float, got {other:?}"),
-        }
+        self.try_f().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The pointer payload.
     ///
     /// # Panics
-    /// Panics if the value is not a pointer.
+    /// Panics if the value is not a pointer. Use [`Value::try_p`] in any
+    /// path that must survive malformed programs.
     #[must_use]
     pub fn as_p(self) -> u64 {
-        match self {
-            Value::P(v) => v,
-            other => panic!("expected pointer, got {other:?}"),
-        }
+        self.try_p().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -196,7 +219,10 @@ impl<'m> Machine<'m> {
                         next = Some(i.targets[0]);
                     }
                     Opcode::CondBr => {
-                        let c = self.operand(f, &regs, i.operands[0])?.as_i();
+                        let c = self
+                            .operand(f, &regs, i.operands[0])?
+                            .try_i()
+                            .map_err(Self::err)?;
                         next = Some(if c != 0 { i.targets[0] } else { i.targets[1] });
                     }
                     Opcode::Ret => {
@@ -243,6 +269,13 @@ impl<'m> Machine<'m> {
         let i = f.instr(v).expect("instruction").clone();
         let ty = f.value(v).ty.clone();
         let op = |k: usize| self.operand(f, regs, i.operands[k]);
+        // Typed operand accessors: type confusion (a pointer where an
+        // integer is expected, …) is an execution error, never a panic —
+        // a broken replacement must fail its validation run, not kill the
+        // whole suite process.
+        let op_i = |k: usize| -> Result<i64> { op(k)?.try_i().map_err(Self::err) };
+        let op_f = |k: usize| -> Result<f64> { op(k)?.try_f().map_err(Self::err) };
+        let op_p = |k: usize| -> Result<u64> { op(k)?.try_p().map_err(Self::err) };
         let wrap_int = |ty: &Type, x: i64| -> i64 {
             match ty {
                 Type::I1 => x & 1,
@@ -268,8 +301,8 @@ impl<'m> Machine<'m> {
             | Opcode::Xor
             | Opcode::Shl
             | Opcode::AShr => {
-                let a = op(0)?.as_i();
-                let b = op(1)?.as_i();
+                let a = op_i(0)?;
+                let b = op_i(1)?;
                 let r = match i.opcode {
                     Opcode::Add => a.wrapping_add(b),
                     Opcode::Sub => a.wrapping_sub(b),
@@ -296,8 +329,8 @@ impl<'m> Machine<'m> {
                 Value::I(wrap_int(&ty, r))
             }
             Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
-                let a = op(0)?.as_f();
-                let b = op(1)?.as_f();
+                let a = op_f(0)?;
+                let b = op_f(1)?;
                 let r = match i.opcode {
                     Opcode::FAdd => a + b,
                     Opcode::FSub => a - b,
@@ -312,7 +345,7 @@ impl<'m> Machine<'m> {
                 let b = op(1)?;
                 let (a, b) = match (a, b) {
                     (Value::P(x), Value::P(y)) => (x as i64, y as i64),
-                    (x, y) => (x.as_i(), y.as_i()),
+                    (x, y) => (x.try_i().map_err(Self::err)?, y.try_i().map_err(Self::err)?),
                 };
                 let r = match pred {
                     ICmpPred::Eq => a == b,
@@ -325,8 +358,8 @@ impl<'m> Machine<'m> {
                 Value::I(i64::from(r))
             }
             Opcode::FCmp(pred) => {
-                let a = op(0)?.as_f();
-                let b = op(1)?.as_f();
+                let a = op_f(0)?;
+                let b = op_f(1)?;
                 let r = match pred {
                     FCmpPred::Oeq => a == b,
                     FCmpPred::One => a != b,
@@ -338,20 +371,20 @@ impl<'m> Machine<'m> {
                 Value::I(i64::from(r))
             }
             Opcode::Select => {
-                if op(0)?.as_i() != 0 {
+                if op_i(0)? != 0 {
                     op(1)?
                 } else {
                     op(2)?
                 }
             }
             Opcode::Gep => {
-                let base = op(0)?.as_p();
-                let idx = op(1)?.as_i();
+                let base = op_p(0)?;
+                let idx = op_i(1)?;
                 let elem = ty.pointee().expect("gep yields pointer").size_bytes() as i64;
                 Value::P((base as i64 + idx * elem) as u64)
             }
             Opcode::Load => {
-                let addr = op(0)?.as_p();
+                let addr = op_p(0)?;
                 match ty {
                     Type::I1 => Value::I(self.mem.load_i8(addr).map_err(Self::err)?),
                     Type::I32 => Value::I(self.mem.load_i32(addr).map_err(Self::err)?),
@@ -364,36 +397,34 @@ impl<'m> Machine<'m> {
             }
             Opcode::Store => {
                 let val = op(0)?;
-                let addr = op(1)?.as_p();
+                let addr = op_p(1)?;
                 let vty = f.value(i.operands[0]).ty.clone();
-                match vty {
-                    Type::I1 => self.mem.store_i8(addr, val.as_i()).map_err(Self::err)?,
-                    Type::I32 => self.mem.store_i32(addr, val.as_i()).map_err(Self::err)?,
-                    Type::I64 => self.mem.store_i64(addr, val.as_i()).map_err(Self::err)?,
-                    Type::F32 => self.mem.store_f32(addr, val.as_f()).map_err(Self::err)?,
-                    Type::F64 => self.mem.store_f64(addr, val.as_f()).map_err(Self::err)?,
-                    Type::Ptr(_) => self
-                        .mem
-                        .store_i64(addr, val.as_p() as i64)
-                        .map_err(Self::err)?,
+                let res = match vty {
+                    Type::I1 => val.try_i().and_then(|x| self.mem.store_i8(addr, x)),
+                    Type::I32 => val.try_i().and_then(|x| self.mem.store_i32(addr, x)),
+                    Type::I64 => val.try_i().and_then(|x| self.mem.store_i64(addr, x)),
+                    Type::F32 => val.try_f().and_then(|x| self.mem.store_f32(addr, x)),
+                    Type::F64 => val.try_f().and_then(|x| self.mem.store_f64(addr, x)),
+                    Type::Ptr(_) => val.try_p().and_then(|x| self.mem.store_i64(addr, x as i64)),
                     Type::Void => return Err(Self::err("store of void")),
-                }
+                };
+                res.map_err(Self::err)?;
                 Value::I(0)
             }
             Opcode::Alloca => {
-                let n = op(0)?.as_i();
+                let n = op_i(0)?;
                 if n < 0 {
                     return Err(Self::err("negative alloca size"));
                 }
                 let elem = ty.pointee().expect("alloca yields pointer").clone();
                 Value::P(self.mem.alloc(&elem, n as usize))
             }
-            Opcode::SExt | Opcode::ZExt => Value::I(wrap_int(&ty, op(0)?.as_i())),
-            Opcode::Trunc => Value::I(wrap_int(&ty, op(0)?.as_i())),
-            Opcode::SIToFP => Value::F(wrap_float(&ty, op(0)?.as_i() as f64)),
-            Opcode::FPToSI => Value::I(wrap_int(&ty, op(0)?.as_f() as i64)),
-            Opcode::FPExt => Value::F(op(0)?.as_f()),
-            Opcode::FPTrunc => Value::F(op(0)?.as_f() as f32 as f64),
+            Opcode::SExt | Opcode::ZExt => Value::I(wrap_int(&ty, op_i(0)?)),
+            Opcode::Trunc => Value::I(wrap_int(&ty, op_i(0)?)),
+            Opcode::SIToFP => Value::F(wrap_float(&ty, op_i(0)? as f64)),
+            Opcode::FPToSI => Value::I(wrap_int(&ty, op_f(0)? as i64)),
+            Opcode::FPExt => Value::F(op_f(0)?),
+            Opcode::FPTrunc => Value::F(op_f(0)? as f32 as f64),
             Opcode::Call => {
                 let callee = i
                     .callee
@@ -427,10 +458,19 @@ impl<'m> Machine<'m> {
 
     fn math_intrinsic(&mut self, name: &str, args: &[Value]) -> Option<Result<Value>> {
         let unary = |g: fn(f64) -> f64, args: &[Value]| -> Result<Value> {
-            Ok(Value::F(g(args[0].as_f())))
+            match args {
+                [a] => Ok(Value::F(g(a.try_f().map_err(Self::err)?))),
+                _ => Err(Self::err("unary math intrinsic expects 1 argument")),
+            }
         };
         let binary = |g: fn(f64, f64) -> f64, args: &[Value]| -> Result<Value> {
-            Ok(Value::F(g(args[0].as_f(), args[1].as_f())))
+            match args {
+                [a, b] => Ok(Value::F(g(
+                    a.try_f().map_err(Self::err)?,
+                    b.try_f().map_err(Self::err)?,
+                ))),
+                _ => Err(Self::err("binary math intrinsic expects 2 arguments")),
+            }
         };
         Some(match name {
             "sqrt" => unary(f64::sqrt, args),
@@ -598,6 +638,48 @@ entry:
         vm.max_steps = 1000;
         let err = vm.run("spin", &[]).unwrap_err();
         assert!(err.message.contains("step limit"));
+    }
+
+    #[test]
+    fn type_confusion_is_an_error_not_a_panic() {
+        // A type-confused call (integer into an f64 intrinsic) must fail
+        // the run with an ExecError so a bad replacement fails validation
+        // instead of aborting the whole suite process.
+        let m = compile_text(
+            "define double @f(i64 %x) {\nentry:\n  %r = call double @sqrt(i64 %x)\n  ret double %r\n}\n",
+        );
+        let mut vm = Machine::new(&m);
+        let err = vm.run("f", &[Value::I(4)]).unwrap_err();
+        assert!(err.message.contains("expected float"), "{err}");
+        // Same for a host function fed through the checked accessors.
+        let m2 = compile_text(
+            "define double @g(double %x) {\nentry:\n  %r = call double @h(double %x)\n  ret double %r\n}\n",
+        );
+        let mut vm2 = Machine::new(&m2);
+        vm2.register_host(
+            "h",
+            Rc::new(|_mem, args| Ok(Value::F(args[0].try_p()? as f64))),
+        );
+        let err = vm2.run("g", &[Value::F(1.0)]).unwrap_err();
+        assert!(err.message.contains("expected pointer"), "{err}");
+    }
+
+    #[test]
+    fn checked_value_accessors_report_the_mismatch() {
+        assert_eq!(Value::I(3).try_i(), Ok(3));
+        assert!(Value::F(1.0).try_i().is_err());
+        assert!(Value::I(1).try_f().is_err());
+        assert!(Value::F(1.0).try_p().is_err());
+        assert_eq!(Value::P(8).try_p(), Ok(8));
+    }
+
+    #[test]
+    fn wrong_intrinsic_arity_is_an_error() {
+        let m = compile_text(
+            "define double @f(double %x) {\nentry:\n  %r = call double @sqrt(double %x, double %x)\n  ret double %r\n}\n",
+        );
+        let mut vm = Machine::new(&m);
+        assert!(vm.run("f", &[Value::F(4.0)]).is_err());
     }
 
     #[test]

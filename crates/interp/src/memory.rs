@@ -8,9 +8,34 @@
 
 use ssair::Type;
 
+/// One typed allocation, as recorded by [`Memory::alloc`].
+///
+/// The differential validator replays a benchmark's `setup` on two
+/// machines and then compares exactly these arrays element-wise; the
+/// record is what makes that comparison typed and in-bounds by
+/// construction (no whole-memory byte scans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base address.
+    pub base: u64,
+    /// Element type.
+    pub elem: Type,
+    /// Number of elements.
+    pub count: usize,
+}
+
+impl Allocation {
+    /// Size of the allocation in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.elem.size_bytes() * self.count
+    }
+}
+
 /// Linear memory.
 pub struct Memory {
     bytes: Vec<u8>,
+    allocations: Vec<Allocation>,
 }
 
 impl Default for Memory {
@@ -23,13 +48,23 @@ impl Memory {
     /// Creates an empty memory (address 0 reserved).
     #[must_use]
     pub fn new() -> Memory {
-        Memory { bytes: vec![0; 8] }
+        Memory {
+            bytes: vec![0; 8],
+            allocations: Vec::new(),
+        }
     }
 
     /// Current size in bytes.
     #[must_use]
     pub fn size(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// Every typed allocation made so far, in allocation order. Untyped
+    /// [`Memory::alloc_bytes`] calls are not recorded.
+    #[must_use]
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
     }
 
     /// Allocates `n` bytes, zero-initialized, 8-byte aligned.
@@ -39,9 +74,16 @@ impl Memory {
         addr as u64
     }
 
-    /// Allocates an array of `n` elements of `ty`.
+    /// Allocates an array of `n` elements of `ty` and records it (see
+    /// [`Memory::allocations`]).
     pub fn alloc(&mut self, ty: &Type, n: usize) -> u64 {
-        self.alloc_bytes(ty.size_bytes() * n)
+        let base = self.alloc_bytes(ty.size_bytes() * n);
+        self.allocations.push(Allocation {
+            base,
+            elem: ty.clone(),
+            count: n,
+        });
+        base
     }
 
     fn check(&self, addr: u64, n: usize) -> Result<usize, String> {
@@ -231,6 +273,30 @@ mod tests {
         assert_eq!(a % 8, 0);
         assert_eq!(b % 8, 0);
         assert!(b >= a + 12);
+    }
+
+    #[test]
+    fn typed_allocations_are_recorded() {
+        let mut m = Memory::new();
+        let a = m.alloc_f64_slice(&[1.0, 2.0]);
+        let b = m.alloc(&Type::I32, 3);
+        let _raw = m.alloc_bytes(16); // untyped: not recorded
+        assert_eq!(
+            m.allocations(),
+            &[
+                Allocation {
+                    base: a,
+                    elem: Type::F64,
+                    count: 2
+                },
+                Allocation {
+                    base: b,
+                    elem: Type::I32,
+                    count: 3
+                },
+            ]
+        );
+        assert_eq!(m.allocations()[0].size_bytes(), 16);
     }
 
     #[test]

@@ -744,6 +744,18 @@ impl Function {
         }
     }
 
+    /// Looks up a value by its source name (`%name`), or `None` when no
+    /// value carries that name.
+    ///
+    /// This is the safe boundary for name-based lookups (the replacement
+    /// phase and tests used to open-code this with a panic on a missing
+    /// name): callers decide how a miss is handled.
+    #[must_use]
+    pub fn named(&self, name: &str) -> Option<ValueId> {
+        self.value_ids()
+            .find(|&v| self.value(v).name.as_deref() == Some(name))
+    }
+
     /// A human-readable name for a value: its source name if any, else `v<n>`.
     #[must_use]
     pub fn display_name(&self, id: ValueId) -> String {
@@ -776,6 +788,16 @@ mod tests {
         let s = f.append_simple(entry, Type::I32, Opcode::Add, vec![m, a]);
         f.append_ret(entry, Some(s));
         f
+    }
+
+    #[test]
+    fn named_lookup_is_an_option_not_a_panic() {
+        let mut f = sample();
+        assert_eq!(f.named("a"), Some(f.params[0]));
+        assert_eq!(f.named("no_such_value"), None);
+        let m = f.block(BlockId(0)).instrs[0];
+        f.set_name(m, "prod");
+        assert_eq!(f.named("prod"), Some(m));
     }
 
     #[test]

@@ -20,15 +20,22 @@
 //! region, operands available at the call site); the tests exercise the
 //! rejection paths.
 //!
+//! [`transform_module`] scales the rewrite to the paper's actual claim —
+//! *all* detected instances of a module — resolving overlapping matches
+//! deterministically and reporting a per-instance
+//! replaced/shadowed/failed outcome (see [`driver`]).
+//!
 //! [`ir_to_c`] is the paper's "rudimentary LLVM IR to C backend" used to
 //! hand kernels to Lift; [`dsl`] renders Lift and Halide surface programs
 //! for the extracted idioms (what the paper ships to the DSL compilers).
 
+pub mod driver;
 pub mod dsl;
 pub mod outline;
 pub mod replace;
 pub mod tocsrc;
 
+pub use driver::{transform_instances, transform_module, InstanceOutcome, ModuleXform, Outcome};
 pub use outline::{outline_kernel, OutlinedKernel};
 pub use replace::{apply_replacement, check_soundness, Replacement, XformError};
 pub use tocsrc::ir_to_c;

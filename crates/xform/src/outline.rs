@@ -127,8 +127,7 @@ mod tests {
     use ssair::parser::parse_function_text;
 
     fn get(f: &Function, name: &str) -> ValueId {
-        f.value_ids()
-            .find(|&v| f.value(v).name.as_deref() == Some(name))
+        f.named(name)
             .unwrap_or_else(|| panic!("no value named {name}"))
     }
 

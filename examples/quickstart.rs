@@ -38,8 +38,8 @@ fn main() {
     let (transformed, rep) = pipeline::transform_and_validate(
         &module,
         "dot",
-        |mem| {
-            let x = mem.alloc_f64_slice(&[1.0, 2.0, 3.0, 4.0]);
+        |mem, seed| {
+            let x = mem.alloc_f64_slice(&[1.0 + seed as f64, 2.0, 3.0, 4.0]);
             let y = mem.alloc_f64_slice(&[0.5, 0.5, 0.5, 0.5]);
             vec![Value::P(x), Value::P(y), Value::I(4)]
         },

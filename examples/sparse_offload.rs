@@ -18,10 +18,10 @@ void spmv(double* a, int* rowstr, int* colidx, double* z, double* r, int m) {
     }
 }";
 
-fn setup(mem: &mut idiomatch::interp::Memory) -> Vec<Value> {
+fn setup(mem: &mut idiomatch::interp::Memory, seed: u64) -> Vec<Value> {
     let rowstr = mem.alloc_i32_slice(&[0, 2, 4, 5, 7]);
     let colidx = mem.alloc_i32_slice(&[0, 1, 1, 2, 3, 0, 3]);
-    let vals = mem.alloc_f64_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    let vals = mem.alloc_f64_slice(&[1.0 + seed as f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
     let z = mem.alloc_f64_slice(&[1.5, -2.0, 0.5, 3.0]);
     let r = mem.alloc_f64_slice(&[0.0; 4]);
     vec![
@@ -66,7 +66,7 @@ fn main() {
 
     let mut vm = Machine::new(&transformed);
     idiomatch::hetero::hosts::register_all(&mut vm);
-    let args = setup(&mut vm.mem);
+    let args = setup(&mut vm.mem, idiomatch::benchsuite::CANONICAL_SEED);
     let rp = args[4].as_p();
     vm.run("spmv", &args).unwrap();
     println!("r = {:?}", vm.mem.read_f64_slice(rp, 4));

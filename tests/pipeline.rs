@@ -10,15 +10,15 @@ fn every_idiom_kind_round_trips_end_to_end() {
     struct Case {
         src: &'static str,
         entry: &'static str,
-        setup: fn(&mut idiomatch::interp::Memory) -> Vec<Value>,
+        setup: idiomatch::core::SetupFn,
         kind: IdiomKind,
     }
     let cases = [
         Case {
             src: "double s(double* x, int n) { double a = 0.0; for (int i = 0; i < n; i++) a += x[i]; return a; }",
             entry: "s",
-            setup: |m| {
-                let x = m.alloc_f64_slice(&[1.0, -2.0, 3.5, 0.25]);
+            setup: |m, seed| {
+                let x = m.alloc_f64_slice(&[1.0, -2.0, 3.5, 0.25 + seed as f64]);
                 vec![Value::P(x), Value::I(4)]
             },
             kind: IdiomKind::Reduction,
@@ -26,8 +26,8 @@ fn every_idiom_kind_round_trips_end_to_end() {
         Case {
             src: "void h(int* k, int* b, int n) { for (int i = 0; i < n; i++) b[k[i]] = b[k[i]] + 1; }",
             entry: "h",
-            setup: |m| {
-                let k = m.alloc_i32_slice(&[0, 1, 1, 3, 2, 1]);
+            setup: |m, seed| {
+                let k = m.alloc_i32_slice(&[0, 1, 1, 3, (seed % 4) as i32, 1]);
                 let b = m.alloc_i32_slice(&[0; 4]);
                 vec![Value::P(k), Value::P(b), Value::I(6)]
             },
@@ -36,9 +36,9 @@ fn every_idiom_kind_round_trips_end_to_end() {
         Case {
             src: "void st(double* o, double* a, int n) { for (int i = 1; i < n - 1; i++) o[i] = a[i-1] + 2.0*a[i] + a[i+1]; }",
             entry: "st",
-            setup: |m| {
+            setup: |m, seed| {
                 let o = m.alloc_f64_slice(&[0.0; 8]);
-                let a = m.alloc_f64_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+                let a = m.alloc_f64_slice(&[1.0 + seed as f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
                 vec![Value::P(o), Value::P(a), Value::I(8)]
             },
             kind: IdiomKind::Stencil1D,
@@ -96,7 +96,7 @@ fn transformed_spmv_runs_on_the_simulated_library() {
     // And it actually executes through the registered host.
     let mut vm = Machine::new(&transformed);
     idiomatch::hetero::hosts::register_all(&mut vm);
-    let args = (b.setup)(&mut vm.mem);
+    let args = (b.setup)(&mut vm.mem, idiomatch::benchsuite::CANONICAL_SEED);
     vm.run(b.entry, &args).expect("runs");
 }
 

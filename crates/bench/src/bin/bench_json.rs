@@ -4,21 +4,30 @@
 //! comparable data points.
 //!
 //! Usage: `cargo run --release -p idiomatch-bench --bin bench_json`
-//! (optionally `[passes] [output-path]`).
+//! (optionally `[passes] [output-path]`), or `--check` to verify the
+//! committed artifact's stable fields (instance counts, solver steps —
+//! not timings) against the current code without rewriting it (the CI
+//! drift guard).
 
+use idiomatch_bench::report::{Json, Report};
 use idioms::{DetectOptions, IdiomKind};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
-    // Arguments in any order: a number is the pass count, anything else
-    // is the output path.
+    // Arguments in any order: a number is the pass count, `--check`
+    // selects drift-check mode, anything else is the output path.
     let mut passes: usize = 10;
     let mut out_path = String::from("BENCH_detect.json");
+    let mut check = false;
     for arg in std::env::args().skip(1) {
-        match arg.parse::<usize>() {
-            Ok(n) => passes = n.max(1),
-            Err(_) => out_path = arg,
+        if arg == "--check" {
+            check = true;
+        } else {
+            match arg.parse::<usize>() {
+                Ok(n) => passes = n.max(1),
+                Err(_) => out_path = arg,
+            }
         }
     }
 
@@ -42,6 +51,35 @@ fn main() {
         }
     }
     debug_assert_eq!(steps_by_idiom.len(), IdiomKind::ALL.len());
+    let steps_json: Vec<String> = steps_by_idiom
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    let steps_raw = format!("{{\n{}\n  }}", steps_json.join(",\n"));
+
+    let stable = |passes: usize, mean_ms: f64, min_ms: f64| {
+        Report::new()
+            .stable("bench", Json::S("detect_all_21_benchmarks".into()))
+            .stable("functions", Json::U(fs.len() as u64))
+            .stable("instances", Json::U(instances as u64))
+            .volatile("passes", Json::U(passes as u64))
+            .volatile("mean_ms", Json::F(mean_ms, 3))
+            .volatile("min_ms", Json::F(min_ms, 3))
+            .stable("complete", Json::B(complete))
+            .stable("total_solve_steps", Json::U(total_steps))
+            .stable("solve_steps_by_idiom", Json::Raw(steps_raw.clone()))
+    };
+
+    if check {
+        // Drift guard: the committed artifact must carry the stable
+        // fields the current code produces; timings are not compared.
+        if let Err(e) = stable(0, 0.0, 0.0).check_drift(&out_path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        eprintln!("{out_path}: stable fields match the current code");
+        return;
+    }
 
     let mut samples_ms: Vec<f64> = Vec::with_capacity(passes);
     for _ in 0..passes {
@@ -56,23 +94,7 @@ fn main() {
     let mean_ms = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
     let min_ms = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
 
-    // Hand-rolled JSON: flat, deterministic key order, no dependencies.
-    let steps_json: Vec<String> = steps_by_idiom
-        .iter()
-        .map(|(k, v)| format!("    \"{k}\": {v}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"detect_all_21_benchmarks\",\n  \"functions\": {},\n  \"instances\": {},\n  \"passes\": {},\n  \"mean_ms\": {:.3},\n  \"min_ms\": {:.3},\n  \"complete\": {},\n  \"total_solve_steps\": {},\n  \"solve_steps_by_idiom\": {{\n{}\n  }}\n}}\n",
-        fs.len(),
-        instances,
-        passes,
-        mean_ms,
-        min_ms,
-        complete,
-        total_steps,
-        steps_json.join(",\n"),
-    );
-    std::fs::write(&out_path, &json).expect("BENCH_detect.json is writable");
-    print!("{json}");
-    eprintln!("wrote {out_path}");
+    let report = stable(passes, mean_ms, min_ms);
+    report.write(&out_path);
+    print!("{}", report.render());
 }

@@ -6,6 +6,7 @@
 //! Usage: `cargo run --release -p idiomatch-bench --bin table_replace`
 //! (optionally `[output-path]`).
 
+use idiomatch_bench::report::{Json, Report};
 use idiomatch_core::ValidationError;
 use xform::{Outcome, XformError};
 
@@ -95,7 +96,8 @@ fn main() {
     });
     let failures = rows.iter().filter(|r| !r.validated).count();
 
-    // Hand-rolled JSON: flat, deterministic key order, no dependencies.
+    // Everything in this artifact is deterministic, so every field is
+    // stable (CI additionally pins the whole file via `git diff`).
     let bench_json: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -106,19 +108,20 @@ fn main() {
         })
         .collect();
     let seeds_json: Vec<String> = seeds.iter().map(u64::to_string).collect();
-    let json = format!(
-        "{{\n  \"bench\": \"replace_all_21_benchmarks\",\n  \"seeds\": [{}],\n  \"detected\": {},\n  \"replaced\": {},\n  \"unsupported\": {},\n  \"unsound\": {},\n  \"shadowed\": {},\n  \"validation_failures\": {},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
-        seeds_json.join(", "),
-        totals.0,
-        totals.1,
-        totals.2,
-        totals.3,
-        totals.4,
-        failures,
-        bench_json.join(",\n"),
-    );
-    std::fs::write(&out_path, &json).expect("BENCH_replace.json is writable");
-    eprintln!("wrote {out_path}");
+    Report::new()
+        .stable("bench", Json::S("replace_all_21_benchmarks".into()))
+        .stable("seeds", Json::Raw(format!("[{}]", seeds_json.join(", "))))
+        .stable("detected", Json::U(totals.0 as u64))
+        .stable("replaced", Json::U(totals.1 as u64))
+        .stable("unsupported", Json::U(totals.2 as u64))
+        .stable("unsound", Json::U(totals.3 as u64))
+        .stable("shadowed", Json::U(totals.4 as u64))
+        .stable("validation_failures", Json::U(failures as u64))
+        .stable(
+            "benchmarks",
+            Json::Raw(format!("[\n{}\n  ]", bench_json.join(",\n"))),
+        )
+        .write(&out_path);
     if failures > 0 {
         std::process::exit(1);
     }

@@ -12,8 +12,16 @@
 //! | Figure 18 | `fig18` | speedup vs sequential per platform (± lazy copy) |
 //! | Figure 19 | `fig19` | IDL best vs handwritten OpenMP/OpenCL |
 //!
+//! Beyond the paper artifacts, three binaries write machine-readable
+//! `BENCH_*.json` trajectory data via the shared [`report`] helper:
+//! `bench_json` (detection perf + solver steps, with a `--check` drift
+//! guard), `table_replace` (suite-wide replacement coverage) and `fuzz`
+//! (the `progen` differential fuzz driver).
+//!
 //! The shared measurement logic lives here so the binaries stay thin and
 //! the Criterion benches (`benches/`) can reuse it.
+
+pub mod report;
 
 use idiomatch_core::Analysis;
 use std::collections::BTreeMap;

@@ -1,0 +1,234 @@
+//! Shared machine-readable benchmark reports (`BENCH_*.json`).
+//!
+//! Every bench binary used to hand-roll its own JSON string and its own
+//! artifact-drift policy; this module centralizes both:
+//!
+//! * [`Report`] renders a flat, deterministic-key-order JSON object
+//!   (hand-rolled on purpose — the workspace has no networked
+//!   dependencies), with each field marked **stable** (deterministic
+//!   output of the code, guarded against drift in CI) or **volatile**
+//!   (timings, throughput — expected to differ per machine);
+//! * [`Report::write`] persists the artifact;
+//! * [`Report::check_drift`] verifies that a committed artifact still
+//!   contains exactly the stable fields the current code produces, so a
+//!   code change that alters instance counts, solver steps or coverage
+//!   without regenerating the artifact fails CI — without false alarms
+//!   from machine-dependent timings.
+
+use std::fmt::Write as _;
+
+/// One rendered JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// Unsigned integer.
+    U(u64),
+    /// Float with fixed decimals.
+    F(f64, usize),
+    /// Boolean.
+    B(bool),
+    /// String (quoted, must not need escaping).
+    S(String),
+    /// Pre-rendered JSON spliced verbatim (arrays, nested objects).
+    Raw(String),
+}
+
+impl Json {
+    fn render(&self) -> String {
+        match self {
+            Json::U(v) => v.to_string(),
+            Json::F(v, p) => format!("{v:.p$}", p = p),
+            Json::B(v) => v.to_string(),
+            Json::S(s) => {
+                assert!(
+                    !s.contains(['"', '\\', '\n']),
+                    "string field needs no escaping by construction: {s:?}"
+                );
+                format!("\"{s}\"")
+            }
+            Json::Raw(r) => r.clone(),
+        }
+    }
+}
+
+struct Field {
+    key: &'static str,
+    value: Json,
+    stable: bool,
+}
+
+/// A flat JSON report with per-field drift policy.
+#[derive(Default)]
+pub struct Report {
+    fields: Vec<Field>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a stable (drift-guarded) field.
+    #[must_use]
+    pub fn stable(mut self, key: &'static str, value: Json) -> Report {
+        self.fields.push(Field {
+            key,
+            value,
+            stable: true,
+        });
+        self
+    }
+
+    /// Adds a volatile (machine-dependent) field.
+    #[must_use]
+    pub fn volatile(mut self, key: &'static str, value: Json) -> Report {
+        self.fields.push(Field {
+            key,
+            value,
+            stable: false,
+        });
+        self
+    }
+
+    /// The rendered fragment of one field, exactly as it appears in the
+    /// artifact (used both for writing and for drift comparison).
+    fn fragment(f: &Field) -> String {
+        format!("  \"{}\": {}", f.key, f.value.render())
+    }
+
+    /// Renders the whole artifact.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let body: Vec<String> = self.fields.iter().map(Self::fragment).collect();
+        let _ = write!(out, "{}", body.join(",\n"));
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the artifact to `path` (and notes it on stderr).
+    ///
+    /// # Panics
+    /// Panics when the path is not writable — bench artifacts are always
+    /// produced in a writable checkout.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.render()).unwrap_or_else(|e| panic!("{path} not writable: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    /// Checks the committed artifact at `path` against this report's
+    /// stable fields.
+    ///
+    /// # Errors
+    /// Lists every stable field whose rendered fragment is missing from
+    /// the committed file (meaning the artifact was not regenerated
+    /// after a behaviour change), or an IO problem.
+    pub fn check_drift(&self, path: &str) -> Result<(), String> {
+        let committed =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        // A fragment only counts as present when followed by a field
+        // separator or the closing brace: a bare substring check would
+        // accept a current value that is a prefix of the committed one
+        // (e.g. 1644 matching inside 16443).
+        let present = |frag: &String| {
+            committed.contains(&format!("{frag},\n")) || committed.contains(&format!("{frag}\n}}"))
+        };
+        let missing: Vec<String> = self
+            .fields
+            .iter()
+            .filter(|f| f.stable)
+            .map(Self::fragment)
+            .filter(|frag| !present(frag))
+            .collect();
+        // The reverse direction: every top-level key in the committed
+        // artifact must still be one the current code emits, or a field
+        // deleted from the report would survive in the artifact forever.
+        let known: Vec<String> = self
+            .fields
+            .iter()
+            .map(|f| format!("  \"{}\":", f.key))
+            .collect();
+        let stale: Vec<&str> = committed
+            .lines()
+            .filter(|l| l.starts_with("  \"")) // top-level keys only (nested lines indent deeper)
+            .filter(|l| !known.iter().any(|k| l.starts_with(k.as_str())))
+            .collect();
+        if missing.is_empty() && stale.is_empty() {
+            Ok(())
+        } else {
+            let mut msg = format!("{path} drifted from the current code;");
+            if !missing.is_empty() {
+                msg.push_str(&format!(" stale stable fields:\n{}", missing.join("\n")));
+            }
+            if !stale.is_empty() {
+                msg.push_str(&format!(
+                    "\ncommitted fields the code no longer emits:\n{}",
+                    stale.join("\n")
+                ));
+            }
+            msg.push_str("\nregenerate the artifact and commit it");
+            Err(msg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new()
+            .stable("bench", Json::S("x".into()))
+            .stable("count", Json::U(60))
+            .volatile("mean_ms", Json::F(12.3456, 3))
+            .stable("complete", Json::B(true))
+            .stable("by_kind", Json::Raw("{\n    \"A\": 1\n  }".into()))
+    }
+
+    #[test]
+    fn renders_flat_deterministic_json() {
+        assert_eq!(
+            sample().render(),
+            "{\n  \"bench\": \"x\",\n  \"count\": 60,\n  \"mean_ms\": 12.346,\n  \"complete\": true,\n  \"by_kind\": {\n    \"A\": 1\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn drift_guard_ignores_volatile_but_catches_stable_changes() {
+        let dir = std::env::temp_dir().join("bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(path, sample().render()).unwrap();
+
+        // Different timing: no drift.
+        let retimed = Report::new()
+            .stable("bench", Json::S("x".into()))
+            .stable("count", Json::U(60))
+            .volatile("mean_ms", Json::F(99.9, 3))
+            .stable("complete", Json::B(true))
+            .stable("by_kind", Json::Raw("{\n    \"A\": 1\n  }".into()));
+        assert!(retimed.check_drift(path).is_ok());
+
+        // A field the code no longer emits must be flagged, even though
+        // every currently-emitted fragment is present in the artifact.
+        let shrunk = Report::new()
+            .stable("bench", Json::S("x".into()))
+            .stable("count", Json::U(60))
+            .volatile("mean_ms", Json::F(99.9, 3))
+            .stable("complete", Json::B(true));
+        let err = shrunk.check_drift(path).unwrap_err();
+        assert!(err.contains("by_kind"), "stale committed key: {err}");
+
+        // Different stable count: drift.
+        let changed = Report::new().stable("count", Json::U(61));
+        let err = changed.check_drift(path).unwrap_err();
+        assert!(err.contains("\"count\": 61"), "{err}");
+
+        // A current value that is a string PREFIX of the committed one
+        // (60 → 6) is still drift — the match is separator-anchored.
+        let prefix = Report::new().stable("count", Json::U(6));
+        assert!(prefix.check_drift(path).is_err(), "prefix must not pass");
+    }
+}

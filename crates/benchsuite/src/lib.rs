@@ -77,11 +77,18 @@ pub const VALIDATION_SEEDS: [u64; 3] = [CANONICAL_SEED, 0x5EED_0001, 0x5EED_0002
 /// Mixes the benchmark-level input `seed` into a per-array `salt`
 /// (splitmix-style odd-constant multiply) so every array gets an
 /// independent stream and seed 0 reproduces the historical fixed data.
-fn mix(seed: u64, salt: u64) -> u64 {
+///
+/// Shared with `progen`: generated programs seed their inputs through the
+/// same helpers the hand-reconstructed suite uses, so multi-seed
+/// differential validation behaves identically on both program sources.
+#[must_use]
+pub fn mix(seed: u64, salt: u64) -> u64 {
     salt.wrapping_add(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-fn fill_f64(mem: &mut Memory, n: usize, seed: u64) -> u64 {
+/// Allocates an `n`-element `double` array of seeded values in
+/// `[-0.5, 0.5)` and returns its base address.
+pub fn fill_f64(mem: &mut Memory, n: usize, seed: u64) -> u64 {
     let data: Vec<f64> = (0..n)
         .map(|i| {
             let x = (i as u64)
@@ -93,7 +100,9 @@ fn fill_f64(mem: &mut Memory, n: usize, seed: u64) -> u64 {
     mem.alloc_f64_slice(&data)
 }
 
-fn fill_i32_mod(mem: &mut Memory, n: usize, modulo: i32, seed: u64) -> u64 {
+/// Allocates an `n`-element `int` array of seeded values in
+/// `[0, modulo)` (histogram keys, index vectors) and returns its base.
+pub fn fill_i32_mod(mem: &mut Memory, n: usize, modulo: i32, seed: u64) -> u64 {
     let data: Vec<i32> = (0..n)
         .map(|i| {
             let x = (i as u64)
@@ -105,17 +114,20 @@ fn fill_i32_mod(mem: &mut Memory, n: usize, modulo: i32, seed: u64) -> u64 {
     mem.alloc_i32_slice(&data)
 }
 
-fn zeros_f64(mem: &mut Memory, n: usize) -> u64 {
+/// Allocates an `n`-element zeroed `double` array (output buffers).
+pub fn zeros_f64(mem: &mut Memory, n: usize) -> u64 {
     mem.alloc_f64_slice(&vec![0.0; n])
 }
 
-fn zeros_i32(mem: &mut Memory, n: usize) -> u64 {
+/// Allocates an `n`-element zeroed `int` array (bins, output buffers).
+pub fn zeros_i32(mem: &mut Memory, n: usize) -> u64 {
     mem.alloc_i32_slice(&vec![0; n])
 }
 
-/// A CSR matrix with `rows` rows and about `per_row` entries per row.
+/// A CSR matrix with `rows` rows and about `per_row` entries per row,
+/// returned as `(values, rowstr, colidx)` base addresses.
 /// The sparsity structure is seed-independent; the values are seeded.
-fn csr(mem: &mut Memory, rows: usize, per_row: usize, seed: u64) -> (u64, u64, u64) {
+pub fn csr(mem: &mut Memory, rows: usize, per_row: usize, seed: u64) -> (u64, u64, u64) {
     let mut rowstr = Vec::with_capacity(rows + 1);
     let mut colidx = Vec::new();
     rowstr.push(0i32);
@@ -303,6 +315,50 @@ mod tests {
                 assert!(d.complete, "{}::{} detection truncated", b.name, f.name);
             }
         }
+    }
+
+    #[test]
+    fn truncated_suite_detection_surfaces_incompleteness_and_recovers() {
+        // Module-scale budget exhaustion: with a tiny step budget the
+        // solver must cut off cleanly — `complete == false` on at least
+        // one function, never a panic — and an undercount must never
+        // masquerade as the true population. A full-budget rerun of the
+        // same modules must then restore the paper's 60 instances.
+        let modules: Vec<ssair::Module> = all()
+            .iter()
+            .map(|b| minicc::compile(b.source, b.name).unwrap())
+            .collect();
+        let tiny = idioms::DetectOptions {
+            max_steps: 50,
+            ..idioms::DetectOptions::default()
+        };
+        let mut truncated = 0usize;
+        let mut tiny_instances = 0usize;
+        for m in &modules {
+            for f in &m.functions {
+                let d = idioms::detect_with(f, &tiny);
+                if !d.complete {
+                    truncated += 1;
+                    assert!(
+                        d.steps <= tiny.max_steps * idioms::IdiomKind::ALL.len() as u64,
+                        "{}: budget must bound the work, spent {}",
+                        f.name,
+                        d.steps
+                    );
+                }
+                tiny_instances += d.instances.len();
+            }
+        }
+        assert!(
+            truncated > 0,
+            "a 50-step budget must truncate somewhere across the suite"
+        );
+        let full_instances: usize = modules.iter().map(|m| idioms::detect_module(m).len()).sum();
+        assert_eq!(full_instances, 60, "full budget restores the population");
+        assert!(
+            tiny_instances < full_instances,
+            "the undercount ({tiny_instances}) must stay visible below the true population"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ use std::time::Instant;
 
 /// A benchmark input generator: allocates the program's arrays for one
 /// input seed and returns the entry-point arguments (the signature of
-/// [`benchsuite::Benchmark::setup`]).
+/// [`benchsuite::Benchmark::setup`]). The validation entry points accept
+/// any `Fn(&mut Memory, u64) -> Vec<Value>` closure — generated programs
+/// (`progen`) capture their input shape in the closure — and this alias
+/// remains the plain-`fn` form the static benchmark table uses.
 pub type SetupFn = fn(&mut Memory, u64) -> Vec<Value>;
 
 /// Everything measured about one benchmark.
@@ -419,7 +422,7 @@ fn load_elem(mem: &Memory, al: &Allocation, i: usize) -> Result<Value, String> {
 fn run_once(
     m: &Module,
     entry: &str,
-    setup: SetupFn,
+    setup: &impl Fn(&mut Memory, u64) -> Vec<Value>,
     seed: u64,
 ) -> Result<(Value, Memory, usize), String> {
     let mut vm = Machine::new(m);
@@ -444,7 +447,7 @@ pub fn validate_transform(
     original: &Module,
     transformed: &Module,
     entry: &str,
-    setup: SetupFn,
+    setup: impl Fn(&mut Memory, u64) -> Vec<Value>,
     seeds: &[u64],
 ) -> Result<ValidationSummary, ValidationError> {
     if seeds.is_empty() {
@@ -454,13 +457,13 @@ pub fn validate_transform(
     let mut elements = 0usize;
     for &seed in seeds {
         let (ret_o, mem_o, n_setup) =
-            run_once(original, entry, setup, seed).map_err(|e| ValidationError::Exec {
+            run_once(original, entry, &setup, seed).map_err(|e| ValidationError::Exec {
                 which: "original",
                 seed,
                 message: e,
             })?;
         let (ret_t, mem_t, n_setup_t) =
-            run_once(transformed, entry, setup, seed).map_err(|e| ValidationError::Exec {
+            run_once(transformed, entry, &setup, seed).map_err(|e| ValidationError::Exec {
                 which: "transformed",
                 seed,
                 message: e,
@@ -531,7 +534,7 @@ pub struct ModuleReport {
 pub fn transform_and_validate_module(
     module: &Module,
     entry: &str,
-    setup: SetupFn,
+    setup: impl Fn(&mut Memory, u64) -> Vec<Value>,
     seeds: &[u64],
 ) -> ModuleReport {
     let xf = xform::transform_module(module);
@@ -542,6 +545,96 @@ pub fn transform_and_validate_module(
     }
 }
 
+/// The full Figure-1 pipeline over one C source program, as one reusable
+/// call: compile (`minicc`) → detect every idiom (`idioms`, with explicit
+/// budgets so truncation is observable) → replace every instance
+/// (`xform::transform_module`) → differentially validate the transformed
+/// module against the original under every input seed.
+///
+/// This is the entry point the `progen` fuzz driver and the corpus replay
+/// tests run per generated program; `detect_complete` distinguishes "no
+/// instance found" from "the search was cut off".
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The compiled (optimized, verified) original module.
+    pub module: Module,
+    /// Every detected idiom instance, in module order.
+    pub instances: Vec<IdiomInstance>,
+    /// Functions whose search hit a solver budget (empty = complete).
+    pub incomplete_functions: Vec<String>,
+    /// Total solver assignment steps across all functions and idioms.
+    pub solve_steps: u64,
+    /// The whole-module transformation result.
+    pub xform: xform::ModuleXform,
+    /// The differential-validation verdict over all seeds.
+    pub validation: Result<ValidationSummary, ValidationError>,
+}
+
+impl PipelineOutcome {
+    /// `true` when no per-function search was truncated by a budget.
+    #[must_use]
+    pub fn detect_complete(&self) -> bool {
+        self.incomplete_functions.is_empty()
+    }
+}
+
+/// Runs compile → detect → transform-all → validate on `source`.
+///
+/// # Errors
+/// Returns the frontend error when `source` does not compile; every later
+/// stage reports through [`PipelineOutcome`] instead of failing the call.
+pub fn run_pipeline(
+    source: &str,
+    name: &str,
+    entry: &str,
+    setup: impl Fn(&mut Memory, u64) -> Vec<Value>,
+    seeds: &[u64],
+    opts: &idioms::DetectOptions,
+) -> Result<PipelineOutcome, minicc::CompileError> {
+    run_pipeline_with(source, name, entry, setup, seeds, opts, |_| {})
+}
+
+/// [`run_pipeline`] with a fault-injection hook applied to the
+/// transformed module *between* transformation and validation. This is
+/// how the fuzz harness proves the validator end-to-end: `progen`'s
+/// canary corrupts an offloaded call here and the validation stage must
+/// report the divergence. The honest pipeline passes a no-op.
+///
+/// # Errors
+/// As [`run_pipeline`].
+pub fn run_pipeline_with(
+    source: &str,
+    name: &str,
+    entry: &str,
+    setup: impl Fn(&mut Memory, u64) -> Vec<Value>,
+    seeds: &[u64],
+    opts: &idioms::DetectOptions,
+    post_transform: impl FnOnce(&mut Module),
+) -> Result<PipelineOutcome, minicc::CompileError> {
+    let module = minicc::compile(source, name)?;
+    let fs: Vec<&ssair::Function> = module.functions.iter().collect();
+    let detections = idioms::detect_functions(&fs, opts);
+    let incomplete_functions: Vec<String> = fs
+        .iter()
+        .zip(&detections)
+        .filter(|(_, d)| !d.complete)
+        .map(|(f, _)| f.name.clone())
+        .collect();
+    let solve_steps = detections.iter().map(|d| d.steps).sum();
+    let instances: Vec<IdiomInstance> = detections.into_iter().flat_map(|d| d.instances).collect();
+    let mut xf = xform::transform_instances(&module, instances.clone());
+    post_transform(&mut xf.module);
+    let validation = validate_transform(&module, &xf.module, entry, setup, seeds);
+    Ok(PipelineOutcome {
+        module,
+        instances,
+        incomplete_functions,
+        solve_steps,
+        xform: xf,
+        validation,
+    })
+}
+
 /// Applies the first applicable replacement of `kind` in `module` and
 /// validates it differentially under the default seed set
 /// ([`benchsuite::VALIDATION_SEEDS`]).
@@ -550,7 +643,7 @@ pub fn transform_and_validate_module(
 pub fn transform_and_validate(
     module: &Module,
     entry: &str,
-    setup: SetupFn,
+    setup: impl Fn(&mut Memory, u64) -> Vec<Value>,
     kind: IdiomKind,
 ) -> Result<(Module, xform::Replacement), String> {
     let insts: Vec<_> = idioms::detect_module(module)

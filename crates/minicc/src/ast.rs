@@ -123,6 +123,97 @@ pub enum Expr {
     },
 }
 
+impl Expr {
+    /// A variable reference.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// An integer literal.
+    #[must_use]
+    pub fn int(v: i64) -> Expr {
+        Expr::IntLit(v)
+    }
+
+    /// A `double` literal.
+    #[must_use]
+    pub fn f64(v: f64) -> Expr {
+        Expr::FloatLit(v, false)
+    }
+
+    /// A one-dimensional subscript `base[idx]`.
+    #[must_use]
+    pub fn idx(base: impl Into<String>, idx: Expr) -> Expr {
+        Expr::Index {
+            base: base.into(),
+            indices: vec![idx],
+        }
+    }
+
+    /// A call `name(args...)`.
+    #[must_use]
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            name: name.into(),
+            args,
+        }
+    }
+
+    /// A binary arithmetic node.
+    #[must_use]
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`. Associated constructors, not `self` methods — these
+    /// cannot collide with the `std::ops` traits clippy worries about.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    /// A comparison node.
+    #[must_use]
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// A cast `(ty) e`.
+    #[must_use]
+    pub fn cast(ty: CType, e: Expr) -> Expr {
+        Expr::Cast {
+            ty,
+            expr: Box::new(e),
+        }
+    }
+
+    /// A ternary `cond ? then : other` (lowered to `select`).
+    #[must_use]
+    pub fn ternary(cond: Expr, then: Expr, other: Expr) -> Expr {
+        Expr::Ternary {
+            cond: Box::new(cond),
+            then: Box::new(then),
+            other: Box::new(other),
+        }
+    }
+}
+
 /// Assignment targets.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LValue {
@@ -197,6 +288,64 @@ pub enum Stmt {
     Return(Option<Expr>, usize),
     /// Braced block (scope is flat; shadowing is rejected at lowering).
     Block(Vec<Stmt>),
+}
+
+impl Stmt {
+    /// A scalar declaration with an initializer.
+    #[must_use]
+    pub fn decl(name: impl Into<String>, ty: CType, init: Expr) -> Stmt {
+        Stmt::Decl {
+            name: name.into(),
+            ty,
+            dims: vec![],
+            init: Some(init),
+            line: 0,
+        }
+    }
+
+    /// A plain assignment `target = value`.
+    #[must_use]
+    pub fn assign(target: LValue, value: Expr) -> Stmt {
+        Stmt::Assign {
+            target,
+            op: None,
+            value,
+            line: 0,
+        }
+    }
+
+    /// A compound assignment `target op= value`.
+    #[must_use]
+    pub fn assign_op(target: LValue, op: BinOp, value: Expr) -> Stmt {
+        Stmt::Assign {
+            target,
+            op: Some(op),
+            value,
+            line: 0,
+        }
+    }
+
+    /// `return e;`
+    #[must_use]
+    pub fn ret(e: Expr) -> Stmt {
+        Stmt::Return(Some(e), 0)
+    }
+
+    /// The canonical counted loop `for (int iter = begin; iter < end;
+    /// iter++) { body }` — the shape every idiom template builds on.
+    #[must_use]
+    pub fn count_for(iter: impl Into<String>, begin: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
+        let iter = iter.into();
+        Stmt::For {
+            init: Some(Box::new(Stmt::decl(iter.clone(), CType::Int, begin))),
+            cond: Some(Expr::cmp(CmpOp::Lt, Expr::var(iter.clone()), end)),
+            step: Some(Box::new(Stmt::assign(
+                LValue::Var(iter.clone()),
+                Expr::add(Expr::var(iter), Expr::int(1)),
+            ))),
+            body,
+        }
+    }
 }
 
 /// A function definition.

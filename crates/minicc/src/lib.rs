@@ -43,6 +43,7 @@ pub mod lexer;
 pub mod lower;
 pub mod opt;
 pub mod parse;
+pub mod pretty;
 
 use ssair::Module;
 

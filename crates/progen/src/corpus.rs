@@ -1,0 +1,150 @@
+//! The regression-corpus format: a minimized failing program persisted
+//! as a plain `.c` file whose leading `// progen:` comment directives
+//! record the expectations the fuzz driver was checking. Directive
+//! comments are legal minicc comments, so the whole file text IS the
+//! compiled source — nothing to strip, nothing to get out of sync.
+//!
+//! ```c
+//! // progen: case seed-42 (progen corpus v1)
+//! // progen:expect f0 Reduction
+//! // progen:forbid f1 Stencil1D
+//! // progen:note planted Reduction in f0 was not detected
+//! double f0(double* d0, int n) { ... }
+//! double fz_entry(...) { ... }
+//! ```
+//!
+//! Replay (`tests/fuzz_corpus.rs`) runs [`replay_case`] on every `.c`
+//! file under `tests/corpus/`: a checked-in case must PASS — each file
+//! pins a failure that has since been fixed (or a format example), and a
+//! reappearing bug fails the replay with the original expectations.
+
+use crate::check::{check_source, Canary, Checked, Failure};
+use crate::spec::Spec;
+use idioms::IdiomKind;
+
+/// A parsed corpus entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusCase {
+    /// The case name (from the `// progen: case` header).
+    pub name: String,
+    /// The full file text (directives included — they are comments).
+    pub source: String,
+    /// `(function, kind)` pairs that must be detected and replaced.
+    pub expects: Vec<(String, IdiomKind)>,
+    /// `(function, kind)` pairs that must not be detected.
+    pub forbids: Vec<(String, IdiomKind)>,
+    /// Free-text description of the original failure.
+    pub note: String,
+}
+
+fn kind_from_name(name: &str) -> Option<IdiomKind> {
+    IdiomKind::ALL
+        .into_iter()
+        .find(|k| k.constraint_name() == name)
+}
+
+/// Serializes a (typically shrunk) spec as a corpus file.
+#[must_use]
+pub fn to_corpus(spec: &Spec, name: &str, note: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("// progen: case {name} (progen corpus v1)\n"));
+    for (f, k) in spec.expected() {
+        out.push_str(&format!("// progen:expect {f} {}\n", k.constraint_name()));
+    }
+    for (f, k) in spec.forbidden() {
+        out.push_str(&format!("// progen:forbid {f} {}\n", k.constraint_name()));
+    }
+    if !note.is_empty() {
+        out.push_str(&format!("// progen:note {note}\n"));
+    }
+    out.push_str(&spec.render());
+    out
+}
+
+/// Parses a corpus file.
+///
+/// # Errors
+/// A description of the malformed directive.
+pub fn parse_case(text: &str) -> Result<CorpusCase, String> {
+    let mut case = CorpusCase {
+        name: String::new(),
+        source: text.to_owned(),
+        expects: Vec::new(),
+        forbids: Vec::new(),
+        note: String::new(),
+    };
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("// progen:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(name) = rest.strip_prefix("case ") {
+            case.name = name.split(" (").next().unwrap_or(name).trim().to_owned();
+        } else if let Some(spec) = rest.strip_prefix("expect ") {
+            case.expects.push(parse_pair(spec)?);
+        } else if let Some(spec) = rest.strip_prefix("forbid ") {
+            case.forbids.push(parse_pair(spec)?);
+        } else if let Some(note) = rest.strip_prefix("note ") {
+            case.note = note.to_owned();
+        } else {
+            return Err(format!("unknown progen directive: {line:?}"));
+        }
+    }
+    if case.name.is_empty() {
+        return Err("missing `// progen: case <name>` header".into());
+    }
+    Ok(case)
+}
+
+fn parse_pair(s: &str) -> Result<(String, IdiomKind), String> {
+    let mut it = s.split_whitespace();
+    let (Some(f), Some(k), None) = (it.next(), it.next(), it.next()) else {
+        return Err(format!("expected `<function> <kind>`, got {s:?}"));
+    };
+    let kind = kind_from_name(k).ok_or_else(|| format!("unknown idiom kind {k:?} in directive"))?;
+    Ok((f.to_owned(), kind))
+}
+
+/// Replays a corpus case through the full pipeline with its recorded
+/// expectations (no canary: replay checks the honest pipeline).
+///
+/// # Errors
+/// The first violated guarantee — a reappearance of the pinned bug.
+pub fn replay_case(case: &CorpusCase) -> Result<Checked, Failure> {
+    check_source(
+        &case.source,
+        &format!("corpus_{}", case.name),
+        &case.expects,
+        &case.forbids,
+        Canary::None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_round_trips_through_parse() {
+        let spec = crate::generate(3);
+        let text = to_corpus(&spec, "seed-3", "format example");
+        let case = parse_case(&text).unwrap();
+        assert_eq!(case.name, "seed-3");
+        assert_eq!(case.expects, spec.expected());
+        assert_eq!(case.forbids, spec.forbidden());
+        assert_eq!(case.note, "format example");
+        // Directives are comments: the file text compiles as-is.
+        minicc::compile(&case.source, "t").unwrap();
+    }
+
+    #[test]
+    fn malformed_directives_are_rejected() {
+        assert!(parse_case("// progen: case x\n// progen:expect f0\n").is_err());
+        assert!(parse_case("// progen: case x\n// progen:expect f0 NotAKind\n").is_err());
+        assert!(parse_case("// progen:bogus\n").is_err());
+        assert!(
+            parse_case("double f() { return 1.0; }\n").is_err(),
+            "missing header"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Seed → [`Spec`]: the randomized (but fully deterministic) program
+//! generator. Every random choice is drawn from one splitmix64 stream,
+//! so a seed is a complete reproducer of its program.
+
+use crate::spec::{
+    ArrayId, FillerStmt, FuncSpec, HistoVariant, NearMissKind, PlantKind, RedKernel, Role, Spec,
+    COEFS,
+};
+use crate::Rng;
+
+/// Seeded `double[LEN]` arrays usable as idiom inputs.
+const D_POOL: [ArrayId; 4] = [ArrayId::D0, ArrayId::D1, ArrayId::D2, ArrayId::D3];
+/// Zeroed `double[LEN]` arrays usable as outputs / in-place scratch.
+const O_POOL: [ArrayId; 2] = [ArrayId::O0, ArrayId::O1];
+
+fn coef_ix(rng: &mut Rng) -> u8 {
+    rng.below(COEFS.len()) as u8
+}
+
+fn pick_d(rng: &mut Rng) -> ArrayId {
+    *rng.pick(&D_POOL)
+}
+
+/// A second D-pool array distinct from `a`.
+fn pick_d_other(rng: &mut Rng, a: ArrayId) -> ArrayId {
+    loop {
+        let b = pick_d(rng);
+        if b != a {
+            return b;
+        }
+    }
+}
+
+fn gen_reduction(rng: &mut Rng) -> PlantKind {
+    let scaled = RedKernel::SumScaled(coef_ix(rng));
+    let kernel = *rng.pick(&[
+        RedKernel::SumMul,
+        RedKernel::Sum,
+        RedKernel::SumSq,
+        scaled,
+        RedKernel::SumDiff,
+        RedKernel::Prod,
+        RedKernel::SumSqrtAbs,
+        RedKernel::SumCos,
+        RedKernel::TernaryAbs,
+        RedKernel::MaxAbs,
+        RedKernel::IntSum,
+    ]);
+    let a = pick_d(rng);
+    PlantKind::Reduction {
+        kernel,
+        a,
+        b: pick_d_other(rng, a),
+        lo: rng.below(3) as u8,
+        hi: rng.below(2) as u8,
+        wrapped: rng.chance(1, 4),
+    }
+}
+
+fn gen_histogram(rng: &mut Rng) -> PlantKind {
+    let variant = match rng.below(4) {
+        0 => HistoVariant::CountInt,
+        1 => HistoVariant::WeightedF { w: pick_d(rng) },
+        2 => HistoVariant::ComputedBin {
+            src: pick_d(rng),
+            c: *rng.pick(&[9.99, 15.0, 31.0, 63.0]),
+        },
+        _ => {
+            let xa = pick_d(rng);
+            HistoVariant::MaxOfTwo {
+                xa,
+                xb: pick_d_other(rng, xa),
+                c: *rng.pick(&[9.99, 15.0, 31.0]),
+            }
+        }
+    };
+    PlantKind::Histogram(variant)
+}
+
+fn gen_stencil1d(rng: &mut Rng) -> PlantKind {
+    let radius = 1 + rng.below(2) as i64;
+    let mut taps: Vec<(i64, u8)> = Vec::new();
+    for o in -radius..=radius {
+        if rng.chance(3, 5) {
+            taps.push((o, coef_ix(rng)));
+        }
+    }
+    if taps.is_empty() {
+        taps.push((0, coef_ix(rng)));
+    }
+    PlantKind::Stencil1D {
+        src: pick_d(rng),
+        dst: *rng.pick(&O_POOL),
+        taps,
+        scale: if rng.chance(1, 3) {
+            Some(coef_ix(rng))
+        } else {
+            None
+        },
+    }
+}
+
+fn gen_stencil2d(rng: &mut Rng) -> PlantKind {
+    let mut taps: Vec<(i64, i64, u8)> = Vec::new();
+    for r in -1..=1i64 {
+        for c in -1..=1i64 {
+            if rng.chance(2, 5) {
+                taps.push((r, c, coef_ix(rng)));
+            }
+        }
+    }
+    if taps.is_empty() {
+        taps.push((0, 0, coef_ix(rng)));
+    }
+    PlantKind::Stencil2D {
+        taps,
+        scale: if rng.chance(1, 3) {
+            Some(coef_ix(rng))
+        } else {
+            None
+        },
+    }
+}
+
+fn gen_plant(rng: &mut Rng) -> PlantKind {
+    match rng.below(6) {
+        0 => gen_reduction(rng),
+        1 => gen_histogram(rng),
+        2 => gen_stencil1d(rng),
+        3 => gen_stencil2d(rng),
+        4 => PlantKind::Gemm {
+            epilogue: rng.chance(1, 2),
+        },
+        _ => PlantKind::Spmv,
+    }
+}
+
+fn gen_near_miss(rng: &mut Rng) -> NearMissKind {
+    match rng.below(4) {
+        0 => {
+            let a = pick_d(rng);
+            let g = if rng.chance(1, 3) {
+                a
+            } else {
+                pick_d_other(rng, a)
+            };
+            NearMissKind::GuardedReduction { a, g }
+        }
+        1 => NearMissKind::DownwardReduction { a: pick_d(rng) },
+        2 => NearMissKind::IteratorHistogram,
+        _ => NearMissKind::InPlaceStencil {
+            arr: *rng.pick(&[ArrayId::O0, ArrayId::O1, ArrayId::D2, ArrayId::D3]),
+        },
+    }
+}
+
+/// A coefficient index whose value is ≤ 0.5: recurrence sweeps must be
+/// convex combinations (`ca + cb ≤ 1`) so they never amplify array
+/// magnitudes — computed histogram bins elsewhere in the program rely on
+/// `|data| ≤ 0.5` staying invariant. (Found by the fuzzer itself: seed
+/// 507 originally drew `cb = 1.0`, grew `d2` past 1.0 over two sweeps
+/// and drove `(int)(fabs(d2[i]) * 31.0)` out of the bins array.)
+fn small_coef_ix(rng: &mut Rng) -> u8 {
+    rng.below(6) as u8 // COEFS[0..=5] are 0.05 .. 0.5
+}
+
+fn gen_filler_stmt(rng: &mut Rng) -> FillerStmt {
+    match rng.below(3) {
+        0 => FillerStmt::Recurrence {
+            arr: *rng.pick(&[ArrayId::O0, ArrayId::O1, ArrayId::D2, ArrayId::D3]),
+            ca: small_coef_ix(rng),
+            cb: small_coef_ix(rng),
+        },
+        1 => {
+            let src = pick_d(rng);
+            FillerStmt::GuardedScale {
+                src,
+                dst: *rng.pick(&O_POOL),
+            }
+        }
+        _ => FillerStmt::ScalarNoise {
+            src: pick_d(rng),
+            c: coef_ix(rng),
+        },
+    }
+}
+
+fn gen_fillers(rng: &mut Rng, max: usize) -> Vec<FillerStmt> {
+    (0..rng.below(max + 1))
+        .map(|_| gen_filler_stmt(rng))
+        .collect()
+}
+
+/// Generates the deterministic program of `seed`: 1–4 planted idioms,
+/// 0–2 near-miss mutants and 0–2 filler functions, each with optional
+/// surrounding filler statements, in a shuffled order.
+#[must_use]
+pub fn generate(seed: u64) -> Spec {
+    let mut rng = Rng::new(seed);
+    let mut roles: Vec<(Role, Vec<FillerStmt>, Vec<FillerStmt>)> = Vec::new();
+    for _ in 0..1 + rng.below(4) {
+        let pre = gen_fillers(&mut rng, 1);
+        let post = gen_fillers(&mut rng, 1);
+        roles.push((Role::Plant(gen_plant(&mut rng)), pre, post));
+    }
+    for _ in 0..rng.below(3) {
+        // Near-miss functions carry no in-function filler: nothing else
+        // in the function may produce the forbidden kind.
+        roles.push((Role::NearMiss(gen_near_miss(&mut rng)), vec![], vec![]));
+    }
+    for _ in 0..rng.below(3) {
+        let stmts = {
+            let mut s = gen_fillers(&mut rng, 2);
+            if s.is_empty() {
+                s.push(gen_filler_stmt(&mut rng));
+            }
+            s
+        };
+        roles.push((Role::Filler, stmts, vec![]));
+    }
+    // Shuffle, then name in final program order.
+    rng.shuffle(&mut roles);
+    let funcs = roles
+        .into_iter()
+        .enumerate()
+        .map(|(k, (role, pre, post))| FuncSpec {
+            name: format!("f{k}"),
+            role,
+            pre,
+            post,
+        })
+        .collect();
+    Spec { seed, funcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..32 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a, b);
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn generated_programs_have_planted_content() {
+        let mut planted = 0;
+        let mut near = 0;
+        for seed in 0..64 {
+            let s = generate(seed);
+            planted += s.expected().len();
+            near += s.forbidden().len();
+        }
+        assert!(planted >= 64, "every program plants at least one idiom");
+        assert!(near > 0, "near-misses must occur in the stream");
+    }
+}

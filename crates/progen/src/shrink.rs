@@ -1,0 +1,212 @@
+//! Greedy test-case minimization: given a failing [`Spec`] and a
+//! predicate that re-checks "still fails the same way", repeatedly try
+//! structural simplifications — drop whole functions, drop filler
+//! statements, unwrap repetition loops, simplify kernels and tap sets —
+//! keeping each change that preserves the failure, until a fixpoint.
+//!
+//! The predicate re-runs the full pipeline per candidate, so shrinking a
+//! program of `F` functions costs `O(F · passes)` pipeline runs — small,
+//! because generated programs hold at most ~8 tiny functions.
+
+use crate::spec::{FuncSpec, PlantKind, RedKernel, Role, Spec};
+
+/// One-step simplifications of the function at index `k`. Ordered most
+/// aggressive first so the greedy loop takes big bites before nibbling.
+fn candidates(spec: &Spec, k: usize) -> Vec<Spec> {
+    let mut out = Vec::new();
+    let f = &spec.funcs[k];
+    let mut with = |g: FuncSpec| {
+        let mut s = spec.clone();
+        s.funcs[k] = g;
+        out.push(s);
+    };
+    // Drop filler wholesale, then one statement at a time.
+    if !f.pre.is_empty() || !f.post.is_empty() {
+        let mut g = f.clone();
+        g.pre.clear();
+        g.post.clear();
+        with(g);
+    }
+    for i in 0..f.pre.len() {
+        let mut g = f.clone();
+        g.pre.remove(i);
+        with(g);
+    }
+    for i in 0..f.post.len() {
+        let mut g = f.clone();
+        g.post.remove(i);
+        with(g);
+    }
+    if let Role::Plant(p) = &f.role {
+        match p {
+            PlantKind::Reduction {
+                kernel,
+                a,
+                b,
+                lo,
+                hi,
+                wrapped,
+            } => {
+                if *wrapped {
+                    let mut g = f.clone();
+                    g.role = Role::Plant(PlantKind::Reduction {
+                        kernel: *kernel,
+                        a: *a,
+                        b: *b,
+                        lo: *lo,
+                        hi: *hi,
+                        wrapped: false,
+                    });
+                    with(g);
+                }
+                if *kernel != RedKernel::Sum {
+                    let mut g = f.clone();
+                    g.role = Role::Plant(PlantKind::Reduction {
+                        kernel: RedKernel::Sum,
+                        a: *a,
+                        b: *b,
+                        lo: *lo,
+                        hi: *hi,
+                        wrapped: *wrapped,
+                    });
+                    with(g);
+                }
+                if *lo != 0 || *hi != 0 {
+                    let mut g = f.clone();
+                    g.role = Role::Plant(PlantKind::Reduction {
+                        kernel: *kernel,
+                        a: *a,
+                        b: *b,
+                        lo: 0,
+                        hi: 0,
+                        wrapped: *wrapped,
+                    });
+                    with(g);
+                }
+            }
+            PlantKind::Stencil1D {
+                src,
+                dst,
+                taps,
+                scale,
+            } if taps.len() > 1 || scale.is_some() => {
+                let mut g = f.clone();
+                g.role = Role::Plant(PlantKind::Stencil1D {
+                    src: *src,
+                    dst: *dst,
+                    taps: vec![taps[0]],
+                    scale: None,
+                });
+                with(g);
+            }
+            PlantKind::Stencil2D { taps, scale } if taps.len() > 1 || scale.is_some() => {
+                let mut g = f.clone();
+                g.role = Role::Plant(PlantKind::Stencil2D {
+                    taps: vec![taps[0]],
+                    scale: None,
+                });
+                with(g);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Minimizes `spec` under `still_fails` (which must be `true` for `spec`
+/// itself). Deterministic: candidates are tried in a fixed order and the
+/// first success restarts the scan.
+pub fn shrink(spec: &Spec, still_fails: impl Fn(&Spec) -> bool) -> Spec {
+    debug_assert!(still_fails(spec), "shrink needs a failing starting point");
+    let mut cur = spec.clone();
+    loop {
+        let mut progressed = false;
+        // Pass 1: drop whole functions (largest single reduction).
+        let mut k = 0;
+        while k < cur.funcs.len() {
+            if cur.funcs.len() > 1 {
+                let mut cand = cur.clone();
+                cand.funcs.remove(k);
+                if still_fails(&cand) {
+                    cur = cand;
+                    progressed = true;
+                    continue; // same index now holds the next function
+                }
+            }
+            k += 1;
+        }
+        // Pass 2: per-function simplifications.
+        for k in 0..cur.funcs.len() {
+            loop {
+                let step = candidates(&cur, k).into_iter().find(|c| still_fails(c));
+                match step {
+                    Some(c) => {
+                        cur = c;
+                        progressed = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ArrayId, FillerStmt};
+
+    /// A structural predicate (no pipeline): "still contains a reduction
+    /// plant" — shrinking against it must strip everything else.
+    #[test]
+    fn shrinks_to_the_single_relevant_function() {
+        let spec = crate::generate(7);
+        assert!(!spec.funcs.is_empty());
+        let mut padded = spec;
+        padded.funcs.insert(
+            0,
+            FuncSpec {
+                name: "fx".into(),
+                role: Role::Plant(PlantKind::Reduction {
+                    kernel: RedKernel::SumCos,
+                    a: ArrayId::D0,
+                    b: ArrayId::D1,
+                    lo: 2,
+                    hi: 1,
+                    wrapped: true,
+                }),
+                pre: vec![FillerStmt::ScalarNoise {
+                    src: ArrayId::D2,
+                    c: 3,
+                }],
+                post: vec![],
+            },
+        );
+        let has_reduction = |s: &Spec| {
+            s.funcs
+                .iter()
+                .any(|f| matches!(f.role, Role::Plant(PlantKind::Reduction { .. })))
+        };
+        assert!(has_reduction(&padded));
+        let min = shrink(&padded, has_reduction);
+        assert_eq!(min.funcs.len(), 1, "everything irrelevant dropped");
+        match &min.funcs[0].role {
+            Role::Plant(PlantKind::Reduction {
+                kernel,
+                lo,
+                hi,
+                wrapped,
+                ..
+            }) => {
+                assert_eq!(*kernel, RedKernel::Sum, "kernel simplified");
+                assert_eq!((*lo, *hi), (0, 0), "bounds simplified");
+                assert!(!wrapped, "repetition unwrapped");
+            }
+            other => panic!("kept {other:?}"),
+        }
+        assert!(min.funcs[0].pre.is_empty() && min.funcs[0].post.is_empty());
+    }
+}

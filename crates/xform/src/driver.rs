@@ -111,17 +111,31 @@ pub fn transform_module(module: &Module) -> ModuleXform {
 pub fn transform_instances(module: &Module, instances: Vec<IdiomInstance>) -> ModuleXform {
     // Deterministic attempt order (on the original, consistent block
     // ids): outermost (largest region) first, then idiom priority, then
-    // anchor id.
+    // the owning function, then anchor id. The function name must be in
+    // the key: anchors are per-function value ids, so two structurally
+    // identical instances in different functions collide on every other
+    // component — without it the tie fell through to input position and
+    // shuffling the input order swapped the uids (and thus the names) of
+    // the generated device kernels.
     let n = instances.len();
     let mut priority: Vec<usize> = (0..n).collect();
-    priority.sort_by_key(|&i| {
-        let inst = &instances[i];
+    priority.sort_by(|&x, &y| {
+        let a = &instances[x];
+        let b = &instances[y];
         (
-            usize::MAX - inst.blocks.len(), // outermost (largest region) first
-            kind_rank(inst.kind),           // most specific idiom first
-            inst.anchor,                    // stable final tie-break
-            i,
+            usize::MAX - a.blocks.len(), // outermost (largest region) first
+            kind_rank(a.kind),           // most specific idiom first
+            &a.function,
+            a.anchor,
+            x, // unreachable for distinct instances; stabilizes duplicates
         )
+            .cmp(&(
+                usize::MAX - b.blocks.len(),
+                kind_rank(b.kind),
+                &b.function,
+                b.anchor,
+                y,
+            ))
     });
 
     // Resolution and application interleave: an instance is shadowed

@@ -14,6 +14,7 @@ pub use idioms;
 pub use idl;
 pub use interp;
 pub use minicc;
+pub use progen;
 pub use solver;
 pub use ssair;
 pub use xform;

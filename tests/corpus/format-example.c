@@ -1,0 +1,24 @@
+// progen: case format-example (progen corpus v1)
+// progen:expect f0 Reduction
+// progen:forbid f1 Stencil1D
+// progen:note corpus format example: one planted dot-product reduction, one in-place-stencil near-miss
+double f0(double* d0, double* d1, int n) {
+    double s = 0.0;
+    for (int i0 = 0; (i0 < n); i0 = (i0 + 1)) {
+        s += (d0[i0] * d1[i0]);
+    }
+    return s;
+}
+
+void f1(double* o0, int n) {
+    for (int i0 = 1; (i0 < (n - 1)); i0 = (i0 + 1)) {
+        o0[i0] = ((0.5 * o0[(i0 - 1)]) + (0.5 * o0[(i0 + 1)]));
+    }
+}
+
+double fz_entry(double* d0, double* d1, double* d2, double* d3, double* o0, double* o1, double* g0, double* go, double* m0, double* m1, double* mo, int* k0, int* bi, double* bf, double* cv, int* cr, int* cc, double* x0, double* y0, int n, int g, int dim, int rows, int nb) {
+    double total = 0.0;
+    total = (total + f0(d0, d1, n));
+    f1(o0, n);
+    return total;
+}

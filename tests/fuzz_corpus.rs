@@ -1,0 +1,38 @@
+//! Replays the checked-in regression corpus (`tests/corpus/*.c`): every
+//! minimized fuzz reproducer must pass the full pipeline oracle with its
+//! recorded expectations. A failure here means a bug the fuzzer once
+//! found (and the corpus pinned) has come back. See
+//! `tests/corpus/README.md` for the format and policy.
+
+use idiomatch::progen;
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut cases = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "c"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        let case = progen::parse_case(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed corpus file: {e}", path.display()));
+        let checked = progen::replay_case(&case).unwrap_or_else(|f| {
+            panic!(
+                "{}: pinned bug reappeared ({}): {f}",
+                path.display(),
+                case.note
+            )
+        });
+        assert!(
+            checked.validation.elements > 0,
+            "{}: vacuous validation",
+            path.display()
+        );
+        cases += 1;
+    }
+    assert!(cases >= 1, "the corpus always holds the format example");
+}

@@ -162,6 +162,59 @@ proptest! {
     }
 
     #[test]
+    fn transform_module_overlap_resolution_is_input_order_independent(
+        progen_seed in 0u64..400,
+        shuffle_seed in proptest::arbitrary::any::<u64>()
+    ) {
+        // Shuffling the detected-instance input order must not change
+        // the transformation: byte-identical transformed module, and the
+        // same per-instance Replaced/Shadowed/Failed verdicts (shadow
+        // edges compared by the winning instance's identity, since
+        // `Shadowed { by }` indexes into the input order).
+        use idiomatch::xform::{transform_instances, ModuleXform, Outcome};
+        let spec = idiomatch::progen::generate(progen_seed);
+        let module = idiomatch::minicc::compile(&spec.render(), "prop").unwrap();
+        let instances = idiomatch::idioms::detect_module(&module);
+        // Every progen program plants at least one idiom, so the shuffle
+        // always has material to permute.
+        prop_assert!(!instances.is_empty());
+
+        let mut shuffled = instances.clone();
+        idiomatch::progen::Rng::new(shuffle_seed).shuffle(&mut shuffled);
+
+        // One comparable verdict per instance, keyed by instance
+        // identity and independent of input position.
+        let describe = |xf: &ModuleXform| -> Vec<String> {
+            let mut rows: Vec<String> = xf
+                .outcomes
+                .iter()
+                .map(|o| {
+                    let inst = &o.instance;
+                    let verdict = match &o.outcome {
+                        Outcome::Replaced(r) => format!("replaced:{}", r.kind.constraint_name()),
+                        Outcome::Shadowed { by } => {
+                            let w = &xf.outcomes[*by].instance;
+                            format!("shadowed-by:{}:{:?}:{}", w.function, w.kind, w.anchor)
+                        }
+                        Outcome::Failed(e) => format!("failed:{e}"),
+                    };
+                    format!("{}:{:?}:{}:{verdict}", inst.function, inst.kind, inst.anchor)
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        let a = transform_instances(&module, instances);
+        let b = transform_instances(&module, shuffled);
+        prop_assert_eq!(
+            idiomatch::ssair::printer::print_module(&a.module),
+            idiomatch::ssair::printer::print_module(&b.module),
+            "transformed modules must be byte-identical"
+        );
+        prop_assert_eq!(describe(&a), describe(&b));
+    }
+
+    #[test]
     fn solver_solutions_always_satisfy_the_formula(
         ops in proptest::collection::vec(0u8..2, 1..12)
     ) {

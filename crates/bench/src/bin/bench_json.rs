@@ -1,35 +1,53 @@
 //! Machine-readable perf baseline: times suite-wide idiom detection and
-//! writes `BENCH_detect.json` (mean/min ms per full-suite pass, total and
-//! per-idiom solver steps) so the performance trajectory across PRs has
-//! comparable data points.
+//! writes `BENCH_detect.json` (mean/min ms per full-suite pass, per-idiom
+//! mean ms, per-function latency percentiles, total and per-idiom solver
+//! steps) so the performance trajectory across PRs has comparable data
+//! points.
 //!
 //! Usage: `cargo run --release -p idiomatch-bench --bin bench_json`
-//! (optionally `[passes] [output-path]`), or `--check` to verify the
-//! committed artifact's stable fields (instance counts, solver steps —
-//! not timings) against the current code without rewriting it (the CI
-//! drift guard).
+//! (optionally `--passes N` — a bare number still works — and an output
+//! path), or `--check` to verify the committed artifact against the
+//! current code without rewriting it (the CI drift guard). The guard
+//! compares the stable fields exactly (instance counts, completeness),
+//! ratchets `total_solve_steps` against upward regression beyond 5%, and
+//! ignores timings.
 
 use idiomatch_bench::report::{Json, Report};
 use idioms::{DetectOptions, IdiomKind};
-use std::collections::BTreeMap;
 use std::time::Instant;
 
+/// The `p`-th percentile (nearest-rank) of a sorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 fn main() {
-    // Arguments in any order: a number is the pass count, `--check`
-    // selects drift-check mode, anything else is the output path.
+    // Arguments: `--passes N` (or a bare number), `--check` selects
+    // drift-check mode, anything else is the output path.
     let mut passes: usize = 10;
     let mut out_path = String::from("BENCH_detect.json");
     let mut check = false;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--check" {
             check = true;
+        } else if arg == "--passes" {
+            passes = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--passes takes a number")
         } else {
             match arg.parse::<usize>() {
-                Ok(n) => passes = n.max(1),
+                Ok(n) => passes = n,
                 Err(_) => out_path = arg,
             }
         }
     }
+    passes = passes.max(1);
 
     let modules: Vec<ssair::Module> = benchsuite::all()
         .iter()
@@ -44,7 +62,8 @@ fn main() {
     let instances: usize = detections.iter().map(|d| d.instances.len()).sum();
     let complete = detections.iter().all(|d| d.complete);
     let total_steps: u64 = detections.iter().map(|d| d.steps).sum();
-    let mut steps_by_idiom: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let skeleton_steps: u64 = detections.iter().map(|d| d.skeleton_steps).sum();
+    let mut steps_by_idiom: std::collections::BTreeMap<&'static str, u64> = Default::default();
     for d in &detections {
         for (&kind, &s) in &d.steps_by_kind {
             *steps_by_idiom.entry(kind.constraint_name()).or_default() += s;
@@ -57,7 +76,12 @@ fn main() {
         .collect();
     let steps_raw = format!("{{\n{}\n  }}", steps_json.join(",\n"));
 
-    let stable = |passes: usize, mean_ms: f64, min_ms: f64| {
+    let stable = |passes: usize,
+                  mean_ms: f64,
+                  min_ms: f64,
+                  per_idiom_raw: String,
+                  p50_ms: f64,
+                  p95_ms: f64| {
         Report::new()
             .stable("bench", Json::S("detect_all_21_benchmarks".into()))
             .stable("functions", Json::U(fs.len() as u64))
@@ -65,15 +89,19 @@ fn main() {
             .volatile("passes", Json::U(passes as u64))
             .volatile("mean_ms", Json::F(mean_ms, 3))
             .volatile("min_ms", Json::F(min_ms, 3))
+            .volatile("per_idiom_mean_ms", Json::Raw(per_idiom_raw))
+            .volatile("per_function_p50_ms", Json::F(p50_ms, 4))
+            .volatile("per_function_p95_ms", Json::F(p95_ms, 4))
             .stable("complete", Json::B(complete))
-            .stable("total_solve_steps", Json::U(total_steps))
-            .stable("solve_steps_by_idiom", Json::Raw(steps_raw.clone()))
+            // Perf ratchet: improvements land freely, regressions above
+            // +5% fail CI until the artifact is consciously regenerated.
+            .bounded_up("total_solve_steps", total_steps, 0.05)
+            .volatile("skeleton_solve_steps", Json::U(skeleton_steps))
+            .volatile("solve_steps_by_idiom", Json::Raw(steps_raw.clone()))
     };
 
     if check {
-        // Drift guard: the committed artifact must carry the stable
-        // fields the current code produces; timings are not compared.
-        if let Err(e) = stable(0, 0.0, 0.0).check_drift(&out_path) {
+        if let Err(e) = stable(0, 0.0, 0.0, "{}".into(), 0.0, 0.0).check_drift(&out_path) {
             eprintln!("{e}");
             std::process::exit(1);
         }
@@ -81,7 +109,10 @@ fn main() {
         return;
     }
 
+    // Full-suite passes through the parallel driver (the headline mean),
+    // plus per-function serial latencies for the percentile profile.
     let mut samples_ms: Vec<f64> = Vec::with_capacity(passes);
+    let mut fn_ms: Vec<f64> = Vec::with_capacity(passes * fs.len());
     for _ in 0..passes {
         let t = Instant::now();
         let n: usize = idioms::detect_functions(&fs, &opts)
@@ -90,11 +121,47 @@ fn main() {
             .sum();
         assert_eq!(n, instances, "detection must be deterministic");
         samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        for f in &fs {
+            let t = Instant::now();
+            let _ = idioms::detect_with(f, &opts);
+            fn_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
     }
     let mean_ms = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
     let min_ms = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    fn_ms.sort_unstable_by(f64::total_cmp);
+    let p50_ms = percentile(&fn_ms, 50.0);
+    let p95_ms = percentile(&fn_ms, 95.0);
 
-    let report = stable(passes, mean_ms, min_ms);
+    // Per-idiom solve cost: each kind's compiled constraint run in
+    // isolation over every function, with `Solver` construction (IR
+    // analyses, candidate buckets) hoisted out of the timed region so
+    // the numbers profile the constraint search itself — unseeded, the
+    // strategy-independent baseline comparable across PRs (the seeded
+    // production pipeline is what `mean_ms` measures).
+    let solve_opts = solver::SolveOptions {
+        max_solutions: opts.max_solutions,
+        max_steps: opts.max_steps,
+    };
+    let mut per_idiom_acc: std::collections::BTreeMap<&'static str, f64> = Default::default();
+    for _ in 0..passes {
+        for f in &fs {
+            let s = solver::Solver::new(f);
+            for kind in IdiomKind::ALL {
+                let t = Instant::now();
+                let _ = s.solve_outcome(idioms::compiled(kind), &solve_opts);
+                *per_idiom_acc.entry(kind.constraint_name()).or_default() +=
+                    t.elapsed().as_secs_f64() * 1e3;
+            }
+        }
+    }
+    let per_idiom: Vec<String> = per_idiom_acc
+        .iter()
+        .map(|(k, total)| format!("    \"{k}\": {:.3}", total / passes as f64))
+        .collect();
+    let per_idiom_raw = format!("{{\n{}\n  }}", per_idiom.join(",\n"));
+
+    let report = stable(passes, mean_ms, min_ms, per_idiom_raw, p50_ms, p95_ms);
     report.write(&out_path);
     print!("{}", report.render());
 }

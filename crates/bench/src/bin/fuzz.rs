@@ -101,6 +101,8 @@ fn main() {
     let mut detected = 0u64;
     let mut replaced = 0u64;
     let mut solve_steps = 0u64;
+    let mut detect_s = 0f64;
+    let mut detect_replace_s = 0f64;
     let mut failures: Vec<(u64, &'static str)> = Vec::new();
     let t0 = Instant::now();
     for seed in seed_start..seed_start + count {
@@ -113,6 +115,8 @@ fn main() {
                 detected += c.detected as u64;
                 replaced += c.replaced as u64;
                 solve_steps += c.solve_steps;
+                detect_s += c.detect_s;
+                detect_replace_s += c.detect_replace_s;
             }
             Err(f) => {
                 failures.push((seed, failure_class(&f)));
@@ -152,7 +156,22 @@ fn main() {
         )
         .stable("solve_steps", Json::U(solve_steps))
         .volatile("elapsed_s", Json::F(elapsed, 3))
+        // `elapsed_s` (and the headline `programs_per_sec`) folds in
+        // program generation, lowering and multi-seed validation; the
+        // detect-only and detect+replace splits below measure the
+        // compiler pipeline itself, which is what the perf trajectory
+        // tracks across PRs.
+        .volatile("detect_s", Json::F(detect_s, 3))
+        .volatile("detect_replace_s", Json::F(detect_replace_s, 3))
         .volatile("programs_per_sec", Json::F(count as f64 / elapsed, 1))
+        .volatile(
+            "detect_programs_per_sec",
+            Json::F(count as f64 / detect_s.max(1e-9), 1),
+        )
+        .volatile(
+            "detect_replace_programs_per_sec",
+            Json::F(count as f64 / detect_replace_s.max(1e-9), 1),
+        )
         .stable(
             "failures",
             Json::Raw(if failures_json.is_empty() {

@@ -50,10 +50,26 @@ impl Json {
     }
 }
 
+/// Drift policy of one field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Policy {
+    /// Deterministic output of the code: the committed fragment must
+    /// match exactly.
+    Stable,
+    /// Machine-dependent (timings, throughput): never compared.
+    Volatile,
+    /// Deterministic but perf-tracked: the current value may drift
+    /// *downward* freely (improvements don't force a regeneration), but
+    /// must not exceed the committed value by more than the given
+    /// fraction (e.g. `0.05` = +5%) — the ratchet that keeps solver-step
+    /// wins from being silently given back.
+    BoundedUp(f64),
+}
+
 struct Field {
     key: &'static str,
     value: Json,
-    stable: bool,
+    policy: Policy,
 }
 
 /// A flat JSON report with per-field drift policy.
@@ -75,7 +91,7 @@ impl Report {
         self.fields.push(Field {
             key,
             value,
-            stable: true,
+            policy: Policy::Stable,
         });
         self
     }
@@ -86,7 +102,20 @@ impl Report {
         self.fields.push(Field {
             key,
             value,
-            stable: false,
+            policy: Policy::Volatile,
+        });
+        self
+    }
+
+    /// Adds a perf-ratchet field: drift-guarded against *upward*
+    /// regression beyond `tolerance` (a fraction, e.g. `0.05`), while
+    /// downward movement passes without regenerating the artifact.
+    #[must_use]
+    pub fn bounded_up(mut self, key: &'static str, value: u64, tolerance: f64) -> Report {
+        self.fields.push(Field {
+            key,
+            value: Json::U(value),
+            policy: Policy::BoundedUp(tolerance),
         });
         self
     }
@@ -137,10 +166,42 @@ impl Report {
         let missing: Vec<String> = self
             .fields
             .iter()
-            .filter(|f| f.stable)
+            .filter(|f| f.policy == Policy::Stable)
             .map(Self::fragment)
             .filter(|frag| !present(frag))
             .collect();
+        // Perf-ratchet fields: compare numerically against the committed
+        // value with one-sided headroom.
+        let mut regressed: Vec<String> = Vec::new();
+        for f in &self.fields {
+            let Policy::BoundedUp(tol) = f.policy else {
+                continue;
+            };
+            let Json::U(current) = f.value else {
+                continue;
+            };
+            let prefix = format!("  \"{}\": ", f.key);
+            let old: Option<u64> = committed
+                .lines()
+                .find_map(|l| l.strip_prefix(&prefix))
+                .and_then(|rest| rest.trim_end_matches(',').trim().parse().ok());
+            match old {
+                None => regressed.push(format!(
+                    "  \"{}\": missing from the committed artifact",
+                    f.key
+                )),
+                Some(old) => {
+                    let ceiling = (old as f64 * (1.0 + tol)).floor() as u64;
+                    if current > ceiling {
+                        regressed.push(format!(
+                            "  \"{}\": {current} regressed above committed {old} (+{:.0}% ceiling {ceiling})",
+                            f.key,
+                            tol * 100.0
+                        ));
+                    }
+                }
+            }
+        }
         // The reverse direction: every top-level key in the committed
         // artifact must still be one the current code emits, or a field
         // deleted from the report would survive in the artifact forever.
@@ -154,12 +215,18 @@ impl Report {
             .filter(|l| l.starts_with("  \"")) // top-level keys only (nested lines indent deeper)
             .filter(|l| !known.iter().any(|k| l.starts_with(k.as_str())))
             .collect();
-        if missing.is_empty() && stale.is_empty() {
+        if missing.is_empty() && stale.is_empty() && regressed.is_empty() {
             Ok(())
         } else {
             let mut msg = format!("{path} drifted from the current code;");
             if !missing.is_empty() {
                 msg.push_str(&format!(" stale stable fields:\n{}", missing.join("\n")));
+            }
+            if !regressed.is_empty() {
+                msg.push_str(&format!(
+                    "\nperf-ratchet fields regressed:\n{}",
+                    regressed.join("\n")
+                ));
             }
             if !stale.is_empty() {
                 msg.push_str(&format!(
@@ -230,5 +297,32 @@ mod tests {
         // (60 → 6) is still drift — the match is separator-anchored.
         let prefix = Report::new().stable("count", Json::U(6));
         assert!(prefix.check_drift(path).is_err(), "prefix must not pass");
+    }
+
+    #[test]
+    fn bounded_up_ratchet_allows_improvement_but_catches_regression() {
+        let dir = std::env::temp_dir().join("bench_report_ratchet_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(path, Report::new().bounded_up("steps", 1000, 0.05).render()).unwrap();
+        let with = |v: u64| Report::new().bounded_up("steps", v, 0.05);
+        assert!(with(1000).check_drift(path).is_ok(), "unchanged passes");
+        assert!(
+            with(400).check_drift(path).is_ok(),
+            "improvement passes without regeneration"
+        );
+        assert!(with(1050).check_drift(path).is_ok(), "within +5% headroom");
+        let err = with(1051).check_drift(path).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // The key must exist in the committed artifact at all.
+        let err = Report::new()
+            .bounded_up("other", 1, 0.05)
+            .check_drift(path)
+            .unwrap_err();
+        assert!(
+            err.contains("missing") || err.contains("no longer emits"),
+            "{err}"
+        );
     }
 }

@@ -339,9 +339,16 @@ mod tests {
                 let d = idioms::detect_with(f, &tiny);
                 if !d.complete {
                     truncated += 1;
+                    // Documented budget accounting (see idioms::detect_kinds_with):
+                    // per kind at most max_steps for the seeded attempt plus
+                    // max_steps for the unseeded fallback, plus max_steps per
+                    // distinct skeleton key for the shared prepass.
+                    let bound = tiny.max_steps
+                        * (2 * idioms::IdiomKind::ALL.len() as u64
+                            + idioms::skeleton_key_count() as u64);
                     assert!(
-                        d.steps <= tiny.max_steps * idioms::IdiomKind::ALL.len() as u64,
-                        "{}: budget must bound the work, spent {}",
+                        d.steps <= bound,
+                        "{}: budget must bound the work, spent {} (bound {bound})",
                         f.name,
                         d.steps
                     );

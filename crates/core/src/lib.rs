@@ -562,12 +562,33 @@ pub struct PipelineOutcome {
     pub instances: Vec<IdiomInstance>,
     /// Functions whose search hit a solver budget (empty = complete).
     pub incomplete_functions: Vec<String>,
-    /// Total solver assignment steps across all functions and idioms.
+    /// Total solver assignment steps across all functions and idioms
+    /// (skeleton prepass included).
     pub solve_steps: u64,
+    /// Steps of the shared loop-skeleton prepass (a subset of
+    /// `solve_steps`, accounted once per function).
+    pub skeleton_steps: u64,
+    /// Wall-clock seconds per pipeline stage (frontend compile /
+    /// detection / transformation / validation), so throughput numbers
+    /// can separate the pipeline from its drivers.
+    pub timings: PipelineTimings,
     /// The whole-module transformation result.
     pub xform: xform::ModuleXform,
     /// The differential-validation verdict over all seeds.
     pub validation: Result<ValidationSummary, ValidationError>,
+}
+
+/// Wall-clock cost of each [`run_pipeline`] stage, in seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineTimings {
+    /// minicc frontend (parse, lower, optimize, verify).
+    pub compile_s: f64,
+    /// Idiom detection over every function.
+    pub detect_s: f64,
+    /// Whole-module transformation (`xform::transform_instances`).
+    pub transform_s: f64,
+    /// Multi-seed differential validation.
+    pub validate_s: f64,
 }
 
 impl PipelineOutcome {
@@ -611,9 +632,13 @@ pub fn run_pipeline_with(
     opts: &idioms::DetectOptions,
     post_transform: impl FnOnce(&mut Module),
 ) -> Result<PipelineOutcome, minicc::CompileError> {
+    let t = Instant::now();
     let module = minicc::compile(source, name)?;
+    let compile_s = t.elapsed().as_secs_f64();
     let fs: Vec<&ssair::Function> = module.functions.iter().collect();
+    let t = Instant::now();
     let detections = idioms::detect_functions(&fs, opts);
+    let detect_s = t.elapsed().as_secs_f64();
     let incomplete_functions: Vec<String> = fs
         .iter()
         .zip(&detections)
@@ -621,15 +646,27 @@ pub fn run_pipeline_with(
         .map(|(f, _)| f.name.clone())
         .collect();
     let solve_steps = detections.iter().map(|d| d.steps).sum();
+    let skeleton_steps = detections.iter().map(|d| d.skeleton_steps).sum();
     let instances: Vec<IdiomInstance> = detections.into_iter().flat_map(|d| d.instances).collect();
+    let t = Instant::now();
     let mut xf = xform::transform_instances(&module, instances.clone());
+    let transform_s = t.elapsed().as_secs_f64();
     post_transform(&mut xf.module);
+    let t = Instant::now();
     let validation = validate_transform(&module, &xf.module, entry, setup, seeds);
+    let validate_s = t.elapsed().as_secs_f64();
     Ok(PipelineOutcome {
         module,
         instances,
         incomplete_functions,
         solve_steps,
+        skeleton_steps,
+        timings: PipelineTimings {
+            compile_s,
+            detect_s,
+            transform_s,
+            validate_s,
+        },
         xform: xf,
         validation,
     })

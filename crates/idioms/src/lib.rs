@@ -24,10 +24,10 @@
 //!   suppressed (the dot-product loop inside a GEMM *is* a scalar
 //!   reduction, but the paper reports it as GEMM).
 
-use idl::{CompiledConstraint, Library};
-use solver::{Solution, SolveOptions, Solver};
+use idl::{CompiledConstraint, Library, VarId};
+use solver::{Solution, SolveOptions, SolveOutcome, Solver};
 use ssair::{BlockId, Function, Module, ValueId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -144,6 +144,122 @@ pub fn idl_line_count() -> usize {
     BUILDING_BLOCKS_IDL.lines().count() + IDIOMS_IDL.lines().count()
 }
 
+/// Cache key of one shared loop skeleton: the building-block name plus
+/// its compile-time parameters (`("ForNest", [("N", 3)])`).
+pub type SkeletonKey = (String, Vec<(String, i64)>);
+
+/// The standalone-compiled skeleton blocks the idiom library shares
+/// (today: `For`, `ForNest(N=2)`, `ForNest(N=3)`), compiled once
+/// process-wide. Each entry's `variables` align positionally with the
+/// `vars` of every [`idl::SkeletonRef`] carrying the same key.
+pub fn skeleton_constraints() -> &'static BTreeMap<SkeletonKey, CompiledConstraint> {
+    static CACHE: OnceLock<BTreeMap<SkeletonKey, CompiledConstraint>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut map = BTreeMap::new();
+        for kind in IdiomKind::ALL {
+            let Some(marker) = compiled(kind).skeletons.first() else {
+                continue;
+            };
+            let key: SkeletonKey = (marker.block.clone(), marker.params.clone());
+            if map.contains_key(&key) {
+                continue;
+            }
+            // Synthesize `Constraint __Skeleton ( inherits <block>(<params>) )`
+            // against the building-block library: its expansion is the
+            // same tree the idiom embeds (modulo renaming), so variables
+            // align positionally with every marker of this key.
+            let args = if marker.params.is_empty() {
+                String::new()
+            } else {
+                let kv: Vec<String> = marker
+                    .params
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                format!("({})", kv.join(", "))
+            };
+            let src = format!(
+                "{BUILDING_BLOCKS_IDL}\nConstraint __Skeleton ( inherits {}{args} ) End",
+                marker.block
+            );
+            let lib = idl::parse_library(&src).expect("skeleton wrapper parses");
+            let c = idl::compile(&lib, "__Skeleton").expect("skeleton wrapper compiles");
+            assert_eq!(
+                c.variables.len(),
+                marker.vars.len(),
+                "skeleton {key:?}: standalone variables must align with the marker"
+            );
+            map.insert(key, c);
+        }
+        map
+    })
+}
+
+/// Number of distinct skeleton cache keys across the idiom library (the
+/// prepass solves at most this many extra searches per function — the
+/// bound tests use for budget accounting).
+#[must_use]
+pub fn skeleton_key_count() -> usize {
+    skeleton_constraints().len()
+}
+
+/// Per-function cache of solved loop skeletons: for each key, the
+/// solution rows aligned with the standalone block's `variables` —
+/// or `None` when the skeleton solve itself was truncated (consumers
+/// then fall back to the unseeded search, preserving the exact PR-2
+/// budget semantics).
+struct SkeletonCache {
+    solved: HashMap<SkeletonKey, Option<Vec<Vec<ValueId>>>>,
+    /// Steps spent solving skeletons (accounted once per function,
+    /// reported separately in [`Detection::skeleton_steps`]).
+    steps: u64,
+}
+
+impl SkeletonCache {
+    fn new() -> SkeletonCache {
+        SkeletonCache {
+            solved: HashMap::new(),
+            steps: 0,
+        }
+    }
+
+    /// Solutions for `key` on `solver`'s function, solving on first use.
+    fn get(
+        &mut self,
+        solver: &Solver,
+        key: &SkeletonKey,
+        max_steps: u64,
+    ) -> Option<&Vec<Vec<ValueId>>> {
+        if !self.solved.contains_key(key) {
+            let c = &skeleton_constraints()[key];
+            let out = solver.solve_outcome(
+                c,
+                &SolveOptions {
+                    // No solution cap: the row count is bounded by the
+                    // step budget, and a capped skeleton would poison
+                    // every consumer.
+                    max_solutions: usize::MAX,
+                    max_steps,
+                },
+            );
+            self.steps += out.steps;
+            let rows = out.complete.then(|| {
+                out.solutions
+                    .iter()
+                    .map(|sol| {
+                        c.variables
+                            .iter()
+                            .map(|&v| sol.bindings[c.var_name(v)])
+                            .collect()
+                    })
+                    .collect()
+            });
+            self.solved.insert(key.clone(), rows);
+        }
+        self.solved[key].as_ref()
+    }
+}
+
 /// One detected idiom instance in a function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdiomInstance {
@@ -227,6 +343,12 @@ pub struct DetectOptions {
     /// Suppress lower-priority matches contained in higher-priority ones
     /// (paper reports the most specific idiom per region).
     pub suppress_contained: bool,
+    /// Solve the shared `For`/`ForNest` loop skeletons once per function
+    /// and seed every idiom's search from the cached solutions. `false`
+    /// selects the compatibility slow path (each idiom re-enumerates its
+    /// loop headers) — detection output is identical either way, which
+    /// the differential tests pin.
+    pub skeleton_prepass: bool,
 }
 
 impl Default for DetectOptions {
@@ -235,6 +357,7 @@ impl Default for DetectOptions {
             max_solutions: 128,
             max_steps: 20_000_000,
             suppress_contained: true,
+            skeleton_prepass: true,
         }
     }
 }
@@ -251,10 +374,15 @@ pub struct Detection {
     pub instances: Vec<IdiomInstance>,
     /// `false` if any idiom's search was cut off by a limit.
     pub complete: bool,
-    /// Total solver assignment steps across all idioms.
+    /// Total solver assignment steps across all idioms, *including*
+    /// `skeleton_steps`.
     pub steps: u64,
-    /// Solver steps per idiom kind (the per-idiom cost profile).
+    /// Solver steps per idiom kind (the per-idiom cost profile; excludes
+    /// the shared skeleton prepass).
     pub steps_by_kind: BTreeMap<IdiomKind, u64>,
+    /// Steps spent solving the shared loop skeletons, accounted once per
+    /// function (not split across the consuming idioms).
+    pub skeleton_steps: u64,
 }
 
 /// Runs the full idiom library over `f` and returns deduplicated,
@@ -267,6 +395,21 @@ pub fn detect(f: &Function) -> Vec<IdiomInstance> {
 /// [`detect`] with explicit limits, reporting completeness and cost.
 #[must_use]
 pub fn detect_with(f: &Function, opts: &DetectOptions) -> Detection {
+    detect_kinds_with(f, &IdiomKind::ALL, opts)
+}
+
+/// [`detect_with`] restricted to a subset of idiom kinds (the per-idiom
+/// benchmarks time each kind in isolation through this).
+///
+/// Budget accounting: each kind's search gets `opts.max_steps`; the
+/// skeleton prepass spends at most `opts.max_steps` per distinct
+/// skeleton key (charged once per function, reported in
+/// [`Detection::skeleton_steps`]); and a seeded search that hits a limit
+/// falls back to one unseeded search under the same per-kind budget. A
+/// detection pass over `k` kinds is therefore bounded by
+/// `(2·k + skeleton_key_count()) · max_steps` total steps.
+#[must_use]
+pub fn detect_kinds_with(f: &Function, kinds: &[IdiomKind], opts: &DetectOptions) -> Detection {
     let solver = Solver::new(f);
     let solve_opts = SolveOptions {
         max_solutions: opts.max_solutions,
@@ -274,13 +417,14 @@ pub fn detect_with(f: &Function, opts: &DetectOptions) -> Detection {
     };
     // The solver already computed every analysis detection needs.
     let an = solver.analyses();
+    let mut skeletons = SkeletonCache::new();
     let mut out: Vec<IdiomInstance> = Vec::new();
     let mut complete = true;
     let mut steps = 0u64;
     let mut steps_by_kind = BTreeMap::new();
-    for &kind in &IdiomKind::ALL {
+    for &kind in kinds {
         let c = compiled(kind);
-        let res = solver.solve_outcome(c, &solve_opts);
+        let res = solve_idiom(&solver, c, opts, &solve_opts, &mut skeletons);
         complete &= res.complete;
         steps += res.steps;
         steps_by_kind.insert(kind, res.steps);
@@ -306,9 +450,56 @@ pub fn detect_with(f: &Function, opts: &DetectOptions) -> Detection {
     Detection {
         instances: out,
         complete,
-        steps,
+        steps: steps + skeletons.steps,
         steps_by_kind,
+        skeleton_steps: skeletons.steps,
     }
+}
+
+/// Solves one idiom, seeding from the per-function skeleton cache when
+/// possible.
+///
+/// The seeded search enumerates exactly the unseeded solution set (the
+/// solver returns both in canonical order, so the outcomes are
+/// byte-identical) *when everything completes*; any truncation — of the
+/// skeleton solve or of the seeded search itself — falls back to the
+/// plain search so limit semantics stay exactly as without the cache.
+fn solve_idiom(
+    solver: &Solver,
+    c: &CompiledConstraint,
+    opts: &DetectOptions,
+    solve_opts: &SolveOptions,
+    skeletons: &mut SkeletonCache,
+) -> SolveOutcome {
+    if opts.skeleton_prepass {
+        if let Some(marker) = c.skeletons.first() {
+            let key: SkeletonKey = (marker.block.clone(), marker.params.clone());
+            if let Some(rows) = skeletons.get(solver, &key, opts.max_steps) {
+                let seeds: Vec<Vec<(VarId, ValueId)>> = rows
+                    .iter()
+                    .map(|row| {
+                        marker
+                            .vars
+                            .iter()
+                            .copied()
+                            .zip(row.iter().copied())
+                            .collect()
+                    })
+                    .collect();
+                let seeded = solver.solve_seeded_outcome(c, &seeds, solve_opts);
+                if seeded.complete {
+                    return seeded;
+                }
+                // Truncated: rerun unseeded so limit behaviour matches
+                // the cache-free path exactly, but keep the seeded
+                // attempt's steps in the bill — the work was done.
+                let mut fallback = solver.solve_outcome(c, solve_opts);
+                fallback.steps += seeded.steps;
+                return fallback;
+            }
+        }
+    }
+    solver.solve_outcome(c, solve_opts)
 }
 
 /// Runs detection over every function of `m` in parallel and returns the

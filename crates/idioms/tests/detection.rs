@@ -288,8 +288,12 @@ fn detect_with_surfaces_truncation() {
     assert_eq!(full.steps_by_kind.len(), 6, "one entry per idiom kind");
     assert_eq!(
         full.steps,
-        full.steps_by_kind.values().sum::<u64>(),
-        "total is the sum of the per-kind costs"
+        full.skeleton_steps + full.steps_by_kind.values().sum::<u64>(),
+        "total is the shared skeleton prepass plus the per-kind costs"
+    );
+    assert!(
+        full.skeleton_steps > 0,
+        "the loop-skeleton prepass runs by default"
     );
     // A starved budget must be reported, not silently undercounted.
     let starved = idioms::detect_with(

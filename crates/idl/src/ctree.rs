@@ -3,14 +3,16 @@
 //! After macro expansion (`inherits`, quantifiers, renaming — §4.4 of the
 //! paper) an idiom definition is a tree of conjunctions and disjunctions
 //! over atomic constraints, plus `collect` nodes. Variables are flattened
-//! dotted strings (`"inner.iter_begin"`, `"read[2].value"`); the solver
+//! dotted strings (`"inner.iter_begin"`, `"read[2].value"`) interned into
+//! dense [`VarId`]s through the constraint's [`SymbolTable`]; the solver
 //! assigns each one an IR value, exactly like the paper's Figure 5
-//! solution table.
+//! solution table (which shows the names the table maps back to).
 
+use crate::intern::{SymbolTable, VarId};
 use ssair::Opcode;
 
 /// Type classes testable by `is integer/float/pointer`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TypeClass {
     /// `i1`/`i32`/`i64`.
     Integer,
@@ -21,7 +23,7 @@ pub enum TypeClass {
 }
 
 /// Edge kinds for `has ... to` atoms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// Operand-to-user SSA edge.
     Data,
@@ -42,7 +44,7 @@ pub enum DomKind {
 
 /// Opcode classes for `is <opcode> instruction`. `Branch` covers both the
 /// conditional and unconditional forms, `ICmp`/`FCmp` cover all predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpcodeClass {
     /// `store`.
     Store,
@@ -235,11 +237,11 @@ pub enum AtomKind {
 pub struct Atom {
     /// The kind.
     pub kind: AtomKind,
-    /// Searchable variable names (assigned by the solver).
-    pub vars: Vec<String>,
-    /// Family/reference names resolved against the assignment at
+    /// Searchable variables (assigned by the solver), as interned ids.
+    pub vars: Vec<VarId>,
+    /// Family/reference ids resolved against the assignment at
     /// evaluation time (`KilledBy` killers, `Concat` operands).
-    pub families: Vec<String>,
+    pub families: Vec<VarId>,
 }
 
 /// A compiled constraint tree.
@@ -264,7 +266,7 @@ impl CTree {
     /// All searchable variables in first-occurrence order (excluding
     /// variables internal to `collect` bodies).
     #[must_use]
-    pub fn variables(&self) -> Vec<String> {
+    pub fn variables(&self) -> Vec<VarId> {
         let mut out = Vec::new();
         self.walk_vars(&mut out, true);
         out
@@ -273,13 +275,13 @@ impl CTree {
     /// All variables including collect-internal ones (used to align
     /// collect instances positionally).
     #[must_use]
-    pub fn variables_deep(&self) -> Vec<String> {
+    pub fn variables_deep(&self) -> Vec<VarId> {
         let mut out = Vec::new();
         self.walk_vars(&mut out, false);
         out
     }
 
-    fn walk_vars(&self, out: &mut Vec<String>, skip_collect: bool) {
+    fn walk_vars(&self, out: &mut Vec<VarId>, skip_collect: bool) {
         match self {
             CTree::And(cs) | CTree::Or(cs) => {
                 for c in cs {
@@ -290,9 +292,9 @@ impl CTree {
                 // Family references (`KilledBy` killers, `Concat` operands)
                 // are resolved against the assignment at evaluation time;
                 // they are NOT search variables.
-                for v in &a.vars {
-                    if !out.contains(v) {
-                        out.push(v.clone());
+                for &v in &a.vars {
+                    if !out.contains(&v) {
+                        out.push(v);
                     }
                 }
             }
@@ -301,6 +303,59 @@ impl CTree {
                     for i in instances {
                         i.walk_vars(out, false);
                     }
+                }
+            }
+        }
+    }
+
+    /// All ids referenced anywhere in the tree — search variables *and*
+    /// family references, collect bodies included — in first-occurrence
+    /// order. This is the id universe a compacting remap must cover.
+    #[must_use]
+    pub fn all_symbols(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.walk_symbols(&mut out);
+        out
+    }
+
+    fn walk_symbols(&self, out: &mut Vec<VarId>) {
+        match self {
+            CTree::And(cs) | CTree::Or(cs) => {
+                for c in cs {
+                    c.walk_symbols(out);
+                }
+            }
+            CTree::Atom(a) => {
+                for &v in a.vars.iter().chain(&a.families) {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            CTree::Collect { instances } => {
+                for i in instances {
+                    i.walk_symbols(out);
+                }
+            }
+        }
+    }
+
+    /// Applies `f` to every id in the tree (vars and families alike).
+    pub fn remap_symbols(&mut self, f: &mut impl FnMut(VarId) -> VarId) {
+        match self {
+            CTree::And(cs) | CTree::Or(cs) => {
+                for c in cs {
+                    c.remap_symbols(f);
+                }
+            }
+            CTree::Atom(a) => {
+                for v in a.vars.iter_mut().chain(a.families.iter_mut()) {
+                    *v = f(*v);
+                }
+            }
+            CTree::Collect { instances } => {
+                for i in instances {
+                    i.remap_symbols(f);
                 }
             }
         }
@@ -346,14 +401,15 @@ pub struct IndexedNode<'t> {
 ///
 /// The solver's incremental evaluator needs two things the recursive tree
 /// cannot answer cheaply: *which atoms mention a given variable* (the
-/// watcher lists) and *how to reach every ancestor of a node* (the parent
-/// links along which cached `And`/`Or` truth values are repaired after a
-/// binding). Node 0 is the root; children always have larger ids than
-/// their parent, so a reverse iteration visits children before parents.
+/// watcher lists, dense `Vec`s indexed by [`VarId`]) and *how to reach
+/// every ancestor of a node* (the parent links along which cached
+/// `And`/`Or` truth values are repaired after a binding). Node 0 is the
+/// root; children always have larger ids than their parent, so a reverse
+/// iteration visits children before parents.
 #[derive(Debug, Clone)]
 pub struct TreeIndex<'t> {
     nodes: Vec<IndexedNode<'t>>,
-    watchers: std::collections::BTreeMap<&'t str, Vec<usize>>,
+    watchers: Vec<Vec<usize>>,
 }
 
 impl<'t> TreeIndex<'t> {
@@ -378,8 +434,11 @@ impl<'t> TreeIndex<'t> {
                 }
             }
             CTree::Atom(a) => {
-                for v in &a.vars {
-                    let w = self.watchers.entry(v.as_str()).or_default();
+                for &v in &a.vars {
+                    if self.watchers.len() <= v.index() {
+                        self.watchers.resize_with(v.index() + 1, Vec::new);
+                    }
+                    let w = &mut self.watchers[v.index()];
                     if w.last() != Some(&id) {
                         w.push(id);
                     }
@@ -411,8 +470,8 @@ impl<'t> TreeIndex<'t> {
     /// Ids of the atom nodes that mention `var` (the atoms whose truth may
     /// change when `var` is bound or unbound).
     #[must_use]
-    pub fn watchers(&self, var: &str) -> &[usize] {
-        self.watchers.get(var).map_or(&[], Vec::as_slice)
+    pub fn watchers(&self, var: VarId) -> &[usize] {
+        self.watchers.get(var.index()).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -422,11 +481,29 @@ impl CTree {
     pub fn index(&self) -> TreeIndex<'_> {
         let mut idx = TreeIndex {
             nodes: Vec::new(),
-            watchers: std::collections::BTreeMap::new(),
+            watchers: Vec::new(),
         };
         idx.push(self, None);
         idx
     }
+}
+
+/// A loop-skeleton building block shared with other idioms: a top-level
+/// (conjunctive-spine) `inherits For`/`inherits ForNest(N=..)` recorded
+/// at expansion time. Idiom detection solves the block once per function
+/// and seeds every consuming idiom's search from the cached solutions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkeletonRef {
+    /// The inherited building-block definition (`For` or `ForNest`).
+    pub block: String,
+    /// The block's compile-time parameters (e.g. `N=3`), sorted by name —
+    /// together with `block` this is the skeleton cache key.
+    pub params: Vec<(String, i64)>,
+    /// The block's variables *in this constraint's id space*, in the same
+    /// first-occurrence order the standalone-compiled block lists its own
+    /// variables — the positional mapping between cached skeleton
+    /// solutions and this idiom's seed bindings.
+    pub vars: Vec<VarId>,
 }
 
 /// A fully compiled, solver-ready idiom definition.
@@ -434,13 +511,40 @@ impl CTree {
 pub struct CompiledConstraint {
     /// Idiom name (the `Constraint <name>` header).
     pub name: String,
-    /// The constraint tree.
+    /// The constraint tree (atoms hold interned [`VarId`]s).
     pub tree: CTree,
+    /// The name ↔ id mapping for every symbol in the tree.
+    pub symbols: SymbolTable,
     /// Searchable variables in first-occurrence order.
-    pub variables: Vec<String>,
+    pub variables: Vec<VarId>,
     /// Search order for `variables` (precomputed by [`order_variables`]
-    /// at compile time so per-query solve setup stays cheap).
-    pub order: Vec<String>,
+    /// at compile time so per-query solve setup stays cheap). When
+    /// `skeletons` is non-empty, the first skeleton's variables form a
+    /// prefix of this order (in the standalone block's own order) so the
+    /// solver can substitute cached skeleton solutions for the prefix
+    /// enumeration.
+    pub order: Vec<VarId>,
+    /// Shared loop-skeleton building blocks inherited on the conjunctive
+    /// spine, in source order.
+    pub skeletons: Vec<SkeletonRef>,
+}
+
+impl CompiledConstraint {
+    /// The flattened name of `id`.
+    #[must_use]
+    pub fn var_name(&self, id: VarId) -> &str {
+        self.symbols.name(id)
+    }
+
+    /// The searchable variable names in first-occurrence order (the
+    /// string view of [`CompiledConstraint::variables`]).
+    #[must_use]
+    pub fn variable_names(&self) -> Vec<&str> {
+        self.variables
+            .iter()
+            .map(|&v| self.symbols.name(v))
+            .collect()
+    }
 }
 
 /// Orders variables so that each one (after the first) is connected to an
@@ -451,14 +555,25 @@ pub struct CompiledConstraint {
 /// greedy choice (and therefore the produced order) is identical to the
 /// naive quadratic formulation.
 #[must_use]
-pub fn order_variables(tree: &CTree, vars: &[String]) -> Vec<String> {
+pub fn order_variables(tree: &CTree, vars: &[VarId]) -> Vec<VarId> {
+    order_variables_seeded(tree, vars, &[])
+}
+
+/// [`order_variables`] with a pre-ordered prefix: `seed` variables are
+/// treated as already ordered (and emitted first, in `seed` order); the
+/// remaining `vars` are appended by the same greedy connectivity rule.
+/// This is how a constraint with a skeleton prefix keeps the skeleton's
+/// own variable order while the rest of the idiom orders itself around
+/// the (soon pre-bound) skeleton.
+#[must_use]
+pub fn order_variables_seeded(tree: &CTree, vars: &[VarId], seed: &[VarId]) -> Vec<VarId> {
     use std::collections::{HashMap, HashSet};
     let mut atoms = Vec::new();
     collect_shallow_atoms(tree, &mut atoms);
     // Variables with a unary bucket generator (candidate enumerable).
-    let mut anchored: HashSet<&str> = HashSet::new();
+    let mut anchored: HashSet<VarId> = HashSet::new();
     // var -> connector atoms (binary/ternary generators) mentioning it.
-    let mut adj: HashMap<&str, Vec<&Atom>> = HashMap::new();
+    let mut adj: HashMap<VarId, Vec<&Atom>> = HashMap::new();
     for &a in &atoms {
         match a.kind {
             AtomKind::OpcodeIs(_)
@@ -466,16 +581,16 @@ pub fn order_variables(tree: &CTree, vars: &[String]) -> Vec<String> {
             | AtomKind::IsArgument
             | AtomKind::IsInstruction
             | AtomKind::IsPreexecution => {
-                if let Some(v) = a.vars.first() {
-                    anchored.insert(v.as_str());
+                if let Some(&v) = a.vars.first() {
+                    anchored.insert(v);
                 }
             }
             AtomKind::ArgumentOf { .. }
             | AtomKind::HasEdge(_)
             | AtomKind::ReachesPhi
             | AtomKind::Same { negated: false } => {
-                for v in &a.vars {
-                    let entry = adj.entry(v.as_str()).or_default();
+                for &v in &a.vars {
+                    let entry = adj.entry(v).or_default();
                     // An atom lists a variable at most a couple of times;
                     // dedup cheaply.
                     if !entry.iter().any(|x| std::ptr::eq(*x, a)) {
@@ -486,30 +601,40 @@ pub fn order_variables(tree: &CTree, vars: &[String]) -> Vec<String> {
             _ => {}
         }
     }
-    let has_anchor = |v: &String| anchored.contains(v.as_str());
-    let connected = |v: &String, ordered: &HashSet<String>| {
-        adj.get(v.as_str()).is_some_and(|atoms| {
+    let has_anchor = |v: &VarId| anchored.contains(v);
+    let connected = |v: &VarId, ordered: &HashSet<VarId>| {
+        adj.get(v).is_some_and(|atoms| {
             atoms
                 .iter()
                 .any(|a| a.vars.iter().any(|w| ordered.contains(w)))
         })
     };
-    let mut remaining: Vec<String> = vars.to_vec();
-    let mut order: Vec<String> = Vec::with_capacity(vars.len());
-    let mut ordered_set: HashSet<String> = HashSet::new();
-    let take = |remaining: &mut Vec<String>,
-                order: &mut Vec<String>,
-                ordered_set: &mut HashSet<String>,
+    let mut order: Vec<VarId> = Vec::with_capacity(vars.len());
+    let mut ordered_set: HashSet<VarId> = HashSet::new();
+    let mut remaining: Vec<VarId> = Vec::with_capacity(vars.len());
+    for &v in seed {
+        if vars.contains(&v) {
+            ordered_set.insert(v);
+            order.push(v);
+        }
+    }
+    remaining.extend(vars.iter().copied().filter(|v| !ordered_set.contains(v)));
+    let take = |remaining: &mut Vec<VarId>,
+                order: &mut Vec<VarId>,
+                ordered_set: &mut HashSet<VarId>,
                 i: usize| {
         let v = remaining.remove(i);
-        ordered_set.insert(v.clone());
+        ordered_set.insert(v);
         order.push(v);
     };
-    // Seed: an anchored variable if possible.
-    if let Some(i) = remaining.iter().position(has_anchor) {
-        take(&mut remaining, &mut order, &mut ordered_set, i);
-    } else if !remaining.is_empty() {
-        take(&mut remaining, &mut order, &mut ordered_set, 0);
+    // Seed: an anchored variable if possible (skipped when a skeleton
+    // prefix already seeded the order).
+    if ordered_set.is_empty() {
+        if let Some(i) = remaining.iter().position(has_anchor) {
+            take(&mut remaining, &mut order, &mut ordered_set, i);
+        } else if !remaining.is_empty() {
+            take(&mut remaining, &mut order, &mut ordered_set, 0);
+        }
     }
     while !remaining.is_empty() {
         let next = remaining
@@ -549,53 +674,50 @@ mod tests {
         assert!(OpcodeClass::from_word("bogus").is_none());
     }
 
-    #[test]
-    fn variable_collection_order_and_dedup() {
-        let t = CTree::And(vec![
+    /// A two-variable sample tree over a fresh table: `sum` = VarId(0),
+    /// `factor` = VarId(1).
+    fn sample_tree(with_collect: bool) -> (CTree, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let sum = syms.intern("sum");
+        let factor = syms.intern("factor");
+        let mut children = vec![
             CTree::Atom(Atom {
                 kind: AtomKind::OpcodeIs(OpcodeClass::Add),
-                vars: vec!["sum".into()],
+                vars: vec![sum],
                 families: vec![],
             }),
             CTree::Or(vec![
                 CTree::Atom(Atom {
                     kind: AtomKind::ArgumentOf { pos: 0 },
-                    vars: vec!["factor".into(), "sum".into()],
+                    vars: vec![factor, sum],
                     families: vec![],
                 }),
                 CTree::Atom(Atom {
                     kind: AtomKind::ArgumentOf { pos: 1 },
-                    vars: vec!["factor".into(), "sum".into()],
+                    vars: vec![factor, sum],
                     families: vec![],
                 }),
             ]),
-        ]);
-        assert_eq!(t.variables(), vec!["sum".to_owned(), "factor".to_owned()]);
+        ];
+        if with_collect {
+            children.push(CTree::Collect { instances: vec![] });
+        }
+        (CTree::And(children), syms)
+    }
+
+    #[test]
+    fn variable_collection_order_and_dedup() {
+        let (t, syms) = sample_tree(false);
+        assert_eq!(
+            t.variables(),
+            vec![syms.lookup("sum").unwrap(), syms.lookup("factor").unwrap()]
+        );
         assert_eq!(t.atom_count(), 3);
     }
 
     #[test]
     fn tree_index_parents_children_and_watchers() {
-        let t = CTree::And(vec![
-            CTree::Atom(Atom {
-                kind: AtomKind::OpcodeIs(OpcodeClass::Add),
-                vars: vec!["sum".into()],
-                families: vec![],
-            }),
-            CTree::Or(vec![
-                CTree::Atom(Atom {
-                    kind: AtomKind::ArgumentOf { pos: 0 },
-                    vars: vec!["factor".into(), "sum".into()],
-                    families: vec![],
-                }),
-                CTree::Atom(Atom {
-                    kind: AtomKind::ArgumentOf { pos: 1 },
-                    vars: vec!["factor".into(), "sum".into()],
-                    families: vec![],
-                }),
-            ]),
-            CTree::Collect { instances: vec![] },
-        ]);
+        let (t, syms) = sample_tree(true);
         let idx = t.index();
         assert_eq!(idx.len(), 6);
         let nodes = idx.nodes();
@@ -611,8 +733,8 @@ mod tests {
                 assert!(p < id);
             }
         }
-        assert_eq!(idx.watchers("sum"), &[1, 3, 4]);
-        assert_eq!(idx.watchers("factor"), &[3, 4]);
-        assert!(idx.watchers("unknown").is_empty());
+        assert_eq!(idx.watchers(syms.lookup("sum").unwrap()), &[1, 3, 4]);
+        assert_eq!(idx.watchers(syms.lookup("factor").unwrap()), &[3, 4]);
+        assert!(idx.watchers(VarId(99)).is_empty());
     }
 }

@@ -4,10 +4,24 @@
 //! `for some`, `for`, `if`, renaming and rebasing are eliminated, leaving
 //! conjunctions/disjunctions of atomics with flattened variable names.
 //! `collect` bodies are pre-instantiated for each index value.
+//!
+//! Names are interned into the constraint's [`SymbolTable`] as they are
+//! produced, and renames/rebases rewrite ids through the table; after
+//! expansion the table is compacted to exactly the ids the final tree
+//! references (in first-occurrence order), `Concat` output slots are
+//! pre-interned and the family structure is indexed, so the solver never
+//! touches a string. Top-level `inherits For`/`inherits ForNest(..)`
+//! blocks on the conjunctive spine are additionally recorded as
+//! [`SkeletonRef`] markers — the hook the per-function loop-skeleton
+//! cache in `idioms` seeds idiom searches from.
 
 use crate::ast::*;
 use crate::ctree::*;
+use crate::intern::{SymbolTable, VarId};
 use std::collections::HashMap;
+
+/// Building-block definitions eligible as shared loop skeletons.
+const SKELETON_BLOCKS: [&str; 2] = ["For", "ForNest"];
 
 /// An expansion failure (unknown definition, unbound parameter, cyclic
 /// inheritance, malformed atom).
@@ -36,22 +50,100 @@ pub fn compile(lib: &Library, name: &str) -> Result<CompiledConstraint> {
     let mut cx = Cx {
         lib,
         stack: vec![name.to_owned()],
+        syms: SymbolTable::new(),
+        skeletons: Vec::new(),
     };
     let env = HashMap::new();
-    let tree = cx.expand(&def.body, &env)?;
+    let mut tree = cx.expand_spine(&def.body, &env, true)?;
+    // Compact the symbol table to exactly the ids the final tree
+    // references: renames leave dead pre-rename symbols behind, and the
+    // solver's slot arrays are sized by the table.
+    let used = tree.all_symbols();
+    let mut symbols = SymbolTable::new();
+    let remap: HashMap<VarId, VarId> = used
+        .iter()
+        .map(|&v| (v, symbols.intern(cx.syms.name(v))))
+        .collect();
+    tree.remap_symbols(&mut |v| remap[&v]);
+    let mut skeletons = cx.skeletons;
+    for s in &mut skeletons {
+        for v in &mut s.vars {
+            *v = remap[v];
+        }
+    }
+    // `Concat` writes `out[k]` bindings at solve time; pre-intern every
+    // slot it could ever fill (bounded by the operand families' sizes)
+    // so the solver never interns mid-search. Concat chains can extend
+    // families, so iterate to a fixpoint — an *acyclic* chain of N
+    // concats stabilizes within N+1 rounds (each round resolves at
+    // least one more chain level), so the loop is capped there: a
+    // self-referential concat (`{xs} = {xs} ++ {ys}`) would otherwise
+    // grow its own input forever. Past the cap the family is simply
+    // left at its current capacity (the solver truncates to the
+    // pre-interned slots), which is the only finite reading of a
+    // cyclic concatenation.
+    let mut atoms = Vec::new();
+    collect_deep_atoms(&tree, &mut atoms);
+    let concats: Vec<&Atom> = atoms
+        .into_iter()
+        .filter(|a| a.kind == AtomKind::Concat)
+        .collect();
+    for _round in 0..=concats.len() {
+        symbols.index_families();
+        let mut fresh: Vec<String> = Vec::new();
+        for a in &concats {
+            let cap_of = |fam: VarId| symbols.family_members(fam).len().max(1);
+            let cap = cap_of(a.families[1]) + cap_of(a.families[2]);
+            let out = symbols.name(a.families[0]);
+            for k in 0..cap {
+                let slot = format!("{out}[{k}]");
+                if symbols.lookup(&slot).is_none() {
+                    fresh.push(slot);
+                }
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        for s in fresh {
+            symbols.intern(&s);
+        }
+    }
+    symbols.index_families();
     let variables = tree.variables();
-    let order = crate::ctree::order_variables(&tree, &variables);
+    let seed: Vec<VarId> = skeletons.first().map_or(Vec::new(), |s| s.vars.clone());
+    let order = crate::ctree::order_variables_seeded(&tree, &variables, &seed);
     Ok(CompiledConstraint {
         name: name.to_owned(),
         tree,
+        symbols,
         variables,
         order,
+        skeletons,
     })
+}
+
+fn collect_deep_atoms<'t>(tree: &'t CTree, out: &mut Vec<&'t Atom>) {
+    match tree {
+        CTree::And(cs) | CTree::Or(cs) => {
+            for c in cs {
+                collect_deep_atoms(c, out);
+            }
+        }
+        CTree::Atom(a) => out.push(a),
+        CTree::Collect { instances } => {
+            for i in instances {
+                collect_deep_atoms(i, out);
+            }
+        }
+    }
 }
 
 struct Cx<'l> {
     lib: &'l Library,
     stack: Vec<String>,
+    syms: SymbolTable,
+    skeletons: Vec<SkeletonRef>,
 }
 
 /// A variable-name rewrite: exact-or-prefix renames plus an optional
@@ -81,21 +173,24 @@ impl Rewrite {
     }
 }
 
-fn rewrite_tree(tree: &mut CTree, rw: &Rewrite) {
+fn rewrite_tree(tree: &mut CTree, rw: &Rewrite, syms: &mut SymbolTable) {
     match tree {
         CTree::And(cs) | CTree::Or(cs) => {
             for c in cs {
-                rewrite_tree(c, rw);
+                rewrite_tree(c, rw, syms);
             }
         }
         CTree::Atom(a) => {
             for v in a.vars.iter_mut().chain(a.families.iter_mut()) {
-                *v = rw.apply(v);
+                let new = rw.apply(syms.name(*v));
+                if syms.name(*v) != new {
+                    *v = syms.intern(&new);
+                }
             }
         }
         CTree::Collect { instances } => {
             for i in instances {
-                rewrite_tree(i, rw);
+                rewrite_tree(i, rw, syms);
             }
         }
     }
@@ -116,11 +211,29 @@ impl<'l> Cx<'l> {
         v.flatten(env).map_err(|e| self.err(e))
     }
 
+    /// Flattens and interns a variable reference.
+    fn fvar(&mut self, v: &VarName, env: &HashMap<String, i64>) -> Result<VarId> {
+        let name = self.flatten(v, env)?;
+        Ok(self.syms.intern(&name))
+    }
+
     fn expand(&mut self, c: &Constraint, env: &HashMap<String, i64>) -> Result<CTree> {
+        self.expand_spine(c, env, false)
+    }
+
+    /// [`Cx::expand`] with spine tracking: `spine` is `true` only along
+    /// the root's conjunctive chain, where an `inherits For`/`ForNest` is
+    /// a whole-idiom loop skeleton worth recording as a [`SkeletonRef`].
+    fn expand_spine(
+        &mut self,
+        c: &Constraint,
+        env: &HashMap<String, i64>,
+        spine: bool,
+    ) -> Result<CTree> {
         match c {
             Constraint::And(cs) => Ok(CTree::And(
                 cs.iter()
-                    .map(|x| self.expand(x, env))
+                    .map(|x| self.expand_spine(x, env, spine))
                     .collect::<Result<Vec<_>>>()?,
             )),
             Constraint::Or(cs) => Ok(CTree::Or(
@@ -188,7 +301,7 @@ impl<'l> Cx<'l> {
             Constraint::Adapted { inner, adapt } => {
                 let mut tree = self.expand(inner, env)?;
                 let rw = self.build_rewrite(adapt, env)?;
-                rewrite_tree(&mut tree, &rw);
+                rewrite_tree(&mut tree, &rw, &mut self.syms);
                 Ok(tree)
             }
             Constraint::Inherits {
@@ -213,7 +326,23 @@ impl<'l> Cx<'l> {
                 let mut tree = self.expand(&body, &inner_env)?;
                 self.stack.pop();
                 let rw = self.build_rewrite_mixed(adapt, env, &inner_env)?;
-                rewrite_tree(&mut tree, &rw);
+                rewrite_tree(&mut tree, &rw, &mut self.syms);
+                // A loop-skeleton building block inherited on the
+                // conjunctive spine: record the (renamed) variable set so
+                // detection can seed this constraint's search from cached
+                // per-function skeleton solutions. Variables are listed
+                // in first-occurrence order, which renaming preserves, so
+                // they align positionally with the standalone-compiled
+                // block's `variables`.
+                if spine && SKELETON_BLOCKS.contains(&name.as_str()) {
+                    let mut sorted_params: Vec<(String, i64)> = inner_env.into_iter().collect();
+                    sorted_params.sort();
+                    self.skeletons.push(SkeletonRef {
+                        block: name.clone(),
+                        params: sorted_params,
+                        vars: tree.variables(),
+                    });
+                }
                 Ok(tree)
             }
         }
@@ -249,7 +378,7 @@ impl<'l> Cx<'l> {
         Ok(Rewrite { renames, rebase })
     }
 
-    fn expand_atom(&self, a: &RawAtom, env: &HashMap<String, i64>) -> Result<CTree> {
+    fn expand_atom(&mut self, a: &RawAtom, env: &HashMap<String, i64>) -> Result<CTree> {
         let atom = match a {
             RawAtom::TypeIs {
                 var,
@@ -267,33 +396,33 @@ impl<'l> Cx<'l> {
                         class,
                         constant_zero: *constant_zero,
                     },
-                    vars: vec![self.flatten(var, env)?],
+                    vars: vec![self.fvar(var, env)?],
                     families: vec![],
                 }
             }
             RawAtom::Unused(v) => Atom {
                 kind: AtomKind::Unused,
-                vars: vec![self.flatten(v, env)?],
+                vars: vec![self.fvar(v, env)?],
                 families: vec![],
             },
             RawAtom::IsConstant(v) => Atom {
                 kind: AtomKind::IsConstant,
-                vars: vec![self.flatten(v, env)?],
+                vars: vec![self.fvar(v, env)?],
                 families: vec![],
             },
             RawAtom::IsPreexecution(v) => Atom {
                 kind: AtomKind::IsPreexecution,
-                vars: vec![self.flatten(v, env)?],
+                vars: vec![self.fvar(v, env)?],
                 families: vec![],
             },
             RawAtom::IsArgument(v) => Atom {
                 kind: AtomKind::IsArgument,
-                vars: vec![self.flatten(v, env)?],
+                vars: vec![self.fvar(v, env)?],
                 families: vec![],
             },
             RawAtom::IsInstruction(v) => Atom {
                 kind: AtomKind::IsInstruction,
-                vars: vec![self.flatten(v, env)?],
+                vars: vec![self.fvar(v, env)?],
                 families: vec![],
             },
             RawAtom::OpcodeIs { var, opcode } => {
@@ -301,13 +430,13 @@ impl<'l> Cx<'l> {
                     .ok_or_else(|| self.err(format!("unknown opcode {opcode:?}")))?;
                 Atom {
                     kind: AtomKind::OpcodeIs(class),
-                    vars: vec![self.flatten(var, env)?],
+                    vars: vec![self.fvar(var, env)?],
                     families: vec![],
                 }
             }
             RawAtom::Same { a, b, negated } => Atom {
                 kind: AtomKind::Same { negated: *negated },
-                vars: vec![self.flatten(a, env)?, self.flatten(b, env)?],
+                vars: vec![self.fvar(a, env)?, self.fvar(b, env)?],
                 families: vec![],
             },
             RawAtom::HasEdge { from, to, kind } => {
@@ -319,21 +448,21 @@ impl<'l> Cx<'l> {
                 };
                 Atom {
                     kind: AtomKind::HasEdge(kind),
-                    vars: vec![self.flatten(from, env)?, self.flatten(to, env)?],
+                    vars: vec![self.fvar(from, env)?, self.fvar(to, env)?],
                     families: vec![],
                 }
             }
             RawAtom::ArgumentOf { child, parent, pos } => Atom {
                 kind: AtomKind::ArgumentOf { pos: *pos },
-                vars: vec![self.flatten(child, env)?, self.flatten(parent, env)?],
+                vars: vec![self.fvar(child, env)?, self.fvar(parent, env)?],
                 families: vec![],
             },
             RawAtom::ReachesPhi { value, phi, from } => Atom {
                 kind: AtomKind::ReachesPhi,
                 vars: vec![
-                    self.flatten(value, env)?,
-                    self.flatten(phi, env)?,
-                    self.flatten(from, env)?,
+                    self.fvar(value, env)?,
+                    self.fvar(phi, env)?,
+                    self.fvar(from, env)?,
                 ],
                 families: vec![],
             },
@@ -349,7 +478,7 @@ impl<'l> Cx<'l> {
                     post: *post,
                     negated: *negated,
                 },
-                vars: vec![self.flatten(a, env)?, self.flatten(b, env)?],
+                vars: vec![self.fvar(a, env)?, self.fvar(b, env)?],
                 families: vec![],
             },
             RawAtom::AllFlowThrough {
@@ -362,27 +491,27 @@ impl<'l> Cx<'l> {
                     data: kind == "data",
                 },
                 vars: vec![
-                    self.flatten(from, env)?,
-                    self.flatten(to, env)?,
-                    self.flatten(through, env)?,
+                    self.fvar(from, env)?,
+                    self.fvar(to, env)?,
+                    self.fvar(through, env)?,
                 ],
                 families: vec![],
             },
             RawAtom::KilledBy { sink, killers } => Atom {
                 kind: AtomKind::KilledBy,
-                vars: vec![self.flatten(sink, env)?],
+                vars: vec![self.fvar(sink, env)?],
                 families: killers
                     .iter()
-                    .map(|k| self.flatten(k, env))
+                    .map(|k| self.fvar(k, env))
                     .collect::<Result<Vec<_>>>()?,
             },
             RawAtom::Concat { out, in1, in2 } => Atom {
                 kind: AtomKind::Concat,
                 vars: vec![],
                 families: vec![
-                    self.flatten(out, env)?,
-                    self.flatten(in1, env)?,
-                    self.flatten(in2, env)?,
+                    self.fvar(out, env)?,
+                    self.fvar(in1, env)?,
+                    self.fvar(in2, env)?,
                 ],
             },
         };
@@ -409,7 +538,7 @@ End
         )
         .unwrap();
         let c = compile(&lib, "Factorization").unwrap();
-        assert_eq!(c.variables, vec!["sum", "left", "factor"]);
+        assert_eq!(c.variable_names(), vec!["sum", "left", "factor"]);
         assert_eq!(c.tree.atom_count(), 4);
     }
 
@@ -433,10 +562,11 @@ End
         .unwrap();
         let c = compile(&lib, "Outer").unwrap();
         // idx is renamed to the outer iterator; others get the src prefix.
-        assert!(c.variables.contains(&"src.address".to_owned()));
-        assert!(c.variables.contains(&"src.value".to_owned()));
-        assert!(c.variables.contains(&"iterator".to_owned()));
-        assert!(!c.variables.iter().any(|v| v == "idx" || v == "src.idx"));
+        let names = c.variable_names();
+        assert!(names.contains(&"src.address"));
+        assert!(names.contains(&"src.value"));
+        assert!(names.contains(&"iterator"));
+        assert!(!names.iter().any(|&v| v == "idx" || v == "src.idx"));
     }
 
     #[test]
@@ -455,7 +585,7 @@ End
         .unwrap();
         let c = compile(&lib, "Three").unwrap();
         assert_eq!(
-            c.variables,
+            c.variable_names(),
             vec!["loop[0].header", "loop[1].header", "loop[2].header"]
         );
     }
@@ -526,9 +656,28 @@ End
         assert_eq!(instances.len(), 3);
         // Outer variables exclude collect internals.
         assert!(c.variables.is_empty());
-        let deep = instances[2].variables_deep();
-        assert!(deep.contains(&"read[2].value".to_owned()));
-        assert!(deep.contains(&"iterator".to_owned()));
+        let deep: Vec<&str> = instances[2]
+            .variables_deep()
+            .into_iter()
+            .map(|v| c.symbols.name(v))
+            .collect();
+        assert!(deep.contains(&"read[2].value"));
+        assert!(deep.contains(&"iterator"));
+    }
+
+    #[test]
+    fn self_referential_concat_terminates_at_a_finite_capacity() {
+        // `{xs} = {xs} ++ {old}` can never stabilize — every pre-interned
+        // output slot enlarges the input family. Compilation must still
+        // terminate (capped fixpoint) instead of hanging, leaving `xs`
+        // with a finite pre-interned capacity.
+        let lib = parse_library(
+            "Constraint C ( {old} is phi instruction and {xs} is concatenation of {xs} and {old} ) End",
+        )
+        .unwrap();
+        let c = compile(&lib, "C").unwrap();
+        let xs = c.symbols.lookup("xs").expect("family base interned");
+        assert!(!c.symbols.family_members(xs).is_empty());
     }
 
     #[test]
@@ -562,7 +711,7 @@ End
         .unwrap();
         let c = compile(&lib, "Outer").unwrap();
         let CTree::Atom(a) = &c.tree else { panic!() };
-        assert_eq!(a.vars[0], "result");
-        assert_eq!(a.families[0], "reads");
+        assert_eq!(c.symbols.name(a.vars[0]), "result");
+        assert_eq!(c.symbols.name(a.families[0]), "reads");
     }
 }

@@ -1,0 +1,157 @@
+//! Symbol interning for compiled constraints.
+//!
+//! The solver's hot path used to key every binding, watcher list and
+//! family lookup on flattened dotted names (`"inner.iter_begin"`,
+//! `"read[2].value"`). All of those names are known once macro expansion
+//! finishes, so each [`crate::CompiledConstraint`] now carries a
+//! [`SymbolTable`] that maps every name to a dense [`VarId`] at compile
+//! time. Atoms, watcher lists and assignments operate purely on ids; the
+//! strings survive only at the `Solution` API boundary for display and
+//! tests.
+//!
+//! The table also pre-resolves the *family structure* the `collect`,
+//! `Concat` and `KilledBy` constructs need at solve time: for a symbol
+//! `base`, the members are the symbols named `base[k]` (with no trailing
+//! sub-path), in index order. Because `collect` bodies are
+//! pre-instantiated and `Concat` output slots are pre-interned (see
+//! [`crate::expand`]), family membership is entirely static — the solver
+//! never parses a name while searching.
+
+use std::collections::HashMap;
+
+/// Dense id of one flattened variable name within a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-constraint mapping between flattened variable names and dense ids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    map: HashMap<String, VarId>,
+    /// Per symbol: ids of its direct family members (`name[k]`, no
+    /// trailing sub-path), sorted by `k`. Empty for non-family symbols.
+    families: Vec<Vec<VarId>>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = VarId(u32::try_from(self.names.len()).expect("constraint symbol count fits u32"));
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        self.families.push(Vec::new());
+        id
+    }
+
+    /// The id of `name`, if interned.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.map.get(name).copied()
+    }
+
+    /// The name of `id`.
+    #[must_use]
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned symbols (the solver's slot-array size).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no symbol is interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Ids of the direct family members of `base` (`base[0]`, `base[1]`,
+    /// ... in index order). Empty unless [`SymbolTable::index_families`]
+    /// ran after the last `intern`.
+    #[must_use]
+    pub fn family_members(&self, base: VarId) -> &[VarId] {
+        &self.families[base.index()]
+    }
+
+    /// (Re)computes the family-member lists from the current name set.
+    ///
+    /// A symbol `base[k]` is a member of `base` iff nothing follows the
+    /// closing bracket; `base` itself is interned on demand so family
+    /// references that never appear as scalars (e.g. `read_value` when
+    /// only `read_value[0..]` are bound) still get a slot.
+    pub fn index_families(&mut self) {
+        let mut memberships: Vec<(String, usize, VarId)> = Vec::new();
+        for (i, name) in self.names.iter().enumerate() {
+            let Some(open) = name.rfind('[') else {
+                continue;
+            };
+            let Some(rest) = name[open + 1..].strip_suffix(']') else {
+                continue;
+            };
+            let Ok(k) = rest.parse::<usize>() else {
+                continue;
+            };
+            memberships.push((name[..open].to_owned(), k, VarId(i as u32)));
+        }
+        for f in &mut self.families {
+            f.clear();
+        }
+        memberships.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        for (base, _, member) in memberships {
+            let base_id = self.intern(&base);
+            self.families[base_id.index()].push(member);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("iterator");
+        let b = t.intern("inner.iter_begin");
+        assert_eq!(t.intern("iterator"), a);
+        assert_eq!(a, VarId(0));
+        assert_eq!(b, VarId(1));
+        assert_eq!(t.name(b), "inner.iter_begin");
+        assert_eq!(t.lookup("iterator"), Some(a));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn family_indexing_orders_members_and_skips_subpaths() {
+        let mut t = SymbolTable::new();
+        let m2 = t.intern("read[2]");
+        let m0 = t.intern("read[0]");
+        let m10 = t.intern("read[10]");
+        t.intern("read[0].value"); // sub-path: not a direct member
+        t.intern("plain");
+        t.index_families();
+        let base = t.lookup("read").expect("base interned on demand");
+        assert_eq!(t.family_members(base), &[m0, m2, m10]);
+        assert!(t.family_members(t.lookup("plain").unwrap()).is_empty());
+    }
+}

@@ -57,13 +57,15 @@
 pub mod ast;
 pub mod ctree;
 pub mod expand;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{Calc, Constraint, Definition, Library, VarName};
 pub use ctree::{
-    order_variables, Atom, AtomKind, CTree, CompiledConstraint, DomKind, EdgeKind, IndexedKind,
-    IndexedNode, OpcodeClass, TreeIndex, TypeClass,
+    order_variables, order_variables_seeded, Atom, AtomKind, CTree, CompiledConstraint, DomKind,
+    EdgeKind, IndexedKind, IndexedNode, OpcodeClass, SkeletonRef, TreeIndex, TypeClass,
 };
 pub use expand::{compile, ExpandError};
+pub use intern::{SymbolTable, VarId};
 pub use parser::{parse_library, ParseError};

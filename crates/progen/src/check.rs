@@ -82,6 +82,11 @@ pub struct Checked {
     pub replaced: usize,
     /// Total solver assignment steps.
     pub solve_steps: u64,
+    /// Wall-clock seconds spent in idiom detection alone.
+    pub detect_s: f64,
+    /// Wall-clock seconds in detection + transformation (the compiler
+    /// pipeline, excluding generation/lowering and validation).
+    pub detect_replace_s: f64,
     /// The differential-validation summary.
     pub validation: ValidationSummary,
 }
@@ -247,6 +252,8 @@ pub(crate) fn check_source(
         detected: out.xform.outcomes.len(),
         replaced: out.xform.replaced(),
         solve_steps: out.solve_steps,
+        detect_s: out.timings.detect_s,
+        detect_replace_s: out.timings.detect_s + out.timings.transform_s,
         validation,
     })
 }

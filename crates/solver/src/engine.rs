@@ -1,11 +1,16 @@
 //! The search engine.
 
-use idl::{Atom, AtomKind, CTree, CompiledConstraint, EdgeKind, IndexedKind, TreeIndex, TypeClass};
+use idl::{
+    Atom, AtomKind, CTree, CompiledConstraint, EdgeKind, IndexedKind, OpcodeClass, SymbolTable,
+    TreeIndex, TypeClass, VarId,
+};
 use ssair::analysis::{
     all_control_flow_passes_through, all_data_flow_passes_through, kernel_slice, Analyses,
 };
 use ssair::{Function, Opcode, ValueId, ValueKind};
-use std::collections::{BTreeMap, HashSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
 
 /// Pure math callees allowed inside extracted kernel functions (matches
 /// the minicc intrinsic set).
@@ -14,6 +19,10 @@ pub const PURE_CALLS: &[&str] = &[
 ];
 
 /// One satisfying assignment: flattened variable name → IR value.
+///
+/// The search itself runs entirely on dense [`VarId`]-indexed slots; the
+/// string map is materialized only here, at the API boundary, for
+/// display and tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solution {
     /// The bindings, including family members produced by `collect` and
@@ -28,9 +37,14 @@ pub struct Solution {
 /// distinguishes that from a genuinely finished enumeration so callers
 /// (e.g. idiom detection) can surface truncation instead of silently
 /// undercounting.
+///
+/// Solutions are returned in a canonical order (sorted by their dense
+/// binding vectors), so any two search strategies that enumerate the same
+/// solution *set* — e.g. the skeleton-seeded search and the plain
+/// enumeration it replaces — return byte-identical lists.
 #[derive(Debug, Clone)]
 pub struct SolveOutcome {
-    /// The deduplicated solutions found.
+    /// The deduplicated solutions found, in canonical order.
     pub solutions: Vec<Solution>,
     /// `true` if the enumeration finished without hitting a limit
     /// (including inside `collect` sub-searches). A `collect` body that
@@ -79,18 +93,112 @@ impl Tri {
     }
 }
 
-type Assignment = BTreeMap<String, ValueId>;
+/// The dense per-search assignment: one slot per interned symbol of the
+/// constraint, plus the bind/unbind discipline of the backtracking
+/// search as its undo trail (every bind is reverted by an explicit
+/// unbind on the same frame).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    slots: Vec<Option<ValueId>>,
+}
 
-/// A solver instance for one function (analyses and value buckets are
-/// computed once and reused across idiom queries, as the paper's compiler
-/// does per compilation unit).
+impl Assignment {
+    /// An all-unbound assignment for a constraint with `n` symbols.
+    #[must_use]
+    pub fn new(n: usize) -> Assignment {
+        Assignment {
+            slots: vec![None; n],
+        }
+    }
+
+    /// The value bound to `v`, if any.
+    #[must_use]
+    pub fn get(&self, v: VarId) -> Option<ValueId> {
+        self.slots[v.index()]
+    }
+
+    /// Binds `v` to `x` (overwrites).
+    pub fn bind(&mut self, v: VarId, x: ValueId) {
+        self.slots[v.index()] = Some(x);
+    }
+
+    /// Removes the binding of `v`.
+    pub fn unbind(&mut self, v: VarId) {
+        self.slots[v.index()] = None;
+    }
+
+    /// The raw slot array (index = [`VarId::index`]).
+    #[must_use]
+    pub fn slots(&self) -> &[Option<ValueId>] {
+        &self.slots
+    }
+}
+
+/// Key of one memoized candidate bucket (the unary generator atoms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BucketKey {
+    Opcode(OpcodeClass),
+    Constant,
+    Argument,
+    Preexecution,
+    Instruction,
+    Type(TypeClass, bool),
+}
+
+impl BucketKey {
+    fn of(kind: &AtomKind) -> Option<BucketKey> {
+        Some(match kind {
+            AtomKind::OpcodeIs(c) => BucketKey::Opcode(*c),
+            AtomKind::IsConstant => BucketKey::Constant,
+            AtomKind::IsArgument => BucketKey::Argument,
+            AtomKind::IsPreexecution => BucketKey::Preexecution,
+            AtomKind::IsInstruction => BucketKey::Instruction,
+            AtomKind::TypeIs {
+                class,
+                constant_zero,
+            } => BucketKey::Type(*class, *constant_zero),
+            _ => return None,
+        })
+    }
+}
+
+/// A candidate list: either borrowed from the per-function bucket memo
+/// (shared across every idiom query and collect sub-search on the same
+/// function) or owned by the current search frame.
+enum Cand {
+    Shared(Rc<Vec<ValueId>>),
+    Owned(Vec<ValueId>),
+}
+
+impl std::ops::Deref for Cand {
+    type Target = [ValueId];
+    fn deref(&self) -> &[ValueId] {
+        match self {
+            Cand::Shared(v) => v,
+            Cand::Owned(v) => v,
+        }
+    }
+}
+
+/// A solver instance for one function. All per-function state — the IR
+/// analyses (dominance, def-use, CFG, loop forest, flow-cut memos), the
+/// value buckets and the scratch buffers — is computed once and shared
+/// across every idiom query *and* every `collect` sub-search on that
+/// function, as the paper's compiler does per compilation unit.
 pub struct Solver<'f> {
     f: &'f Function,
     an: Analyses,
-    all_values: Vec<ValueId>,
+    all_values: Rc<Vec<ValueId>>,
     instructions: Vec<ValueId>,
     constants: Vec<ValueId>,
     arguments: Vec<ValueId>,
+    /// Memoized unary-generator buckets, filled on first use and reused
+    /// by all subsequent queries on this function.
+    buckets: RefCell<HashMap<BucketKey, Rc<Vec<ValueId>>>>,
+    /// Recycled candidate buffers: owned candidate lists are returned
+    /// here when a search frame finishes, so repeated queries on one
+    /// function stop churning the allocator.
+    scratch: RefCell<Vec<Vec<ValueId>>>,
 }
 
 impl<'f> Solver<'f> {
@@ -125,10 +233,12 @@ impl<'f> Solver<'f> {
         Solver {
             f,
             an,
-            all_values,
+            all_values: Rc::new(all_values),
             instructions,
             constants,
             arguments,
+            buckets: RefCell::new(HashMap::new()),
+            scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -149,19 +259,92 @@ impl<'f> Solver<'f> {
     /// Uses the variable order precomputed at constraint compile time.
     #[must_use]
     pub fn solve_outcome(&self, c: &CompiledConstraint, opts: &SolveOptions) -> SolveOutcome {
-        self.run_search(&c.tree, Assignment::new(), c.order.clone(), opts)
+        let dense = self.run_search(
+            &c.tree,
+            &c.symbols,
+            Assignment::new(c.symbols.len()),
+            c.order.clone(),
+            opts,
+        );
+        render_outcome(&c.symbols, dense)
+    }
+
+    /// Solves `c` seeded from pre-solved loop-skeleton solutions: each
+    /// seed binds the skeleton prefix of `c.order` in one shot (charging
+    /// one step per bound variable) and the search continues over the
+    /// remaining variables only.
+    ///
+    /// When the seed list is exhaustive (every skeleton solution of the
+    /// function, from a *complete* skeleton solve), the enumerated
+    /// solution set — and therefore, by canonical ordering, the returned
+    /// list — is identical to [`Solver::solve_outcome`]: every solution's
+    /// skeleton projection satisfies the skeleton constraints, so it
+    /// appears among the seeds, and the continuation search under each
+    /// seed is the same exhaustive enumeration the plain search runs
+    /// below that prefix. A truncated outcome (`complete == false`) makes
+    /// no such promise — callers fall back to the unseeded search.
+    #[must_use]
+    pub fn solve_seeded_outcome(
+        &self,
+        c: &CompiledConstraint,
+        seeds: &[Vec<(VarId, ValueId)>],
+        opts: &SolveOptions,
+    ) -> SolveOutcome {
+        let mut asg = Assignment::new(c.symbols.len());
+        let mut cx = SearchCx {
+            solver: self,
+            tree: &c.tree,
+            symbols: &c.symbols,
+            inc: IncEval::new(self, &c.tree, &asg),
+            order: c.order.clone(),
+            opts,
+            steps: 0,
+            complete: true,
+            out: Vec::new(),
+            seen: HashSet::new(),
+        };
+        for seed in seeds {
+            if cx.out.len() >= opts.max_solutions
+                || cx.steps.saturating_add(seed.len() as u64) > opts.max_steps
+            {
+                cx.complete = false;
+                break;
+            }
+            debug_assert!(
+                seed.len() <= cx.order.len()
+                    && seed.iter().all(|(v, _)| cx.order[..seed.len()].contains(v)),
+                "seed variables must form the order prefix"
+            );
+            for &(v, x) in seed {
+                cx.steps += 1;
+                asg.bind(v, x);
+                cx.inc.rebind(self, v, &asg);
+            }
+            cx.check_oracle(&asg);
+            if cx.inc.root_val() != Tri::False {
+                cx.search(seed.len(), &mut asg);
+            }
+            for &(v, _) in seed {
+                asg.unbind(v);
+                cx.inc.rebind(self, v, &asg);
+            }
+        }
+        render_outcome(&c.symbols, cx.finish_dense())
     }
 
     /// Solves `tree` starting from a partial assignment (used for `collect`
-    /// sub-searches, where context variables are pre-bound).
+    /// sub-searches, where context variables are pre-bound). `symbols` is
+    /// the owning constraint's table (`tree` must index into it).
     #[must_use]
     pub fn solve_with(
         &self,
         tree: &CTree,
+        symbols: &SymbolTable,
         initial: Assignment,
         opts: &SolveOptions,
     ) -> Vec<Solution> {
-        self.solve_with_outcome(tree, initial, opts).solutions
+        self.solve_with_outcome(tree, symbols, initial, opts)
+            .solutions
     }
 
     /// [`Solver::solve_with`], also reporting completeness and steps.
@@ -169,28 +352,44 @@ impl<'f> Solver<'f> {
     pub fn solve_with_outcome(
         &self,
         tree: &CTree,
+        symbols: &SymbolTable,
         initial: Assignment,
         opts: &SolveOptions,
     ) -> SolveOutcome {
-        let vars: Vec<String> = tree
+        render_outcome(symbols, self.solve_with_dense(tree, symbols, initial, opts))
+    }
+
+    /// [`Solver::solve_with_outcome`] keeping solutions dense — the
+    /// internal form `run_bindings` consumes for `collect` sub-searches
+    /// (no string round-trip).
+    fn solve_with_dense(
+        &self,
+        tree: &CTree,
+        symbols: &SymbolTable,
+        initial: Assignment,
+        opts: &SolveOptions,
+    ) -> DenseOutcome {
+        let vars: Vec<VarId> = tree
             .variables()
             .into_iter()
-            .filter(|v| !initial.contains_key(v))
+            .filter(|&v| initial.get(v).is_none())
             .collect();
         let order = idl::order_variables(tree, &vars);
-        self.run_search(tree, initial, order, opts)
+        self.run_search(tree, symbols, initial, order, opts)
     }
 
     fn run_search(
         &self,
         tree: &CTree,
+        symbols: &SymbolTable,
         initial: Assignment,
-        order: Vec<String>,
+        order: Vec<VarId>,
         opts: &SolveOptions,
-    ) -> SolveOutcome {
+    ) -> DenseOutcome {
         let mut cx = SearchCx {
             solver: self,
             tree,
+            symbols,
             inc: IncEval::new(self, tree, &initial),
             order,
             opts,
@@ -201,11 +400,7 @@ impl<'f> Solver<'f> {
         };
         let mut asg = initial;
         cx.search(0, &mut asg);
-        SolveOutcome {
-            solutions: cx.out,
-            complete: cx.complete,
-            steps: cx.steps,
-        }
+        cx.finish_dense()
     }
 
     // ----- atom evaluation -----
@@ -220,14 +415,15 @@ impl<'f> Solver<'f> {
         if matches!(atom.kind, KilledBy | Concat) {
             return Tri::Unknown;
         }
-        let mut vals = Vec::with_capacity(atom.vars.len());
-        for v in &atom.vars {
+        let mut vals = [ValueId(0); 3];
+        debug_assert!(atom.vars.len() <= 3);
+        for (slot, &v) in vals.iter_mut().zip(&atom.vars) {
             match asg.get(v) {
-                Some(&x) => vals.push(x),
+                Some(x) => *slot = x,
                 None => return Tri::Unknown,
             }
         }
-        Tri::from_bool(self.eval_ground(atom, &vals))
+        Tri::from_bool(self.eval_ground(atom, &vals[..atom.vars.len()]))
     }
 
     fn eval_ground(&self, atom: &Atom, vals: &[ValueId]) -> bool {
@@ -237,19 +433,7 @@ impl<'f> Solver<'f> {
             TypeIs {
                 class,
                 constant_zero,
-            } => {
-                let ty = &f.value(vals[0]).ty;
-                let class_ok = match class {
-                    TypeClass::Integer => ty.is_integer(),
-                    TypeClass::Float => ty.is_float(),
-                    TypeClass::Pointer => ty.is_pointer(),
-                };
-                let zero_ok = !constant_zero
-                    || matches!(f.value(vals[0]).kind, ValueKind::ConstInt(0))
-                    || matches!(f.value(vals[0]).kind,
-                        ValueKind::ConstFloat(x) if x == 0.0);
-                class_ok && zero_ok
-            }
+            } => self.type_is(vals[0], *class, *constant_zero),
             Unused => self.an.defuse.is_unused(vals[0]),
             IsConstant => f.is_constant(vals[0]),
             IsPreexecution => f.is_constant(vals[0]) || f.is_argument(vals[0]),
@@ -309,6 +493,20 @@ impl<'f> Solver<'f> {
         }
     }
 
+    fn type_is(&self, v: ValueId, class: TypeClass, constant_zero: bool) -> bool {
+        let f = self.f;
+        let ty = &f.value(v).ty;
+        let class_ok = match class {
+            TypeClass::Integer => ty.is_integer(),
+            TypeClass::Float => ty.is_float(),
+            TypeClass::Pointer => ty.is_pointer(),
+        };
+        let zero_ok = !constant_zero
+            || matches!(f.value(v).kind, ValueKind::ConstInt(0))
+            || matches!(f.value(v).kind, ValueKind::ConstFloat(x) if x == 0.0);
+        class_ok && zero_ok
+    }
+
     /// Conservative may-dependence between two memory instructions: both
     /// touch memory and their addresses share a root object.
     fn may_depend(&self, a: ValueId, b: ValueId) -> bool {
@@ -340,77 +538,72 @@ impl<'f> Solver<'f> {
 
     // ----- candidate generation -----
 
-    fn bucket(&self, kind: &AtomKind) -> Option<Vec<ValueId>> {
-        use AtomKind::*;
-        Some(match kind {
-            OpcodeIs(class) => self
+    /// The memoized candidate bucket for a unary generator atom. Computed
+    /// on first request and shared (via `Rc`) by every later query on
+    /// this function.
+    fn bucket(&self, kind: &AtomKind) -> Option<Rc<Vec<ValueId>>> {
+        let key = BucketKey::of(kind)?;
+        if let Some(b) = self.buckets.borrow().get(&key) {
+            return Some(Rc::clone(b));
+        }
+        let vals: Vec<ValueId> = match key {
+            BucketKey::Opcode(class) => self
                 .instructions
                 .iter()
                 .copied()
                 .filter(|&v| self.opcode_of(v).is_some_and(|op| class.matches(op)))
                 .collect(),
-            IsConstant => self.constants.clone(),
-            IsArgument => self.arguments.clone(),
-            IsPreexecution => self
+            BucketKey::Constant => self.constants.clone(),
+            BucketKey::Argument => self.arguments.clone(),
+            BucketKey::Preexecution => self
                 .constants
                 .iter()
                 .chain(self.arguments.iter())
                 .copied()
                 .collect(),
-            IsInstruction => self.instructions.clone(),
-            TypeIs {
-                class,
-                constant_zero,
-            } => self
+            BucketKey::Instruction => self.instructions.clone(),
+            BucketKey::Type(class, zero) => self
                 .all_values
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    self.eval_ground(
-                        &Atom {
-                            kind: TypeIs {
-                                class: *class,
-                                constant_zero: *constant_zero,
-                            },
-                            vars: vec![String::new()],
-                            families: vec![],
-                        },
-                        &[v],
-                    )
-                })
+                .filter(|&v| self.type_is(v, class, zero))
                 .collect(),
-            _ => return None,
-        })
+        };
+        let rc = Rc::new(vals);
+        self.buckets.borrow_mut().insert(key, Rc::clone(&rc));
+        Some(rc)
     }
 
     /// Candidates for `var` implied by `atom` under `asg`, if the atom can
     /// act as a generator in this direction.
-    fn gen_atom(&self, atom: &Atom, var: &str, asg: &Assignment) -> Option<Vec<ValueId>> {
+    fn gen_atom(&self, atom: &Atom, var: VarId, asg: &Assignment) -> Option<Cand> {
         use AtomKind::*;
         let f = self.f;
-        let pos_of = |name: &str| atom.vars.iter().position(|v| v == name);
-        let slot = pos_of(var)?;
-        let get = |k: usize| asg.get(&atom.vars[k]).copied();
+        let slot = atom.vars.iter().position(|&v| v == var)?;
+        let get = |k: usize| asg.get(atom.vars[k]);
         match &atom.kind {
             OpcodeIs(_)
             | IsConstant
             | IsArgument
             | IsPreexecution
             | IsInstruction
-            | TypeIs { .. } => self.bucket(&atom.kind),
+            | TypeIs { .. } => self.bucket(&atom.kind).map(Cand::Shared),
             Same { negated: false } => {
                 let other = if slot == 0 { get(1) } else { get(0) };
-                other.map(|v| vec![v])
+                other.map(|v| Cand::Owned(vec![v]))
             }
             ArgumentOf { pos } => {
                 if slot == 0 {
                     // child from parent
                     let parent = get(1)?;
-                    f.instr(parent)?.operands.get(*pos).map(|&v| vec![v])
+                    f.instr(parent)?
+                        .operands
+                        .get(*pos)
+                        .map(|&v| Cand::Owned(vec![v]))
                 } else {
                     // parent from child: users with child at position pos
                     let child = get(0)?;
-                    Some(
+                    Some(Cand::Owned(
                         self.an
                             .defuse
                             .users(child)
@@ -421,25 +614,25 @@ impl<'f> Solver<'f> {
                                     .is_some_and(|i| i.operands.get(*pos) == Some(&child))
                             })
                             .collect(),
-                    )
+                    ))
                 }
             }
             HasEdge(EdgeKind::Data) => {
                 if slot == 1 {
                     let from = get(0)?;
-                    Some(self.an.defuse.users(from).to_vec())
+                    Some(Cand::Owned(self.an.defuse.users(from).to_vec()))
                 } else {
                     let to = get(1)?;
-                    f.instr(to).map(|i| i.operands.clone())
+                    f.instr(to).map(|i| Cand::Owned(i.operands.clone()))
                 }
             }
             HasEdge(EdgeKind::Control) => {
                 if slot == 1 {
                     let from = get(0)?;
-                    Some(self.an.control_flow_successors(f, from))
+                    Some(Cand::Owned(self.an.control_flow_successors(f, from)))
                 } else {
                     let to = get(1)?;
-                    Some(self.an.control_flow_predecessors(f, to))
+                    Some(Cand::Owned(self.an.control_flow_predecessors(f, to)))
                 }
             }
             ReachesPhi => {
@@ -450,9 +643,9 @@ impl<'f> Solver<'f> {
                         let from = get(2);
                         let i = f.instr(phi)?;
                         if i.opcode != Opcode::Phi {
-                            return Some(Vec::new());
+                            return Some(Cand::Owned(Vec::new()));
                         }
-                        Some(match from {
+                        Some(Cand::Owned(match from {
                             Some(br) => i
                                 .operands
                                 .iter()
@@ -461,11 +654,11 @@ impl<'f> Solver<'f> {
                                 .map(|(&v, _)| v)
                                 .collect(),
                             None => i.operands.clone(),
-                        })
+                        }))
                     }
                     1 => {
                         let value = get(0)?;
-                        Some(
+                        Some(Cand::Owned(
                             self.an
                                 .defuse
                                 .users(value)
@@ -473,15 +666,17 @@ impl<'f> Solver<'f> {
                                 .copied()
                                 .filter(|&u| f.opcode(u) == Some(Opcode::Phi))
                                 .collect(),
-                        )
+                        ))
                     }
                     2 => {
                         let phi = get(1)?;
                         let i = f.instr(phi)?;
                         if i.opcode != Opcode::Phi {
-                            return Some(Vec::new());
+                            return Some(Cand::Owned(Vec::new()));
                         }
-                        Some(i.incoming.iter().filter_map(|&b| f.terminator(b)).collect())
+                        Some(Cand::Owned(
+                            i.incoming.iter().filter_map(|&b| f.terminator(b)).collect(),
+                        ))
                     }
                     _ => None,
                 }
@@ -530,31 +725,17 @@ impl<'f> Solver<'f> {
     // ----- finalization: collects, concats, purity -----
 
     /// Resolves a family reference against an assignment: the scalar
-    /// binding if present, else all `name[k]...` bindings in index order.
-    fn resolve_family(asg: &Assignment, name: &str) -> Vec<ValueId> {
-        if let Some(&v) = asg.get(name) {
+    /// binding if present, else all bound `name[k]` members in index
+    /// order (membership is pre-resolved in the symbol table).
+    fn resolve_family(asg: &Assignment, symbols: &SymbolTable, fam: VarId) -> Vec<ValueId> {
+        if let Some(v) = asg.get(fam) {
             return vec![v];
         }
-        let prefix = format!("{name}[");
-        let mut found: Vec<(usize, ValueId)> = Vec::new();
-        for (k, &v) in asg.range(prefix.clone()..) {
-            if !k.starts_with(&prefix) {
-                break;
-            }
-            let rest = &k[prefix.len()..];
-            let Some(close) = rest.find(']') else {
-                continue;
-            };
-            // Only direct family elements (no trailing sub-path) qualify.
-            if !rest[close + 1..].is_empty() {
-                continue;
-            }
-            if let Ok(idx) = rest[..close].parse::<usize>() {
-                found.push((idx, v));
-            }
-        }
-        found.sort_by_key(|&(i, _)| i);
-        found.into_iter().map(|(_, v)| v).collect()
+        symbols
+            .family_members(fam)
+            .iter()
+            .filter_map(|&m| asg.get(m))
+            .collect()
     }
 
     /// Runs collects/concats and checks deferred atoms. Returns the
@@ -568,14 +749,15 @@ impl<'f> Solver<'f> {
     fn finalize(
         &self,
         tree: &CTree,
+        symbols: &SymbolTable,
         asg: &Assignment,
         opts: &SolveOptions,
         steps: &mut u64,
         complete: &mut bool,
     ) -> Option<Assignment> {
         let mut full = asg.clone();
-        self.run_bindings(tree, &mut full, opts, steps, complete)?;
-        if self.eval_final(tree, &full) {
+        self.run_bindings(tree, symbols, &mut full, opts, steps, complete)?;
+        if self.eval_final(tree, symbols, &full) {
             Some(full)
         } else {
             None
@@ -586,6 +768,7 @@ impl<'f> Solver<'f> {
     fn run_bindings(
         &self,
         tree: &CTree,
+        symbols: &SymbolTable,
         full: &mut Assignment,
         opts: &SolveOptions,
         steps: &mut u64,
@@ -594,7 +777,7 @@ impl<'f> Solver<'f> {
         match tree {
             CTree::And(cs) => {
                 for c in cs {
-                    self.run_bindings(c, full, opts, steps, complete)?;
+                    self.run_bindings(c, symbols, full, opts, steps, complete)?;
                 }
                 Some(())
             }
@@ -604,11 +787,16 @@ impl<'f> Solver<'f> {
                 ..
             }) => Some(()),
             CTree::Atom(a) if a.kind == AtomKind::Concat => {
-                let out = &a.families[0];
-                let mut members = Self::resolve_family(full, &a.families[1]);
-                members.extend(Self::resolve_family(full, &a.families[2]));
-                for (k, v) in members.into_iter().enumerate() {
-                    full.insert(format!("{out}[{k}]"), v);
+                let out = a.families[0];
+                let mut members = Self::resolve_family(full, symbols, a.families[1]);
+                members.extend(Self::resolve_family(full, symbols, a.families[2]));
+                // Output slots were pre-interned at compile time; for any
+                // acyclic concat chain they cover every index we can
+                // produce. A degenerate self-referential concat is capped
+                // at the pre-interned capacity (the only finite reading).
+                let slots = symbols.family_members(out);
+                for (k, v) in members.into_iter().enumerate().take(slots.len()) {
+                    full.bind(slots[k], v);
                 }
                 Some(())
             }
@@ -621,7 +809,7 @@ impl<'f> Solver<'f> {
                     max_solutions: instances.len(),
                     max_steps: opts.max_steps.saturating_sub(*steps),
                 };
-                let out = self.solve_with_outcome(&instances[0], full.clone(), &sub_opts);
+                let out = self.solve_with_dense(&instances[0], symbols, full.clone(), &sub_opts);
                 *steps = steps.saturating_add(out.steps);
                 // Only *budget* truncation counts as incompleteness. The
                 // solution cap here is the IDL-declared family capacity
@@ -637,9 +825,11 @@ impl<'f> Solver<'f> {
                         break;
                     }
                     let vk = instances[k].variables_deep();
-                    for (name0, namek) in v0.iter().zip(&vk) {
-                        if let Some(&val) = sol.bindings.get(name0) {
-                            full.entry(namek.clone()).or_insert(val);
+                    for (&name0, &namek) in v0.iter().zip(&vk) {
+                        if let Some(val) = sol.get(name0) {
+                            if full.get(namek).is_none() {
+                                full.bind(namek, val);
+                            }
                         }
                     }
                 }
@@ -651,28 +841,28 @@ impl<'f> Solver<'f> {
     /// Final evaluation: everything must be true; `collect` counts as
     /// satisfied, `Concat` as executed, `KilledBy` is checked against the
     /// bound families.
-    fn eval_final(&self, tree: &CTree, full: &Assignment) -> bool {
+    fn eval_final(&self, tree: &CTree, symbols: &SymbolTable, full: &Assignment) -> bool {
         match tree {
-            CTree::And(cs) => cs.iter().all(|c| self.eval_final(c, full)),
-            CTree::Or(cs) => cs.iter().any(|c| self.eval_final(c, full)),
+            CTree::And(cs) => cs.iter().all(|c| self.eval_final(c, symbols, full)),
+            CTree::Or(cs) => cs.iter().any(|c| self.eval_final(c, symbols, full)),
             CTree::Collect { .. } => true,
             CTree::Atom(a) => match a.kind {
                 AtomKind::Concat => true,
                 AtomKind::KilledBy => {
-                    let Some(&sink) = full.get(&a.vars[0]) else {
+                    let Some(sink) = full.get(a.vars[0]) else {
                         return false;
                     };
                     let mut killers = Vec::new();
-                    for fam in &a.families {
-                        killers.extend(Self::resolve_family(full, fam));
+                    for &fam in &a.families {
+                        killers.extend(Self::resolve_family(full, symbols, fam));
                     }
                     kernel_slice(self.f, sink, &killers, PURE_CALLS).is_some()
                 }
                 _ => {
                     let mut vals = Vec::with_capacity(a.vars.len());
-                    for v in &a.vars {
+                    for &v in &a.vars {
                         match full.get(v) {
-                            Some(&x) => vals.push(x),
+                            Some(x) => vals.push(x),
                             None => return false,
                         }
                     }
@@ -680,6 +870,35 @@ impl<'f> Solver<'f> {
                 }
             },
         }
+    }
+}
+
+/// A [`SolveOutcome`] whose solutions are still dense assignments.
+struct DenseOutcome {
+    solutions: Vec<Assignment>,
+    complete: bool,
+    steps: u64,
+}
+
+/// Renders a dense outcome as string-keyed [`Solution`]s — the only
+/// point where variable names re-enter the picture.
+fn render_outcome(symbols: &SymbolTable, dense: DenseOutcome) -> SolveOutcome {
+    let solutions = dense
+        .solutions
+        .into_iter()
+        .map(|a| Solution {
+            bindings: a
+                .slots()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.map(|v| (symbols.name(VarId(i as u32)).to_owned(), v)))
+                .collect(),
+        })
+        .collect();
+    SolveOutcome {
+        solutions,
+        complete: dense.complete,
+        steps: dense.steps,
     }
 }
 
@@ -773,7 +992,7 @@ impl<'t> IncEval<'t> {
 
     /// Re-evaluates the atoms watching `var` against `asg` (which must
     /// already reflect the bind or unbind) and repairs ancestor caches.
-    fn rebind(&mut self, solver: &Solver, var: &str, asg: &Assignment) {
+    fn rebind(&mut self, solver: &Solver, var: VarId, asg: &Assignment) {
         let IncEval {
             idx,
             vals,
@@ -816,13 +1035,14 @@ impl<'t> IncEval<'t> {
 struct SearchCx<'a, 'f> {
     solver: &'a Solver<'f>,
     tree: &'a CTree,
+    symbols: &'a SymbolTable,
     inc: IncEval<'a>,
-    order: Vec<String>,
+    order: Vec<VarId>,
     opts: &'a SolveOptions,
     steps: u64,
     complete: bool,
-    out: Vec<Solution>,
-    seen: HashSet<Vec<(String, u32)>>,
+    out: Vec<Assignment>,
+    seen: HashSet<Assignment>,
 }
 
 impl SearchCx<'_, '_> {
@@ -836,64 +1056,89 @@ impl SearchCx<'_, '_> {
         );
     }
 
+    /// Sorts the collected assignments canonically, keeping them dense.
+    fn finish_dense(self) -> DenseOutcome {
+        let mut solutions = self.out;
+        solutions.sort_unstable_by(|a, b| a.slots().cmp(b.slots()));
+        DenseOutcome {
+            solutions,
+            complete: self.complete,
+            steps: self.steps,
+        }
+    }
+
     fn search(&mut self, k: usize, asg: &mut Assignment) {
         if k == self.order.len() {
             if let Some(full) = self.solver.finalize(
                 self.tree,
+                self.symbols,
                 asg,
                 self.opts,
                 &mut self.steps,
                 &mut self.complete,
             ) {
-                let key: Vec<(String, u32)> = full.iter().map(|(n, v)| (n.clone(), v.0)).collect();
-                if self.seen.insert(key) {
-                    self.out.push(Solution { bindings: full });
+                if self.seen.insert(full.clone()) {
+                    self.out.push(full);
                 }
             }
             return;
         }
-        let var = self.order[k].clone();
+        let var = self.order[k];
         // Don't-care elimination: if every atom mentioning this variable
         // sits under a disjunction that is already satisfied, the variable
         // cannot influence the formula — bind it canonically instead of
         // enumerating (this is what keeps helper variables of untaken
         // `or` branches, e.g. the offset of an identity OffsetChain, from
         // multiplying solutions).
-        if !self.relevant(&var) {
-            asg.insert(var.clone(), ValueId(0));
-            self.inc.rebind(self.solver, &var, asg);
+        if !self.relevant(var) {
+            asg.bind(var, ValueId(0));
+            self.inc.rebind(self.solver, var, asg);
             self.check_oracle(asg);
             self.search(k + 1, asg);
-            asg.remove(&var);
-            self.inc.rebind(self.solver, &var, asg);
+            asg.unbind(var);
+            self.inc.rebind(self.solver, var, asg);
             return;
         }
         let candidates = self
-            .gen_node(0, &var, asg)
-            .unwrap_or_else(|| self.solver.all_values.clone());
-        for c in candidates {
+            .gen_node(0, var, asg)
+            .unwrap_or_else(|| Cand::Shared(Rc::clone(&self.solver.all_values)));
+        for i in 0..candidates.len() {
+            let c = candidates[i];
             if self.out.len() >= self.opts.max_solutions || self.steps >= self.opts.max_steps {
                 // Cut off with candidates still unexplored: solutions may
                 // have been missed.
                 self.complete = false;
+                self.recycle(candidates);
                 return;
             }
             self.steps += 1;
-            asg.insert(var.clone(), c);
-            self.inc.rebind(self.solver, &var, asg);
+            asg.bind(var, c);
+            self.inc.rebind(self.solver, var, asg);
             self.check_oracle(asg);
             if self.inc.root_val() != Tri::False {
                 self.search(k + 1, asg);
             }
-            asg.remove(&var);
-            self.inc.rebind(self.solver, &var, asg);
+            asg.unbind(var);
+            self.inc.rebind(self.solver, var, asg);
+        }
+        self.recycle(candidates);
+    }
+
+    /// Returns an owned candidate buffer to the solver's scratch pool.
+    fn recycle(&self, cand: Cand) {
+        if let Cand::Owned(mut v) = cand {
+            v.clear();
+            let mut pool = self.solver.scratch.borrow_mut();
+            if pool.len() < 64 {
+                pool.push(v);
+            }
         }
     }
 
     /// `true` if assigning `var` can still influence the truth of the
     /// formula: some atom watching `var` has no disjunction ancestor that
     /// is already satisfied, along a branch path not yet falsified.
-    fn relevant(&self, var: &str) -> bool {
+    fn relevant(&self, var: VarId) -> bool {
         let nodes = self.inc.idx.nodes();
         'watcher: for &a in self.inc.idx.watchers(var) {
             let mut x = a;
@@ -912,22 +1157,26 @@ impl SearchCx<'_, '_> {
 
     /// Candidates for `var` implied by the subtree at `node`, using the
     /// cached branch truth values to skip falsified `or` branches.
-    fn gen_node(&self, node: usize, var: &str, asg: &Assignment) -> Option<Vec<ValueId>> {
+    fn gen_node(&self, node: usize, var: VarId, asg: &Assignment) -> Option<Cand> {
         let n = &self.inc.idx.nodes()[node];
         match n.kind {
             IndexedKind::Atom(a) => self.solver.gen_atom(a, var, asg),
             IndexedKind::And => {
-                let mut acc: Option<Vec<ValueId>> = None;
+                let mut acc: Option<Cand> = None;
                 for &c in &n.children {
                     if let Some(g) = self.gen_node(c, var, asg) {
                         acc = Some(match acc {
                             None => g,
                             Some(prev) => {
-                                let set: HashSet<ValueId> = g.into_iter().collect();
-                                prev.into_iter().filter(|v| set.contains(v)).collect()
+                                let set: HashSet<ValueId> = g.iter().copied().collect();
+                                self.recycle(g);
+                                let filtered: Vec<ValueId> =
+                                    prev.iter().copied().filter(|v| set.contains(v)).collect();
+                                self.recycle(prev);
+                                Cand::Owned(filtered)
                             }
                         });
-                        if acc.as_ref().is_some_and(Vec::is_empty) {
+                        if acc.as_ref().is_some_and(|c| c.is_empty()) {
                             return acc; // empty intersection, prune hard
                         }
                     }
@@ -939,19 +1188,28 @@ impl SearchCx<'_, '_> {
                 // generates (otherwise an ungenerated branch might admit
                 // other values). Branches already falsified under the
                 // current assignment admit nothing and are skipped.
-                let mut union: Vec<ValueId> = Vec::new();
+                let mut union: Vec<ValueId> =
+                    self.solver.scratch.borrow_mut().pop().unwrap_or_default();
                 for &c in &n.children {
                     if self.inc.vals[c] == Tri::False {
                         continue;
                     }
-                    let g = self.gen_node(c, var, asg)?;
-                    for v in g {
-                        if !union.contains(&v) {
-                            union.push(v);
+                    match self.gen_node(c, var, asg) {
+                        Some(g) => {
+                            for &v in g.iter() {
+                                if !union.contains(&v) {
+                                    union.push(v);
+                                }
+                            }
+                            self.recycle(g);
+                        }
+                        None => {
+                            self.recycle(Cand::Owned(union));
+                            return None;
                         }
                     }
                 }
-                Some(union)
+                Some(Cand::Owned(union))
             }
             IndexedKind::Collect => None,
         }
@@ -978,25 +1236,31 @@ End
         .unwrap();
         let c = compile(&lib, "X").unwrap();
         // The compile-time precomputed order is what solve_outcome uses.
-        assert_eq!(c.order[0], "a", "anchored variable first");
-        assert_eq!(c.order[1], "b", "connected to a");
-        assert_eq!(c.order[2], "c");
+        assert_eq!(c.var_name(c.order[0]), "a", "anchored variable first");
+        assert_eq!(c.var_name(c.order[1]), "b", "connected to a");
+        assert_eq!(c.var_name(c.order[2]), "c");
     }
 
     #[test]
     fn family_resolution_orders_indices_numerically() {
-        let f = parse_function_text("define void @f() {\nentry:\n  ret void\n}\n").unwrap();
-        let _solver = Solver::new(&f);
-        let mut asg = Assignment::new();
-        for k in [0usize, 2, 10, 1] {
-            asg.insert(format!("fam[{k}]"), ValueId(k as u32));
+        let mut syms = SymbolTable::new();
+        let ids: Vec<VarId> = [0usize, 2, 10, 1]
+            .iter()
+            .map(|k| syms.intern(&format!("fam[{k}]")))
+            .collect();
+        syms.intern("fam[0].sub"); // must be ignored (not a direct member)
+        let fam = syms.intern("fam");
+        syms.index_families();
+        let mut asg = Assignment::new(syms.len());
+        for (&id, k) in ids.iter().zip([0u32, 2, 10, 1]) {
+            asg.bind(id, ValueId(k));
         }
-        asg.insert("fam[0].sub".into(), ValueId(99)); // must be ignored
-        let got = Solver::resolve_family(&asg, "fam");
+        asg.bind(syms.lookup("fam[0].sub").unwrap(), ValueId(99));
+        let got = Solver::resolve_family(&asg, &syms, fam);
         assert_eq!(got, vec![ValueId(0), ValueId(1), ValueId(2), ValueId(10)]);
         // Scalar binding takes priority.
-        asg.insert("fam".into(), ValueId(7));
-        assert_eq!(Solver::resolve_family(&asg, "fam"), vec![ValueId(7)]);
+        asg.bind(fam, ValueId(7));
+        assert_eq!(Solver::resolve_family(&asg, &syms, fam), vec![ValueId(7)]);
     }
 
     // ----- edge cases: degenerate functions and unsatisfiable programs -----
@@ -1266,6 +1530,94 @@ entry:
         assert!(full.steps >= 20);
     }
 
+    // ----- seeded search vs plain enumeration -----
+
+    #[test]
+    fn seeded_search_with_exhaustive_seeds_matches_plain_enumeration() {
+        // A hand-rolled "skeleton": solve the anchor sub-constraint
+        // standalone, then seed the full constraint from its solutions.
+        // With canonical solution ordering the outcome must be
+        // byte-identical to the plain search.
+        let lib = parse_library(
+            r#"
+Constraint Anchor
+( {m} is mul instruction )
+End
+
+Constraint Full
+( inherits Anchor and
+  ( {x} is first argument of {m} or {x} is second argument of {m} ) )
+End
+"#,
+        )
+        .unwrap();
+        let anchor = compile(&lib, "Anchor").unwrap();
+        let full = compile(&lib, "Full").unwrap();
+        // `Anchor` is not a skeleton block, so no marker is recorded —
+        // but the seeded API only needs the order prefix, which `m`
+        // satisfies (it is the anchored first variable either way).
+        assert_eq!(full.var_name(full.order[0]), "m");
+        let f = parse_function_text(
+            "define i32 @f(i32 %a, i32 %b) {\nentry:\n  %m = mul i32 %a, %b\n  %n = mul i32 %m, %a\n  ret i32 %n\n}\n",
+        )
+        .unwrap();
+        let solver = Solver::new(&f);
+        let m_full = full.symbols.lookup("m").unwrap();
+        let seeds: Vec<Vec<(VarId, ValueId)>> = solver
+            .solve_outcome(&anchor, &SolveOptions::default())
+            .solutions
+            .iter()
+            .map(|s| vec![(m_full, s.bindings["m"])])
+            .collect();
+        assert_eq!(seeds.len(), 2);
+        let plain = solver.solve_outcome(&full, &SolveOptions::default());
+        let seeded = solver.solve_seeded_outcome(&full, &seeds, &SolveOptions::default());
+        assert!(plain.complete && seeded.complete);
+        assert_eq!(plain.solutions, seeded.solutions);
+        // Seeding charges one step per seed binding, so it can never cost
+        // more than enumerating the same prefix (and wins outright as
+        // soon as the prefix enumeration tries failing candidates).
+        assert!(
+            seeded.steps <= plain.steps,
+            "seeding must not cost more than the prefix enumeration ({} > {})",
+            seeded.steps,
+            plain.steps
+        );
+    }
+
+    #[test]
+    fn seeded_search_respects_the_step_budget() {
+        let lib = parse_library(
+            "Constraint TwoWide ( {a} is add instruction and {b} is an instruction ) End",
+        )
+        .unwrap();
+        let c = compile(&lib, "TwoWide").unwrap();
+        let f = wide_function(12);
+        let solver = Solver::new(&f);
+        let a = c.symbols.lookup("a").unwrap();
+        assert_eq!(c.order[0], a);
+        let seeds: Vec<Vec<(VarId, ValueId)>> = solver
+            .solve_outcome(
+                &compile(
+                    &parse_library("Constraint A ( {a} is add instruction ) End").unwrap(),
+                    "A",
+                )
+                .unwrap(),
+                &SolveOptions::default(),
+            )
+            .solutions
+            .iter()
+            .map(|s| vec![(a, s.bindings["a"])])
+            .collect();
+        let opts = SolveOptions {
+            max_solutions: usize::MAX,
+            max_steps: 5,
+        };
+        let out = solver.solve_seeded_outcome(&c, &seeds, &opts);
+        assert!(out.steps <= opts.max_steps);
+        assert!(!out.complete, "budget cut must surface");
+    }
+
     // ----- incremental evaluator vs the recursive oracle -----
 
     /// The subtrees of `t` in the same pre-order the `TreeIndex` uses
@@ -1321,24 +1673,27 @@ entry:
             )
             .unwrap();
             let solver = Solver::new(&f);
-            let vars = ["a", "b", "c", "d"];
+            let vars: Vec<VarId> = ["a", "b", "c", "d"]
+                .iter()
+                .map(|n| c.symbols.lookup(n).unwrap())
+                .collect();
             let mut subtrees = Vec::new();
             pre_order(&c.tree, &mut subtrees);
 
             // Replay a random bind/unbind history, comparing EVERY cached
             // node value against the recursive evaluation of its subtree.
-            let mut asg = Assignment::new();
+            let mut asg = Assignment::new(c.symbols.len());
             let mut inc = IncEval::new(&solver, &c.tree, &asg);
             proptest::prop_assert_eq!(subtrees.len(), inc.idx.len());
             for (slot, raw, unbind) in picks {
                 let var = vars[slot];
                 if unbind {
-                    asg.remove(var);
+                    asg.unbind(var);
                 } else {
                     // Values deliberately include ids that are not valid
                     // for some atoms — the evaluators must agree anyway.
-                    let vals = solver.all_values.clone();
-                    asg.insert(var.to_owned(), vals[(raw as usize) % vals.len()]);
+                    let vals = &solver.all_values;
+                    asg.bind(var, vals[(raw as usize) % vals.len()]);
                 }
                 inc.rebind(&solver, var, &asg);
                 for (id, sub) in subtrees.iter().enumerate() {

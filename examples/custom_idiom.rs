@@ -32,7 +32,7 @@ fn main() {
 
     let lib = idiomatch::idl::parse_library(FACTORIZATION_IDL).expect("IDL parses");
     let compiled = idiomatch::idl::compile(&lib, "FactorizationOpportunity").expect("compiles");
-    println!("constraint variables: {:?}", compiled.variables);
+    println!("constraint variables: {:?}", compiled.variable_names());
 
     let solver = Solver::new(f);
     let solutions = solver.solve(&compiled, &SolveOptions::default());

@@ -1,0 +1,104 @@
+//! Differential tests for the interned, skeleton-memoized solver core:
+//! detection through the per-function loop-skeleton cache must be
+//! byte-identical to the compatibility slow path (`skeleton_prepass:
+//! false`, each idiom re-enumerating its own loop headers), across the
+//! bundled benchmark suite and randomized progen programs — and the
+//! budget/truncation semantics must survive with the cache active.
+
+use idiomatch::idioms::{self, DetectOptions};
+use proptest::prelude::*;
+
+/// The compatibility slow path: identical constraint compilation and
+/// solving, no skeleton prepass.
+fn compat() -> DetectOptions {
+    DetectOptions {
+        skeleton_prepass: false,
+        ..DetectOptions::default()
+    }
+}
+
+/// The documented per-function step ceiling of a detection pass (see
+/// `idioms::detect_kinds_with`): per kind a seeded attempt plus a
+/// fallback, plus the shared skeleton prepass.
+fn step_bound(max_steps: u64) -> u64 {
+    max_steps * (2 * idioms::IdiomKind::ALL.len() as u64 + idioms::skeleton_key_count() as u64)
+}
+
+#[test]
+fn suite_detection_matches_the_compat_slow_path_byte_identically() {
+    for b in idiomatch::benchsuite::all() {
+        let m = idiomatch::minicc::compile(b.source, b.name).unwrap();
+        for f in &m.functions {
+            let fast = idioms::detect_with(f, &DetectOptions::default());
+            let slow = idioms::detect_with(f, &compat());
+            assert!(fast.complete && slow.complete, "{}::{}", b.name, f.name);
+            assert_eq!(
+                fast.instances, slow.instances,
+                "{}::{}: skeleton cache changed detection output",
+                b.name, f.name
+            );
+            assert_eq!(
+                slow.skeleton_steps, 0,
+                "slow path must not prepay skeletons"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn progen_detection_is_identical_with_and_without_the_skeleton_cache(
+        seed in 0u64..500
+    ) {
+        // Instance lists — kinds, anchors, regions AND full bindings —
+        // must agree on every function of a randomized planted-idiom
+        // program (near-misses and filler included).
+        let spec = idiomatch::progen::generate(seed);
+        let m = idiomatch::minicc::compile(&spec.render(), "prop").unwrap();
+        for f in &m.functions {
+            let fast = idioms::detect_with(f, &DetectOptions::default());
+            let slow = idioms::detect_with(f, &compat());
+            prop_assert!(fast.complete && slow.complete, "{}", f.name);
+            prop_assert_eq!(&fast.instances, &slow.instances, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn truncation_stays_bounded_and_recoverable_with_the_cache_active(
+        seed in 0u64..200
+    ) {
+        // A starved budget must bound total work (skeleton prepass
+        // included) and surface `complete == false` instead of silently
+        // undercounting; restoring the budget must restore byte-identical
+        // output on both paths.
+        let spec = idiomatch::progen::generate(seed);
+        let m = idiomatch::minicc::compile(&spec.render(), "prop").unwrap();
+        let tiny = DetectOptions {
+            max_steps: 50,
+            ..DetectOptions::default()
+        };
+        for f in &m.functions {
+            let starved = idioms::detect_with(f, &tiny);
+            prop_assert!(
+                starved.steps <= step_bound(tiny.max_steps),
+                "{}: spent {} steps, bound {}",
+                f.name,
+                starved.steps,
+                step_bound(tiny.max_steps)
+            );
+            let full_fast = idioms::detect_with(f, &DetectOptions::default());
+            let full_slow = idioms::detect_with(f, &compat());
+            prop_assert!(full_fast.complete && full_slow.complete);
+            prop_assert_eq!(&full_fast.instances, &full_slow.instances);
+            if !starved.complete {
+                prop_assert!(
+                    starved.instances.len() <= full_fast.instances.len(),
+                    "{}: truncated undercount must not exceed the true population",
+                    f.name
+                );
+            }
+        }
+    }
+}

@@ -12,18 +12,9 @@
 //! ratchets `total_solve_steps` against upward regression beyond 5%, and
 //! ignores timings.
 
-use idiomatch_bench::report::{Json, Report};
+use idiomatch_bench::report::{nested_object, percentile, Json, Report};
 use idioms::{DetectOptions, IdiomKind};
 use std::time::Instant;
-
-/// The `p`-th percentile (nearest-rank) of a sorted sample set.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
-}
 
 fn main() {
     // Arguments: `--passes N` (or a bare number), `--check` selects
@@ -70,16 +61,13 @@ fn main() {
         }
     }
     debug_assert_eq!(steps_by_idiom.len(), IdiomKind::ALL.len());
-    let steps_json: Vec<String> = steps_by_idiom
-        .iter()
-        .map(|(k, v)| format!("    \"{k}\": {v}"))
-        .collect();
-    let steps_raw = format!("{{\n{}\n  }}", steps_json.join(",\n"));
+    let steps_pairs: Vec<(&str, u64)> = steps_by_idiom.iter().map(|(&k, &v)| (k, v)).collect();
+    let steps_raw = nested_object(&steps_pairs);
 
     let stable = |passes: usize,
                   mean_ms: f64,
                   min_ms: f64,
-                  per_idiom_raw: String,
+                  per_idiom_raw: Json,
                   p50_ms: f64,
                   p95_ms: f64| {
         Report::new()
@@ -89,7 +77,7 @@ fn main() {
             .volatile("passes", Json::U(passes as u64))
             .volatile("mean_ms", Json::F(mean_ms, 3))
             .volatile("min_ms", Json::F(min_ms, 3))
-            .volatile("per_idiom_mean_ms", Json::Raw(per_idiom_raw))
+            .volatile("per_idiom_mean_ms", per_idiom_raw)
             .volatile("per_function_p50_ms", Json::F(p50_ms, 4))
             .volatile("per_function_p95_ms", Json::F(p95_ms, 4))
             .stable("complete", Json::B(complete))
@@ -97,11 +85,12 @@ fn main() {
             // +5% fail CI until the artifact is consciously regenerated.
             .bounded_up("total_solve_steps", total_steps, 0.05)
             .volatile("skeleton_solve_steps", Json::U(skeleton_steps))
-            .volatile("solve_steps_by_idiom", Json::Raw(steps_raw.clone()))
+            .volatile("solve_steps_by_idiom", steps_raw.clone())
     };
 
     if check {
-        if let Err(e) = stable(0, 0.0, 0.0, "{}".into(), 0.0, 0.0).check_drift(&out_path) {
+        if let Err(e) = stable(0, 0.0, 0.0, Json::Raw("{}".into()), 0.0, 0.0).check_drift(&out_path)
+        {
             eprintln!("{e}");
             std::process::exit(1);
         }
@@ -129,7 +118,6 @@ fn main() {
     }
     let mean_ms = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
     let min_ms = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
-    fn_ms.sort_unstable_by(f64::total_cmp);
     let p50_ms = percentile(&fn_ms, 50.0);
     let p95_ms = percentile(&fn_ms, 95.0);
 
@@ -155,11 +143,11 @@ fn main() {
             }
         }
     }
-    let per_idiom: Vec<String> = per_idiom_acc
+    let per_idiom: Vec<(&str, String)> = per_idiom_acc
         .iter()
-        .map(|(k, total)| format!("    \"{k}\": {:.3}", total / passes as f64))
+        .map(|(&k, total)| (k, format!("{:.3}", total / passes as f64)))
         .collect();
-    let per_idiom_raw = format!("{{\n{}\n  }}", per_idiom.join(",\n"));
+    let per_idiom_raw = nested_object(&per_idiom);
 
     let report = stable(passes, mean_ms, min_ms, per_idiom_raw, p50_ms, p95_ms);
     report.write(&out_path);

@@ -1,0 +1,177 @@
+//! The corpus-scale batch analysis driver: runs the `corpus` service
+//! over a directory of `.c` files or a seeded progen corpus and condenses
+//! the per-module JSONL records into `BENCH_corpus.json` — throughput,
+//! p50/p95/p99 per-module latency, instance totals and the full failure
+//! taxonomy.
+//!
+//! Usage:
+//! `cargo run --release -p idiomatch-bench --bin corpus -- [flags]`
+//!
+//! * `--progen N` — analyze an N-program seeded progen corpus (default
+//!   500; `--seed-start S` shifts the seed range);
+//! * `--dir PATH` — analyze every `.c` file directly under PATH instead;
+//! * `--workers N`, `--shard-size N`, `--timeout-ms N` — pool size,
+//!   checkpoint granularity, per-module wall-clock budget;
+//! * `--state DIR` — where `records.jsonl` + `checkpoint.json` live
+//!   (default `target/corpus`); `--resume` continues from the checkpoint
+//!   there instead of starting fresh;
+//! * `--out PATH` — artifact path (default `BENCH_corpus.json`);
+//! * `--check` — CI drift guard: re-runs the default 500-program smoke
+//!   corpus in a scratch directory and verifies the committed artifact's
+//!   stable fields (totals, taxonomy — timings exempt) still match.
+//!
+//! For a progen corpus the run is also a gate: any non-`ok` record,
+//! recall loss or near-miss false positive exits non-zero.
+
+use corpus::{run, RunConfig, RunSummary, Source, Taxonomy};
+use idiomatch_bench::report::{nested_object, percentile, Json, Report};
+
+/// The fixed smoke configuration behind the committed artifact and
+/// `--check`: 500 progen programs from seed 0, shard size 32.
+const SMOKE_COUNT: usize = 500;
+
+fn summarize(summary: &RunSummary, source: &Source, cfg: &RunConfig) -> Report {
+    let recs = &summary.records;
+    let mut by_kind: std::collections::BTreeMap<&str, u64> = Default::default();
+    for r in recs {
+        for (k, v) in &r.instances {
+            *by_kind.entry(k.as_str()).or_default() += v;
+        }
+    }
+    let kind_pairs: Vec<(&str, u64)> = by_kind.into_iter().collect();
+    let tax_pairs: Vec<(&str, u64)> = summary
+        .taxonomy()
+        .into_iter()
+        .map(|(t, n)| (t.as_str(), n))
+        .collect();
+    let sum = |f: fn(&corpus::ModuleRecord) -> u64| recs.iter().map(f).sum::<u64>();
+    let latencies: Vec<f64> = recs.iter().map(|r| r.latency_ms).collect();
+    Report::new()
+        .stable("bench", Json::S("corpus_batch".into()))
+        .stable("source", Json::S(source.descriptor()))
+        .stable("modules", Json::U(recs.len() as u64))
+        .stable("shard_size", Json::U(cfg.shard_size as u64))
+        .stable("shards", Json::U(summary.total_shards as u64))
+        .stable("complete", Json::B(summary.complete))
+        .stable("instances_by_kind", nested_object(&kind_pairs))
+        .stable("detected", Json::U(sum(|r| r.detected)))
+        .stable("replaced", Json::U(sum(|r| r.replaced)))
+        .stable("planted", Json::U(sum(|r| r.planted)))
+        .stable("planted_hit", Json::U(sum(|r| r.planted_hit)))
+        .stable("false_positives", Json::U(sum(|r| r.false_positives)))
+        .stable(
+            "validated_modules",
+            Json::U(recs.iter().filter(|r| r.validated).count() as u64),
+        )
+        .bounded_up("total_solve_steps", sum(|r| r.solve_steps), 0.05)
+        .stable("taxonomy", nested_object(&tax_pairs))
+        .volatile("workers", Json::U(cfg.workers as u64))
+        .volatile("timeout_ms", Json::U(cfg.timeout.as_millis() as u64))
+        .volatile("analyzed_this_run", Json::U(summary.analyzed as u64))
+        .volatile("resumed_records", Json::U(summary.resumed_records as u64))
+        .rate(
+            "elapsed_s",
+            "modules_per_sec",
+            summary.analyzed as u64,
+            summary.wall_s,
+        )
+        .volatile("p50_latency_ms", Json::F(percentile(&latencies, 50.0), 3))
+        .volatile("p95_latency_ms", Json::F(percentile(&latencies, 95.0), 3))
+        .volatile("p99_latency_ms", Json::F(percentile(&latencies, 99.0), 3))
+}
+
+fn main() {
+    let mut source: Option<Source> = None;
+    let mut progen_count: usize = SMOKE_COUNT;
+    let mut seed_start: u64 = 0;
+    let mut cfg_workers: Option<usize> = None;
+    let mut shard_size: usize = 32;
+    let mut timeout_ms: u64 = 10_000;
+    let mut state_dir = String::from("target/corpus");
+    let mut resume = false;
+    let mut out_path = String::from("BENCH_corpus.json");
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    let parse = |v: Option<String>, flag: &str| -> u64 {
+        v.and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} takes a number"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--progen" => progen_count = parse(args.next(), "--progen") as usize,
+            "--seed-start" => seed_start = parse(args.next(), "--seed-start"),
+            "--dir" => {
+                let path = args.next().expect("--dir takes a path");
+                source = Some(Source::dir(path).unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--workers" => cfg_workers = Some(parse(args.next(), "--workers") as usize),
+            "--shard-size" => shard_size = parse(args.next(), "--shard-size") as usize,
+            "--timeout-ms" => timeout_ms = parse(args.next(), "--timeout-ms"),
+            "--state" => state_dir = args.next().expect("--state takes a path"),
+            "--resume" => resume = true,
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            "--check" => check = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    if check {
+        // Re-run the smoke corpus in scratch state and compare stable
+        // fields against the committed artifact.
+        let scratch = std::env::temp_dir().join(format!("corpus_check_{}", std::process::id()));
+        let mut cfg = RunConfig::new(Source::progen(SMOKE_COUNT, 0), &scratch);
+        cfg.progress = true;
+        let summary = run(&cfg).unwrap_or_else(|e| panic!("corpus run failed: {e}"));
+        let report = summarize(&summary, &cfg.source, &cfg);
+        let _ = std::fs::remove_dir_all(&scratch);
+        if let Err(e) = report.check_drift(&out_path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        eprintln!("{out_path}: stable fields match the current code");
+        return;
+    }
+
+    let source = source.unwrap_or_else(|| Source::progen(progen_count, seed_start));
+    let is_progen = matches!(source, Source::Progen { .. });
+    let mut cfg = RunConfig::new(source, &state_dir);
+    if let Some(w) = cfg_workers {
+        cfg.workers = w.max(1);
+    }
+    cfg.shard_size = shard_size.max(1);
+    cfg.timeout = std::time::Duration::from_millis(timeout_ms.max(1));
+    cfg.resume = resume;
+    cfg.progress = true;
+
+    let summary = run(&cfg).unwrap_or_else(|e| panic!("corpus run failed: {e}"));
+    let report = summarize(&summary, &cfg.source, &cfg);
+    report.write(&out_path);
+    print!("{}", report.render());
+
+    // A progen corpus knows its ground truth: treat any service failure,
+    // recall loss or false positive as a gate violation.
+    if is_progen {
+        let bad: Vec<&corpus::ModuleRecord> = summary
+            .records
+            .iter()
+            .filter(|r| {
+                r.outcome != Taxonomy::Ok || r.planted_hit != r.planted || r.false_positives > 0
+            })
+            .collect();
+        if !bad.is_empty() {
+            for r in bad.iter().take(10) {
+                eprintln!(
+                    "{}: {} planted={} hit={} fp={} {}",
+                    r.module, r.outcome, r.planted, r.planted_hit, r.false_positives, r.detail
+                );
+            }
+            eprintln!(
+                "{} of {} modules violated the oracle",
+                bad.len(),
+                summary.records.len()
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! deliberately broken reduction replacement to demonstrate the oracle
 //! catching and shrinking a miscompile — it must make the run fail).
 
-use idiomatch_bench::report::{Json, Report};
+use idiomatch_bench::report::{object_array, Json, Report};
 use progen::{check, generate, shrink, to_corpus, Canary, Failure, Spec};
 use std::time::Instant;
 
@@ -130,7 +130,7 @@ fn main() {
     let count_class = |cls: &str| failures.iter().filter(|(_, c)| *c == cls).count() as u64;
     let failures_json: Vec<String> = failures
         .iter()
-        .map(|(seed, cls)| format!("    {{\"seed\": {seed}, \"class\": \"{cls}\"}}"))
+        .map(|(seed, cls)| format!("{{\"seed\": {seed}, \"class\": \"{cls}\"}}"))
         .collect();
     let report = Report::new()
         .stable("bench", Json::S("progen_fuzz".into()))
@@ -155,31 +155,20 @@ fn main() {
             ),
         )
         .stable("solve_steps", Json::U(solve_steps))
-        .volatile("elapsed_s", Json::F(elapsed, 3))
         // `elapsed_s` (and the headline `programs_per_sec`) folds in
         // program generation, lowering and multi-seed validation; the
-        // detect-only and detect+replace splits below measure the
-        // compiler pipeline itself, which is what the perf trajectory
-        // tracks across PRs.
-        .volatile("detect_s", Json::F(detect_s, 3))
-        .volatile("detect_replace_s", Json::F(detect_replace_s, 3))
-        .volatile("programs_per_sec", Json::F(count as f64 / elapsed, 1))
-        .volatile(
-            "detect_programs_per_sec",
-            Json::F(count as f64 / detect_s.max(1e-9), 1),
-        )
-        .volatile(
+        // detect-only and detect+replace splits measure the compiler
+        // pipeline itself, which is what the perf trajectory tracks
+        // across PRs.
+        .rate("elapsed_s", "programs_per_sec", count, elapsed)
+        .rate("detect_s", "detect_programs_per_sec", count, detect_s)
+        .rate(
+            "detect_replace_s",
             "detect_replace_programs_per_sec",
-            Json::F(count as f64 / detect_replace_s.max(1e-9), 1),
+            count,
+            detect_replace_s,
         )
-        .stable(
-            "failures",
-            Json::Raw(if failures_json.is_empty() {
-                "[]".into()
-            } else {
-                format!("[\n{}\n  ]", failures_json.join(",\n"))
-            }),
-        );
+        .stable("failures", object_array(&failures_json));
     report.write(&out_path);
     print!("{}", report.render());
 

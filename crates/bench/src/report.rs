@@ -17,6 +17,43 @@
 
 use std::fmt::Write as _;
 
+/// The `p`-th percentile (nearest-rank) of a sample set. Sorts a copy —
+/// callers pass raw latency vectors. An empty set yields `0.0`; a
+/// single-element set yields that element for every `p`.
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Renders a list of pre-rendered JSON objects as a nested array value
+/// (`[]` when empty), matching the report's 2-space top-level indent.
+#[must_use]
+pub fn object_array(items: &[String]) -> Json {
+    if items.is_empty() {
+        Json::Raw("[]".into())
+    } else {
+        let body: Vec<String> = items.iter().map(|i| format!("    {i}")).collect();
+        Json::Raw(format!("[\n{}\n  ]", body.join(",\n")))
+    }
+}
+
+/// Renders `(key, rendered value)` pairs as a nested JSON object value,
+/// matching the report's 2-space top-level indent.
+#[must_use]
+pub fn nested_object<K: std::fmt::Display, V: std::fmt::Display>(pairs: &[(K, V)]) -> Json {
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    Json::Raw(format!("{{\n{}\n  }}", body.join(",\n")))
+}
+
 /// One rendered JSON value.
 #[derive(Debug, Clone)]
 pub enum Json {
@@ -105,6 +142,22 @@ impl Report {
             policy: Policy::Volatile,
         });
         self
+    }
+
+    /// Adds the volatile elapsed/throughput pair every batch driver
+    /// reports: `secs_key` (seconds, 3 decimals) and `rate_key`
+    /// (`count` per second, 1 decimal) — machine-dependent, never
+    /// drift-compared.
+    #[must_use]
+    pub fn rate(
+        self,
+        secs_key: &'static str,
+        rate_key: &'static str,
+        count: u64,
+        secs: f64,
+    ) -> Report {
+        self.volatile(secs_key, Json::F(secs, 3))
+            .volatile(rate_key, Json::F(count as f64 / secs.max(1e-9), 1))
     }
 
     /// Adds a perf-ratchet field: drift-guarded against *upward*
@@ -251,6 +304,58 @@ mod tests {
             .volatile("mean_ms", Json::F(12.3456, 3))
             .stable("complete", Json::B(true))
             .stable("by_kind", Json::Raw("{\n    \"A\": 1\n  }".into()))
+    }
+
+    /// Nearest-rank percentiles, including the edge cases that bite:
+    /// the empty set, a single element (every percentile is it), and an
+    /// even-count set (p50 is the lower middle under nearest-rank — no
+    /// interpolation).
+    #[test]
+    fn percentile_nearest_rank_edge_cases() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // One element: p50, p95 and p99 all collapse onto it.
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(percentile(&[7.5], p), 7.5);
+        }
+        // Even count (unsorted input is fine — the helper sorts).
+        let even = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&even, 50.0), 2.0, "lower middle, not 2.5");
+        assert_eq!(percentile(&even, 75.0), 3.0);
+        assert_eq!(percentile(&even, 100.0), 4.0);
+        // Odd count: p50 is the true middle.
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), 3.0);
+        // A 100-element 1..=100 sample pins the classic ranks.
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+    }
+
+    #[test]
+    fn object_array_and_nested_object_render_report_indented() {
+        assert_eq!(object_array(&[]).render(), "[]");
+        let arr = object_array(&["{\"a\": 1}".to_owned(), "{\"b\": 2}".to_owned()]);
+        assert_eq!(arr.render(), "[\n    {\"a\": 1},\n    {\"b\": 2}\n  ]");
+        let obj = nested_object(&[("x", 1), ("y", 2)]);
+        assert_eq!(obj.render(), "{\n    \"x\": 1,\n    \"y\": 2\n  }");
+    }
+
+    #[test]
+    fn rate_fields_are_volatile() {
+        let dir = std::env::temp_dir().join("bench_report_rate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        let path = path.to_str().unwrap();
+        let with = |count, secs| Report::new().rate("elapsed_s", "per_sec", count, secs);
+        assert_eq!(
+            with(100, 2.0).render(),
+            "{\n  \"elapsed_s\": 2.000,\n  \"per_sec\": 50.0\n}\n"
+        );
+        std::fs::write(path, with(100, 2.0).render()).unwrap();
+        // A wildly different timing never trips the drift guard.
+        assert!(with(100, 9000.0).check_drift(path).is_ok());
+        // Zero elapsed must not divide by zero.
+        assert!(with(5, 0.0).render().contains("per_sec"));
     }
 
     #[test]

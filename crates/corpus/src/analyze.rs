@@ -1,0 +1,237 @@
+//! Per-module analysis: materialize one job, push it through the full
+//! Figure-1 pipeline ([`idiomatch_core::run_pipeline`]) and condense the
+//! outcome into one [`ModuleRecord`].
+//!
+//! This function runs inside the driver's isolation sandbox: it is
+//! *allowed* to panic or stall — the sandbox converts a panic into a
+//! `Crash` record and a wall-clock overrun into a `Timeout` record. Two
+//! fixture directives exist purely so the isolation machinery itself is
+//! testable (the same role `progen`'s `--canary` plays for the
+//! differential validator):
+//!
+//! * `// corpus: panic` — panics before compilation;
+//! * `// corpus: hang` — sleeps far past any sane per-module budget.
+//!
+//! Both are inert outside directory corpora you author yourself.
+//!
+//! Progen modules (and directory modules carrying `// progen:expect` /
+//! `// progen:forbid` directives) know their planted idioms by
+//! construction, so the record additionally carries recall
+//! (`planted`/`planted_hit`) and near-miss `false_positives` counts;
+//! plain `.c` modules without the progen entry point fall back to
+//! detection-only (no transform, `validated: false`).
+
+use crate::record::{ModuleRecord, Taxonomy};
+use crate::source::{Job, Payload};
+use idioms::{DetectOptions, IdiomInstance, IdiomKind};
+use progen::{generate, parse_case, setup, Spec, FUZZ_SEEDS};
+
+/// Fixture directive: panic inside the sandbox.
+pub const PANIC_DIRECTIVE: &str = "// corpus: panic";
+/// Fixture directive: stall far past the per-module budget.
+pub const HANG_DIRECTIVE: &str = "// corpus: hang";
+
+/// Analyzes one job to a record. May panic or stall (see module docs);
+/// the caller's sandbox contains both. The record's `shard` and
+/// `latency_ms` are filled in by the driver.
+pub(crate) fn analyze_job(job: &Job) -> ModuleRecord {
+    match &job.payload {
+        Payload::Progen(seed) => {
+            let spec = generate(*seed);
+            run_full(&job.id, &spec.render(), &spec.expected(), &spec.forbidden())
+        }
+        Payload::File(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    return ModuleRecord::empty(
+                        &job.id,
+                        0,
+                        Taxonomy::ParseError,
+                        format!("read failed: {e}"),
+                    )
+                }
+            };
+            for line in text.lines() {
+                let l = line.trim();
+                assert!(
+                    l != PANIC_DIRECTIVE,
+                    "injected panic (corpus fixture directive)"
+                );
+                if l == HANG_DIRECTIVE {
+                    // 60 s in small slices: long enough to overrun any
+                    // realistic budget, bounded so an abandoned sandbox
+                    // thread still winds down before machine-scale runs
+                    // finish.
+                    for _ in 0..1200 {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                    return ModuleRecord::empty(
+                        &job.id,
+                        0,
+                        Taxonomy::Ok,
+                        "hang fixture outlived its 60s stall".into(),
+                    );
+                }
+            }
+            // Expectation directives are optional for directory corpora.
+            let (expects, forbids) = match parse_case(&text) {
+                Ok(case) => (case.expects, case.forbids),
+                Err(_) => (Vec::new(), Vec::new()),
+            };
+            let module = match minicc::compile(&text, &job.id) {
+                Ok(m) => m,
+                Err(e) => {
+                    return ModuleRecord::empty(&job.id, 0, Taxonomy::ParseError, e.to_string())
+                }
+            };
+            if module.function(Spec::ENTRY).is_some() {
+                run_full(&job.id, &text, &expects, &forbids)
+            } else {
+                detect_only(&job.id, &module, &expects, &forbids)
+            }
+        }
+    }
+}
+
+/// Full pipeline: compile → detect → replace every instance → multi-seed
+/// differential validation. Requires the progen entry point and input
+/// shape ([`Spec::ENTRY`] + [`setup`]).
+fn run_full(
+    id: &str,
+    source: &str,
+    expects: &[(String, IdiomKind)],
+    forbids: &[(String, IdiomKind)],
+) -> ModuleRecord {
+    let out = match idiomatch_core::run_pipeline(
+        source,
+        id,
+        Spec::ENTRY,
+        setup,
+        &FUZZ_SEEDS,
+        &DetectOptions::default(),
+    ) {
+        Ok(o) => o,
+        Err(e) => return ModuleRecord::empty(id, 0, Taxonomy::ParseError, e.to_string()),
+    };
+    let mut rec = ModuleRecord::empty(id, 0, Taxonomy::Ok, String::new());
+    fill_counts(&mut rec, &out.instances, out.solve_steps, expects, forbids);
+    rec.replaced = out.xform.replaced() as u64;
+    if let Some(f) = out.incomplete_functions.first() {
+        rec.outcome = Taxonomy::Truncated;
+        rec.detail = format!("solver budget exhausted in {f}");
+    } else {
+        match out.validation {
+            Ok(_) => rec.validated = true,
+            Err(e) => {
+                rec.outcome = Taxonomy::ValidationDivergence;
+                rec.detail = e.to_string();
+            }
+        }
+    }
+    rec
+}
+
+/// Detection-only fallback for plain `.c` modules without the progen
+/// entry point: instance counts and solver steps are recorded, nothing
+/// is transformed, and `validated` stays `false`.
+fn detect_only(
+    id: &str,
+    module: &ssair::Module,
+    expects: &[(String, IdiomKind)],
+    forbids: &[(String, IdiomKind)],
+) -> ModuleRecord {
+    let fs: Vec<&ssair::Function> = module.functions.iter().collect();
+    let detections = idioms::detect_functions(&fs, &DetectOptions::default());
+    let incomplete = fs
+        .iter()
+        .zip(&detections)
+        .find(|(_, d)| !d.complete)
+        .map(|(f, _)| f.name.clone());
+    let solve_steps: u64 = detections.iter().map(|d| d.steps).sum();
+    let instances: Vec<IdiomInstance> = detections.into_iter().flat_map(|d| d.instances).collect();
+    let mut rec = ModuleRecord::empty(id, 0, Taxonomy::Ok, String::new());
+    fill_counts(&mut rec, &instances, solve_steps, expects, forbids);
+    if let Some(f) = incomplete {
+        rec.outcome = Taxonomy::Truncated;
+        rec.detail = format!("solver budget exhausted in {f}");
+    }
+    rec
+}
+
+/// Instance census + expectation bookkeeping shared by both paths.
+fn fill_counts(
+    rec: &mut ModuleRecord,
+    instances: &[IdiomInstance],
+    solve_steps: u64,
+    expects: &[(String, IdiomKind)],
+    forbids: &[(String, IdiomKind)],
+) {
+    for inst in instances {
+        *rec.instances
+            .entry(inst.kind.constraint_name().to_owned())
+            .or_default() += 1;
+    }
+    rec.detected = instances.len() as u64;
+    rec.solve_steps = solve_steps;
+    let found = |function: &String, kind: IdiomKind| {
+        instances
+            .iter()
+            .any(|i| &i.function == function && i.kind == kind)
+    };
+    rec.planted = expects.len() as u64;
+    rec.planted_hit = expects.iter().filter(|(f, k)| found(f, *k)).count() as u64;
+    rec.false_positives = forbids.iter().filter(|(f, k)| found(f, *k)).count() as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+
+    /// A progen module round-trips to a fully-validated `Ok` record with
+    /// perfect recall by construction.
+    #[test]
+    fn progen_job_yields_validated_record_with_full_recall() {
+        let source = Source::progen(1, 7);
+        let rec = analyze_job(&source.job(0));
+        assert_eq!(rec.module, "progen-7");
+        assert_eq!(rec.outcome, Taxonomy::Ok, "detail: {}", rec.detail);
+        assert!(rec.validated);
+        let spec = generate(7);
+        assert_eq!(rec.planted, spec.expected().len() as u64);
+        assert_eq!(rec.planted_hit, rec.planted, "full recall");
+        assert_eq!(rec.false_positives, 0);
+        assert!(rec.detected >= rec.planted);
+        assert_eq!(
+            rec.instances.values().sum::<u64>(),
+            rec.detected,
+            "census sums to the detected total"
+        );
+        assert!(rec.solve_steps > 0);
+    }
+
+    /// A plain `.c` file without the progen entry falls back to
+    /// detection-only; a broken file maps to `ParseError`.
+    #[test]
+    fn dir_jobs_fall_back_to_detect_only_and_classify_parse_errors() {
+        let dir = std::env::temp_dir().join(format!("corpus_analyze_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("red.c"),
+            "double s(double* x, int n) { double a = 0.0; for (int i = 0; i < n; i++) a += x[i]; return a; }",
+        )
+        .unwrap();
+        std::fs::write(dir.join("broken.c"), "double s(double* x { oops").unwrap();
+        let source = Source::dir(&dir).unwrap();
+        let broken = analyze_job(&source.job(0));
+        assert_eq!(broken.outcome, Taxonomy::ParseError);
+        assert!(!broken.detail.is_empty());
+        let red = analyze_job(&source.job(1));
+        assert_eq!(red.outcome, Taxonomy::Ok);
+        assert!(!red.validated, "detect-only path never validates");
+        assert_eq!(red.replaced, 0);
+        assert_eq!(red.instances.get("Reduction"), Some(&1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,70 @@
+//! # corpus — the batch analysis service
+//!
+//! The paper's pitch is finding compute idioms in *legacy code at
+//! scale*; this crate turns the one-shot pipeline into a long-running
+//! batch service that chews through thousands of modules:
+//!
+//! * [`Source`] — where modules come from: a directory of `.c` files or
+//!   a deterministic seeded progen corpus of N programs, streamed (one
+//!   module materialized per job) rather than held in memory;
+//! * [`run`] — the driver: a sharded work queue over the corpus, a
+//!   configurable worker pool sharing the compile-once idiom library,
+//!   per-module **crash** (`catch_unwind`) and **timeout** (wall-clock
+//!   budget, abandoned sandbox thread) isolation, an append-only
+//!   JSON-lines records file flushed in deterministic shard order, and a
+//!   checkpoint that makes an interrupted run resume exactly where it
+//!   left off;
+//! * [`ModuleRecord`] / [`Taxonomy`] — one record per module: per-idiom
+//!   instance counts, solver steps, detect/replace/validate outcome,
+//!   recall bookkeeping for planted corpora, latency, and a pinned
+//!   failure taxonomy (`ok` / `parse_error` / `truncated` /
+//!   `validation_divergence` / `timeout` / `crash`).
+//!
+//! The `corpus` binary in `crates/bench` drives this crate from the
+//! command line and condenses a finished run into `BENCH_corpus.json`
+//! (throughput, p50/p95/p99 per-module latency, taxonomy census).
+
+mod analyze;
+mod driver;
+mod record;
+mod source;
+
+pub use analyze::{HANG_DIRECTIVE, PANIC_DIRECTIVE};
+pub use driver::{run, RunConfig, RunSummary};
+pub use record::{ModuleRecord, Taxonomy};
+pub use source::{Job, Source};
+
+/// Why a batch run could not proceed. Per-module failures never surface
+/// here — they become taxonomy records; this type is for faults of the
+/// *service* itself (IO, an incompatible checkpoint, a records file that
+/// no longer parses).
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem failure on the records/checkpoint/source paths.
+    Io(String),
+    /// The checkpoint is corrupt or belongs to a different corpus.
+    Checkpoint(String),
+    /// The persisted records file does not parse back.
+    Records(String),
+    /// The corpus source is unusable (unreadable or empty directory).
+    Source(String),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "io error: {e}"),
+            CorpusError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            CorpusError::Records(e) => write!(f, "records error: {e}"),
+            CorpusError::Source(e) => write!(f, "source error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> CorpusError {
+        CorpusError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,450 @@
+//! Per-module result records and their JSON-lines wire format.
+//!
+//! Every analyzed module yields exactly one [`ModuleRecord`], appended as
+//! one line of JSON to the run's records file. The line format is
+//! hand-rolled (the workspace has no networked dependencies; the vendored
+//! `serde` is a marker stand-in) but fully round-trippable: the driver
+//! parses the merged records file back at the end of a run — and after a
+//! checkpoint resume — so totals, percentiles and the failure taxonomy in
+//! `BENCH_corpus.json` always come from what is actually on disk.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The failure taxonomy of the batch service: why a module did not make
+/// it through the full detect → replace → validate pipeline. The wire
+/// names are pinned by a round-trip test — a checkpointed run written by
+/// one build must be resumable by the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Taxonomy {
+    /// Full pipeline completed (detection complete, every transform
+    /// committed or cleanly skipped, differential validation passed or
+    /// was not applicable).
+    Ok,
+    /// The module failed to read or compile through the frontend.
+    ParseError,
+    /// Detection hit a solver budget; instance counts are a lower bound.
+    Truncated,
+    /// The transformed module diverged from the original under some
+    /// input seed (a real miscompile — the record's detail names it).
+    ValidationDivergence,
+    /// Analysis exceeded the per-module wall-clock budget and was
+    /// abandoned.
+    Timeout,
+    /// Analysis panicked; the worker contained it and moved on.
+    Crash,
+}
+
+impl Taxonomy {
+    /// Every variant, in record order (the `BENCH_corpus.json` taxonomy
+    /// object lists all of them, zeros included).
+    pub const ALL: [Taxonomy; 6] = [
+        Taxonomy::Ok,
+        Taxonomy::ParseError,
+        Taxonomy::Truncated,
+        Taxonomy::ValidationDivergence,
+        Taxonomy::Timeout,
+        Taxonomy::Crash,
+    ];
+
+    /// The stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Taxonomy::Ok => "ok",
+            Taxonomy::ParseError => "parse_error",
+            Taxonomy::Truncated => "truncated",
+            Taxonomy::ValidationDivergence => "validation_divergence",
+            Taxonomy::Timeout => "timeout",
+            Taxonomy::Crash => "crash",
+        }
+    }
+
+    /// Parses a wire name back.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Taxonomy> {
+        Taxonomy::ALL.into_iter().find(|t| t.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for Taxonomy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One module's analysis outcome — one JSONL line of the records file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleRecord {
+    /// Stable module id (`progen-<seed>` or the file name).
+    pub module: String,
+    /// The shard this module belongs to.
+    pub shard: u64,
+    /// Service outcome.
+    pub outcome: Taxonomy,
+    /// Failure detail (error message, diverging seed/array, panic
+    /// payload); empty for `Ok`.
+    pub detail: String,
+    /// Detected instances per idiom kind (constraint names, non-zero
+    /// kinds only — the map is sorted so lines are deterministic).
+    pub instances: BTreeMap<String, u64>,
+    /// Total detected instances.
+    pub detected: u64,
+    /// Instances actually replaced by the transformer.
+    pub replaced: u64,
+    /// Idiom instances the corpus planted in this module by construction
+    /// (progen sources and `// progen:expect` directives); 0 when the
+    /// module carries no expectations.
+    pub planted: u64,
+    /// Planted instances that detection actually found (recall
+    /// numerator).
+    pub planted_hit: u64,
+    /// Forbidden near-miss kinds that were falsely reported.
+    pub false_positives: u64,
+    /// Total solver assignment steps.
+    pub solve_steps: u64,
+    /// `true` when multi-seed differential validation ran and passed
+    /// (detect-only modules record `false` with outcome `Ok`).
+    pub validated: bool,
+    /// Wall-clock analysis latency in milliseconds (written as `0.000`
+    /// when the run is configured for byte-deterministic output).
+    pub latency_ms: f64,
+}
+
+impl ModuleRecord {
+    /// A zeroed record for `module` in `shard` — failure paths fill in
+    /// only the outcome and detail.
+    #[must_use]
+    pub fn empty(module: &str, shard: u64, outcome: Taxonomy, detail: String) -> ModuleRecord {
+        ModuleRecord {
+            module: module.to_owned(),
+            shard,
+            outcome,
+            detail,
+            instances: BTreeMap::new(),
+            detected: 0,
+            replaced: 0,
+            planted: 0,
+            planted_hit: 0,
+            false_positives: 0,
+            solve_steps: 0,
+            validated: false,
+            latency_ms: 0.0,
+        }
+    }
+
+    /// Renders the record as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let inst_body: Vec<String> = self
+            .instances
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", escape(k)))
+            .collect();
+        format!(
+            "{{\"module\":{},\"shard\":{},\"outcome\":{},\"detail\":{},\"instances\":{{{}}},\"detected\":{},\"replaced\":{},\"planted\":{},\"planted_hit\":{},\"false_positives\":{},\"solve_steps\":{},\"validated\":{},\"latency_ms\":{:.3}}}",
+            escape(&self.module),
+            self.shard,
+            escape(self.outcome.as_str()),
+            escape(&self.detail),
+            inst_body.join(","),
+            self.detected,
+            self.replaced,
+            self.planted,
+            self.planted_hit,
+            self.false_positives,
+            self.solve_steps,
+            self.validated,
+            self.latency_ms,
+        )
+    }
+
+    /// Parses one JSONL line back into a record.
+    ///
+    /// # Errors
+    /// A description of the malformed construct.
+    pub fn parse_jsonl(line: &str) -> Result<ModuleRecord, String> {
+        let mut p = Parser::new(line);
+        p.expect('{')?;
+        let mut rec = ModuleRecord::empty("", 0, Taxonomy::Ok, String::new());
+        let mut outcome_seen = false;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "module" => rec.module = p.string()?,
+                "shard" => rec.shard = p.u64()?,
+                "outcome" => {
+                    let s = p.string()?;
+                    rec.outcome =
+                        Taxonomy::parse(&s).ok_or_else(|| format!("unknown outcome {s:?}"))?;
+                    outcome_seen = true;
+                }
+                "detail" => rec.detail = p.string()?,
+                "instances" => {
+                    p.expect('{')?;
+                    if !p.peek_is('}') {
+                        loop {
+                            let k = p.string()?;
+                            p.expect(':')?;
+                            let v = p.u64()?;
+                            rec.instances.insert(k, v);
+                            if !p.comma_or('}')? {
+                                break;
+                            }
+                        }
+                    } else {
+                        p.expect('}')?;
+                    }
+                }
+                "detected" => rec.detected = p.u64()?,
+                "replaced" => rec.replaced = p.u64()?,
+                "planted" => rec.planted = p.u64()?,
+                "planted_hit" => rec.planted_hit = p.u64()?,
+                "false_positives" => rec.false_positives = p.u64()?,
+                "solve_steps" => rec.solve_steps = p.u64()?,
+                "validated" => rec.validated = p.bool()?,
+                "latency_ms" => rec.latency_ms = p.f64()?,
+                other => return Err(format!("unknown record field {other:?}")),
+            }
+            if !p.comma_or('}')? {
+                break;
+            }
+        }
+        p.end()?;
+        if rec.module.is_empty() || !outcome_seen {
+            return Err("record missing module or outcome".into());
+        }
+        Ok(rec)
+    }
+}
+
+/// JSON-escapes a string (quotes included in the output).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal cursor over one JSONL line. Only the constructs the record
+/// format emits are supported; anything else is a parse error (a
+/// truncated trailing line after an interrupted run must be *rejected*,
+/// which is what lets the checkpoint's byte offset discard it safely).
+pub(crate) struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    pub(crate) fn peek_is(&self, c: char) -> bool {
+        self.peek() == Some(c as u8)
+    }
+
+    pub(crate) fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek_is(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    /// Consumes `,` (returning `true`) or `close` (returning `false`).
+    pub(crate) fn comma_or(&mut self, close: char) -> Result<bool, String> {
+        match self.peek() {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(c) if c == close as u8 => {
+                self.pos += 1;
+                Ok(false)
+            }
+            _ => Err(format!("expected ',' or {close:?} at byte {}", self.pos)),
+        }
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number_str(&mut self) -> Result<&'a str, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b == b'.' || b == b'-' || b == b'e' || b == b'+')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        self.number_str()?.parse().map_err(|e| format!("{e}"))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        self.number_str()?.parse().map_err(|e| format!("{e}"))
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, String> {
+        for (lit, v) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                return Ok(v);
+            }
+        }
+        Err(format!("expected a bool at byte {}", self.pos))
+    }
+
+    pub(crate) fn end(&mut self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes after record at {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The taxonomy wire names are a persistence format: checkpointed
+    /// runs and committed `BENCH_corpus.json` artifacts depend on them,
+    /// so this test pins every name exactly and round-trips each variant.
+    #[test]
+    fn taxonomy_serde_round_trip_pins_wire_names() {
+        let expected = [
+            (Taxonomy::Ok, "ok"),
+            (Taxonomy::ParseError, "parse_error"),
+            (Taxonomy::Truncated, "truncated"),
+            (Taxonomy::ValidationDivergence, "validation_divergence"),
+            (Taxonomy::Timeout, "timeout"),
+            (Taxonomy::Crash, "crash"),
+        ];
+        assert_eq!(expected.len(), Taxonomy::ALL.len());
+        for (t, name) in expected {
+            assert_eq!(t.as_str(), name);
+            assert_eq!(Taxonomy::parse(name), Some(t), "round trip of {name}");
+        }
+        assert_eq!(Taxonomy::parse("segfault"), None);
+    }
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        let mut rec = ModuleRecord::empty(
+            "progen-42",
+            3,
+            Taxonomy::ValidationDivergence,
+            "array #1 diverged: \"x\"\\path\nline2".into(),
+        );
+        rec.instances.insert("GEMM".into(), 1);
+        rec.instances.insert("Reduction".into(), 4);
+        rec.detected = 5;
+        rec.replaced = 5;
+        rec.planted = 5;
+        rec.planted_hit = 5;
+        rec.solve_steps = 1234;
+        rec.validated = false;
+        rec.latency_ms = 6.125;
+        let line = rec.to_jsonl();
+        assert!(!line.contains('\n'), "one record = one line: {line}");
+        let back = ModuleRecord::parse_jsonl(&line).expect("parses");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn empty_instances_and_zero_latency_round_trip() {
+        let rec = ModuleRecord::empty("m.c", 0, Taxonomy::Crash, "panicked at 'boom'".into());
+        let line = rec.to_jsonl();
+        assert!(line.contains("\"instances\":{}"), "{line}");
+        assert!(line.ends_with("\"latency_ms\":0.000}"), "{line}");
+        assert_eq!(ModuleRecord::parse_jsonl(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn truncated_or_garbled_lines_are_rejected() {
+        let line = ModuleRecord::empty("m", 0, Taxonomy::Ok, String::new()).to_jsonl();
+        // A half-written trailing line (interrupted run) must not parse.
+        assert!(ModuleRecord::parse_jsonl(&line[..line.len() - 5]).is_err());
+        assert!(ModuleRecord::parse_jsonl("").is_err());
+        assert!(ModuleRecord::parse_jsonl("{}").is_err());
+        assert!(ModuleRecord::parse_jsonl(&format!("{line}garbage")).is_err());
+        let unknown = line.replace("\"outcome\":\"ok\"", "\"outcome\":\"nope\"");
+        assert!(ModuleRecord::parse_jsonl(&unknown).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! The corpus source layer: where the modules of a batch run come from.
+//!
+//! A [`Source`] is an *indexable description* of a corpus, not the corpus
+//! itself — a 10,000-program progen corpus is never materialized. Workers
+//! call [`Source::job`] with an ordinal and materialize that one module
+//! (generate + render a progen spec, or read one `.c` file) inside their
+//! own isolation sandbox, so a module that is pathological to even
+//! *build* still yields a taxonomy record instead of sinking the driver.
+//!
+//! The [`Source::descriptor`] string identifies the corpus for
+//! checkpointing: a resume against a different corpus (count, seed
+//! range, or changed directory contents) is rejected instead of silently
+//! merging records from two different runs.
+
+use crate::CorpusError;
+use std::path::PathBuf;
+
+/// A corpus of modules to analyze.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// A deterministic seeded progen corpus: `count` generated programs
+    /// with seeds `seed_start..seed_start + count`, materialized lazily.
+    Progen {
+        /// Number of programs.
+        count: usize,
+        /// First seed.
+        seed_start: u64,
+    },
+    /// Every `*.c` file directly under `root`, in sorted name order.
+    Dir {
+        /// The scanned directory.
+        root: PathBuf,
+        /// Sorted file names (names only; contents are read per job, in
+        /// the worker's sandbox).
+        files: Vec<String>,
+    },
+}
+
+/// One unit of work: the `ordinal`-th module of the corpus.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Position in the corpus (drives shard assignment).
+    pub ordinal: usize,
+    /// Stable module id (`progen-<seed>` or the file name).
+    pub id: String,
+    /// How to materialize the module.
+    pub(crate) payload: Payload,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    /// Generate `progen::generate(seed)` and render it.
+    Progen(u64),
+    /// Read this file.
+    File(PathBuf),
+}
+
+impl Source {
+    /// A seeded progen corpus.
+    #[must_use]
+    pub fn progen(count: usize, seed_start: u64) -> Source {
+        Source::Progen { count, seed_start }
+    }
+
+    /// Scans `root` for `*.c` files (non-recursive, sorted by name).
+    ///
+    /// # Errors
+    /// IO failure, or an empty scan — a corpus of zero modules is almost
+    /// certainly a mistyped path.
+    pub fn dir(root: impl Into<PathBuf>) -> Result<Source, CorpusError> {
+        let root = root.into();
+        let mut files: Vec<String> = std::fs::read_dir(&root)
+            .map_err(|e| CorpusError::Source(format!("cannot scan {}: {e}", root.display())))?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "c"))
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(CorpusError::Source(format!(
+                "no .c files under {}",
+                root.display()
+            )));
+        }
+        Ok(Source::Dir { root, files })
+    }
+
+    /// Number of modules in the corpus.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Source::Progen { count, .. } => *count,
+            Source::Dir { files, .. } => files.len(),
+        }
+    }
+
+    /// `true` for an empty corpus.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The checkpoint identity of this corpus. Two runs may share a
+    /// checkpoint only when their descriptors match exactly; for
+    /// directory corpora the sorted file-name list is fingerprinted so
+    /// adding/removing/renaming files invalidates old checkpoints.
+    #[must_use]
+    pub fn descriptor(&self) -> String {
+        match self {
+            Source::Progen { count, seed_start } => {
+                format!("progen:count={count}:seed_start={seed_start}")
+            }
+            Source::Dir { root, files } => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for name in files {
+                    for b in name.bytes().chain([0]) {
+                        h ^= u64::from(b);
+                        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                }
+                format!("dir:{}:files={}:fnv={h:016x}", root.display(), files.len())
+            }
+        }
+    }
+
+    /// The `ordinal`-th job.
+    ///
+    /// # Panics
+    /// Panics when `ordinal` is out of range — shard bounds are computed
+    /// from [`Source::len`], so this is driver-internal misuse.
+    #[must_use]
+    pub fn job(&self, ordinal: usize) -> Job {
+        assert!(ordinal < self.len(), "job {ordinal} out of range");
+        match self {
+            Source::Progen { seed_start, .. } => {
+                let seed = seed_start + ordinal as u64;
+                Job {
+                    ordinal,
+                    id: format!("progen-{seed}"),
+                    payload: Payload::Progen(seed),
+                }
+            }
+            Source::Dir { root, files } => Job {
+                ordinal,
+                id: files[ordinal].clone(),
+                payload: Payload::File(root.join(&files[ordinal])),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progen_jobs_are_seeded_in_order() {
+        let s = Source::progen(3, 100);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.job(0).id, "progen-100");
+        assert_eq!(s.job(2).id, "progen-102");
+        assert_eq!(s.descriptor(), "progen:count=3:seed_start=100");
+    }
+
+    #[test]
+    fn dir_source_is_sorted_and_fingerprinted() {
+        let dir = std::env::temp_dir().join(format!("corpus_src_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b.c"), "int b;").unwrap();
+        std::fs::write(dir.join("a.c"), "int a;").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let s = Source::dir(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.job(0).id, "a.c");
+        assert_eq!(s.job(1).id, "b.c");
+        let d1 = s.descriptor();
+        std::fs::write(dir.join("c.c"), "int c;").unwrap();
+        let d2 = Source::dir(&dir).unwrap().descriptor();
+        assert_ne!(d1, d2, "changed contents must change the descriptor");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("corpus_src_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Source::dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

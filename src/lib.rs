@@ -8,6 +8,7 @@
 
 pub use baselines;
 pub use benchsuite;
+pub use corpus;
 pub use hetero;
 pub use idiomatch_core as core;
 pub use idioms;

@@ -1,0 +1,83 @@
+//! Checkpoint/resume fidelity: run the first K shards, drop the driver,
+//! resume from the checkpoint, and require the merged JSONL records file
+//! to be byte-identical to an uninterrupted run — with no module
+//! analyzed twice. `record_latency: false` zeroes the only
+//! non-deterministic field, so byte equality is the honest bar.
+
+use idiomatch::corpus::{run, RunConfig, Source};
+
+const COUNT: usize = 24;
+const SHARD: usize = 4;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("idiomatch_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(state: &std::path::Path) -> RunConfig {
+    let mut cfg = RunConfig::new(Source::progen(COUNT, 0), state);
+    cfg.shard_size = SHARD;
+    cfg.record_latency = false;
+    cfg
+}
+
+#[test]
+fn interrupted_run_resumes_to_byte_identical_records() {
+    // Reference: one uninterrupted run.
+    let full_state = scratch("corpus_full");
+    let full_cfg = config(&full_state);
+    let full = run(&full_cfg).expect("uninterrupted run succeeds");
+    assert!(full.complete);
+    assert_eq!(full.records.len(), COUNT);
+    let reference = std::fs::read(&full_cfg.records_path).expect("reference records");
+
+    // Interrupted: stop after 2 of the 6 shards, dropping the driver.
+    let state = scratch("corpus_resume");
+    let mut first = config(&state);
+    first.max_shards = Some(2);
+    let partial = run(&first).expect("partial run succeeds");
+    assert!(!partial.complete);
+    assert_eq!(partial.flushed_shards, 2);
+    assert_eq!(partial.analyzed, 2 * SHARD);
+    assert!(
+        first.checkpoint_path.exists(),
+        "checkpoint survives the driver"
+    );
+
+    // Resume: a fresh driver picks up from the checkpoint.
+    let mut second = config(&state);
+    second.resume = true;
+    let resumed = run(&second).expect("resumed run succeeds");
+    assert!(resumed.complete);
+    assert_eq!(resumed.records.len(), COUNT);
+    assert_eq!(
+        resumed.resumed_records,
+        2 * SHARD,
+        "checkpointed shards were skipped, not re-analyzed"
+    );
+    assert_eq!(resumed.analyzed, COUNT - 2 * SHARD);
+
+    // No module analyzed twice across the two driver lifetimes.
+    let mut ids: Vec<&str> = resumed.records.iter().map(|r| r.module.as_str()).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate module record after resume");
+
+    // The bar: merged records byte-identical to the uninterrupted run.
+    let merged = std::fs::read(&second.records_path).expect("merged records");
+    assert_eq!(
+        merged, reference,
+        "resumed records file must be byte-identical to an uninterrupted run"
+    );
+
+    // The checkpoint is cleared once the run completes.
+    assert!(
+        !second.checkpoint_path.exists(),
+        "stale checkpoint left behind"
+    );
+
+    let _ = std::fs::remove_dir_all(&full_state);
+    let _ = std::fs::remove_dir_all(&state);
+}

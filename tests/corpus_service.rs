@@ -1,0 +1,76 @@
+//! End-to-end check of the corpus batch service on a 200-program progen
+//! corpus: every module must come back `ok` and validated, the planted /
+//! false-positive totals summed from the per-module records must match
+//! the ground truth recomputed independently from the generator, and the
+//! JSONL records file must hold exactly one line per module.
+
+use idiomatch::corpus::{run, RunConfig, Source, Taxonomy};
+use idiomatch::progen;
+
+const COUNT: usize = 200;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("idiomatch_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn progen_corpus_runs_clean_with_full_recall() {
+    let state = scratch("corpus_service");
+    let cfg = RunConfig::new(Source::progen(COUNT, 0), &state);
+    let summary = run(&cfg).expect("corpus run succeeds");
+
+    assert!(summary.complete);
+    assert_eq!(summary.records.len(), COUNT);
+    assert_eq!(summary.analyzed, COUNT);
+
+    // One JSONL line per module, in corpus order, no duplicates.
+    let text = std::fs::read_to_string(&cfg.records_path).expect("records file exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), COUNT, "exactly one record per module");
+    let mut ids: Vec<&str> = summary.records.iter().map(|r| r.module.as_str()).collect();
+    ids.dedup();
+    assert_eq!(ids.len(), COUNT, "no module analyzed twice");
+
+    // Recompute the ground truth straight from the generator and compare
+    // against the sums over per-module records.
+    let mut want_planted = 0u64;
+    let mut want_near_misses = 0u64;
+    for seed in 0..COUNT as u64 {
+        let spec = progen::generate(seed);
+        want_planted += spec.expected().len() as u64;
+        want_near_misses += spec.forbidden().len() as u64;
+    }
+    assert!(
+        want_planted > 0 && want_near_misses > 0,
+        "corpus is non-trivial"
+    );
+
+    let sum =
+        |f: fn(&idiomatch::corpus::ModuleRecord) -> u64| summary.records.iter().map(f).sum::<u64>();
+    assert_eq!(
+        sum(|r| r.planted),
+        want_planted,
+        "planted totals match generator"
+    );
+    assert_eq!(sum(|r| r.planted_hit), want_planted, "full recall");
+    assert_eq!(sum(|r| r.false_positives), 0, "no near-miss fired");
+    assert!(sum(|r| r.detected) >= want_planted);
+    assert!(sum(|r| r.replaced) > 0, "replacements happened");
+    assert!(sum(|r| r.solve_steps) > 0);
+
+    for r in &summary.records {
+        assert_eq!(r.outcome, Taxonomy::Ok, "{}: {}", r.module, r.detail);
+        assert!(r.validated, "{} skipped validation", r.module);
+        assert!(r.latency_ms >= 0.0);
+    }
+
+    // The taxonomy census covers every variant, zeros included.
+    let tax = summary.taxonomy();
+    assert_eq!(tax.len(), Taxonomy::ALL.len());
+    assert_eq!(tax[&Taxonomy::Ok], COUNT as u64);
+    assert!(tax.values().sum::<u64>() == COUNT as u64);
+
+    let _ = std::fs::remove_dir_all(&state);
+}

@@ -1,0 +1,158 @@
+//! Static replacement-legality checking (§6.3), built on the
+//! restrict-parameter aliasing model: every memory object is named by
+//! its base pointer (a function argument or an `alloca`), and distinct
+//! base pointers do not alias. Before a replacement commits, the region
+//! about to be excised must be *pure outside its reported reads and
+//! writes* — every store lands in a reported output object, every live
+//! load comes from a reported input (or output, for read-modify-write
+//! idioms), and every call is a pure math intrinsic.
+
+use ssair::{BlockId, Function, Opcode, ValueId};
+use std::collections::BTreeSet;
+
+/// Why a region failed the static legality check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegalityError {
+    /// A call to something outside the pure-intrinsic whitelist.
+    ImpureCall(String),
+    /// A store whose address is not rooted at a reported write object.
+    UnreportedWrite(String),
+    /// A live load whose address is not rooted at a reported object.
+    UnreportedRead(String),
+    /// A reported base pointer is not a named memory object (argument or
+    /// `alloca`), so the restrict model cannot speak about it.
+    UnnamedObject(String),
+}
+
+impl std::fmt::Display for LegalityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegalityError::ImpureCall(m) => write!(f, "impure call {m} in region"),
+            LegalityError::UnreportedWrite(m) => write!(f, "store {m} outside reported writes"),
+            LegalityError::UnreportedRead(m) => write!(f, "load {m} outside reported reads"),
+            LegalityError::UnnamedObject(m) => {
+                write!(f, "reported base pointer {m} is not a named memory object")
+            }
+        }
+    }
+}
+
+/// The memory footprint of a block region, at base-object granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// Address roots of every load in the region.
+    pub read_roots: BTreeSet<ValueId>,
+    /// Address roots of every store in the region.
+    pub write_roots: BTreeSet<ValueId>,
+    /// Call instructions targeting non-whitelisted callees.
+    pub impure_calls: Vec<ValueId>,
+}
+
+/// Follows `gep` chains to the underlying object pointer.
+#[must_use]
+pub fn address_root(f: &Function, mut v: ValueId) -> ValueId {
+    loop {
+        match f.instr(v) {
+            Some(i) if i.opcode == Opcode::Gep => v = i.operands[0],
+            _ => return v,
+        }
+    }
+}
+
+/// Summarizes the memory behaviour of `blocks`.
+#[must_use]
+pub fn region_memory_summary(f: &Function, blocks: &[BlockId]) -> RegionSummary {
+    let mut s = RegionSummary {
+        read_roots: BTreeSet::new(),
+        write_roots: BTreeSet::new(),
+        impure_calls: Vec::new(),
+    };
+    for &b in blocks {
+        for &v in &f.block(b).instrs {
+            let Some(i) = f.instr(v) else { continue };
+            match i.opcode {
+                Opcode::Load => {
+                    s.read_roots.insert(address_root(f, i.operands[0]));
+                }
+                Opcode::Store => {
+                    s.write_roots.insert(address_root(f, i.operands[1]));
+                }
+                Opcode::Call => {
+                    let pure = i
+                        .callee
+                        .as_deref()
+                        .is_some_and(|c| solver::PURE_CALLS.contains(&c));
+                    if !pure {
+                        s.impure_calls.push(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    s
+}
+
+/// Verifies that the region is pure outside its reported objects:
+///
+/// * no impure calls;
+/// * every reported base pointer is a named object (argument/`alloca`),
+///   so the restrict model applies;
+/// * every store is rooted at a reported write object;
+/// * every *live* load (its value has users) is rooted at a reported
+///   read or write object. Dead loads are tolerated: excising one
+///   cannot change behaviour.
+///
+/// `reads` and `writes` are the base pointers the detected instance
+/// reports (already rooted or not — roots are taken here).
+pub fn check_region_purity(
+    f: &Function,
+    blocks: &[BlockId],
+    reads: &[ValueId],
+    writes: &[ValueId],
+) -> Result<(), LegalityError> {
+    let named = |v: ValueId| !f.is_instruction(v) || f.opcode(v) == Some(Opcode::Alloca);
+    let read_roots: BTreeSet<ValueId> = reads.iter().map(|&v| address_root(f, v)).collect();
+    let write_roots: BTreeSet<ValueId> = writes.iter().map(|&v| address_root(f, v)).collect();
+    for &r in read_roots.iter().chain(write_roots.iter()) {
+        if !named(r) {
+            return Err(LegalityError::UnnamedObject(f.display_name(r)));
+        }
+    }
+    let has_users = {
+        let defuse = ssair::analysis::DefUse::new(f);
+        move |v: ValueId| !defuse.users(v).is_empty()
+    };
+    for &b in blocks {
+        for &v in &f.block(b).instrs {
+            let Some(i) = f.instr(v) else { continue };
+            match i.opcode {
+                Opcode::Load => {
+                    let root = address_root(f, i.operands[0]);
+                    if !read_roots.contains(&root) && !write_roots.contains(&root) && has_users(v) {
+                        return Err(LegalityError::UnreportedRead(f.display_name(v)));
+                    }
+                }
+                Opcode::Store => {
+                    let root = address_root(f, i.operands[1]);
+                    if !write_roots.contains(&root) {
+                        return Err(LegalityError::UnreportedWrite(f.display_name(v)));
+                    }
+                }
+                Opcode::Call => {
+                    let pure = i
+                        .callee
+                        .as_deref()
+                        .is_some_and(|c| solver::PURE_CALLS.contains(&c));
+                    if !pure {
+                        return Err(LegalityError::ImpureCall(
+                            i.callee.clone().unwrap_or_default(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}

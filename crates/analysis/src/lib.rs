@@ -1,0 +1,26 @@
+//! # analysis — static analyses over SSA IR and compiled IDL (§4.4, §6.3)
+//!
+//! Three passes sharing one view of the compiled constraint trees:
+//!
+//! * [`FunctionFingerprint`] / [`IdiomRequirements`] — a cheap linear
+//!   per-function summary and a per-idiom necessary-condition signature.
+//!   [`IdiomRequirements::admitted_by`] is the subsumption check the
+//!   detection driver uses to skip idiom×function pairs that provably
+//!   cannot match, before any solver step is spent.
+//! * [`lint_constraint`] / [`lint_constraints`] — structural diagnostics
+//!   over compiled IDL: dead (disconnected) variables, statically
+//!   unsatisfiable conjunctions, unreachable/duplicate `or` branches and
+//!   shadowed idiom definitions.
+//! * [`legality`] — the restrict-parameter side-effect summary used to
+//!   verify, before a replacement commits, that a detected region is
+//!   pure outside its reported reads and writes.
+
+pub mod fingerprint;
+pub mod legality;
+pub mod lint;
+pub mod requirements;
+
+pub use fingerprint::FunctionFingerprint;
+pub use legality::{check_region_purity, region_memory_summary, LegalityError, RegionSummary};
+pub use lint::{lint_constraint, lint_constraints, Lint, LintRule};
+pub use requirements::IdiomRequirements;

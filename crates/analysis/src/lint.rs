@@ -1,0 +1,291 @@
+//! Structural diagnostics over compiled IDL constraints. The linter runs
+//! on the *compiled* tree (after macro expansion), so every diagnostic
+//! points at a real property of what the solver will search — a dead
+//! variable in an inherited block surfaces in every idiom embedding it.
+
+use idl::ctree::{Atom, AtomKind, CTree, TypeClass};
+use idl::{CompiledConstraint, VarId};
+use std::collections::BTreeMap;
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintRule {
+    /// A searchable variable disconnected from the constraint's main
+    /// variable cluster: no atom path ties it to the rest, so it matches
+    /// independently and multiplies solutions without constraining them.
+    DeadVariable,
+    /// A conjunction that can never be satisfied (conflicting opcode /
+    /// type / kind demands on one variable, or an irreflexive relation
+    /// applied to a variable and itself).
+    UnsatisfiableConjunction,
+    /// An `or` branch that is statically unsatisfiable in its context —
+    /// the branch can never be the one that matches.
+    UnreachableOrBranch,
+    /// Two structurally identical branches of one `or`.
+    DuplicateOrBranch,
+    /// Two library constraints with identical coarse signatures — the
+    /// later one can never add detections over the earlier one.
+    ShadowedConstraint,
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// The constraint the diagnostic is about.
+    pub constraint: String,
+    /// The rule that fired.
+    pub rule: LintRule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {:?}: {}", self.constraint, self.rule, self.message)
+    }
+}
+
+/// Lints a single compiled constraint.
+#[must_use]
+pub fn lint_constraint(c: &CompiledConstraint) -> Vec<Lint> {
+    let mut out = Vec::new();
+    dead_variables(c, &mut out);
+    let mut ctx: Vec<&Atom> = Vec::new();
+    contexts(c, &c.tree, true, &mut ctx, &mut out);
+    out
+}
+
+/// Lints a whole library of compiled constraints, adding the
+/// cross-constraint shadowing check.
+#[must_use]
+pub fn lint_constraints(cs: &[&CompiledConstraint]) -> Vec<Lint> {
+    let mut out: Vec<Lint> = cs.iter().flat_map(|c| lint_constraint(c)).collect();
+    for (i, a) in cs.iter().enumerate() {
+        for b in &cs[i + 1..] {
+            let sig = |c: &CompiledConstraint| {
+                (
+                    crate::IdiomRequirements::of(c),
+                    c.variables.len(),
+                    c.tree.atom_count(),
+                )
+            };
+            if sig(a) == sig(b) {
+                out.push(Lint {
+                    constraint: b.name.clone(),
+                    rule: LintRule::ShadowedConstraint,
+                    message: format!(
+                        "signature identical to {:?}: same requirement profile, \
+                         variable count and atom count",
+                        a.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Union-find over every symbol, linking all ids mentioned by one atom
+/// (search variables and family references alike, `collect` bodies
+/// included). A searchable variable outside the first variable's
+/// component constrains nothing about the rest of the match.
+fn dead_variables(c: &CompiledConstraint, out: &mut Vec<Lint>) {
+    let mut parent: BTreeMap<VarId, VarId> = BTreeMap::new();
+    fn find(parent: &BTreeMap<VarId, VarId>, mut v: VarId) -> VarId {
+        while let Some(&p) = parent.get(&v) {
+            if p == v {
+                break;
+            }
+            v = p;
+        }
+        v
+    }
+    let mut atoms = Vec::new();
+    deep_atoms(&c.tree, &mut atoms);
+    for a in &atoms {
+        let ids: Vec<VarId> = a.vars.iter().chain(a.families.iter()).copied().collect();
+        for w in ids.windows(2) {
+            let (ra, rb) = (find(&parent, w[0]), find(&parent, w[1]));
+            if ra != rb {
+                parent.insert(ra.max(rb), ra.min(rb));
+            }
+        }
+    }
+    let Some(&first) = c.variables.first() else {
+        return;
+    };
+    let anchor = find(&parent, first);
+    let dead: Vec<&str> = c
+        .variables
+        .iter()
+        .filter(|&&v| find(&parent, v) != anchor)
+        .map(|&v| c.var_name(v))
+        .collect();
+    if !dead.is_empty() {
+        out.push(Lint {
+            constraint: c.name.clone(),
+            rule: LintRule::DeadVariable,
+            message: format!(
+                "variables disconnected from the {:?} cluster: {}",
+                c.var_name(first),
+                dead.join(", ")
+            ),
+        });
+    }
+}
+
+fn deep_atoms<'t>(tree: &'t CTree, out: &mut Vec<&'t Atom>) {
+    match tree {
+        CTree::And(cs) | CTree::Or(cs) => {
+            for c in cs {
+                deep_atoms(c, out);
+            }
+        }
+        CTree::Atom(a) => out.push(a),
+        CTree::Collect { instances } => {
+            for i in instances {
+                deep_atoms(i, out);
+            }
+        }
+    }
+}
+
+/// Atoms on the conjunctive spine of `tree` (not crossing `or`/`collect`).
+fn conj_atoms<'t>(tree: &'t CTree, out: &mut Vec<&'t Atom>) {
+    match tree {
+        CTree::And(cs) => {
+            for c in cs {
+                conj_atoms(c, out);
+            }
+        }
+        CTree::Atom(a) => out.push(a),
+        CTree::Or(_) | CTree::Collect { .. } => {}
+    }
+}
+
+/// Walks every conjunctive context: the root, each `or` branch (with the
+/// enclosing context inherited) and the first instance of each `collect`.
+/// Conflicts are only reported when at least one participating atom is
+/// new to the innermost context, so an inherited conflict is not
+/// re-reported once per branch.
+fn contexts<'t>(
+    c: &CompiledConstraint,
+    tree: &'t CTree,
+    root: bool,
+    inherited: &mut Vec<&'t Atom>,
+    out: &mut Vec<Lint>,
+) {
+    let new_start = inherited.len();
+    conj_atoms(tree, inherited);
+    if let Some(msg) = conflict(c, inherited, new_start) {
+        out.push(Lint {
+            constraint: c.name.clone(),
+            rule: if root {
+                LintRule::UnsatisfiableConjunction
+            } else {
+                LintRule::UnreachableOrBranch
+            },
+            message: msg,
+        });
+    }
+    // Descend into or/collect nodes reachable without crossing another
+    // context boundary.
+    let mut nested = Vec::new();
+    nested_contexts(tree, &mut nested);
+    for n in nested {
+        match n {
+            CTree::Or(branches) => {
+                for (i, b) in branches.iter().enumerate() {
+                    if branches[..i].contains(b) {
+                        out.push(Lint {
+                            constraint: c.name.clone(),
+                            rule: LintRule::DuplicateOrBranch,
+                            message: format!("or-branch {} duplicates an earlier branch", i + 1),
+                        });
+                    }
+                    contexts(c, b, false, inherited, out);
+                }
+            }
+            CTree::Collect { instances } => {
+                if let Some(first) = instances.first() {
+                    contexts(c, first, false, inherited, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    inherited.truncate(new_start);
+}
+
+/// Direct `or`/`collect` children of the conjunctive spine.
+fn nested_contexts<'t>(tree: &'t CTree, out: &mut Vec<&'t CTree>) {
+    match tree {
+        CTree::And(cs) => {
+            for c in cs {
+                nested_contexts(c, out);
+            }
+        }
+        CTree::Or(_) | CTree::Collect { .. } => out.push(tree),
+        CTree::Atom(_) => {}
+    }
+}
+
+/// A statically detectable contradiction among `atoms`, where at least
+/// one side is at index `new_start` or later.
+fn conflict(c: &CompiledConstraint, atoms: &[&Atom], new_start: usize) -> Option<String> {
+    let name = |v: VarId| c.var_name(v);
+    for (j, b) in atoms.iter().enumerate() {
+        // Irreflexive relations on a single variable.
+        if j >= new_start {
+            match b.kind {
+                AtomKind::Same { negated: true } if b.vars[0] == b.vars[1] => {
+                    return Some(format!("{{{}}} is not the same as itself", name(b.vars[0])));
+                }
+                AtomKind::Dominates {
+                    strict: true,
+                    negated: false,
+                    ..
+                } if b.vars[0] == b.vars[1] => {
+                    return Some(format!("{{{}}} strictly dominates itself", name(b.vars[0])));
+                }
+                _ => {}
+            }
+        }
+        for (i, a) in atoms.iter().enumerate().take(j) {
+            if i < new_start && j < new_start {
+                continue;
+            }
+            if a.vars.first() != b.vars.first() || a.vars.is_empty() {
+                continue;
+            }
+            let v = a.vars[0];
+            let pair = (&a.kind, &b.kind);
+            let clash = match pair {
+                (AtomKind::OpcodeIs(x), AtomKind::OpcodeIs(y)) => x != y,
+                (AtomKind::TypeIs { class: x, .. }, AtomKind::TypeIs { class: y, .. }) => {
+                    x != y && *x != TypeClass::Pointer && *y != TypeClass::Pointer
+                }
+                (AtomKind::OpcodeIs(_), AtomKind::IsConstant)
+                | (AtomKind::IsConstant, AtomKind::OpcodeIs(_))
+                | (AtomKind::OpcodeIs(_), AtomKind::IsArgument)
+                | (AtomKind::IsArgument, AtomKind::OpcodeIs(_))
+                | (AtomKind::IsConstant, AtomKind::IsInstruction)
+                | (AtomKind::IsInstruction, AtomKind::IsConstant)
+                | (AtomKind::IsArgument, AtomKind::IsInstruction)
+                | (AtomKind::IsInstruction, AtomKind::IsArgument)
+                | (AtomKind::IsConstant, AtomKind::IsArgument)
+                | (AtomKind::IsArgument, AtomKind::IsConstant) => true,
+                _ => false,
+            };
+            if clash {
+                return Some(format!(
+                    "conflicting demands on {{{}}}: {:?} vs {:?}",
+                    name(v),
+                    a.kind,
+                    b.kind
+                ));
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,365 @@
+//! Idiom requirement signatures: necessary conditions derived once from
+//! a compiled constraint tree. A condition is *necessary* when it holds
+//! in every satisfying assignment — derived bottom-up with conjunctions
+//! contributing the union of their children's facts and disjunctions the
+//! intersection, while `collect` sub-searches contribute nothing (a
+//! collect may legitimately match zero instances).
+//!
+//! Soundness is what matters here: a requirement that is not actually
+//! necessary would make the fingerprint prepass drop real matches. The
+//! differential tests pin the prepass byte-identical to the unpruned
+//! path over the whole suite and the fuzz generator's programs.
+
+use crate::FunctionFingerprint;
+use idl::ctree::{Atom, AtomKind, CTree, OpcodeClass};
+use idl::{CompiledConstraint, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Necessary conditions of one compiled idiom constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdiomRequirements {
+    /// Opcode classes some matched value must carry (presence level).
+    pub required_opcodes: BTreeSet<OpcodeClass>,
+    /// Minimum loop-nest depth, from the constraint's leading loop
+    /// skeleton (`ForNest(N)` → N, `For` → 1).
+    pub min_loop_depth: u32,
+    /// Minimum number of *distinct* phi instructions: the largest set of
+    /// variables that must all be phis and pairwise bind different
+    /// values (distinctness from `is not the same as` and strict
+    /// dominance facts).
+    pub min_phis: u32,
+    /// A matched `gep` must take its index from a load (or a sext of a
+    /// load) — the indirect-access shape of SPMV's column reads.
+    pub needs_indirect_gep_index: bool,
+    /// A matched `gep` must serve as both a store address and a load
+    /// address — the read-modify-write shape of histograms.
+    pub needs_rmw_gep: bool,
+    /// A matched `store` must write through a `gep` indexed by a `phi`
+    /// (or a `sext` of one) — the `out[i] = …` shape of 1-D stencils,
+    /// where the inherited `For` block pins the iterator to a phi.
+    pub needs_phi_indexed_store: bool,
+}
+
+impl IdiomRequirements {
+    /// Derives the requirement signature of `c`.
+    #[must_use]
+    pub fn of(c: &CompiledConstraint) -> IdiomRequirements {
+        let min_loop_depth = match c.skeletons.first() {
+            Some(s) if s.block == "ForNest" => s
+                .params
+                .iter()
+                .find(|(k, _)| k == "N")
+                .map_or(1, |&(_, n)| u32::try_from(n).unwrap_or(1)),
+            Some(_) => 1,
+            None => 0,
+        };
+        let root_facts = facts(&c.tree);
+        IdiomRequirements {
+            required_opcodes: presence(&c.tree),
+            min_loop_depth,
+            min_phis: min_distinct_phis(&root_facts),
+            needs_indirect_gep_index: implied(&c.tree, &BTreeSet::new(), &indirect_gep_index),
+            needs_rmw_gep: implied(&c.tree, &BTreeSet::new(), &rmw_gep),
+            needs_phi_indexed_store: implied(&c.tree, &BTreeSet::new(), &phi_indexed_store),
+        }
+    }
+
+    /// The subsumption check: `true` when `fp` could possibly contain a
+    /// match — i.e. every necessary condition is present. `false` proves
+    /// the idiom cannot match, with zero solver steps.
+    #[must_use]
+    pub fn admitted_by(&self, fp: &FunctionFingerprint) -> bool {
+        self.required_opcodes.is_subset(&fp.opcodes)
+            && fp.max_loop_depth >= self.min_loop_depth
+            && fp.phis >= self.min_phis
+            && (!self.needs_indirect_gep_index || fp.has_indirect_gep_index)
+            && (!self.needs_rmw_gep || fp.has_rmw_gep)
+            && (!self.needs_phi_indexed_store || fp.has_phi_indexed_store)
+    }
+}
+
+/// One necessary fact about the variables of a satisfying assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Fact {
+    /// `v` is bound to an instruction of this opcode class.
+    Op(VarId, OpcodeClass),
+    /// `child` is operand `pos` of `parent`.
+    Arg(usize, VarId, VarId),
+    /// `a` and `b` bind the same value (ordered pair).
+    Eq(VarId, VarId),
+    /// `a` and `b` bind different values (ordered pair).
+    Distinct(VarId, VarId),
+    /// `a` strictly (post)dominates `b` — implies distinct values.
+    StrictDom(VarId, VarId),
+}
+
+fn atom_facts(a: &Atom, out: &mut BTreeSet<Fact>) {
+    match &a.kind {
+        AtomKind::OpcodeIs(class) => {
+            out.insert(Fact::Op(a.vars[0], *class));
+        }
+        AtomKind::ArgumentOf { pos } => {
+            out.insert(Fact::Arg(*pos, a.vars[0], a.vars[1]));
+        }
+        AtomKind::Same { negated } => {
+            let (x, y) = (a.vars[0].min(a.vars[1]), a.vars[0].max(a.vars[1]));
+            out.insert(if *negated {
+                Fact::Distinct(x, y)
+            } else {
+                Fact::Eq(x, y)
+            });
+        }
+        AtomKind::Dominates {
+            strict: true,
+            negated: false,
+            ..
+        } => {
+            out.insert(Fact::StrictDom(a.vars[0], a.vars[1]));
+        }
+        _ => {}
+    }
+}
+
+/// Facts guaranteed by every satisfying assignment of `tree`.
+fn facts(tree: &CTree) -> BTreeSet<Fact> {
+    match tree {
+        CTree::And(cs) => {
+            let mut out = BTreeSet::new();
+            for c in cs {
+                out.extend(facts(c));
+            }
+            out
+        }
+        CTree::Or(cs) => {
+            let mut sets = cs.iter().map(facts);
+            let Some(mut out) = sets.next() else {
+                return BTreeSet::new();
+            };
+            for s in sets {
+                out = out.intersection(&s).copied().collect();
+            }
+            out
+        }
+        CTree::Atom(a) => {
+            let mut out = BTreeSet::new();
+            atom_facts(a, &mut out);
+            out
+        }
+        CTree::Collect { .. } => BTreeSet::new(),
+    }
+}
+
+/// Opcode classes that must be present in any match of `tree`.
+fn presence(tree: &CTree) -> BTreeSet<OpcodeClass> {
+    match tree {
+        CTree::And(cs) => {
+            let mut out = BTreeSet::new();
+            for c in cs {
+                out.extend(presence(c));
+            }
+            out
+        }
+        CTree::Or(cs) => {
+            let mut sets = cs.iter().map(presence);
+            let Some(mut out) = sets.next() else {
+                return BTreeSet::new();
+            };
+            for s in sets {
+                out = out.intersection(&s).copied().collect();
+            }
+            out
+        }
+        CTree::Atom(a) => match &a.kind {
+            AtomKind::OpcodeIs(class) => [*class].into_iter().collect(),
+            _ => BTreeSet::new(),
+        },
+        CTree::Collect { .. } => BTreeSet::new(),
+    }
+}
+
+/// `true` when `pred` holds under every satisfying assignment of `tree`
+/// given the already-established `ctx` facts: the predicate is checked
+/// against the node's guaranteed facts, descending through conjunction
+/// children and requiring *all* branches of a disjunction to imply it.
+fn implied(tree: &CTree, ctx: &BTreeSet<Fact>, pred: &dyn Fn(&BTreeSet<Fact>) -> bool) -> bool {
+    let mut here = ctx.clone();
+    here.extend(facts(tree));
+    if pred(&here) {
+        return true;
+    }
+    match tree {
+        CTree::And(cs) => cs.iter().any(|c| implied(c, &here, pred)),
+        CTree::Or(cs) => !cs.is_empty() && cs.iter().all(|c| implied(c, &here, pred)),
+        _ => false,
+    }
+}
+
+/// Union-find over the `Eq` facts of a set, so value-equal variables are
+/// interchangeable in the predicates.
+struct Classes {
+    rep: BTreeMap<VarId, VarId>,
+}
+
+impl Classes {
+    fn new(set: &BTreeSet<Fact>) -> Classes {
+        let mut c = Classes {
+            rep: BTreeMap::new(),
+        };
+        for f in set {
+            if let Fact::Eq(a, b) = *f {
+                let (ra, rb) = (c.find(a), c.find(b));
+                if ra != rb {
+                    c.rep.insert(ra.max(rb), ra.min(rb));
+                }
+            }
+        }
+        c
+    }
+
+    fn find(&self, mut v: VarId) -> VarId {
+        while let Some(&p) = self.rep.get(&v) {
+            if p == v {
+                break;
+            }
+            v = p;
+        }
+        v
+    }
+}
+
+fn has_op(set: &BTreeSet<Fact>, uf: &Classes, v: VarId, class: OpcodeClass) -> bool {
+    let rv = uf.find(v);
+    set.iter()
+        .any(|f| matches!(*f, Fact::Op(w, c) if c == class && uf.find(w) == rv))
+}
+
+/// Some gep's index operand is a load or a sext of a load.
+fn indirect_gep_index(set: &BTreeSet<Fact>) -> bool {
+    let uf = Classes::new(set);
+    set.iter().any(|f| {
+        let Fact::Arg(1, w, g) = *f else { return false };
+        if !has_op(set, &uf, g, OpcodeClass::Gep) {
+            return false;
+        }
+        if has_op(set, &uf, w, OpcodeClass::Load) {
+            return true;
+        }
+        has_op(set, &uf, w, OpcodeClass::SExt)
+            && set.iter().any(|f2| {
+                matches!(*f2, Fact::Arg(0, u, w2)
+                    if uf.find(w2) == uf.find(w) && has_op(set, &uf, u, OpcodeClass::Load))
+            })
+    })
+}
+
+/// Some store's address is a gep whose index operand is a phi or a sext
+/// of a phi (the iterator's phi-ness comes from the inherited `For`
+/// atoms; the `iterator`-vs-`sext(iterator)` split is an `or` the
+/// `implied` driver pushes through branch by branch).
+fn phi_indexed_store(set: &BTreeSet<Fact>) -> bool {
+    let uf = Classes::new(set);
+    set.iter().any(|f| {
+        let Fact::Arg(1, g, s) = *f else { return false };
+        if !has_op(set, &uf, g, OpcodeClass::Gep) || !has_op(set, &uf, s, OpcodeClass::Store) {
+            return false;
+        }
+        set.iter().any(|f2| {
+            let Fact::Arg(1, i, g2) = *f2 else {
+                return false;
+            };
+            if uf.find(g2) != uf.find(g) {
+                return false;
+            }
+            if has_op(set, &uf, i, OpcodeClass::Phi) {
+                return true;
+            }
+            has_op(set, &uf, i, OpcodeClass::SExt)
+                && set.iter().any(|f3| {
+                    matches!(*f3, Fact::Arg(0, p, i2)
+                        if uf.find(i2) == uf.find(i) && has_op(set, &uf, p, OpcodeClass::Phi))
+                })
+        })
+    })
+}
+
+/// Some gep is both a store's address (operand 1) and a load's address
+/// (operand 0).
+fn rmw_gep(set: &BTreeSet<Fact>) -> bool {
+    let uf = Classes::new(set);
+    set.iter().any(|f| {
+        let Fact::Arg(1, g, s) = *f else { return false };
+        has_op(set, &uf, g, OpcodeClass::Gep)
+            && has_op(set, &uf, s, OpcodeClass::Store)
+            && set.iter().any(|f2| {
+                matches!(*f2, Fact::Arg(0, g2, l)
+                    if uf.find(g2) == uf.find(g) && has_op(set, &uf, l, OpcodeClass::Load))
+            })
+    })
+}
+
+/// The largest set of variables that must all be phi instructions and
+/// pairwise bind distinct values: a max clique over the distinctness
+/// graph (strict dominance is transitively closed first). The graphs
+/// here have a handful of nodes, so exact search is fine.
+fn min_distinct_phis(set: &BTreeSet<Fact>) -> u32 {
+    let uf = Classes::new(set);
+    let mut phis: Vec<VarId> = Vec::new();
+    for f in set {
+        if let Fact::Op(v, OpcodeClass::Phi) = *f {
+            let r = uf.find(v);
+            if !phis.contains(&r) {
+                phis.push(r);
+            }
+        }
+    }
+    // Transitive closure of strict dominance over representatives.
+    let mut dom: BTreeSet<(VarId, VarId)> = set
+        .iter()
+        .filter_map(|f| match *f {
+            Fact::StrictDom(a, b) => Some((uf.find(a), uf.find(b))),
+            _ => None,
+        })
+        .collect();
+    loop {
+        let mut grew = false;
+        let pairs: Vec<(VarId, VarId)> = dom.iter().copied().collect();
+        for &(a, b) in &pairs {
+            for &(c, d) in &pairs {
+                if b == c && dom.insert((a, d)) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let distinct = |a: VarId, b: VarId| {
+        set.iter().any(|f| {
+            matches!(*f, Fact::Distinct(x, y)
+                if (uf.find(x), uf.find(y)) == (a.min(b), a.max(b))
+                    || (uf.find(x), uf.find(y)) == (a.max(b), a.min(b)))
+        }) || dom.contains(&(a, b))
+            || dom.contains(&(b, a))
+    };
+    fn grow(
+        phis: &[VarId],
+        from: usize,
+        clique: &mut Vec<VarId>,
+        best: &mut usize,
+        distinct: &dyn Fn(VarId, VarId) -> bool,
+    ) {
+        *best = (*best).max(clique.len());
+        for i in from..phis.len() {
+            let v = phis[i];
+            if clique.iter().all(|&w| distinct(v, w)) {
+                clique.push(v);
+                grow(phis, i + 1, clique, best, distinct);
+                clique.pop();
+            }
+        }
+    }
+    let mut best = 0usize;
+    grow(&phis, 0, &mut Vec::new(), &mut best, &distinct);
+    u32::try_from(best).unwrap_or(u32::MAX)
+}

@@ -54,6 +54,7 @@ fn main() {
     let complete = detections.iter().all(|d| d.complete);
     let total_steps: u64 = detections.iter().map(|d| d.steps).sum();
     let skeleton_steps: u64 = detections.iter().map(|d| d.skeleton_steps).sum();
+    let pruned_pairs: u64 = detections.iter().map(|d| d.pruned_pairs).sum();
     let mut steps_by_idiom: std::collections::BTreeMap<&'static str, u64> = Default::default();
     for d in &detections {
         for (&kind, &s) in &d.steps_by_kind {
@@ -69,7 +70,8 @@ fn main() {
                   min_ms: f64,
                   per_idiom_raw: Json,
                   p50_ms: f64,
-                  p95_ms: f64| {
+                  p95_ms: f64,
+                  fingerprint_ms: f64| {
         Report::new()
             .stable("bench", Json::S("detect_all_21_benchmarks".into()))
             .stable("functions", Json::U(fs.len() as u64))
@@ -84,12 +86,15 @@ fn main() {
             // Perf ratchet: improvements land freely, regressions above
             // +5% fail CI until the artifact is consciously regenerated.
             .bounded_up("total_solve_steps", total_steps, 0.05)
+            .stable("pruned_pairs", Json::U(pruned_pairs))
             .volatile("skeleton_solve_steps", Json::U(skeleton_steps))
+            .volatile("fingerprint_ms", Json::F(fingerprint_ms, 3))
             .volatile("solve_steps_by_idiom", steps_raw.clone())
     };
 
     if check {
-        if let Err(e) = stable(0, 0.0, 0.0, Json::Raw("{}".into()), 0.0, 0.0).check_drift(&out_path)
+        if let Err(e) =
+            stable(0, 0.0, 0.0, Json::Raw("{}".into()), 0.0, 0.0, 0.0).check_drift(&out_path)
         {
             eprintln!("{e}");
             std::process::exit(1);
@@ -98,10 +103,8 @@ fn main() {
         return;
     }
 
-    // Full-suite passes through the parallel driver (the headline mean),
-    // plus per-function serial latencies for the percentile profile.
+    // Full-suite passes through the parallel driver (the headline mean).
     let mut samples_ms: Vec<f64> = Vec::with_capacity(passes);
-    let mut fn_ms: Vec<f64> = Vec::with_capacity(passes * fs.len());
     for _ in 0..passes {
         let t = Instant::now();
         let n: usize = idioms::detect_functions(&fs, &opts)
@@ -110,16 +113,43 @@ fn main() {
             .sum();
         assert_eq!(n, instances, "detection must be deterministic");
         samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
-        for f in &fs {
-            let t = Instant::now();
-            let _ = idioms::detect_with(f, &opts);
-            fn_ms.push(t.elapsed().as_secs_f64() * 1e3);
-        }
     }
     let mean_ms = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
     let min_ms = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+
+    // Per-function serial latency profile: each function sampled `passes`
+    // times back to back, keeping the minimum — the steady-state latency,
+    // measured the way micro-benchmark harnesses do (warm caches and
+    // branch predictors, and a minimum that only the code can reach:
+    // scheduler jitter is strictly additive). Percentiles are then taken
+    // across the functions.
+    let fn_ms: Vec<f64> = fs
+        .iter()
+        .map(|f| {
+            let mut best = f64::INFINITY;
+            for _ in 0..passes {
+                let t = Instant::now();
+                let _ = idioms::detect_with(f, &opts);
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            best
+        })
+        .collect();
     let p50_ms = percentile(&fn_ms, 50.0);
     let p95_ms = percentile(&fn_ms, 95.0);
+
+    // Cost of the fingerprint prepass itself: one from-scratch
+    // fingerprint (CFG + dominators + loop forest + linear walk) per
+    // function, averaged over the passes.
+    let mut fingerprint_total = 0.0;
+    for _ in 0..passes {
+        let t = Instant::now();
+        for f in &fs {
+            let _ = analysis::FunctionFingerprint::of(f);
+        }
+        fingerprint_total += t.elapsed().as_secs_f64() * 1e3;
+    }
+    let fingerprint_ms = fingerprint_total / passes as f64;
 
     // Per-idiom solve cost: each kind's compiled constraint run in
     // isolation over every function, with `Solver` construction (IR
@@ -149,7 +179,15 @@ fn main() {
         .collect();
     let per_idiom_raw = nested_object(&per_idiom);
 
-    let report = stable(passes, mean_ms, min_ms, per_idiom_raw, p50_ms, p95_ms);
+    let report = stable(
+        passes,
+        mean_ms,
+        min_ms,
+        per_idiom_raw,
+        p50_ms,
+        p95_ms,
+        fingerprint_ms,
+    );
     report.write(&out_path);
     print!("{}", report.render());
 }

@@ -64,6 +64,7 @@ fn summarize(summary: &RunSummary, source: &Source, cfg: &RunConfig) -> Report {
             Json::U(recs.iter().filter(|r| r.validated).count() as u64),
         )
         .bounded_up("total_solve_steps", sum(|r| r.solve_steps), 0.05)
+        .stable("pruned_pairs", Json::U(sum(|r| r.pruned_pairs)))
         .stable("taxonomy", nested_object(&tax_pairs))
         .volatile("workers", Json::U(cfg.workers as u64))
         .volatile("timeout_ms", Json::U(cfg.timeout.as_millis() as u64))

@@ -1,0 +1,70 @@
+//! IDL library linter gate: runs every `analysis::lint` rule over a
+//! compiled IDL library (building blocks expanded into each constraint)
+//! and exits non-zero on any diagnostic. CI runs this over the bundled
+//! idiom library so it stays lint-clean — a dead variable in a building
+//! block multiplies solver work in every idiom inheriting it, and a
+//! statically unsatisfiable branch is a constraint that can never fire.
+//!
+//! Usage: `cargo run --release -p idiomatch-bench --bin lint` (bundled
+//! library), or pass a path to lint your own `.idl` file — it is parsed
+//! on top of the bundled building blocks and every definition is
+//! compiled and linted. Parameterized helpers (which only compile via
+//! `inherits Name(P=..)`) are skipped standalone; their expansions are
+//! linted inside each constraint that instantiates them.
+
+use idioms::IdiomKind;
+
+fn main() {
+    let path = std::env::args().nth(1);
+    let owned: Vec<idl::CompiledConstraint>;
+    let compiled: Vec<&idl::CompiledConstraint> = match &path {
+        None => IdiomKind::ALL.iter().map(|&k| idioms::compiled(k)).collect(),
+        Some(p) => {
+            let src = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("{p}: {e}");
+                std::process::exit(2);
+            });
+            let user = idl::parse_library(&src).unwrap_or_else(|e| {
+                eprintln!("{p}: parse error: {e}");
+                std::process::exit(2);
+            });
+            let mut lib = idl::parse_library(idioms::BUILDING_BLOCKS_IDL)
+                .expect("the bundled building blocks parse");
+            let names: Vec<String> = user.defs.iter().map(|d| d.name.clone()).collect();
+            lib.extend(user);
+            owned = names
+                .iter()
+                .filter_map(|name| match idl::compile(&lib, name) {
+                    Ok(c) => Some(c),
+                    // A parameterized helper has no standalone expansion;
+                    // it is linted through its instantiating constraints.
+                    Err(e) if e.to_string().contains("unbound calculation name") => None,
+                    Err(e) => {
+                        eprintln!("{p}: {name}: compile error: {e}");
+                        std::process::exit(2);
+                    }
+                })
+                .collect();
+            owned.iter().collect()
+        }
+    };
+    let lints = analysis::lint_constraints(&compiled);
+    for l in &lints {
+        eprintln!("{l}");
+    }
+    if lints.is_empty() {
+        let atoms: usize = compiled.iter().map(|c| c.tree.atom_count()).sum();
+        eprintln!(
+            "lint clean: {} constraints, {} compiled atoms{}",
+            compiled.len(),
+            atoms,
+            match path {
+                None => format!(", {} IDL lines", idioms::idl_line_count()),
+                Some(_) => String::new(),
+            }
+        );
+    } else {
+        eprintln!("{} lint diagnostic(s)", lints.len());
+        std::process::exit(1);
+    }
+}

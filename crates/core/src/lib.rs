@@ -568,6 +568,9 @@ pub struct PipelineOutcome {
     /// Steps of the shared loop-skeleton prepass (a subset of
     /// `solve_steps`, accounted once per function).
     pub skeleton_steps: u64,
+    /// Idiom×function pairs the fingerprint prepass proved matchless
+    /// (skipped with zero solver steps).
+    pub pruned_pairs: u64,
     /// Wall-clock seconds per pipeline stage (frontend compile /
     /// detection / transformation / validation), so throughput numbers
     /// can separate the pipeline from its drivers.
@@ -647,6 +650,7 @@ pub fn run_pipeline_with(
         .collect();
     let solve_steps = detections.iter().map(|d| d.steps).sum();
     let skeleton_steps = detections.iter().map(|d| d.skeleton_steps).sum();
+    let pruned_pairs = detections.iter().map(|d| d.pruned_pairs).sum();
     let instances: Vec<IdiomInstance> = detections.into_iter().flat_map(|d| d.instances).collect();
     let t = Instant::now();
     let mut xf = xform::transform_instances(&module, instances.clone());
@@ -661,6 +665,7 @@ pub fn run_pipeline_with(
         incomplete_functions,
         solve_steps,
         skeleton_steps,
+        pruned_pairs,
         timings: PipelineTimings {
             compile_s,
             detect_s,

@@ -116,6 +116,7 @@ fn run_full(
     };
     let mut rec = ModuleRecord::empty(id, 0, Taxonomy::Ok, String::new());
     fill_counts(&mut rec, &out.instances, out.solve_steps, expects, forbids);
+    rec.pruned_pairs = out.pruned_pairs;
     rec.replaced = out.xform.replaced() as u64;
     if let Some(f) = out.incomplete_functions.first() {
         rec.outcome = Taxonomy::Truncated;
@@ -149,9 +150,11 @@ fn detect_only(
         .find(|(_, d)| !d.complete)
         .map(|(f, _)| f.name.clone());
     let solve_steps: u64 = detections.iter().map(|d| d.steps).sum();
+    let pruned_pairs: u64 = detections.iter().map(|d| d.pruned_pairs).sum();
     let instances: Vec<IdiomInstance> = detections.into_iter().flat_map(|d| d.instances).collect();
     let mut rec = ModuleRecord::empty(id, 0, Taxonomy::Ok, String::new());
     fill_counts(&mut rec, &instances, solve_steps, expects, forbids);
+    rec.pruned_pairs = pruned_pairs;
     if let Some(f) = incomplete {
         rec.outcome = Taxonomy::Truncated;
         rec.detail = format!("solver budget exhausted in {f}");

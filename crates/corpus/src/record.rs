@@ -103,6 +103,9 @@ pub struct ModuleRecord {
     pub false_positives: u64,
     /// Total solver assignment steps.
     pub solve_steps: u64,
+    /// Idiom×function pairs the fingerprint prepass proved matchless and
+    /// skipped without solving.
+    pub pruned_pairs: u64,
     /// `true` when multi-seed differential validation ran and passed
     /// (detect-only modules record `false` with outcome `Ok`).
     pub validated: bool,
@@ -128,6 +131,7 @@ impl ModuleRecord {
             planted_hit: 0,
             false_positives: 0,
             solve_steps: 0,
+            pruned_pairs: 0,
             validated: false,
             latency_ms: 0.0,
         }
@@ -142,7 +146,7 @@ impl ModuleRecord {
             .map(|(k, v)| format!("{}:{v}", escape(k)))
             .collect();
         format!(
-            "{{\"module\":{},\"shard\":{},\"outcome\":{},\"detail\":{},\"instances\":{{{}}},\"detected\":{},\"replaced\":{},\"planted\":{},\"planted_hit\":{},\"false_positives\":{},\"solve_steps\":{},\"validated\":{},\"latency_ms\":{:.3}}}",
+            "{{\"module\":{},\"shard\":{},\"outcome\":{},\"detail\":{},\"instances\":{{{}}},\"detected\":{},\"replaced\":{},\"planted\":{},\"planted_hit\":{},\"false_positives\":{},\"solve_steps\":{},\"pruned_pairs\":{},\"validated\":{},\"latency_ms\":{:.3}}}",
             escape(&self.module),
             self.shard,
             escape(self.outcome.as_str()),
@@ -154,6 +158,7 @@ impl ModuleRecord {
             self.planted_hit,
             self.false_positives,
             self.solve_steps,
+            self.pruned_pairs,
             self.validated,
             self.latency_ms,
         )
@@ -203,6 +208,7 @@ impl ModuleRecord {
                 "planted_hit" => rec.planted_hit = p.u64()?,
                 "false_positives" => rec.false_positives = p.u64()?,
                 "solve_steps" => rec.solve_steps = p.u64()?,
+                "pruned_pairs" => rec.pruned_pairs = p.u64()?,
                 "validated" => rec.validated = p.bool()?,
                 "latency_ms" => rec.latency_ms = p.f64()?,
                 other => return Err(format!("unknown record field {other:?}")),
@@ -419,6 +425,7 @@ mod tests {
         rec.planted = 5;
         rec.planted_hit = 5;
         rec.solve_steps = 1234;
+        rec.pruned_pairs = 7;
         rec.validated = false;
         rec.latency_ms = 6.125;
         let line = rec.to_jsonl();

@@ -25,7 +25,7 @@
 //!   reduction, but the paper reports it as GEMM).
 
 use idl::{CompiledConstraint, Library, VarId};
-use solver::{Solution, SolveOptions, SolveOutcome, Solver};
+use solver::{RowsOutcome, Solution, SolveOptions, SolveOutcome, Solver};
 use ssair::{BlockId, Function, Module, ValueId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -144,52 +144,126 @@ pub fn idl_line_count() -> usize {
     BUILDING_BLOCKS_IDL.lines().count() + IDIOMS_IDL.lines().count()
 }
 
-/// Cache key of one shared loop skeleton: the building-block name plus
-/// its compile-time parameters (`("ForNest", [("N", 3)])`).
-pub type SkeletonKey = (String, Vec<(String, i64)>);
+/// Cache key of one shared loop skeleton *chain*: the reconstructed IDL
+/// clause text of every marker in the chain, joined with `" and "`
+/// (e.g. `"inherits For and inherits LoopAccumulator"`). Idioms whose
+/// compiled constraints carry the same chain text share one cache entry.
+pub type SkeletonKey = String;
 
-/// The standalone-compiled skeleton blocks the idiom library shares
-/// (today: `For`, `ForNest(N=2)`, `ForNest(N=3)`), compiled once
-/// process-wide. Each entry's `variables` align positionally with the
-/// `vars` of every [`idl::SkeletonRef`] carrying the same key.
+/// The per-idiom skeleton chain, precomputed once: the cache key, the
+/// idiom-side variables the chain binds (deduplicated in first-occurrence
+/// order — exactly the seed prefix of the idiom's variable ordering), and
+/// for each such variable the column of the standalone chain constraint's
+/// solution rows that carries its value.
+struct ChainInfo {
+    key: SkeletonKey,
+    seed_vars: Vec<VarId>,
+    columns: Vec<usize>,
+}
+
+fn chain_info(kind: IdiomKind) -> Option<&'static ChainInfo> {
+    static CACHE: OnceLock<BTreeMap<IdiomKind, ChainInfo>> = OnceLock::new();
+    let map = CACHE.get_or_init(|| {
+        let mut map = BTreeMap::new();
+        for kind in IdiomKind::ALL {
+            let c = compiled(kind);
+            if c.skeletons.is_empty() {
+                continue;
+            }
+            let key: SkeletonKey = c
+                .skeletons
+                .iter()
+                .map(idl::SkeletonRef::clause)
+                .collect::<Vec<_>>()
+                .join(" and ");
+            let mut seed_vars: Vec<VarId> = Vec::new();
+            for s in &c.skeletons {
+                for &v in &s.vars {
+                    if !seed_vars.contains(&v) {
+                        seed_vars.push(v);
+                    }
+                }
+            }
+            // The standalone chain constraint reuses the idiom's flattened
+            // variable names (the clauses are reconstructed with the same
+            // renames/rebase), so columns are resolved by name.
+            let standalone = &skeleton_constraints()[&key];
+            let columns: Vec<usize> = seed_vars
+                .iter()
+                .map(|&v| {
+                    let name = c.var_name(v);
+                    standalone
+                        .variables
+                        .iter()
+                        .position(|&w| standalone.var_name(w) == name)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "skeleton chain of {kind:?}: variable {name:?} \
+                                 missing from standalone chain {key:?}"
+                            )
+                        })
+                })
+                .collect();
+            assert_eq!(
+                standalone.variables.len(),
+                seed_vars.len(),
+                "skeleton chain of {kind:?}: standalone variables must align \
+                 with the chain markers"
+            );
+            map.insert(
+                kind,
+                ChainInfo {
+                    key,
+                    seed_vars,
+                    columns,
+                },
+            );
+        }
+        map
+    });
+    map.get(&kind)
+}
+
+/// The standalone-compiled skeleton chains the idiom library shares,
+/// compiled once process-wide. Each entry is the chain's clause text
+/// re-parsed against the building-block library as
+/// `Constraint __Skeleton ( <clauses> ) End` — the expansion is the same
+/// subtree the idiom embeds, under the same flattened variable names.
 pub fn skeleton_constraints() -> &'static BTreeMap<SkeletonKey, CompiledConstraint> {
     static CACHE: OnceLock<BTreeMap<SkeletonKey, CompiledConstraint>> = OnceLock::new();
     CACHE.get_or_init(|| {
         let mut map = BTreeMap::new();
         for kind in IdiomKind::ALL {
-            let Some(marker) = compiled(kind).skeletons.first() else {
+            let c = compiled(kind);
+            if c.skeletons.is_empty() {
                 continue;
-            };
-            let key: SkeletonKey = (marker.block.clone(), marker.params.clone());
+            }
+            let clauses: Vec<String> = c.skeletons.iter().map(idl::SkeletonRef::clause).collect();
+            let key: SkeletonKey = clauses.join(" and ");
             if map.contains_key(&key) {
                 continue;
             }
-            // Synthesize `Constraint __Skeleton ( inherits <block>(<params>) )`
-            // against the building-block library: its expansion is the
-            // same tree the idiom embeds (modulo renaming), so variables
-            // align positionally with every marker of this key.
-            let args = if marker.params.is_empty() {
-                String::new()
-            } else {
-                let kv: Vec<String> = marker
-                    .params
-                    .iter()
-                    .map(|(k, v)| format!("{k}={v}"))
-                    .collect();
-                format!("({})", kv.join(", "))
-            };
-            let src = format!(
-                "{BUILDING_BLOCKS_IDL}\nConstraint __Skeleton ( inherits {}{args} ) End",
-                marker.block
-            );
+            let src = format!("{BUILDING_BLOCKS_IDL}\nConstraint __Skeleton ( {key} ) End");
             let lib = idl::parse_library(&src).expect("skeleton wrapper parses");
-            let c = idl::compile(&lib, "__Skeleton").expect("skeleton wrapper compiles");
-            assert_eq!(
-                c.variables.len(),
-                marker.vars.len(),
-                "skeleton {key:?}: standalone variables must align with the marker"
-            );
-            map.insert(key, c);
+            let sc = idl::compile(&lib, "__Skeleton").expect("skeleton wrapper compiles");
+            map.insert(key, sc);
+        }
+        // Also ship every composite chain's leading clause as its own
+        // standalone (e.g. `inherits ForNest(N=3)` from the GEMM chain):
+        // that makes it a seedable prefix for `chain_prefix`, and pure
+        // nest prefixes are then synthesized from `For` rows without a
+        // search (see `SkeletonCache::nest_rows`).
+        let prefixes: Vec<SkeletonKey> = map
+            .values()
+            .filter(|c| c.skeletons.len() >= 2)
+            .map(|c| c.skeletons[0].clause())
+            .filter(|k| !map.contains_key(k))
+            .collect();
+        for key in prefixes {
+            let src = format!("{BUILDING_BLOCKS_IDL}\nConstraint __Skeleton ( {key} ) End");
+            let lib = idl::parse_library(&src).expect("skeleton prefix parses");
+            let sc = idl::compile(&lib, "__Skeleton").expect("skeleton prefix compiles");
+            map.insert(key, sc);
         }
         map
     })
@@ -231,33 +305,252 @@ impl SkeletonCache {
         max_steps: u64,
     ) -> Option<&Vec<Vec<ValueId>>> {
         if !self.solved.contains_key(key) {
+            if let Some(rows) = self.nest_rows(solver, key, max_steps) {
+                self.solved.insert(key.clone(), Some(rows));
+            }
+        }
+        if !self.solved.contains_key(key) {
             let c = &skeleton_constraints()[key];
-            let out = solver.solve_outcome(
-                c,
-                &SolveOptions {
-                    // No solution cap: the row count is bounded by the
-                    // step budget, and a capped skeleton would poison
-                    // every consumer.
-                    max_solutions: usize::MAX,
-                    max_steps,
-                },
-            );
+            let opts = SolveOptions {
+                // No solution cap: the row count is bounded by the
+                // step budget, and a capped skeleton would poison
+                // every consumer.
+                max_solutions: usize::MAX,
+                max_steps,
+            };
+            let out = self.solve_chain(solver, key, c, &opts);
             self.steps += out.steps;
-            let rows = out.complete.then(|| {
-                out.solutions
-                    .iter()
-                    .map(|sol| {
-                        c.variables
-                            .iter()
-                            .map(|&v| sol.bindings[c.var_name(v)])
-                            .collect()
-                    })
-                    .collect()
-            });
+            let rows = out.complete.then_some(out.rows);
             self.solved.insert(key.clone(), rows);
         }
         self.solved[key].as_ref()
     }
+
+    /// Solves one standalone chain constraint, seeding a composite chain
+    /// from its leading marker's plain chain when the library also ships
+    /// that prefix as its own key (e.g. `For + LoopAccumulator` seeds
+    /// from the cached `For` rows instead of re-proving the loop shape).
+    /// Sound and exact for the same reason idiom seeding is: every
+    /// composite solution satisfies the leading clause, so its projection
+    /// onto the clause's variables — an order prefix, by the chain
+    /// ordering seed — appears among the prefix chain's complete rows.
+    fn solve_chain(
+        &mut self,
+        solver: &Solver,
+        key: &SkeletonKey,
+        c: &CompiledConstraint,
+        opts: &SolveOptions,
+    ) -> RowsOutcome {
+        if let Some(prefix) = chain_prefix(key) {
+            let seeds: Option<Vec<Vec<(VarId, ValueId)>>> =
+                self.get(solver, &prefix.key, opts.max_steps).map(|rows| {
+                    rows.iter()
+                        .map(|row| {
+                            prefix
+                                .seed_vars
+                                .iter()
+                                .copied()
+                                .zip(prefix.columns.iter().map(|&col| row[col]))
+                                .collect()
+                        })
+                        .collect()
+                });
+            if let Some(seeds) = seeds {
+                let seeded = solver.solve_seeded_rows(c, &seeds, &c.variables, opts);
+                if seeded.complete {
+                    return seeded;
+                }
+                // Truncated: rerun unseeded (same budget semantics as the
+                // cache-free path), billing the seeded attempt's steps.
+                let mut fallback = solver.solve_rows(c, &c.variables, opts);
+                fallback.steps += seeded.steps;
+                return fallback;
+            }
+        }
+        solver.solve_rows(c, &c.variables, opts)
+    }
+
+    /// Synthesizes the rows of a pure loop-nest chain
+    /// (`inherits ForNest(N=k)`) from already-cached rows, with zero
+    /// solver steps: a `ForNest(k)` expansion is exactly
+    /// `ForNest(k-1) ∧ For ∧` the two nesting legs between loops `k-2`
+    /// and `k-1`, so its solution set is the filtered cross product —
+    /// each candidate pair is kept iff the outer iterator strictly
+    /// dominates the inner one and the outer comparison strictly
+    /// post-dominates the inner one (the atoms' exact value-level
+    /// semantics, via the solver's dominance helpers). Projection onto
+    /// the constituent blocks is complete for the same reason chain
+    /// seeding is sound. Returns `None` when `key` is not a pure nest
+    /// chain or a constituent solve was truncated — callers then fall
+    /// back to the ordinary search with unchanged budget semantics.
+    fn nest_rows(
+        &mut self,
+        solver: &Solver,
+        key: &SkeletonKey,
+        max_steps: u64,
+    ) -> Option<Vec<Vec<ValueId>>> {
+        let plan = nest_plan(key)?;
+        let prev = self.get(solver, &plan.prev_key, max_steps)?.clone();
+        let fors = self
+            .get(solver, &"inherits For".to_string(), max_steps)?
+            .clone();
+        let mut rows = Vec::new();
+        for p in &prev {
+            for r in &fors {
+                if solver.value_strictly_dominates(p[plan.prev_it], r[plan.for_it])
+                    && solver.value_strictly_post_dominates(p[plan.prev_cmp], r[plan.for_cmp])
+                {
+                    rows.push(
+                        plan.map
+                            .iter()
+                            .map(|&(from_for, col)| if from_for { r[col] } else { p[col] })
+                            .collect(),
+                    );
+                }
+            }
+        }
+        Some(rows)
+    }
+}
+
+/// Column plan for synthesizing `ForNest(k)` rows (see
+/// [`SkeletonCache::nest_rows`]): where each variable of the nest
+/// standalone comes from (`ForNest(k-1)` row or `For` row), plus the
+/// columns the two nesting legs test.
+struct NestPlan {
+    prev_key: SkeletonKey,
+    /// Per target column: `(true, c)` = column `c` of the `For` row
+    /// (loop `k-1`), `(false, c)` = column `c` of the prefix row.
+    map: Vec<(bool, usize)>,
+    prev_it: usize,
+    prev_cmp: usize,
+    for_it: usize,
+    for_cmp: usize,
+}
+
+/// The synthesis plan of a pure nest chain key, computed once
+/// process-wide; `None` for every other key.
+fn nest_plan(key: &SkeletonKey) -> Option<&'static NestPlan> {
+    static CACHE: OnceLock<BTreeMap<SkeletonKey, Option<NestPlan>>> = OnceLock::new();
+    let map = CACHE.get_or_init(|| {
+        skeleton_constraints()
+            .keys()
+            .map(|key| (key.clone(), build_nest_plan(key)))
+            .collect()
+    });
+    map.get(key)?.as_ref()
+}
+
+fn build_nest_plan(key: &SkeletonKey) -> Option<NestPlan> {
+    let k: u32 = key
+        .strip_prefix("inherits ForNest(N=")?
+        .strip_suffix(')')?
+        .parse()
+        .ok()?;
+    if k < 2 {
+        return None;
+    }
+    let prev_key: SkeletonKey = if k == 2 {
+        "inherits For".to_string()
+    } else {
+        format!("inherits ForNest(N={})", k - 1)
+    };
+    let target = skeleton_constraints().get(key)?;
+    let prev = skeleton_constraints().get(&prev_key)?;
+    let fors = skeleton_constraints().get(&"inherits For".to_string())?;
+    let col_of = |c: &idl::CompiledConstraint, name: &str| -> Option<usize> {
+        c.variables.iter().position(|&v| c.var_name(v) == name)
+    };
+    let inner_prefix = format!("loop[{}].", k - 1);
+    let map: Vec<(bool, usize)> = target
+        .variables
+        .iter()
+        .map(|&v| {
+            let name = target.var_name(v);
+            if let Some(plain) = name.strip_prefix(&inner_prefix) {
+                (
+                    true,
+                    col_of(fors, plain).expect("nest inner variable maps to For"),
+                )
+            } else {
+                // Prefix rows: exact name for k ≥ 3, `loop[0].`-stripped
+                // for the k = 2 case where the prefix is plain `For`.
+                let col =
+                    col_of(prev, name).or_else(|| col_of(prev, name.strip_prefix("loop[0].")?));
+                (
+                    false,
+                    col.expect("nest prefix variable maps to the prefix chain"),
+                )
+            }
+        })
+        .collect();
+    let outer = format!("loop[{}].", k - 2);
+    let prev_col = |plain: &str| -> usize {
+        col_of(prev, &format!("{outer}{plain}"))
+            .or_else(|| col_of(prev, plain))
+            .expect("nesting-leg variable present in the prefix chain")
+    };
+    Some(NestPlan {
+        prev_it: prev_col("iterator"),
+        prev_cmp: prev_col("comparison"),
+        for_it: col_of(fors, "iterator").expect("For has an iterator"),
+        for_cmp: col_of(fors, "comparison").expect("For has a comparison"),
+        prev_key,
+        map,
+    })
+}
+
+/// The seeding prefix of a composite standalone chain constraint: its
+/// first marker's clause, when that clause is itself a library chain key.
+/// Computed once per composite key, process-wide.
+fn chain_prefix(key: &SkeletonKey) -> Option<&'static ChainInfo> {
+    static CACHE: OnceLock<BTreeMap<SkeletonKey, Option<ChainInfo>>> = OnceLock::new();
+    let map = CACHE.get_or_init(|| {
+        skeleton_constraints()
+            .iter()
+            .map(|(key, c)| {
+                let info = (c.skeletons.len() >= 2)
+                    .then(|| {
+                        let first = &c.skeletons[0];
+                        let prefix_key: SkeletonKey = first.clause();
+                        let standalone = skeleton_constraints().get(&prefix_key)?;
+                        let mut seed_vars: Vec<VarId> = Vec::new();
+                        for &v in &first.vars {
+                            if !seed_vars.contains(&v) {
+                                seed_vars.push(v);
+                            }
+                        }
+                        // Same name-resolution as `chain_info`: the prefix
+                        // standalone reuses the clause's flattened names.
+                        let columns: Vec<usize> = seed_vars
+                            .iter()
+                            .map(|&v| {
+                                let name = c.var_name(v);
+                                standalone
+                                    .variables
+                                    .iter()
+                                    .position(|&w| standalone.var_name(w) == name)
+                                    .unwrap_or_else(|| {
+                                        panic!(
+                                            "chain prefix {prefix_key:?}: variable \
+                                             {name:?} missing from the standalone"
+                                        )
+                                    })
+                            })
+                            .collect();
+                        assert_eq!(standalone.variables.len(), seed_vars.len());
+                        Some(ChainInfo {
+                            key: prefix_key,
+                            seed_vars,
+                            columns,
+                        })
+                    })
+                    .flatten();
+                (key.clone(), info)
+            })
+            .collect()
+    });
+    map[key].as_ref()
 }
 
 /// One detected idiom instance in a function.
@@ -343,12 +636,19 @@ pub struct DetectOptions {
     /// Suppress lower-priority matches contained in higher-priority ones
     /// (paper reports the most specific idiom per region).
     pub suppress_contained: bool,
-    /// Solve the shared `For`/`ForNest` loop skeletons once per function
-    /// and seed every idiom's search from the cached solutions. `false`
-    /// selects the compatibility slow path (each idiom re-enumerates its
-    /// loop headers) — detection output is identical either way, which
-    /// the differential tests pin.
+    /// Solve the shared loop-skeleton chains once per function and seed
+    /// every idiom's search from the cached solutions. `false` selects
+    /// the compatibility slow path (each idiom re-enumerates its loop
+    /// headers) — detection output is identical either way, which the
+    /// differential tests pin.
     pub skeleton_prepass: bool,
+    /// Fingerprint each function once and skip every idiom whose
+    /// requirement signature ([`analysis::IdiomRequirements`]) the
+    /// fingerprint cannot satisfy — the pair is proven matchless with
+    /// zero solver steps. `false` selects the compatibility path; the
+    /// instance output is identical either way (requirements are
+    /// *necessary* conditions), which the differential tests pin.
+    pub fingerprint_prepass: bool,
 }
 
 impl Default for DetectOptions {
@@ -358,6 +658,7 @@ impl Default for DetectOptions {
             max_steps: 20_000_000,
             suppress_contained: true,
             skeleton_prepass: true,
+            fingerprint_prepass: true,
         }
     }
 }
@@ -383,6 +684,9 @@ pub struct Detection {
     /// Steps spent solving the shared loop skeletons, accounted once per
     /// function (not split across the consuming idioms).
     pub skeleton_steps: u64,
+    /// Idiom×function pairs the fingerprint prepass proved matchless and
+    /// skipped without touching the solver.
+    pub pruned_pairs: u64,
 }
 
 /// Runs the full idiom library over `f` and returns deduplicated,
@@ -417,14 +721,28 @@ pub fn detect_kinds_with(f: &Function, kinds: &[IdiomKind], opts: &DetectOptions
     };
     // The solver already computed every analysis detection needs.
     let an = solver.analyses();
+    let fingerprint = opts
+        .fingerprint_prepass
+        .then(|| analysis::FunctionFingerprint::with_loops(f, &an.loops));
     let mut skeletons = SkeletonCache::new();
     let mut out: Vec<IdiomInstance> = Vec::new();
     let mut complete = true;
     let mut steps = 0u64;
     let mut steps_by_kind = BTreeMap::new();
+    let mut pruned_pairs = 0u64;
     for &kind in kinds {
+        if let Some(fp) = &fingerprint {
+            if !requirements(kind).admitted_by(fp) {
+                // Proven matchless: a necessary condition of the idiom is
+                // absent from the function. Zero solver steps, and the
+                // search stays complete — "no instances" is exact.
+                pruned_pairs += 1;
+                steps_by_kind.insert(kind, 0);
+                continue;
+            }
+        }
         let c = compiled(kind);
-        let res = solve_idiom(&solver, c, opts, &solve_opts, &mut skeletons);
+        let res = solve_idiom(&solver, c, kind, opts, &solve_opts, &mut skeletons);
         complete &= res.complete;
         steps += res.steps;
         steps_by_kind.insert(kind, res.steps);
@@ -453,7 +771,21 @@ pub fn detect_kinds_with(f: &Function, kinds: &[IdiomKind], opts: &DetectOptions
         steps: steps + skeletons.steps,
         steps_by_kind,
         skeleton_steps: skeletons.steps,
+        pruned_pairs,
     }
+}
+
+/// The requirement signature of one idiom kind (derived once,
+/// process-wide, from the compiled constraint).
+pub fn requirements(kind: IdiomKind) -> &'static analysis::IdiomRequirements {
+    static CACHE: OnceLock<BTreeMap<IdiomKind, analysis::IdiomRequirements>> = OnceLock::new();
+    let map = CACHE.get_or_init(|| {
+        IdiomKind::ALL
+            .iter()
+            .map(|&k| (k, analysis::IdiomRequirements::of(compiled(k))))
+            .collect()
+    });
+    &map[&kind]
 }
 
 /// Solves one idiom, seeding from the per-function skeleton cache when
@@ -467,22 +799,22 @@ pub fn detect_kinds_with(f: &Function, kinds: &[IdiomKind], opts: &DetectOptions
 fn solve_idiom(
     solver: &Solver,
     c: &CompiledConstraint,
+    kind: IdiomKind,
     opts: &DetectOptions,
     solve_opts: &SolveOptions,
     skeletons: &mut SkeletonCache,
 ) -> SolveOutcome {
     if opts.skeleton_prepass {
-        if let Some(marker) = c.skeletons.first() {
-            let key: SkeletonKey = (marker.block.clone(), marker.params.clone());
-            if let Some(rows) = skeletons.get(solver, &key, opts.max_steps) {
+        if let Some(chain) = chain_info(kind) {
+            if let Some(rows) = skeletons.get(solver, &chain.key, opts.max_steps) {
                 let seeds: Vec<Vec<(VarId, ValueId)>> = rows
                     .iter()
                     .map(|row| {
-                        marker
-                            .vars
+                        chain
+                            .seed_vars
                             .iter()
                             .copied()
-                            .zip(row.iter().copied())
+                            .zip(chain.columns.iter().map(|&col| row[col]))
                             .collect()
                     })
                     .collect();
@@ -527,10 +859,13 @@ pub fn detect_module_with(m: &Module, opts: &DetectOptions) -> Vec<IdiomInstance
 /// shared counter so long functions don't serialize behind short ones.
 #[must_use]
 pub fn detect_functions(fs: &[&Function], opts: &DetectOptions) -> Vec<Detection> {
-    // Compile the idiom library once, before fanning out, so workers
-    // don't contend on the lazy-init lock.
+    // Compile the idiom library (and derive the skeleton chains and
+    // requirement signatures) once, before fanning out, so workers don't
+    // contend on the lazy-init locks.
     for kind in IdiomKind::ALL {
         let _ = compiled(kind);
+        let _ = chain_info(kind);
+        let _ = requirements(kind);
     }
     let workers = std::thread::available_parallelism()
         .map_or(1, std::num::NonZeroUsize::get)

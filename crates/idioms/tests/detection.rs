@@ -309,3 +309,58 @@ fn detect_with_surfaces_truncation() {
     );
     assert!(starved.instances.len() < 3);
 }
+
+#[test]
+fn fingerprint_prepass_prunes_obvious_non_matches_with_zero_steps() {
+    // Loop-free: every idiom requires at least one loop, so all six
+    // idiom×function pairs are pruned before the solver ever runs.
+    let m = minicc::compile(
+        "double clamp(double x, double lo, double hi) {
+            if (x < lo) return lo;
+            if (x > hi) return hi;
+            return x;
+        }",
+        "t",
+    )
+    .unwrap();
+    let f = m.function("clamp").unwrap();
+    let d = idioms::detect_with(f, &idioms::DetectOptions::default());
+    assert!(d.complete);
+    assert!(d.instances.is_empty());
+    assert_eq!(d.pruned_pairs, 6, "all six kinds pruned");
+    assert_eq!(d.steps, 0, "pruned pairs must cost zero solver steps");
+    assert_eq!(d.steps_by_kind.len(), 6, "pruned kinds still report (as 0)");
+
+    // A store-free loop keeps Reduction in play (its store-free spine)
+    // but prunes every store-anchored idiom.
+    let m = minicc::compile(
+        "double sum(double* x, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s += x[i];
+            return s;
+        }",
+        "t",
+    )
+    .unwrap();
+    let f = m.function("sum").unwrap();
+    let d = idioms::detect_with(f, &idioms::DetectOptions::default());
+    assert!(d.complete);
+    assert_eq!(d.instances.len(), 1);
+    assert!(
+        d.pruned_pairs >= 4,
+        "store/depth requirements prune most kinds, got {}",
+        d.pruned_pairs
+    );
+    let disabled = idioms::detect_with(
+        f,
+        &idioms::DetectOptions {
+            fingerprint_prepass: false,
+            ..idioms::DetectOptions::default()
+        },
+    );
+    assert_eq!(disabled.pruned_pairs, 0);
+    assert_eq!(
+        d.instances, disabled.instances,
+        "pruning never loses matches"
+    );
+}

@@ -44,7 +44,7 @@ pub enum DomKind {
 
 /// Opcode classes for `is <opcode> instruction`. `Branch` covers both the
 /// conditional and unconditional forms, `ICmp`/`FCmp` cover all predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpcodeClass {
     /// `store`.
     Store,
@@ -134,6 +134,42 @@ impl OpcodeClass {
             "fptrunc" => OpcodeClass::FPTrunc,
             "call" => OpcodeClass::Call,
             "alloca" => OpcodeClass::Alloca,
+            _ => return None,
+        })
+    }
+
+    /// The class `op` belongs to, if any IDL opcode class names it
+    /// (bitwise/shift opcodes have no IDL spelling).
+    #[must_use]
+    pub fn of(op: Opcode) -> Option<OpcodeClass> {
+        Some(match op {
+            Opcode::Store => OpcodeClass::Store,
+            Opcode::Load => OpcodeClass::Load,
+            Opcode::Ret => OpcodeClass::Return,
+            Opcode::Br | Opcode::CondBr => OpcodeClass::Branch,
+            Opcode::Add => OpcodeClass::Add,
+            Opcode::Sub => OpcodeClass::Sub,
+            Opcode::Mul => OpcodeClass::Mul,
+            Opcode::SDiv => OpcodeClass::SDiv,
+            Opcode::SRem => OpcodeClass::SRem,
+            Opcode::FAdd => OpcodeClass::FAdd,
+            Opcode::FSub => OpcodeClass::FSub,
+            Opcode::FMul => OpcodeClass::FMul,
+            Opcode::FDiv => OpcodeClass::FDiv,
+            Opcode::Select => OpcodeClass::Select,
+            Opcode::Gep => OpcodeClass::Gep,
+            Opcode::ICmp(_) => OpcodeClass::ICmp,
+            Opcode::FCmp(_) => OpcodeClass::FCmp,
+            Opcode::Phi => OpcodeClass::Phi,
+            Opcode::SExt => OpcodeClass::SExt,
+            Opcode::ZExt => OpcodeClass::ZExt,
+            Opcode::Trunc => OpcodeClass::Trunc,
+            Opcode::SIToFP => OpcodeClass::SIToFP,
+            Opcode::FPToSI => OpcodeClass::FPToSI,
+            Opcode::FPExt => OpcodeClass::FPExt,
+            Opcode::FPTrunc => OpcodeClass::FPTrunc,
+            Opcode::Call => OpcodeClass::Call,
+            Opcode::Alloca => OpcodeClass::Alloca,
             _ => return None,
         })
     }
@@ -374,30 +410,72 @@ impl CTree {
 
 /// The shape of one node in a [`TreeIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum IndexedKind<'t> {
+pub enum IndexedKind {
     /// Conjunction.
     And,
     /// Disjunction.
     Or,
-    /// Atomic constraint.
-    Atom(&'t Atom),
+    /// Atomic constraint (slot into [`TreeIndex::atom`]).
+    Atom(u32),
     /// All-solutions sub-search (a leaf for evaluation purposes: its
     /// instances are solved at finalization, not during the search).
     Collect,
 }
 
 /// One flattened node of a [`TreeIndex`].
+/// Pre-computed sub-search setup for one `collect` node: the first
+/// instance body's searchable variables and its own [`TreeIndex`], plus a
+/// one-slot memo of the (unbound variables → search order) pair the
+/// finalize stage needs. The bound outer context is the same on every
+/// finalize of a given search, so the memo hits after the first
+/// sub-search; a different context just recomputes without caching.
 #[derive(Debug, Clone)]
-pub struct IndexedNode<'t> {
-    /// Node shape (and the atom itself for leaves).
-    pub kind: IndexedKind<'t>,
+pub struct CollectPlan {
+    /// `instances[0].variables()`, unfiltered.
+    pub variables: Vec<VarId>,
+    /// `instances[0].index()`.
+    pub index: TreeIndex,
+    order_memo: std::sync::OnceLock<(Vec<VarId>, Vec<VarId>)>,
+}
+
+impl CollectPlan {
+    /// The search order over `unbound` (which must be the subset of
+    /// [`CollectPlan::variables`] the caller found unbound), memoized on
+    /// first use.
+    #[must_use]
+    pub fn order_for(&self, tree: &CTree, unbound: &[VarId]) -> Vec<VarId> {
+        let memo = self
+            .order_memo
+            .get_or_init(|| (unbound.to_vec(), order_variables(tree, unbound)));
+        if memo.0 == unbound {
+            memo.1.clone()
+        } else {
+            order_variables(tree, unbound)
+        }
+    }
+}
+
+impl PartialEq for CollectPlan {
+    fn eq(&self, other: &CollectPlan) -> bool {
+        // The order memo is derived state, recomputable at any time.
+        self.variables == other.variables && self.index == other.index
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedNode {
+    /// Node shape (and the atom slot for leaves).
+    pub kind: IndexedKind,
     /// Parent node id (`None` for the root).
     pub parent: Option<usize>,
     /// Child node ids (empty for `Atom`/`Collect`).
     pub children: Vec<usize>,
 }
 
-/// A flat, pre-order index over a [`CTree`], built once per search.
+/// A flat, pre-order index over a [`CTree`], built once per *constraint*
+/// (cached by [`CompiledConstraint::index`]; `collect` bodies build a
+/// transient one per sub-search). Owns clones of the atoms it points at,
+/// so it carries no lifetime and can outlive any one search.
 ///
 /// The solver's incremental evaluator needs two things the recursive tree
 /// cannot answer cheaply: *which atoms mention a given variable* (the
@@ -406,19 +484,36 @@ pub struct IndexedNode<'t> {
 /// `And`/`Or` truth values are repaired after a binding). Node 0 is the
 /// root; children always have larger ids than their parent, so a reverse
 /// iteration visits children before parents.
-#[derive(Debug, Clone)]
-pub struct TreeIndex<'t> {
-    nodes: Vec<IndexedNode<'t>>,
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeIndex {
+    nodes: Vec<IndexedNode>,
+    /// Clones of the tree's atoms, in pre-order ([`IndexedKind::Atom`]
+    /// slots point here).
+    atoms: Vec<Atom>,
+    /// Pre-built sub-search setup per `Collect` node id (absent only for
+    /// degenerate empty-instance collects).
+    collect_plans: std::collections::BTreeMap<usize, CollectPlan>,
     watchers: Vec<Vec<usize>>,
+    /// Per-node bitmask over variables: bit `v` of node `n`'s words is
+    /// set iff some atom in `n`'s subtree mentions variable `v`
+    /// (`Collect` bodies excluded — they are evaluation leaves). Lets the
+    /// candidate generator skip whole subtrees in O(1) instead of
+    /// recursing to discover that nothing below mentions the variable.
+    mentions: Vec<u64>,
+    /// Words per node in `mentions`.
+    mention_words: usize,
 }
 
-impl<'t> TreeIndex<'t> {
-    fn push(&mut self, tree: &'t CTree, parent: Option<usize>) -> usize {
+impl TreeIndex {
+    fn push(&mut self, tree: &CTree, parent: Option<usize>) -> usize {
         let id = self.nodes.len();
         let kind = match tree {
             CTree::And(_) => IndexedKind::And,
             CTree::Or(_) => IndexedKind::Or,
-            CTree::Atom(a) => IndexedKind::Atom(a),
+            CTree::Atom(a) => {
+                self.atoms.push(a.clone());
+                IndexedKind::Atom(self.atoms.len() as u32 - 1)
+            }
             CTree::Collect { .. } => IndexedKind::Collect,
         };
         self.nodes.push(IndexedNode {
@@ -444,15 +539,39 @@ impl<'t> TreeIndex<'t> {
                     }
                 }
             }
-            CTree::Collect { .. } => {}
+            CTree::Collect { instances } => {
+                if let Some(body) = instances.first() {
+                    self.collect_plans.insert(
+                        id,
+                        CollectPlan {
+                            variables: body.variables(),
+                            index: body.index(),
+                            order_memo: std::sync::OnceLock::new(),
+                        },
+                    );
+                }
+            }
         }
         id
     }
 
+    /// The pre-built sub-search plan of the `Collect` node `node`
+    /// (`None` for non-collect nodes and empty-instance collects).
+    #[must_use]
+    pub fn collect_plan(&self, node: usize) -> Option<&CollectPlan> {
+        self.collect_plans.get(&node)
+    }
+
     /// All nodes, pre-order (node 0 is the root).
     #[must_use]
-    pub fn nodes(&self) -> &[IndexedNode<'t>] {
+    pub fn nodes(&self) -> &[IndexedNode] {
         &self.nodes
+    }
+
+    /// The atom at `slot` (from [`IndexedKind::Atom`]).
+    #[must_use]
+    pub fn atom(&self, slot: u32) -> &Atom {
+        &self.atoms[slot as usize]
     }
 
     /// Number of nodes.
@@ -473,41 +592,119 @@ impl<'t> TreeIndex<'t> {
     pub fn watchers(&self, var: VarId) -> &[usize] {
         self.watchers.get(var.index()).map_or(&[], Vec::as_slice)
     }
+
+    /// `true` iff some atom in `node`'s subtree mentions `var`.
+    #[must_use]
+    pub fn mentions(&self, node: usize, var: VarId) -> bool {
+        let (word, bit) = (var.index() / 64, var.index() % 64);
+        word < self.mention_words
+            && self.mentions[node * self.mention_words + word] & (1 << bit) != 0
+    }
+
+    /// Seeds `mentions` bottom-up (children have larger ids, so one
+    /// reverse pass sees every child before its parent).
+    fn build_mentions(&mut self) {
+        self.mention_words = self.watchers.len().div_ceil(64);
+        let w = self.mention_words;
+        self.mentions = vec![0u64; self.nodes.len() * w];
+        for id in (0..self.nodes.len()).rev() {
+            match self.nodes[id].kind {
+                IndexedKind::Atom(a) => {
+                    for v in &self.atoms[a as usize].vars {
+                        self.mentions[id * w + v.index() / 64] |= 1 << (v.index() % 64);
+                    }
+                }
+                IndexedKind::And | IndexedKind::Or => {
+                    for ci in 0..self.nodes[id].children.len() {
+                        let c = self.nodes[id].children[ci];
+                        for k in 0..w {
+                            let cv = self.mentions[c * w + k];
+                            self.mentions[id * w + k] |= cv;
+                        }
+                    }
+                }
+                IndexedKind::Collect => {}
+            }
+        }
+    }
 }
 
 impl CTree {
-    /// Builds the flat evaluation index for this tree.
+    /// Builds the flat evaluation index for this tree. Prefer
+    /// [`CompiledConstraint::index`] for whole-constraint searches — it
+    /// builds once and caches; this is for transient subtrees (`collect`
+    /// bodies).
     #[must_use]
-    pub fn index(&self) -> TreeIndex<'_> {
+    pub fn index(&self) -> TreeIndex {
         let mut idx = TreeIndex {
             nodes: Vec::new(),
+            atoms: Vec::new(),
+            collect_plans: std::collections::BTreeMap::new(),
             watchers: Vec::new(),
+            mentions: Vec::new(),
+            mention_words: 0,
         };
         idx.push(self, None);
+        idx.build_mentions();
         idx
     }
 }
 
-/// A loop-skeleton building block shared with other idioms: a top-level
-/// (conjunctive-spine) `inherits For`/`inherits ForNest(N=..)` recorded
-/// at expansion time. Idiom detection solves the block once per function
-/// and seeds every consuming idiom's search from the cached solutions.
+/// A shared building block inherited on the conjunctive spine (`inherits
+/// For`, `inherits DotProductLoop with .. at {dot}`, ..), recorded at
+/// expansion time together with its full adaptation. Idiom detection
+/// solves the chain of connected spine blocks once per function and
+/// seeds every consuming idiom's search from the cached solutions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SkeletonRef {
-    /// The inherited building-block definition (`For` or `ForNest`).
+    /// The inherited building-block definition (`For`, `ForNest`,
+    /// `LoopAccumulator`, ..).
     pub block: String,
-    /// The block's compile-time parameters (e.g. `N=3`), sorted by name —
-    /// together with `block` this is the skeleton cache key.
+    /// The block's compile-time parameters (e.g. `N=3`), sorted by name.
     pub params: Vec<(String, i64)>,
     /// The block's variables *in this constraint's id space*, in the same
     /// first-occurrence order the standalone-compiled block lists its own
     /// variables — the positional mapping between cached skeleton
     /// solutions and this idiom's seed bindings.
     pub vars: Vec<VarId>,
+    /// Flattened rename pairs `(outer, inner)` of the `with {outer} as
+    /// {inner}` adaptation, in source order.
+    pub renames: Vec<(String, String)>,
+    /// Flattened rebase prefix of the `at {prefix}` adaptation, if any.
+    pub rebase: Option<String>,
+}
+
+impl SkeletonRef {
+    /// Reconstructs the `inherits ..` clause source text this marker was
+    /// recorded from, with every adaptation name already flattened. A
+    /// wrapper constraint built from these clauses expands to exactly the
+    /// subtree the idiom embeds (same flattened variable names), which is
+    /// what lets a standalone-compiled skeleton chain seed the idiom's
+    /// search positionally.
+    #[must_use]
+    pub fn clause(&self) -> String {
+        let mut s = format!("inherits {}", self.block);
+        if !self.params.is_empty() {
+            let kv: Vec<String> = self
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            s.push_str(&format!("({})", kv.join(", ")));
+        }
+        for (i, (outer, inner)) in self.renames.iter().enumerate() {
+            let kw = if i == 0 { " with" } else { " and" };
+            s.push_str(&format!("{kw} {{{outer}}} as {{{inner}}}"));
+        }
+        if let Some(p) = &self.rebase {
+            s.push_str(&format!(" at {{{p}}}"));
+        }
+        s
+    }
 }
 
 /// A fully compiled, solver-ready idiom definition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CompiledConstraint {
     /// Idiom name (the `Constraint <name>` header).
     pub name: String,
@@ -527,6 +724,23 @@ pub struct CompiledConstraint {
     /// Shared loop-skeleton building blocks inherited on the conjunctive
     /// spine, in source order.
     pub skeletons: Vec<SkeletonRef>,
+    /// Lazily built evaluation index over `tree`, shared by every search
+    /// on this constraint (the tree is immutable after compilation).
+    /// Ignored by `PartialEq`.
+    pub index_cache: std::sync::OnceLock<TreeIndex>,
+}
+
+impl PartialEq for CompiledConstraint {
+    fn eq(&self, other: &CompiledConstraint) -> bool {
+        // The index cache is derived state — two constraints are equal
+        // iff their compiled content is.
+        self.name == other.name
+            && self.tree == other.tree
+            && self.symbols == other.symbols
+            && self.variables == other.variables
+            && self.order == other.order
+            && self.skeletons == other.skeletons
+    }
 }
 
 impl CompiledConstraint {
@@ -534,6 +748,12 @@ impl CompiledConstraint {
     #[must_use]
     pub fn var_name(&self, id: VarId) -> &str {
         self.symbols.name(id)
+    }
+
+    /// The evaluation index of `tree`, built on first use and cached.
+    #[must_use]
+    pub fn index(&self) -> &TreeIndex {
+        self.index_cache.get_or_init(|| self.tree.index())
     }
 
     /// The searchable variable names in first-occurrence order (the

@@ -20,8 +20,20 @@ use crate::ctree::*;
 use crate::intern::{SymbolTable, VarId};
 use std::collections::HashMap;
 
-/// Building-block definitions eligible as shared loop skeletons.
-const SKELETON_BLOCKS: [&str; 2] = ["For", "ForNest"];
+/// Building-block definitions eligible as shared skeleton-chain members.
+/// Loop shapes plus the accumulator/read families — every reusable block
+/// the idiom library inherits on a conjunctive spine.
+const SKELETON_BLOCKS: [&str; 9] = [
+    "For",
+    "ForNest",
+    "LoopAccumulator",
+    "DotProductLoop",
+    "VectorRead",
+    "OffsetRead",
+    "MatrixRead",
+    "MatrixStore",
+    "ReadRange",
+];
 
 /// An expansion failure (unknown definition, unbound parameter, cyclic
 /// inheritance, malformed atom).
@@ -71,6 +83,23 @@ pub fn compile(lib: &Library, name: &str) -> Result<CompiledConstraint> {
             *v = remap[v];
         }
     }
+    // Chain selection: keep only the markers connected (through shared
+    // variables) to the chain built so far — the first marker (the loop
+    // skeleton) anchors it. Disconnected markers (e.g. a MatrixRead whose
+    // variables only meet the loop nest through separate spine atoms)
+    // would multiply the chain's solution rows without narrowing them,
+    // so they are dropped and the idiom's own search re-proves them.
+    {
+        let mut chain: Vec<SkeletonRef> = Vec::new();
+        let mut included: std::collections::HashSet<VarId> = std::collections::HashSet::new();
+        for s in skeletons {
+            if chain.is_empty() || s.vars.iter().any(|v| included.contains(v)) {
+                included.extend(s.vars.iter().copied());
+                chain.push(s);
+            }
+        }
+        skeletons = chain;
+    }
     // `Concat` writes `out[k]` bindings at solve time; pre-intern every
     // slot it could ever fill (bounded by the operand families' sizes)
     // so the solver never interns mid-search. Concat chains can extend
@@ -111,7 +140,17 @@ pub fn compile(lib: &Library, name: &str) -> Result<CompiledConstraint> {
     }
     symbols.index_families();
     let variables = tree.variables();
-    let seed: Vec<VarId> = skeletons.first().map_or(Vec::new(), |s| s.vars.clone());
+    // The ordering seed is the whole chain's variable set (deduplicated,
+    // first-occurrence order) — exactly the prefix a cached chain
+    // solution binds in one shot.
+    let mut seed: Vec<VarId> = Vec::new();
+    for s in &skeletons {
+        for &v in &s.vars {
+            if !seed.contains(&v) {
+                seed.push(v);
+            }
+        }
+    }
     let order = crate::ctree::order_variables_seeded(&tree, &variables, &seed);
     Ok(CompiledConstraint {
         name: name.to_owned(),
@@ -120,6 +159,7 @@ pub fn compile(lib: &Library, name: &str) -> Result<CompiledConstraint> {
         variables,
         order,
         skeletons,
+        index_cache: std::sync::OnceLock::new(),
     })
 }
 
@@ -341,6 +381,12 @@ impl<'l> Cx<'l> {
                         block: name.clone(),
                         params: sorted_params,
                         vars: tree.variables(),
+                        renames: rw
+                            .renames
+                            .iter()
+                            .map(|(inner, outer)| (outer.clone(), inner.clone()))
+                            .collect(),
+                        rebase: rw.rebase.clone(),
                     });
                 }
                 Ok(tree)

@@ -168,6 +168,9 @@ impl BucketKey {
 enum Cand {
     Shared(Rc<Vec<ValueId>>),
     Owned(Vec<ValueId>),
+    /// A single candidate inline — the common result of functional atoms
+    /// (`is first argument of`, `is the same as`), kept off the heap.
+    One([ValueId; 1]),
 }
 
 impl std::ops::Deref for Cand {
@@ -176,6 +179,7 @@ impl std::ops::Deref for Cand {
         match self {
             Cand::Shared(v) => v,
             Cand::Owned(v) => v,
+            Cand::One(v) => v,
         }
     }
 }
@@ -261,6 +265,7 @@ impl<'f> Solver<'f> {
     pub fn solve_outcome(&self, c: &CompiledConstraint, opts: &SolveOptions) -> SolveOutcome {
         let dense = self.run_search(
             &c.tree,
+            c.index(),
             &c.symbols,
             Assignment::new(c.symbols.len()),
             c.order.clone(),
@@ -290,12 +295,65 @@ impl<'f> Solver<'f> {
         seeds: &[Vec<(VarId, ValueId)>],
         opts: &SolveOptions,
     ) -> SolveOutcome {
+        render_outcome(&c.symbols, self.seeded_dense(c, seeds, opts))
+    }
+
+    /// [`Solver::solve_seeded_outcome`] returning bulk rows (each solution
+    /// as the values of `vars`, in order) instead of string-keyed
+    /// solutions — the skeleton cache's format, skipping the rendering
+    /// round-trip.
+    #[must_use]
+    pub fn solve_seeded_rows(
+        &self,
+        c: &CompiledConstraint,
+        seeds: &[Vec<(VarId, ValueId)>],
+        vars: &[VarId],
+        opts: &SolveOptions,
+    ) -> RowsOutcome {
+        rows_outcome(vars, self.seeded_dense(c, seeds, opts))
+    }
+
+    /// [`Solver::solve_outcome`] in bulk row form (see
+    /// [`Solver::solve_seeded_rows`]).
+    #[must_use]
+    pub fn solve_rows(
+        &self,
+        c: &CompiledConstraint,
+        vars: &[VarId],
+        opts: &SolveOptions,
+    ) -> RowsOutcome {
+        let dense = self.run_search(
+            &c.tree,
+            c.index(),
+            &c.symbols,
+            Assignment::new(c.symbols.len()),
+            c.order.clone(),
+            opts,
+        );
+        rows_outcome(vars, dense)
+    }
+
+    fn seeded_dense(
+        &self,
+        c: &CompiledConstraint,
+        seeds: &[Vec<(VarId, ValueId)>],
+        opts: &SolveOptions,
+    ) -> DenseOutcome {
+        if seeds.is_empty() {
+            // No skeleton rows: trivially complete with no search (and no
+            // point building the evaluator).
+            return DenseOutcome {
+                solutions: Vec::new(),
+                complete: true,
+                steps: 0,
+            };
+        }
         let mut asg = Assignment::new(c.symbols.len());
         let mut cx = SearchCx {
             solver: self,
             tree: &c.tree,
             symbols: &c.symbols,
-            inc: IncEval::new(self, &c.tree, &asg),
+            inc: IncEval::new(self, c.index(), &asg),
             order: c.order.clone(),
             opts,
             steps: 0,
@@ -315,21 +373,22 @@ impl<'f> Solver<'f> {
                     && seed.iter().all(|(v, _)| cx.order[..seed.len()].contains(v)),
                 "seed variables must form the order prefix"
             );
+            // Bulk-bind the row and rebuild the evaluator in one sweep:
+            // cheaper than 2×|seed| incremental repairs per row.
+            cx.steps += seed.len() as u64;
             for &(v, x) in seed {
-                cx.steps += 1;
                 asg.bind(v, x);
-                cx.inc.rebind(self, v, &asg);
             }
+            cx.inc.reseed(self, &asg);
             cx.check_oracle(&asg);
             if cx.inc.root_val() != Tri::False {
                 cx.search(seed.len(), &mut asg);
             }
             for &(v, _) in seed {
                 asg.unbind(v);
-                cx.inc.rebind(self, v, &asg);
             }
         }
-        render_outcome(&c.symbols, cx.finish_dense())
+        cx.finish_dense()
     }
 
     /// Solves `tree` starting from a partial assignment (used for `collect`
@@ -375,12 +434,14 @@ impl<'f> Solver<'f> {
             .filter(|&v| initial.get(v).is_none())
             .collect();
         let order = idl::order_variables(tree, &vars);
-        self.run_search(tree, symbols, initial, order, opts)
+        let idx = tree.index();
+        self.run_search(tree, &idx, symbols, initial, order, opts)
     }
 
     fn run_search(
         &self,
         tree: &CTree,
+        idx: &TreeIndex,
         symbols: &SymbolTable,
         initial: Assignment,
         order: Vec<VarId>,
@@ -390,7 +451,7 @@ impl<'f> Solver<'f> {
             solver: self,
             tree,
             symbols,
-            inc: IncEval::new(self, tree, &initial),
+            inc: IncEval::new(self, idx, &initial),
             order,
             opts,
             steps: 0,
@@ -465,23 +526,7 @@ impl<'f> Solver<'f> {
                 strict,
                 post,
                 negated,
-            } => {
-                let (a, b) = (vals[0], vals[1]);
-                let result = if !f.is_instruction(a) || !f.is_instruction(b) {
-                    // Constants and arguments are available everywhere:
-                    // they dominate every instruction and post-dominate
-                    // nothing.
-                    !*post && !f.is_instruction(a)
-                } else {
-                    match (post, strict) {
-                        (false, false) => self.an.inst_dominates(a, b),
-                        (false, true) => self.an.inst_strictly_dominates(a, b),
-                        (true, false) => self.an.inst_post_dominates(a, b),
-                        (true, true) => self.an.inst_strictly_post_dominates(a, b),
-                    }
-                };
-                result != *negated
-            }
+            } => self.dominance(vals[0], vals[1], *post, *strict) != *negated,
             AllFlowThrough { data } => {
                 if *data {
                     all_data_flow_passes_through(self.f, &self.an, vals[0], vals[1], vals[2])
@@ -491,6 +536,38 @@ impl<'f> Solver<'f> {
             }
             KilledBy | Concat => unreachable!("deferred"),
         }
+    }
+
+    /// Value-level (post)dominance exactly as the `dominates` family of
+    /// atoms evaluates it.
+    fn dominance(&self, a: ValueId, b: ValueId, post: bool, strict: bool) -> bool {
+        let f = self.f;
+        if !f.is_instruction(a) || !f.is_instruction(b) {
+            // Constants and arguments are available everywhere: they
+            // dominate every instruction and post-dominate nothing.
+            return !post && !f.is_instruction(a);
+        }
+        match (post, strict) {
+            (false, false) => self.an.inst_dominates(a, b),
+            (false, true) => self.an.inst_strictly_dominates(a, b),
+            (true, false) => self.an.inst_post_dominates(a, b),
+            (true, true) => self.an.inst_strictly_post_dominates(a, b),
+        }
+    }
+
+    /// `a strictly dominates b` with the `strictly dominates` atom's exact
+    /// semantics — exposed so the skeleton cache can apply `ForNest`
+    /// nesting legs to pre-solved `For` rows without a search.
+    #[must_use]
+    pub fn value_strictly_dominates(&self, a: ValueId, b: ValueId) -> bool {
+        self.dominance(a, b, false, true)
+    }
+
+    /// `a strictly post dominates b` with the atom's exact semantics
+    /// (companion of [`Solver::value_strictly_dominates`]).
+    #[must_use]
+    pub fn value_strictly_post_dominates(&self, a: ValueId, b: ValueId) -> bool {
+        self.dominance(a, b, true, true)
     }
 
     fn type_is(&self, v: ValueId, class: TypeClass, constant_zero: bool) -> bool {
@@ -590,16 +667,13 @@ impl<'f> Solver<'f> {
             | TypeIs { .. } => self.bucket(&atom.kind).map(Cand::Shared),
             Same { negated: false } => {
                 let other = if slot == 0 { get(1) } else { get(0) };
-                other.map(|v| Cand::Owned(vec![v]))
+                other.map(|v| Cand::One([v]))
             }
             ArgumentOf { pos } => {
                 if slot == 0 {
                     // child from parent
                     let parent = get(1)?;
-                    f.instr(parent)?
-                        .operands
-                        .get(*pos)
-                        .map(|&v| Cand::Owned(vec![v]))
+                    f.instr(parent)?.operands.get(*pos).map(|&v| Cand::One([v]))
                 } else {
                     // parent from child: users with child at position pos
                     let child = get(0)?;
@@ -746,9 +820,12 @@ impl<'f> Solver<'f> {
     /// charge their consumption back, so total work stays bounded by
     /// `opts.max_steps` even across nested searches. An exhausted or
     /// truncated sub-search clears `complete`.
+    #[allow(clippy::too_many_arguments)]
     fn finalize(
         &self,
         tree: &CTree,
+        idx: &TreeIndex,
+        vals: &[Tri],
         symbols: &SymbolTable,
         asg: &Assignment,
         opts: &SolveOptions,
@@ -756,8 +833,8 @@ impl<'f> Solver<'f> {
         complete: &mut bool,
     ) -> Option<Assignment> {
         let mut full = asg.clone();
-        self.run_bindings(tree, symbols, &mut full, opts, steps, complete)?;
-        if self.eval_final(tree, symbols, &full) {
+        self.run_bindings(tree, idx, 0, symbols, &mut full, opts, steps, complete)?;
+        if self.eval_final(tree, idx, 0, vals, symbols, &full) {
             Some(full)
         } else {
             None
@@ -765,9 +842,15 @@ impl<'f> Solver<'f> {
     }
 
     /// Executes `collect` and `Concat` nodes along the conjunctive spine.
+    /// `id` is `tree`'s node id in `idx` (the index of the *enclosing*
+    /// search tree — the walk keeps them aligned so `collect` nodes can
+    /// use their pre-built sub-search plans).
+    #[allow(clippy::too_many_arguments)]
     fn run_bindings(
         &self,
         tree: &CTree,
+        idx: &TreeIndex,
+        id: usize,
         symbols: &SymbolTable,
         full: &mut Assignment,
         opts: &SolveOptions,
@@ -776,8 +859,8 @@ impl<'f> Solver<'f> {
     ) -> Option<()> {
         match tree {
             CTree::And(cs) => {
-                for c in cs {
-                    self.run_bindings(c, symbols, full, opts, steps, complete)?;
+                for (c, &cid) in cs.iter().zip(&idx.nodes()[id].children) {
+                    self.run_bindings(c, idx, cid, symbols, full, opts, steps, complete)?;
                 }
                 Some(())
             }
@@ -809,7 +892,26 @@ impl<'f> Solver<'f> {
                     max_solutions: instances.len(),
                     max_steps: opts.max_steps.saturating_sub(*steps),
                 };
-                let out = self.solve_with_dense(&instances[0], symbols, full.clone(), &sub_opts);
+                // The plan carries the body's variable list and index,
+                // built once with the enclosing constraint's index — the
+                // per-finalize cost is just the unbound filter (plus a
+                // memoized ordering).
+                let plan = idx.collect_plan(id).expect("non-empty collect has a plan");
+                let unbound: Vec<VarId> = plan
+                    .variables
+                    .iter()
+                    .copied()
+                    .filter(|&v| full.get(v).is_none())
+                    .collect();
+                let order = plan.order_for(&instances[0], &unbound);
+                let out = self.run_search(
+                    &instances[0],
+                    &plan.index,
+                    symbols,
+                    full.clone(),
+                    order,
+                    &sub_opts,
+                );
                 *steps = steps.saturating_add(out.steps);
                 // Only *budget* truncation counts as incompleteness. The
                 // solution cap here is the IDL-declared family capacity
@@ -840,11 +942,34 @@ impl<'f> Solver<'f> {
 
     /// Final evaluation: everything must be true; `collect` counts as
     /// satisfied, `Concat` as executed, `KilledBy` is checked against the
-    /// bound families.
-    fn eval_final(&self, tree: &CTree, symbols: &SymbolTable, full: &Assignment) -> bool {
+    /// bound families. `vals` is the incremental evaluator's cache for
+    /// `idx` under the pre-finalize assignment: a node it already proved
+    /// `True` stays true under the extension (`full` only *adds*
+    /// bindings, and `Collect`/`Concat`/`KilledBy` evaluate `Unknown`
+    /// incrementally, so no deferred node hides under a `True`), letting
+    /// the walk skip everything except the deferred spine.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_final(
+        &self,
+        tree: &CTree,
+        idx: &TreeIndex,
+        id: usize,
+        vals: &[Tri],
+        symbols: &SymbolTable,
+        full: &Assignment,
+    ) -> bool {
+        if vals.get(id) == Some(&Tri::True) {
+            return true;
+        }
         match tree {
-            CTree::And(cs) => cs.iter().all(|c| self.eval_final(c, symbols, full)),
-            CTree::Or(cs) => cs.iter().any(|c| self.eval_final(c, symbols, full)),
+            CTree::And(cs) => cs
+                .iter()
+                .zip(&idx.nodes()[id].children)
+                .all(|(c, &cid)| self.eval_final(c, idx, cid, vals, symbols, full)),
+            CTree::Or(cs) => cs
+                .iter()
+                .zip(&idx.nodes()[id].children)
+                .any(|(c, &cid)| self.eval_final(c, idx, cid, vals, symbols, full)),
             CTree::Collect { .. } => true,
             CTree::Atom(a) => match a.kind {
                 AtomKind::Concat => true,
@@ -880,6 +1005,38 @@ struct DenseOutcome {
     steps: u64,
 }
 
+/// A [`SolveOutcome`] in bulk row form: each solution projected onto a
+/// caller-chosen variable list, in that order. Same canonical solution
+/// ordering as [`SolveOutcome`]; no variable names involved.
+#[derive(Debug, Clone)]
+pub struct RowsOutcome {
+    /// One row per solution, each the values of the requested variables.
+    pub rows: Vec<Vec<ValueId>>,
+    /// See [`SolveOutcome::complete`].
+    pub complete: bool,
+    /// See [`SolveOutcome::steps`].
+    pub steps: u64,
+}
+
+/// Projects a dense outcome onto `vars` (which must all be bound in every
+/// solution — true for any variable of the solved tree).
+fn rows_outcome(vars: &[VarId], dense: DenseOutcome) -> RowsOutcome {
+    let rows = dense
+        .solutions
+        .iter()
+        .map(|a| {
+            vars.iter()
+                .map(|&v| a.get(v).expect("projection variable is bound"))
+                .collect()
+        })
+        .collect();
+    RowsOutcome {
+        rows,
+        complete: dense.complete,
+        steps: dense.steps,
+    }
+}
+
 /// Renders a dense outcome as string-keyed [`Solution`]s — the only
 /// point where variable names re-enter the picture.
 fn render_outcome(symbols: &SymbolTable, dense: DenseOutcome) -> SolveOutcome {
@@ -911,7 +1068,7 @@ fn render_outcome(symbols: &SymbolTable, dense: DenseOutcome) -> SolveOutcome {
 /// that variable and propagates dirtiness along parent links — worst case
 /// O(watchers × depth) per step instead of the size of the whole tree.
 struct IncEval<'t> {
-    idx: TreeIndex<'t>,
+    idx: &'t TreeIndex,
     /// Cached truth per node (pre-order, `vals[0]` is the root).
     vals: Vec<Tri>,
     /// Per composite node: how many children are currently true /
@@ -947,10 +1104,9 @@ fn composite_val(kind: IndexedKind, n_true: u32, n_false: u32, n_unknown: u32) -
 }
 
 impl<'t> IncEval<'t> {
-    /// Builds the index and seeds every cache from `asg` (one full
+    /// Seeds every cache from `asg` over a prebuilt index (one full
     /// evaluation pass; everything after is incremental).
-    fn new(solver: &Solver, tree: &'t CTree, asg: &Assignment) -> IncEval<'t> {
-        let idx = tree.index();
+    fn new(solver: &Solver, idx: &'t TreeIndex, asg: &Assignment) -> IncEval<'t> {
         let n = idx.len();
         let mut ev = IncEval {
             idx,
@@ -959,30 +1115,37 @@ impl<'t> IncEval<'t> {
             n_false: vec![0; n],
             n_unknown: vec![0; n],
         };
+        ev.reseed(solver, asg);
+        ev
+    }
+
+    /// Recomputes every cache from `asg` in one pass — the bulk-rebind
+    /// used between seed rows, where repairing tens of bindings
+    /// incrementally (twice: unbind then bind) costs more than one sweep.
+    fn reseed(&mut self, solver: &Solver, asg: &Assignment) {
         // Children have larger ids than parents: reverse pre-order visits
         // children first.
-        for id in (0..n).rev() {
-            let v = match ev.idx.nodes()[id].kind {
-                IndexedKind::Atom(a) => solver.eval_atom(a, asg),
+        for id in (0..self.idx.len()).rev() {
+            let v = match self.idx.nodes()[id].kind {
+                IndexedKind::Atom(a) => solver.eval_atom(self.idx.atom(a), asg),
                 IndexedKind::Collect => Tri::Unknown,
                 kind @ (IndexedKind::And | IndexedKind::Or) => {
                     let (mut t, mut f, mut u) = (0u32, 0u32, 0u32);
-                    for &c in &ev.idx.nodes()[id].children {
-                        match ev.vals[c] {
+                    for &c in &self.idx.nodes()[id].children {
+                        match self.vals[c] {
                             Tri::True => t += 1,
                             Tri::False => f += 1,
                             Tri::Unknown => u += 1,
                         }
                     }
-                    ev.n_true[id] = t;
-                    ev.n_false[id] = f;
-                    ev.n_unknown[id] = u;
+                    self.n_true[id] = t;
+                    self.n_false[id] = f;
+                    self.n_unknown[id] = u;
                     composite_val(kind, t, f, u)
                 }
             };
-            ev.vals[id] = v;
+            self.vals[id] = v;
         }
-        ev
     }
 
     /// Cached truth of the whole formula.
@@ -1005,7 +1168,7 @@ impl<'t> IncEval<'t> {
                 unreachable!("watchers point at atoms");
             };
             let mut node = a;
-            let mut newv = solver.eval_atom(atom, asg);
+            let mut newv = solver.eval_atom(idx.atom(atom), asg);
             loop {
                 let old = vals[node];
                 if old == newv {
@@ -1069,8 +1232,21 @@ impl SearchCx<'_, '_> {
 
     fn search(&mut self, k: usize, asg: &mut Assignment) {
         if k == self.order.len() {
+            if self.inc.root_val() == Tri::True {
+                // Proven true incrementally with nothing deferred:
+                // `Collect`/`Concat`/`KilledBy` all evaluate `Unknown`,
+                // so a root that reached `True` has none of them pending
+                // on the conjunctive spine — `finalize` would clone,
+                // no-op `run_bindings` and re-prove the tree. Skip it.
+                if self.seen.insert(asg.clone()) {
+                    self.out.push(asg.clone());
+                }
+                return;
+            }
             if let Some(full) = self.solver.finalize(
                 self.tree,
+                self.inc.idx,
+                &self.inc.vals,
                 self.symbols,
                 asg,
                 self.opts,
@@ -1158,22 +1334,56 @@ impl SearchCx<'_, '_> {
     /// Candidates for `var` implied by the subtree at `node`, using the
     /// cached branch truth values to skip falsified `or` branches.
     fn gen_node(&self, node: usize, var: VarId, asg: &Assignment) -> Option<Cand> {
+        // A subtree with no atom mentioning `var` can never generate for
+        // it (atoms return `None`, `And` folds `None` children away, `Or`
+        // needs every branch): skip it in O(1) instead of recursing.
+        if !self.inc.idx.mentions(node, var) {
+            return None;
+        }
         let n = &self.inc.idx.nodes()[node];
         match n.kind {
-            IndexedKind::Atom(a) => self.solver.gen_atom(a, var, asg),
+            IndexedKind::Atom(a) => self.solver.gen_atom(self.inc.idx.atom(a), var, asg),
             IndexedKind::And => {
                 let mut acc: Option<Cand> = None;
                 for &c in &n.children {
+                    // Hoisted subtree-mention test (also first thing the
+                    // recursive call would do): most children of a wide
+                    // conjunction never mention `var` — skip the call.
+                    if !self.inc.idx.mentions(c, var) {
+                        continue;
+                    }
                     if let Some(g) = self.gen_node(c, var, asg) {
                         acc = Some(match acc {
                             None => g,
                             Some(prev) => {
-                                let set: HashSet<ValueId> = g.iter().copied().collect();
+                                // Singleton fast paths: an intersection
+                                // with a one-element list is a membership
+                                // test, no allocation. The kept order is
+                                // what the filter below would produce.
+                                let merged = if let [x] = *g {
+                                    if prev.contains(&x) {
+                                        Cand::One([x])
+                                    } else {
+                                        Cand::Owned(Vec::new())
+                                    }
+                                } else if let [x] = *prev {
+                                    if g.contains(&x) {
+                                        Cand::One([x])
+                                    } else {
+                                        Cand::Owned(Vec::new())
+                                    }
+                                } else {
+                                    let filtered: Vec<ValueId> = if g.len() <= 32 {
+                                        prev.iter().copied().filter(|v| g.contains(v)).collect()
+                                    } else {
+                                        let set: HashSet<ValueId> = g.iter().copied().collect();
+                                        prev.iter().copied().filter(|v| set.contains(v)).collect()
+                                    };
+                                    Cand::Owned(filtered)
+                                };
                                 self.recycle(g);
-                                let filtered: Vec<ValueId> =
-                                    prev.iter().copied().filter(|v| set.contains(v)).collect();
                                 self.recycle(prev);
-                                Cand::Owned(filtered)
+                                merged
                             }
                         });
                         if acc.as_ref().is_some_and(|c| c.is_empty()) {
@@ -1193,6 +1403,13 @@ impl SearchCx<'_, '_> {
                 for &c in &n.children {
                     if self.inc.vals[c] == Tri::False {
                         continue;
+                    }
+                    if !self.inc.idx.mentions(c, var) {
+                        // The branch admits every value of `var`: no
+                        // sound union exists (same as the recursive
+                        // call returning `None`).
+                        self.recycle(Cand::Owned(union));
+                        return None;
                     }
                     match self.gen_node(c, var, asg) {
                         Some(g) => {
@@ -1683,7 +1900,7 @@ entry:
             // Replay a random bind/unbind history, comparing EVERY cached
             // node value against the recursive evaluation of its subtree.
             let mut asg = Assignment::new(c.symbols.len());
-            let mut inc = IncEval::new(&solver, &c.tree, &asg);
+            let mut inc = IncEval::new(&solver, c.index(), &asg);
             proptest::prop_assert_eq!(subtrees.len(), inc.idx.len());
             for (slot, raw, unbind) in picks {
                 let var = vars[slot];

@@ -167,6 +167,23 @@ pub fn check_soundness(f: &Function, inst: &IdiomInstance) -> Result<()> {
             f.display_name(v)
         )));
     }
+    // Restrict-model legality (§6.3): the region must be pure outside the
+    // memory objects the instance reports — every live load rooted at a
+    // reported input (or output), every store at a reported output.
+    let reads: Vec<ValueId> = inst
+        .bindings
+        .iter()
+        .filter(|(k, _)| k.ends_with(".base_pointer") || k.as_str() == "bins")
+        .map(|(_, &v)| v)
+        .collect();
+    let writes: Vec<ValueId> = match inst.kind {
+        IdiomKind::Reduction => vec![],
+        IdiomKind::Histogram => vec![bind(inst, "bins")?],
+        IdiomKind::Stencil1D | IdiomKind::Stencil2D => vec![bind(inst, "write.base_pointer")?],
+        IdiomKind::Spmv | IdiomKind::Gemm => vec![bind(inst, "output.base_pointer")?],
+    };
+    analysis::check_region_purity(f, &inst.blocks, &reads, &writes)
+        .map_err(|e| XformError::Unsound(e.to_string()))?;
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory of
 //! this ASPLOS'18 reproduction.
 
+pub use analysis;
 pub use baselines;
 pub use benchsuite;
 pub use corpus;

@@ -9,10 +9,20 @@ use idiomatch::idioms::{self, DetectOptions};
 use proptest::prelude::*;
 
 /// The compatibility slow path: identical constraint compilation and
-/// solving, no skeleton prepass.
+/// solving, no skeleton prepass, no fingerprint pruning.
 fn compat() -> DetectOptions {
     DetectOptions {
         skeleton_prepass: false,
+        fingerprint_prepass: false,
+        ..DetectOptions::default()
+    }
+}
+
+/// The skeleton cache alone: fingerprint pruning off, so any divergence
+/// between this and the default isolates the pruning pass.
+fn no_fingerprint() -> DetectOptions {
+    DetectOptions {
+        fingerprint_prepass: false,
         ..DetectOptions::default()
     }
 }
@@ -41,6 +51,19 @@ fn suite_detection_matches_the_compat_slow_path_byte_identically() {
                 slow.skeleton_steps, 0,
                 "slow path must not prepay skeletons"
             );
+            assert_eq!(slow.pruned_pairs, 0, "compat path must not prune");
+            let unpruned = idioms::detect_with(f, &no_fingerprint());
+            assert_eq!(
+                fast.instances, unpruned.instances,
+                "{}::{}: fingerprint pruning changed detection output",
+                b.name, f.name
+            );
+            assert!(
+                fast.steps <= unpruned.steps,
+                "{}::{}: pruning must never add solver work",
+                b.name,
+                f.name
+            );
         }
     }
 }
@@ -62,6 +85,36 @@ proptest! {
             let slow = idioms::detect_with(f, &compat());
             prop_assert!(fast.complete && slow.complete, "{}", f.name);
             prop_assert_eq!(&fast.instances, &slow.instances, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn progen_detection_is_identical_with_and_without_fingerprint_pruning(
+        seed in 0u64..500
+    ) {
+        // Requirement signatures are *necessary* conditions: pruning an
+        // idiom×function pair must never lose an instance. Both runs keep
+        // the skeleton cache, so any divergence isolates the fingerprint
+        // prepass; pruned kinds must also spend zero solver steps.
+        let spec = idiomatch::progen::generate(seed);
+        let m = idiomatch::minicc::compile(&spec.render(), "prop").unwrap();
+        for f in &m.functions {
+            let pruned = idioms::detect_with(f, &DetectOptions::default());
+            let unpruned = idioms::detect_with(f, &no_fingerprint());
+            prop_assert!(pruned.complete && unpruned.complete, "{}", f.name);
+            prop_assert_eq!(&pruned.instances, &unpruned.instances, "{}", f.name);
+            prop_assert!(pruned.steps <= unpruned.steps, "{}", f.name);
+            prop_assert_eq!(unpruned.pruned_pairs, 0);
+            let zero_step_kinds = pruned
+                .steps_by_kind
+                .values()
+                .filter(|&&s| s == 0)
+                .count() as u64;
+            prop_assert!(
+                pruned.pruned_pairs <= zero_step_kinds,
+                "{}: every pruned kind must report zero steps",
+                f.name
+            );
         }
     }
 

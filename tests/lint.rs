@@ -1,0 +1,108 @@
+//! The IDL library lint gate, as a test: the shipped idiom library must
+//! stay lint-clean (CI also runs the `lint` bin), and each lint rule is
+//! exercised by a deliberately defective canary constraint so the gate
+//! itself cannot silently rot into a no-op.
+
+use idiomatch::analysis::{self, LintRule};
+use idiomatch::idioms::{self, IdiomKind};
+use idiomatch::idl;
+
+/// Parses and compiles a one-off constraint named `name` from `src`.
+fn compiled(src: &str, name: &str) -> idl::CompiledConstraint {
+    let lib = idl::parse_library(src).expect("canary IDL must parse");
+    idl::compile(&lib, name).expect("canary IDL must compile")
+}
+
+#[test]
+fn shipped_idiom_library_is_lint_clean() {
+    let compiled: Vec<&idl::CompiledConstraint> = IdiomKind::ALL
+        .iter()
+        .map(|&k| idioms::compiled(k))
+        .collect();
+    let lints = analysis::lint_constraints(&compiled);
+    assert!(
+        lints.is_empty(),
+        "shipped library must be lint-clean, got:\n{}",
+        lints
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn dead_variable_canary_fires() {
+    // {b} shares no atom with the {a} cluster: it matches independently
+    // and multiplies solutions without constraining them.
+    let c = compiled(
+        "Constraint DeadVar ( {a} is store instruction and {b} is load instruction ) End",
+        "DeadVar",
+    );
+    let lints = analysis::lint_constraint(&c);
+    assert!(
+        lints.iter().any(|l| l.rule == LintRule::DeadVariable),
+        "expected DeadVariable, got {lints:?}"
+    );
+}
+
+#[test]
+fn unsatisfiable_conjunction_canary_fires() {
+    let c = compiled(
+        "Constraint Unsat ( {a} is store instruction and {a} is load instruction ) End",
+        "Unsat",
+    );
+    let lints = analysis::lint_constraint(&c);
+    assert!(
+        lints
+            .iter()
+            .any(|l| l.rule == LintRule::UnsatisfiableConjunction),
+        "expected UnsatisfiableConjunction, got {lints:?}"
+    );
+}
+
+#[test]
+fn unreachable_or_branch_canary_fires() {
+    // Second branch contradicts the conjunctive context it inherits.
+    let c = compiled(
+        "Constraint DeadBranch ( {a} is store instruction and \
+         ( {a} is an instruction or {a} is load instruction ) ) End",
+        "DeadBranch",
+    );
+    let lints = analysis::lint_constraint(&c);
+    assert!(
+        lints
+            .iter()
+            .any(|l| l.rule == LintRule::UnreachableOrBranch),
+        "expected UnreachableOrBranch, got {lints:?}"
+    );
+}
+
+#[test]
+fn duplicate_or_branch_canary_fires() {
+    let c = compiled(
+        "Constraint Dup ( {a} is load instruction or {a} is load instruction ) End",
+        "Dup",
+    );
+    let lints = analysis::lint_constraint(&c);
+    assert!(
+        lints.iter().any(|l| l.rule == LintRule::DuplicateOrBranch),
+        "expected DuplicateOrBranch, got {lints:?}"
+    );
+}
+
+#[test]
+fn shadowed_constraint_canary_fires() {
+    let src = "Constraint First ( {a} is store instruction ) End\n\
+               Constraint Second ( {x} is store instruction ) End";
+    let lib = idl::parse_library(src).unwrap();
+    let a = idl::compile(&lib, "First").unwrap();
+    let b = idl::compile(&lib, "Second").unwrap();
+    let lints = analysis::lint_constraints(&[&a, &b]);
+    assert!(
+        lints
+            .iter()
+            .any(|l| l.rule == LintRule::ShadowedConstraint && l.constraint == "Second"),
+        "expected ShadowedConstraint on Second, got {lints:?}"
+    );
+}

@@ -7,8 +7,32 @@
 //! load comes from a reported input (or output, for read-modify-write
 //! idioms), and every call is a pure math intrinsic.
 
-use ssair::{BlockId, Function, Opcode, ValueId};
+use crate::depend::{classify_alias, disjoint_across, AliasClass, ParamAliasFacts};
+use ssair::analysis::{AffineMap, Analyses};
+use ssair::{BlockId, Function, Opcode, ValueId, ValueKind};
 use std::collections::BTreeSet;
+
+/// What kind of memory object a base pointer names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryBase {
+    /// The `index`-th formal parameter — a caller-owned object.
+    Param(usize),
+    /// A function-local `alloca` — storage no parameter can alias.
+    Alloca,
+    /// Anything else (a loaded pointer, a call result, a constant): not
+    /// a named object, so the restrict model cannot speak about it.
+    Unknown,
+}
+
+/// Classifies the object a (rooted) base pointer names.
+#[must_use]
+pub fn classify_base(f: &Function, v: ValueId) -> MemoryBase {
+    match &f.value(v).kind {
+        ValueKind::Argument { index } => MemoryBase::Param(*index),
+        ValueKind::Instr(i) if i.opcode == Opcode::Alloca => MemoryBase::Alloca,
+        _ => MemoryBase::Unknown,
+    }
+}
 
 /// Why a region failed the static legality check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,7 +135,7 @@ pub fn check_region_purity(
     reads: &[ValueId],
     writes: &[ValueId],
 ) -> Result<(), LegalityError> {
-    let named = |v: ValueId| !f.is_instruction(v) || f.opcode(v) == Some(Opcode::Alloca);
+    let named = |v: ValueId| classify_base(f, v) != MemoryBase::Unknown;
     let read_roots: BTreeSet<ValueId> = reads.iter().map(|&v| address_root(f, v)).collect();
     let write_roots: BTreeSet<ValueId> = writes.iter().map(|&v| address_root(f, v)).collect();
     for &r in read_roots.iter().chain(write_roots.iter()) {
@@ -155,4 +179,178 @@ pub fn check_region_purity(
         }
     }
     Ok(())
+}
+
+/// The strength of a legality verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VerdictKind {
+    /// Every base-pointer pair the replacement relies on is proven
+    /// disjoint (or provably per-iteration disjoint on a shared base).
+    Proven,
+    /// Sound only under the restrict-parameter assumption for at least
+    /// one pair.
+    AssumedRestrict,
+    /// The region must not be replaced: a write overlaps memory it
+    /// cannot be proven (or assumed) disjoint from, or the region is
+    /// impure outside its reported objects.
+    Rejected,
+}
+
+impl VerdictKind {
+    /// The stable wire name used in BENCH artifacts.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerdictKind::Proven => "proven",
+            VerdictKind::AssumedRestrict => "assumed_restrict",
+            VerdictKind::Rejected => "rejected",
+        }
+    }
+}
+
+/// An evidence-carrying replacement-legality verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegalityVerdict {
+    /// The overall strength.
+    pub kind: VerdictKind,
+    /// One line per fact: proofs, assumptions, or the rejection reason.
+    pub evidence: Vec<String>,
+}
+
+impl LegalityVerdict {
+    fn rejected(reason: String) -> LegalityVerdict {
+        LegalityVerdict {
+            kind: VerdictKind::Rejected,
+            evidence: vec![reason],
+        }
+    }
+}
+
+/// Judges the legality of replacing `blocks` given the instance's
+/// reported `reads` and `writes` base pointers: purity first (as
+/// [`check_region_purity`]), then every write-object pair is classified —
+/// distinct objects must be proven or assumed disjoint, and a base both
+/// written and read must have its store/load pairs proven per-iteration
+/// disjoint across the loop of `outer_iv` (or be a same-address
+/// read-modify-write, the accumulating-idiom shape).
+///
+/// `facts` (module-wide call-site alias facts) upgrades parameter pairs
+/// from assumption to proof, or rejects pairs a call site shows aliased.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn check_region_legality(
+    f: &Function,
+    an: &Analyses,
+    map: &AffineMap,
+    blocks: &[BlockId],
+    reads: &[ValueId],
+    writes: &[ValueId],
+    outer_iv: Option<ValueId>,
+    facts: Option<&ParamAliasFacts>,
+) -> LegalityVerdict {
+    if let Err(e) = check_region_purity(f, blocks, reads, writes) {
+        return LegalityVerdict::rejected(e.to_string());
+    }
+    let read_roots: BTreeSet<ValueId> = reads.iter().map(|&v| address_root(f, v)).collect();
+    let write_roots: BTreeSet<ValueId> = writes.iter().map(|&v| address_root(f, v)).collect();
+    let mut evidence = Vec::new();
+    let mut kind = VerdictKind::Proven;
+    if write_roots.is_empty() {
+        return LegalityVerdict {
+            kind,
+            evidence: vec!["store-free region: no write can overlap anything".into()],
+        };
+    }
+    let name = |v: ValueId| f.display_name(v);
+    // Distinct-object pairs: every written base against every other base.
+    for &w in &write_roots {
+        for &o in read_roots.iter().chain(write_roots.iter()) {
+            if o == w {
+                continue;
+            }
+            match classify_alias(f, facts, w, o) {
+                AliasClass::NoAliasProven => {
+                    evidence.push(format!("{} and {} are provably distinct", name(w), name(o)));
+                }
+                AliasClass::NoAliasAssumed => {
+                    kind = kind.max(VerdictKind::AssumedRestrict);
+                    evidence.push(format!(
+                        "assumed restrict: {} vs {} (no call-site proof)",
+                        name(w),
+                        name(o)
+                    ));
+                }
+                AliasClass::MustAlias => {
+                    return LegalityVerdict::rejected(format!(
+                        "{} and {} name the same object at a call site",
+                        name(w),
+                        name(o)
+                    ));
+                }
+                AliasClass::MayAlias => {
+                    return LegalityVerdict::rejected(format!(
+                        "{} and {} may overlap and no proof applies",
+                        name(w),
+                        name(o)
+                    ));
+                }
+            }
+        }
+        // Same-base read/write overlap: every store to `w` against every
+        // live load from `w`.
+        if !read_roots.contains(&w) {
+            continue;
+        }
+        let mut stores: Vec<ValueId> = Vec::new();
+        let mut loads: Vec<ValueId> = Vec::new();
+        for &b in blocks {
+            for &v in &f.block(b).instrs {
+                let Some(i) = f.instr(v) else { continue };
+                match i.opcode {
+                    Opcode::Load if address_root(f, i.operands[0]) == w => loads.push(v),
+                    Opcode::Store if address_root(f, i.operands[1]) == w => stores.push(v),
+                    _ => {}
+                }
+            }
+        }
+        let loop_idx = outer_iv.and_then(|iv| map.iv(iv)).map(|i| i.loop_idx);
+        for &st in &stores {
+            let sp = f.instr(st).expect("store instr").operands[1];
+            for &ld in &loads {
+                let lp = f.instr(ld).expect("load instr").operands[0];
+                if lp == sp {
+                    // Same-address read-modify-write: the accumulating
+                    // idiom shape, legal by the idiom's own semantics.
+                    evidence.push(format!(
+                        "{} and {} form a same-address read-modify-write",
+                        name(st),
+                        name(ld)
+                    ));
+                    continue;
+                }
+                let proven = loop_idx.is_some_and(|li| {
+                    match (map.address_of(f, sp), map.address_of(f, lp)) {
+                        (Some(a), Some(b)) => disjoint_across(f, an, map, li, &a.index, &b.index),
+                        _ => false,
+                    }
+                });
+                if proven {
+                    evidence.push(format!(
+                        "{} and {} on {} are per-iteration disjoint",
+                        name(st),
+                        name(ld),
+                        name(w)
+                    ));
+                } else {
+                    return LegalityVerdict::rejected(format!(
+                        "write region of {} overlaps its read region ({} vs {})",
+                        name(w),
+                        name(st),
+                        name(ld)
+                    ));
+                }
+            }
+        }
+    }
+    LegalityVerdict { kind, evidence }
 }

@@ -13,14 +13,28 @@
 //!   shadowed idiom definitions.
 //! * [`legality`] — the restrict-parameter side-effect summary used to
 //!   verify, before a replacement commits, that a detected region is
-//!   pure outside its reported reads and writes.
+//!   pure outside its reported reads and writes — upgraded to an
+//!   evidence-carrying [`LegalityVerdict`] (proven / assumed-restrict /
+//!   rejected) by the dependence layer.
+//! * [`depend`] — affine dependence testing (ZIV/SIV/GCD/delinearized)
+//!   and alias classification over the SCEV-lite forms of
+//!   `ssair::analysis::AffineMap`, producing the per-region
+//!   [`SafetyCertificate`] a parallel executor consumes.
 
+pub mod depend;
 pub mod fingerprint;
 pub mod legality;
 pub mod lint;
 pub mod requirements;
 
+pub use depend::{
+    classify_alias, classify_region, disjoint_across, AliasClass, ParallelSafety, ParamAliasFacts,
+    SafetyCertificate,
+};
 pub use fingerprint::FunctionFingerprint;
-pub use legality::{check_region_purity, region_memory_summary, LegalityError, RegionSummary};
+pub use legality::{
+    check_region_legality, check_region_purity, classify_base, region_memory_summary,
+    LegalityError, LegalityVerdict, MemoryBase, RegionSummary, VerdictKind,
+};
 pub use lint::{lint_constraint, lint_constraints, Lint, LintRule};
 pub use requirements::IdiomRequirements;

@@ -26,6 +26,12 @@ pub enum LintRule {
     /// Two library constraints with identical coarse signatures — the
     /// later one can never add detections over the earlier one.
     ShadowedConstraint,
+    /// A write base pointer with no `is not the same as` atom against
+    /// some read base pointer of the same constraint: the idiom can
+    /// match a region whose output array is one of its inputs, leaving
+    /// the replacement's soundness to rest entirely on the downstream
+    /// legality gate instead of the match itself.
+    UnprovenWriteAlias,
 }
 
 /// One diagnostic.
@@ -50,9 +56,90 @@ impl std::fmt::Display for Lint {
 pub fn lint_constraint(c: &CompiledConstraint) -> Vec<Lint> {
     let mut out = Vec::new();
     dead_variables(c, &mut out);
+    unproven_write_alias(c, &mut out);
     let mut ctx: Vec<&Atom> = Vec::new();
     contexts(c, &c.tree, true, &mut ctx, &mut out);
     out
+}
+
+/// Base-pointer distinctness audit. Write bases are identified by the
+/// binding convention the transform driver keys on (`write.base_pointer`,
+/// `output.base_pointer`, `bins`); every other variable named
+/// `*.base_pointer` is a read base. For each write/read pair the
+/// constraint must either assert `is not the same as` between them
+/// (directly or through chains of positive `is the same as` atoms), or
+/// deliberately equate them (a read-modify-write on one array, like the
+/// histogram bins) — anything else is a match that admits aliased
+/// arrays without saying so.
+fn unproven_write_alias(c: &CompiledConstraint, out: &mut Vec<Lint>) {
+    let mut atoms = Vec::new();
+    deep_atoms(&c.tree, &mut atoms);
+    // All ids any atom mentions (collect-instance bindings included —
+    // the stencil read bases only exist inside `collect` bodies).
+    let ids: std::collections::BTreeSet<VarId> =
+        atoms.iter().flat_map(|a| a.vars.iter().copied()).collect();
+    let is_write = |n: &str| n == "write.base_pointer" || n == "output.base_pointer" || n == "bins";
+    let writes: Vec<VarId> = ids
+        .iter()
+        .copied()
+        .filter(|&v| is_write(c.var_name(v)))
+        .collect();
+    let reads: Vec<VarId> = ids
+        .iter()
+        .copied()
+        .filter(|&v| {
+            let n = c.var_name(v);
+            n.ends_with(".base_pointer") && !is_write(n)
+        })
+        .collect();
+    if writes.is_empty() || reads.is_empty() {
+        return;
+    }
+    // Equality classes under the positive `is the same as` atoms.
+    let mut parent: BTreeMap<VarId, VarId> = BTreeMap::new();
+    fn find(parent: &BTreeMap<VarId, VarId>, mut v: VarId) -> VarId {
+        while let Some(&p) = parent.get(&v) {
+            if p == v {
+                break;
+            }
+            v = p;
+        }
+        v
+    }
+    for a in &atoms {
+        if a.kind == (AtomKind::Same { negated: false }) {
+            let (ra, rb) = (find(&parent, a.vars[0]), find(&parent, a.vars[1]));
+            if ra != rb {
+                parent.insert(ra.max(rb), ra.min(rb));
+            }
+        }
+    }
+    for &w in &writes {
+        for &r in &reads {
+            let (cw, cr) = (find(&parent, w), find(&parent, r));
+            if cw == cr {
+                continue; // deliberate read-modify-write aliasing
+            }
+            let separated = atoms.iter().any(|a| {
+                a.kind == (AtomKind::Same { negated: true }) && {
+                    let (x, y) = (find(&parent, a.vars[0]), find(&parent, a.vars[1]));
+                    (x == cw && y == cr) || (x == cr && y == cw)
+                }
+            });
+            if !separated {
+                out.push(Lint {
+                    constraint: c.name.clone(),
+                    rule: LintRule::UnprovenWriteAlias,
+                    message: format!(
+                        "no `is not the same as` atom separates write base {{{}}} \
+                         from read base {{{}}}",
+                        c.var_name(w),
+                        c.var_name(r)
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Lints a whole library of compiled constraints, adding the
@@ -288,4 +375,68 @@ fn conflict(c: &CompiledConstraint, atoms: &[&Atom], new_start: usize) -> Option
         }
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> CompiledConstraint {
+        let lib = idl::parse_library(src).expect("test constraint parses");
+        idl::compile(&lib, "T").expect("test constraint compiles")
+    }
+
+    fn write_alias_lints(src: &str) -> Vec<Lint> {
+        lint_constraint(&compile(src))
+            .into_iter()
+            .filter(|l| l.rule == LintRule::UnprovenWriteAlias)
+            .collect()
+    }
+
+    const BASE: &str = "Constraint T
+( {s} is store instruction and
+  {l} is load instruction and
+  {l} dominates {s} and
+  {output.base_pointer} is first argument of {s} and
+  {in.base_pointer} is first argument of {l}EXTRA )
+End";
+
+    #[test]
+    fn missing_distinctness_atom_is_flagged() {
+        let lints = write_alias_lints(&BASE.replace("EXTRA", ""));
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert!(lints[0].message.contains("output.base_pointer"));
+        assert!(lints[0].message.contains("in.base_pointer"));
+    }
+
+    #[test]
+    fn direct_distinctness_atom_silences_the_rule() {
+        let src = BASE.replace(
+            "EXTRA",
+            " and\n  {output.base_pointer} is not the same as {in.base_pointer}",
+        );
+        assert!(write_alias_lints(&src).is_empty());
+    }
+
+    #[test]
+    fn distinctness_through_an_equality_chain_counts() {
+        // `in.base_pointer = x` and `output ≠ x` separates the classes.
+        let src = BASE.replace(
+            "EXTRA",
+            " and\n  {in.base_pointer} is the same as {x} and\n  \
+             {output.base_pointer} is not the same as {x}",
+        );
+        assert!(write_alias_lints(&src).is_empty());
+    }
+
+    #[test]
+    fn deliberate_read_modify_write_is_tolerated() {
+        // Positively equating the bases (the histogram-bins shape) is a
+        // conscious aliasing decision, not an unproven one.
+        let src = BASE.replace(
+            "EXTRA",
+            " and\n  {output.base_pointer} is the same as {in.base_pointer}",
+        );
+        assert!(write_alias_lints(&src).is_empty());
+    }
 }

@@ -64,6 +64,24 @@ fn main() {
     debug_assert_eq!(steps_by_idiom.len(), IdiomKind::ALL.len());
     let steps_pairs: Vec<(&str, u64)> = steps_by_idiom.iter().map(|(&k, &v)| (k, v)).collect();
     let steps_raw = nested_object(&steps_pairs);
+    // Provisional (per-function) parallel-safety certificate mix across
+    // every detected instance — deterministic, so drift-guarded.
+    let mut cert_counts: std::collections::BTreeMap<idioms::ParallelSafety, u64> =
+        Default::default();
+    for d in &detections {
+        for (safety, n) in d.certificate_counts() {
+            *cert_counts.entry(safety).or_default() += n;
+        }
+    }
+    let cert_pairs: Vec<(&str, u64)> = [
+        idioms::ParallelSafety::IndependentIterations,
+        idioms::ParallelSafety::ReductionOnly,
+        idioms::ParallelSafety::Serial,
+    ]
+    .iter()
+    .map(|s| (s.as_str(), cert_counts.get(s).copied().unwrap_or(0)))
+    .collect();
+    let certs_raw = nested_object(&cert_pairs);
 
     let stable = |passes: usize,
                   mean_ms: f64,
@@ -76,6 +94,7 @@ fn main() {
             .stable("bench", Json::S("detect_all_21_benchmarks".into()))
             .stable("functions", Json::U(fs.len() as u64))
             .stable("instances", Json::U(instances as u64))
+            .stable("certificates", certs_raw.clone())
             .volatile("passes", Json::U(passes as u64))
             .volatile("mean_ms", Json::F(mean_ms, 3))
             .volatile("min_ms", Json::F(min_ms, 3))

@@ -33,12 +33,17 @@ const SMOKE_COUNT: usize = 500;
 fn summarize(summary: &RunSummary, source: &Source, cfg: &RunConfig) -> Report {
     let recs = &summary.records;
     let mut by_kind: std::collections::BTreeMap<&str, u64> = Default::default();
+    let mut by_cert: std::collections::BTreeMap<&str, u64> = Default::default();
     for r in recs {
         for (k, v) in &r.instances {
             *by_kind.entry(k.as_str()).or_default() += v;
         }
+        for (k, v) in &r.certificates {
+            *by_cert.entry(k.as_str()).or_default() += v;
+        }
     }
     let kind_pairs: Vec<(&str, u64)> = by_kind.into_iter().collect();
+    let cert_pairs: Vec<(&str, u64)> = by_cert.into_iter().collect();
     let tax_pairs: Vec<(&str, u64)> = summary
         .taxonomy()
         .into_iter()
@@ -56,6 +61,9 @@ fn summarize(summary: &RunSummary, source: &Source, cfg: &RunConfig) -> Report {
         .stable("instances_by_kind", nested_object(&kind_pairs))
         .stable("detected", Json::U(sum(|r| r.detected)))
         .stable("replaced", Json::U(sum(|r| r.replaced)))
+        .stable("legality_proven", Json::U(sum(|r| r.legality_proven)))
+        .stable("legality_assumed", Json::U(sum(|r| r.legality_assumed)))
+        .stable("certificates", nested_object(&cert_pairs))
         .stable("planted", Json::U(sum(|r| r.planted)))
         .stable("planted_hit", Json::U(sum(|r| r.planted_hit)))
         .stable("false_positives", Json::U(sum(|r| r.false_positives)))
@@ -157,7 +165,11 @@ fn main() {
             .records
             .iter()
             .filter(|r| {
-                r.outcome != Taxonomy::Ok || r.planted_hit != r.planted || r.false_positives > 0
+                r.outcome != Taxonomy::Ok
+                    || r.planted_hit != r.planted
+                    || r.false_positives > 0
+                    || r.legality_proven + r.legality_assumed != r.replaced
+                    || r.certificates.values().sum::<u64>() != r.replaced
             })
             .collect();
         if !bad.is_empty() {

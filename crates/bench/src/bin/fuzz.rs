@@ -24,6 +24,9 @@ fn failure_class(f: &Failure) -> &'static str {
     match f {
         Failure::Compile(_) => "compile",
         Failure::Truncated { .. } => "truncated",
+        Failure::InvalidIr { .. } => "invalid_ir",
+        Failure::AdversaryCertified { .. } => "adversary_certified",
+        Failure::ReversalDiverged(_) => "reversal_diverged",
         Failure::MissedPlant { .. } => "missed_plant",
         Failure::NotReplaced { .. } => "not_replaced",
         Failure::FalsePositive { .. } => "false_positive",
@@ -51,6 +54,9 @@ fn report_failure(spec: &Spec, failure: &Failure, canary: Canary) {
         Failure::MissedPlant { .. }
             | Failure::FalsePositive { .. }
             | Failure::NotReplaced { .. }
+            | Failure::InvalidIr { .. }
+            | Failure::AdversaryCertified { .. }
+            | Failure::ReversalDiverged(_)
             | Failure::Validation(_)
     );
     let dir = std::path::Path::new("tests/corpus");
@@ -100,6 +106,7 @@ fn main() {
     let mut near_misses = 0u64;
     let mut detected = 0u64;
     let mut replaced = 0u64;
+    let mut reversal_checked = 0u64;
     let mut solve_steps = 0u64;
     let mut detect_s = 0f64;
     let mut detect_replace_s = 0f64;
@@ -114,6 +121,7 @@ fn main() {
                 planted_ok += c.planted as u64;
                 detected += c.detected as u64;
                 replaced += c.replaced as u64;
+                reversal_checked += c.reversal_checked as u64;
                 solve_steps += c.solve_steps;
                 detect_s += c.detect_s;
                 detect_replace_s += c.detect_replace_s;
@@ -144,6 +152,15 @@ fn main() {
         .stable("replaced", Json::U(replaced))
         .stable("missed_plants", Json::U(count_class("missed_plant")))
         .stable("false_positives", Json::U(count_class("false_positive")))
+        .stable(
+            "adversary_certified",
+            Json::U(count_class("adversary_certified")),
+        )
+        .stable("reversal_checked", Json::U(reversal_checked))
+        .stable(
+            "reversal_diverged",
+            Json::U(count_class("reversal_diverged")),
+        )
         .stable("validation_failures", Json::U(count_class("validation")))
         .stable(
             "other_failures",
@@ -151,6 +168,8 @@ fn main() {
                 failures.len() as u64
                     - count_class("missed_plant")
                     - count_class("false_positive")
+                    - count_class("adversary_certified")
+                    - count_class("reversal_diverged")
                     - count_class("validation"),
             ),
         )

@@ -18,7 +18,10 @@ fn main() {
     let path = std::env::args().nth(1);
     let owned: Vec<idl::CompiledConstraint>;
     let compiled: Vec<&idl::CompiledConstraint> = match &path {
-        None => IdiomKind::ALL.iter().map(|&k| idioms::compiled(k)).collect(),
+        None => IdiomKind::ALL
+            .iter()
+            .map(|&k| idioms::compiled(k))
+            .collect(),
         Some(p) => {
             let src = std::fs::read_to_string(p).unwrap_or_else(|e| {
                 eprintln!("{p}: {e}");

@@ -3,11 +3,20 @@
 //! seeded inputs) for every benchmark and writes `BENCH_replace.json` —
 //! the replacement-side companion of `BENCH_detect.json`.
 //!
+//! Beyond coverage, the artifact records the *legality evidence* of every
+//! applied replacement: how many regions were proven safe by the affine
+//! dependence test, how many still rest on the restrict assumption
+//! (`legality_assumed` is a shrink-only ratchet — evidence may only get
+//! stronger), how many attempts the legality gate rejected, and the
+//! parallel-safety certificate mix of the committed rewrites. Every
+//! transformed module must also pass the structural IR verifier.
+//!
 //! Usage: `cargo run --release -p idiomatch-bench --bin table_replace`
 //! (optionally `[output-path]`).
 
-use idiomatch_bench::report::{Json, Report};
+use idiomatch_bench::report::{nested_object, Json, Report};
 use idiomatch_core::ValidationError;
+use idioms::ParallelSafety;
 use xform::{Outcome, XformError};
 
 struct Row {
@@ -17,6 +26,8 @@ struct Row {
     unsupported: usize,
     unsound: usize,
     shadowed: usize,
+    proven: usize,
+    assumed: usize,
     validated: bool,
     failure: Option<ValidationError>,
 }
@@ -28,10 +39,20 @@ fn main() {
     let seeds = benchsuite::VALIDATION_SEEDS;
 
     let mut rows: Vec<Row> = Vec::new();
+    let mut rejected = 0u64;
+    let mut cert_counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut verify_failures = 0u64;
     for b in benchsuite::all() {
         let module = minicc::compile(b.source, b.name).expect("bundled benchmark compiles");
         let report =
             idiomatch_core::transform_and_validate_module(&module, b.entry, b.setup, &seeds);
+        if let Err(errors) = ssair::verify::verify_module(&report.xform.module) {
+            verify_failures += 1;
+            for e in &errors {
+                eprintln!("{}: IR VERIFICATION FAILED: {e}", b.name);
+            }
+        }
         let mut row = Row {
             name: b.name,
             detected: report.xform.outcomes.len(),
@@ -39,15 +60,34 @@ fn main() {
             unsupported: 0,
             unsound: 0,
             shadowed: 0,
+            proven: 0,
+            assumed: 0,
             validated: report.validation.is_ok(),
             failure: report.validation.err(),
         };
         for o in &report.xform.outcomes {
             match &o.outcome {
-                Outcome::Replaced(_) => row.replaced += 1,
+                Outcome::Replaced(rep) => {
+                    row.replaced += 1;
+                    match rep.verdict.kind {
+                        analysis::VerdictKind::Proven => row.proven += 1,
+                        analysis::VerdictKind::AssumedRestrict => row.assumed += 1,
+                        analysis::VerdictKind::Rejected => {
+                            unreachable!("rejected verdicts never commit")
+                        }
+                    }
+                    *cert_counts
+                        .entry(rep.certificate.safety.as_str())
+                        .or_insert(0) += 1;
+                }
                 Outcome::Shadowed { .. } => row.shadowed += 1,
                 Outcome::Failed(XformError::Unsupported(_)) => row.unsupported += 1,
-                Outcome::Failed(XformError::Unsound(_)) => row.unsound += 1,
+                Outcome::Failed(XformError::Unsound(msg)) => {
+                    row.unsound += 1;
+                    if msg.starts_with("legality rejected") {
+                        rejected += 1;
+                    }
+                }
             }
         }
         rows.push(row);
@@ -57,6 +97,8 @@ fn main() {
         "benchmark",
         "detected",
         "replaced",
+        "proven",
+        "assumed",
         "unsupported",
         "unsound",
         "shadowed",
@@ -69,6 +111,8 @@ fn main() {
                 r.name.to_owned(),
                 r.detected.to_string(),
                 r.replaced.to_string(),
+                r.proven.to_string(),
+                r.assumed.to_string(),
                 r.unsupported.to_string(),
                 r.unsound.to_string(),
                 r.shadowed.to_string(),
@@ -85,25 +129,42 @@ fn main() {
         );
     }
 
-    let totals = rows.iter().fold((0, 0, 0, 0, 0), |t, r| {
+    let totals = rows.iter().fold((0, 0, 0, 0, 0, 0, 0), |t, r| {
         (
             t.0 + r.detected,
             t.1 + r.replaced,
             t.2 + r.unsupported,
             t.3 + r.unsound,
             t.4 + r.shadowed,
+            t.5 + r.proven,
+            t.6 + r.assumed,
         )
     });
     let failures = rows.iter().filter(|r| !r.validated).count();
+    let certs: Vec<(&str, u64)> = [
+        ParallelSafety::IndependentIterations,
+        ParallelSafety::ReductionOnly,
+        ParallelSafety::Serial,
+    ]
+    .iter()
+    .map(|s| {
+        (
+            s.as_str(),
+            cert_counts.get(s.as_str()).copied().unwrap_or(0),
+        )
+    })
+    .collect();
 
     // Everything in this artifact is deterministic, so every field is
-    // stable (CI additionally pins the whole file via `git diff`).
+    // stable (CI additionally pins the whole file via `git diff`) —
+    // except `legality_assumed`, a shrink-only ratchet: replacements may
+    // migrate from assumed-restrict to proven, never back.
     let bench_json: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    {{\"name\": \"{}\", \"detected\": {}, \"replaced\": {}, \"unsupported\": {}, \"unsound\": {}, \"shadowed\": {}, \"validated\": {}}}",
-                r.name, r.detected, r.replaced, r.unsupported, r.unsound, r.shadowed, r.validated
+                "    {{\"name\": \"{}\", \"detected\": {}, \"replaced\": {}, \"proven\": {}, \"assumed\": {}, \"unsupported\": {}, \"unsound\": {}, \"shadowed\": {}, \"validated\": {}}}",
+                r.name, r.detected, r.replaced, r.proven, r.assumed, r.unsupported, r.unsound, r.shadowed, r.validated
             )
         })
         .collect();
@@ -116,13 +177,18 @@ fn main() {
         .stable("unsupported", Json::U(totals.2 as u64))
         .stable("unsound", Json::U(totals.3 as u64))
         .stable("shadowed", Json::U(totals.4 as u64))
+        .stable("legality_proven", Json::U(totals.5 as u64))
+        .bounded_up("legality_assumed", totals.6 as u64, 0.0)
+        .stable("legality_rejected", Json::U(rejected))
+        .stable("certificates", nested_object(&certs))
+        .stable("verify_failures", Json::U(verify_failures))
         .stable("validation_failures", Json::U(failures as u64))
         .stable(
             "benchmarks",
             Json::Raw(format!("[\n{}\n  ]", bench_json.join(",\n"))),
         )
         .write(&out_path);
-    if failures > 0 {
+    if failures > 0 || verify_failures > 0 {
         std::process::exit(1);
     }
 }

@@ -227,17 +227,38 @@ pub fn analyze(b: &benchsuite::Benchmark) -> Analysis {
     }
 }
 
+/// The weakest parallel-safety class among `a`'s instances of the
+/// dominant idiom kind — the certificate the whole offloaded region must
+/// honour. Defaults to serial when no instance carries a certificate for
+/// the kind (nothing is provable about an unseen region).
+#[must_use]
+pub fn region_safety(a: &Analysis) -> idioms::ParallelSafety {
+    let Some(kind) = a.dominant_kind else {
+        return idioms::ParallelSafety::Serial;
+    };
+    a.instances
+        .iter()
+        .filter(|i| i.kind == kind)
+        .map(|i| i.certificate.safety)
+        .max() // ParallelSafety orders weakest-last: Serial > ReductionOnly
+        .unwrap_or(idioms::ParallelSafety::Serial)
+}
+
 /// End-to-end speedup (Figure 18) on `platform`: idiom regions run on the
 /// modeled device under the best applicable API, the rest stays
-/// sequential (Amdahl).
+/// sequential (Amdahl). The region's parallel-safety certificate is a
+/// hard gate — a serial-certified region is never offered a parallel
+/// host, no matter the modeled speedup.
 #[must_use]
 pub fn speedup_on(a: &Analysis, platform: Platform, lazy_copy: bool) -> Option<(hetero::Api, f64)> {
     let kind = a.dominant_kind?;
+    let safety = region_safety(a);
     let (api, kernel_ms) = hetero::Api::AUTO
         .iter()
         .filter(|&&api| a.halide_ok || api != hetero::Api::Halide)
         .filter_map(|&api| {
-            hetero::kernel_time_ms(api, platform, kind, &a.workload, lazy_copy).map(|t| (api, t))
+            hetero::kernel_time_ms_certified(api, platform, kind, &a.workload, lazy_copy, safety)
+                .map(|t| (api, t))
         })
         .min_by(|x, y| x.1.total_cmp(&y.1))?;
     let rest_ms = a.sequential_ms - a.idiom_ms;
@@ -514,6 +535,64 @@ pub fn validate_transform(
     })
 }
 
+/// What the reversed-iteration oracle covered for one module.
+#[derive(Debug, Clone, Default)]
+pub struct ReversalOracle {
+    /// Regions whose reversed run compared bitwise-equal.
+    pub checked: usize,
+    /// Regions the loop rewriter refused, with the reason — a coverage
+    /// gap, never a verdict.
+    pub skipped: Vec<(String, String)>,
+}
+
+/// Dynamically witnesses `IndependentIterations` certificates: for every
+/// instance whose region still classifies as independent under
+/// module-wide call-site alias facts (the same refinement the transform
+/// driver applies), the *original* module is re-run with that loop's
+/// iterations reversed ([`xform::reverse_loop`]) and the final machine
+/// state compared bitwise against the forward run. Independent
+/// iterations commute exactly — even in floating point — so any
+/// divergence convicts the certificate.
+///
+/// Regions certified `ReductionOnly` or `Serial` are out of scope (their
+/// iterations do not claim to commute), as are loop shapes the rewriter
+/// refuses; both are reported, not failed.
+///
+/// # Errors
+/// The first divergence or execution failure, as a [`ValidationError`].
+pub fn check_reversal_oracle(
+    module: &Module,
+    instances: &[IdiomInstance],
+    entry: &str,
+    setup: impl Fn(&mut Memory, u64) -> Vec<Value>,
+    seeds: &[u64],
+) -> Result<ReversalOracle, ValidationError> {
+    let facts = analysis::ParamAliasFacts::of_module(module);
+    let mut oracle = ReversalOracle::default();
+    for inst in instances {
+        let Some(iv) = inst.value(inst.kind.outer_iterator_var()) else {
+            continue;
+        };
+        let Some(f) = module.function(&inst.function) else {
+            continue;
+        };
+        let an = ssair::analysis::Analyses::new(f);
+        let map = ssair::analysis::AffineMap::new(f, &an);
+        let cert = analysis::classify_region(f, &an, &map, &inst.blocks, iv, Some(&facts));
+        if cert.safety != idioms::ParallelSafety::IndependentIterations {
+            continue;
+        }
+        match xform::reverse::reversed_module(module, &inst.function, iv) {
+            Ok(reversed) => {
+                validate_transform(module, &reversed, entry, &setup, seeds)?;
+                oracle.checked += 1;
+            }
+            Err(reason) => oracle.skipped.push((inst.function.clone(), reason)),
+        }
+    }
+    Ok(oracle)
+}
+
 /// Whole-module transformation plus differential validation: detects all
 /// idiom instances, applies every non-overlapping replacement
 /// ([`xform::transform_module`]) and validates the surviving module
@@ -577,6 +656,12 @@ pub struct PipelineOutcome {
     pub timings: PipelineTimings,
     /// The whole-module transformation result.
     pub xform: xform::ModuleXform,
+    /// Structural IR errors of the transformed module
+    /// (`ssair::verify::verify_module` over every function, generated
+    /// kernels included), checked before any fault-injection hook runs.
+    /// Always empty for a correct backend; the suite and corpus drivers
+    /// assert on it.
+    pub verify_errors: Vec<String>,
     /// The differential-validation verdict over all seeds.
     pub validation: Result<ValidationSummary, ValidationError>,
 }
@@ -655,6 +740,12 @@ pub fn run_pipeline_with(
     let t = Instant::now();
     let mut xf = xform::transform_instances(&module, instances.clone());
     let transform_s = t.elapsed().as_secs_f64();
+    // Structural check of the honest transformed module, before the
+    // fault-injection hook may deliberately damage it.
+    let verify_errors: Vec<String> = ssair::verify::verify_module(&xf.module)
+        .err()
+        .map(|es| es.iter().map(ToString::to_string).collect())
+        .unwrap_or_default();
     post_transform(&mut xf.module);
     let t = Instant::now();
     let validation = validate_transform(&module, &xf.module, entry, setup, seeds);
@@ -673,6 +764,7 @@ pub fn run_pipeline_with(
             validate_s,
         },
         xform: xf,
+        verify_errors,
         validation,
     })
 }

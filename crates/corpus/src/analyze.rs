@@ -118,7 +118,30 @@ fn run_full(
     fill_counts(&mut rec, &out.instances, out.solve_steps, expects, forbids);
     rec.pruned_pairs = out.pruned_pairs;
     rec.replaced = out.xform.replaced() as u64;
-    if let Some(f) = out.incomplete_functions.first() {
+    // Legality evidence census: every committed replacement carries a
+    // verdict (rejections abort the rewrite, so only Proven /
+    // AssumedRestrict appear here) and a parallel-safety certificate.
+    for o in &out.xform.outcomes {
+        if let xform::Outcome::Replaced(r) = &o.outcome {
+            match r.verdict.kind {
+                analysis::VerdictKind::Proven => rec.legality_proven += 1,
+                analysis::VerdictKind::AssumedRestrict => rec.legality_assumed += 1,
+                analysis::VerdictKind::Rejected => {
+                    unreachable!("a rejected verdict never commits a replacement")
+                }
+            }
+            *rec.certificates
+                .entry(r.certificate.safety.as_str().to_owned())
+                .or_default() += 1;
+        }
+    }
+    if !out.verify_errors.is_empty() {
+        rec.outcome = Taxonomy::ValidationDivergence;
+        rec.detail = format!(
+            "transformed module failed the IR verifier: {}",
+            out.verify_errors.join("; ")
+        );
+    } else if let Some(f) = out.incomplete_functions.first() {
         rec.outcome = Taxonomy::Truncated;
         rec.detail = format!("solver budget exhausted in {f}");
     } else {
@@ -210,6 +233,16 @@ mod tests {
             rec.instances.values().sum::<u64>(),
             rec.detected,
             "census sums to the detected total"
+        );
+        assert_eq!(
+            rec.legality_proven + rec.legality_assumed,
+            rec.replaced,
+            "every committed replacement carries a verdict"
+        );
+        assert_eq!(
+            rec.certificates.values().sum::<u64>(),
+            rec.replaced,
+            "every committed replacement carries a certificate"
         );
         assert!(rec.solve_steps > 0);
     }

@@ -92,6 +92,18 @@ pub struct ModuleRecord {
     pub detected: u64,
     /// Instances actually replaced by the transformer.
     pub replaced: u64,
+    /// Replaced instances whose legality verdict was fully proven by the
+    /// dependence/alias analysis (no restrict assumption needed).
+    pub legality_proven: u64,
+    /// Replaced instances that were legal only under the
+    /// restrict-parameter assumption. Always
+    /// `legality_proven + legality_assumed == replaced` — a rejected
+    /// verdict aborts the rewrite, so it never counts as replaced.
+    pub legality_assumed: u64,
+    /// Parallel-safety certificate census over replaced instances, keyed
+    /// by the certificate wire name (`independent_iterations`,
+    /// `reduction_only`, `serial`; non-zero entries only).
+    pub certificates: BTreeMap<String, u64>,
     /// Idiom instances the corpus planted in this module by construction
     /// (progen sources and `// progen:expect` directives); 0 when the
     /// module carries no expectations.
@@ -127,6 +139,9 @@ impl ModuleRecord {
             instances: BTreeMap::new(),
             detected: 0,
             replaced: 0,
+            legality_proven: 0,
+            legality_assumed: 0,
+            certificates: BTreeMap::new(),
             planted: 0,
             planted_hit: 0,
             false_positives: 0,
@@ -140,20 +155,25 @@ impl ModuleRecord {
     /// Renders the record as one JSONL line (no trailing newline).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
-        let inst_body: Vec<String> = self
-            .instances
-            .iter()
-            .map(|(k, v)| format!("{}:{v}", escape(k)))
-            .collect();
+        let map_body = |m: &BTreeMap<String, u64>| {
+            let pairs: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("{}:{v}", escape(k)))
+                .collect();
+            pairs.join(",")
+        };
         format!(
-            "{{\"module\":{},\"shard\":{},\"outcome\":{},\"detail\":{},\"instances\":{{{}}},\"detected\":{},\"replaced\":{},\"planted\":{},\"planted_hit\":{},\"false_positives\":{},\"solve_steps\":{},\"pruned_pairs\":{},\"validated\":{},\"latency_ms\":{:.3}}}",
+            "{{\"module\":{},\"shard\":{},\"outcome\":{},\"detail\":{},\"instances\":{{{}}},\"detected\":{},\"replaced\":{},\"legality_proven\":{},\"legality_assumed\":{},\"certificates\":{{{}}},\"planted\":{},\"planted_hit\":{},\"false_positives\":{},\"solve_steps\":{},\"pruned_pairs\":{},\"validated\":{},\"latency_ms\":{:.3}}}",
             escape(&self.module),
             self.shard,
             escape(self.outcome.as_str()),
             escape(&self.detail),
-            inst_body.join(","),
+            map_body(&self.instances),
             self.detected,
             self.replaced,
+            self.legality_proven,
+            self.legality_assumed,
+            map_body(&self.certificates),
             self.planted,
             self.planted_hit,
             self.false_positives,
@@ -186,24 +206,12 @@ impl ModuleRecord {
                     outcome_seen = true;
                 }
                 "detail" => rec.detail = p.string()?,
-                "instances" => {
-                    p.expect('{')?;
-                    if !p.peek_is('}') {
-                        loop {
-                            let k = p.string()?;
-                            p.expect(':')?;
-                            let v = p.u64()?;
-                            rec.instances.insert(k, v);
-                            if !p.comma_or('}')? {
-                                break;
-                            }
-                        }
-                    } else {
-                        p.expect('}')?;
-                    }
-                }
+                "instances" => rec.instances = parse_u64_map(&mut p)?,
                 "detected" => rec.detected = p.u64()?,
                 "replaced" => rec.replaced = p.u64()?,
+                "legality_proven" => rec.legality_proven = p.u64()?,
+                "legality_assumed" => rec.legality_assumed = p.u64()?,
+                "certificates" => rec.certificates = parse_u64_map(&mut p)?,
                 "planted" => rec.planted = p.u64()?,
                 "planted_hit" => rec.planted_hit = p.u64()?,
                 "false_positives" => rec.false_positives = p.u64()?,
@@ -222,6 +230,26 @@ impl ModuleRecord {
             return Err("record missing module or outcome".into());
         }
         Ok(rec)
+    }
+}
+
+/// Parses a `{"key":u64,...}` object (the `instances` / `certificates`
+/// census maps).
+fn parse_u64_map(p: &mut Parser) -> Result<BTreeMap<String, u64>, String> {
+    let mut map = BTreeMap::new();
+    p.expect('{')?;
+    if p.peek_is('}') {
+        p.expect('}')?;
+        return Ok(map);
+    }
+    loop {
+        let k = p.string()?;
+        p.expect(':')?;
+        let v = p.u64()?;
+        map.insert(k, v);
+        if !p.comma_or('}')? {
+            return Ok(map);
+        }
     }
 }
 
@@ -422,6 +450,10 @@ mod tests {
         rec.instances.insert("Reduction".into(), 4);
         rec.detected = 5;
         rec.replaced = 5;
+        rec.legality_proven = 4;
+        rec.legality_assumed = 1;
+        rec.certificates.insert("independent_iterations".into(), 1);
+        rec.certificates.insert("reduction_only".into(), 4);
         rec.planted = 5;
         rec.planted_hit = 5;
         rec.solve_steps = 1234;
@@ -439,6 +471,7 @@ mod tests {
         let rec = ModuleRecord::empty("m.c", 0, Taxonomy::Crash, "panicked at 'boom'".into());
         let line = rec.to_jsonl();
         assert!(line.contains("\"instances\":{}"), "{line}");
+        assert!(line.contains("\"certificates\":{}"), "{line}");
         assert!(line.ends_with("\"latency_ms\":0.000}"), "{line}");
         assert_eq!(ModuleRecord::parse_jsonl(&line).unwrap(), rec);
     }

@@ -25,5 +25,6 @@ pub mod hosts;
 pub mod model;
 
 pub use model::{
-    best_configuration, kernel_time_ms, sequential_time_ms, supported, Api, Platform, Workload,
+    best_configuration, best_configuration_certified, kernel_time_ms, kernel_time_ms_certified,
+    platform_admits, sequential_time_ms, supported, Api, Platform, Workload,
 };

@@ -7,7 +7,7 @@
 //! *shape* — platform winners, crossovers, the importance of lazy copying
 //! — is what reproduces Table 3 / Figures 18-19.
 
-use idioms::IdiomKind;
+use idioms::{IdiomKind, ParallelSafety};
 use serde::Serialize;
 
 /// Execution platforms of the paper's evaluation (§7).
@@ -229,6 +229,38 @@ pub fn sequential_time_ms(cost_units: f64) -> f64 {
     cost_units / 3.7e6
 }
 
+/// Whether `platform` may legally execute a region carrying the given
+/// parallel-safety class. The GPU hosts run every work-item concurrently,
+/// so they require a certificate stronger than serial (reduction-only
+/// regions are admitted: the simulated APIs all provide tree-reduction /
+/// atomic-accumulate support). The CPU host can always fall back to
+/// in-order execution.
+#[must_use]
+pub fn platform_admits(platform: Platform, safety: ParallelSafety) -> bool {
+    match platform {
+        Platform::Cpu => true,
+        Platform::IGpu | Platform::Gpu => safety != ParallelSafety::Serial,
+    }
+}
+
+/// [`kernel_time_ms`] gated by the region's parallel-safety certificate:
+/// `None` when `platform` is not admissible for `safety`, regardless of
+/// API support.
+#[must_use]
+pub fn kernel_time_ms_certified(
+    api: Api,
+    platform: Platform,
+    kind: IdiomKind,
+    w: &Workload,
+    lazy_copy: bool,
+    safety: ParallelSafety,
+) -> Option<f64> {
+    if !platform_admits(platform, safety) {
+        return None;
+    }
+    kernel_time_ms(api, platform, kind, w, lazy_copy)
+}
+
 /// The fastest (api, time) for `kind` on `platform`, if any API applies.
 #[must_use]
 pub fn best_configuration(
@@ -241,6 +273,22 @@ pub fn best_configuration(
         .iter()
         .filter_map(|&api| kernel_time_ms(api, platform, kind, w, lazy_copy).map(|t| (api, t)))
         .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// [`best_configuration`] under the certificate gate: a serial-certified
+/// region never gets a parallel-host configuration.
+#[must_use]
+pub fn best_configuration_certified(
+    platform: Platform,
+    kind: IdiomKind,
+    w: &Workload,
+    lazy_copy: bool,
+    safety: ParallelSafety,
+) -> Option<(Api, f64)> {
+    if !platform_admits(platform, safety) {
+        return None;
+    }
+    best_configuration(platform, kind, w, lazy_copy)
 }
 
 #[cfg(test)]
@@ -332,6 +380,50 @@ mod tests {
         )
         .unwrap();
         assert!(igpu < eager, "shared memory avoids the PCIe tax");
+    }
+
+    #[test]
+    fn serial_certificates_never_reach_a_parallel_host() {
+        let w = gemm_workload();
+        for p in [Platform::IGpu, Platform::Gpu] {
+            assert!(!platform_admits(p, ParallelSafety::Serial));
+            assert!(best_configuration_certified(
+                p,
+                idioms::IdiomKind::Gemm,
+                &w,
+                true,
+                ParallelSafety::Serial
+            )
+            .is_none());
+            assert!(kernel_time_ms_certified(
+                Api::Lift,
+                p,
+                idioms::IdiomKind::Reduction,
+                &w,
+                true,
+                ParallelSafety::Serial
+            )
+            .is_none());
+        }
+        // The CPU host can always fall back to in-order execution, and
+        // reduction-only regions are admitted everywhere.
+        assert!(platform_admits(Platform::Cpu, ParallelSafety::Serial));
+        for p in Platform::ALL {
+            assert!(platform_admits(p, ParallelSafety::ReductionOnly));
+            assert!(platform_admits(p, ParallelSafety::IndependentIterations));
+        }
+        // The gated query degrades to the ungated one when admitted.
+        assert_eq!(
+            best_configuration_certified(
+                Platform::Gpu,
+                idioms::IdiomKind::Gemm,
+                &w,
+                true,
+                ParallelSafety::IndependentIterations
+            )
+            .map(|(api, _)| api),
+            Some(Api::CuBlas)
+        );
     }
 
     #[test]

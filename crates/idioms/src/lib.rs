@@ -24,8 +24,10 @@
 //!   suppressed (the dot-product loop inside a GEMM *is* a scalar
 //!   reduction, but the paper reports it as GEMM).
 
+pub use analysis::{ParallelSafety, SafetyCertificate};
 use idl::{CompiledConstraint, Library, VarId};
 use solver::{RowsOutcome, Solution, SolveOptions, SolveOutcome, Solver};
+use ssair::analysis::AffineMap;
 use ssair::{BlockId, Function, Module, ValueId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -568,6 +570,11 @@ pub struct IdiomInstance {
     /// Blocks of the outermost matched loop — the replacement region and
     /// the unit of runtime-coverage accounting.
     pub blocks: Vec<BlockId>,
+    /// The provisional parallel-safety certificate of the region
+    /// (`analysis::classify_region` with intra-function facts only — no
+    /// call-site alias facts, which need the whole module and are folded
+    /// in by the transform driver).
+    pub certificate: SafetyCertificate,
 }
 
 impl IdiomInstance {
@@ -689,6 +696,19 @@ pub struct Detection {
     pub pruned_pairs: u64,
 }
 
+impl Detection {
+    /// Instance count per parallel-safety class (the certificate census
+    /// the benchmark artifacts record).
+    #[must_use]
+    pub fn certificate_counts(&self) -> BTreeMap<ParallelSafety, u64> {
+        let mut counts = BTreeMap::new();
+        for inst in &self.instances {
+            *counts.entry(inst.certificate.safety).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
 /// Runs the full idiom library over `f` and returns deduplicated,
 /// priority-filtered instances.
 #[must_use]
@@ -721,6 +741,7 @@ pub fn detect_kinds_with(f: &Function, kinds: &[IdiomKind], opts: &DetectOptions
     };
     // The solver already computed every analysis detection needs.
     let an = solver.analyses();
+    let affine = AffineMap::new(f, an);
     let fingerprint = opts
         .fingerprint_prepass
         .then(|| analysis::FunctionFingerprint::with_loops(f, &an.loops));
@@ -748,7 +769,7 @@ pub fn detect_kinds_with(f: &Function, kinds: &[IdiomKind], opts: &DetectOptions
         steps_by_kind.insert(kind, res.steps);
         let mut seen_anchor: Vec<ValueId> = Vec::new();
         for sol in &res.solutions {
-            let Some(inst) = instance_from_solution(f, an, kind, sol) else {
+            let Some(inst) = instance_from_solution(f, an, &affine, kind, sol) else {
                 continue;
             };
             if seen_anchor.contains(&inst.anchor) {
@@ -898,6 +919,7 @@ pub fn detect_functions(fs: &[&Function], opts: &DetectOptions) -> Vec<Detection
 fn instance_from_solution(
     f: &Function,
     an: &ssair::analysis::Analyses,
+    affine: &AffineMap,
     kind: IdiomKind,
     sol: &Solution,
 ) -> Option<IdiomInstance> {
@@ -909,12 +931,14 @@ fn instance_from_solution(
         .loop_with_header(header)
         .map(|l| l.blocks.clone())
         .unwrap_or_else(|| vec![header]);
+    let certificate = analysis::classify_region(f, an, affine, &blocks, outer_iter, None);
     Some(IdiomInstance {
         kind,
         function: f.name.clone(),
         bindings: sol.bindings.clone(),
         anchor,
         blocks,
+        certificate,
     })
 }
 

@@ -87,6 +87,9 @@ pub struct Checked {
     /// Wall-clock seconds in detection + transformation (the compiler
     /// pipeline, excluding generation/lowering and validation).
     pub detect_replace_s: f64,
+    /// Independent-iterations regions whose certificate was witnessed by
+    /// the reversed-iteration oracle.
+    pub reversal_checked: usize,
     /// The differential-validation summary.
     pub validation: ValidationSummary,
 }
@@ -101,6 +104,21 @@ pub enum Failure {
     Truncated {
         /// The function whose search was cut off.
         function: String,
+    },
+    /// The transformed module failed the structural IR verifier (a
+    /// backend bug: the excision or a generated kernel is malformed).
+    InvalidIr {
+        /// The first verifier error.
+        error: String,
+    },
+    /// An adversarial function was replaced *and* certified safe for
+    /// parallel execution (the dependence analysis missed a same-object
+    /// overlap, a non-affine subscript, or call-site aliasing).
+    AdversaryCertified {
+        /// The adversarial function.
+        function: String,
+        /// The certificate that wrongly admitted it.
+        certificate: String,
     },
     /// A planted idiom was not detected (recall loss).
     MissedPlant {
@@ -125,6 +143,10 @@ pub enum Failure {
         /// The forbidden kind that was reported.
         kind: IdiomKind,
     },
+    /// A region certified `IndependentIterations` diverged when its
+    /// iterations were executed in reverse order — the certificate
+    /// claimed a commutativity the program does not have.
+    ReversalDiverged(ValidationError),
     /// The transformed program diverged from the original.
     Validation(ValidationError),
 }
@@ -136,6 +158,16 @@ impl std::fmt::Display for Failure {
             Failure::Truncated { function } => {
                 write!(f, "detection truncated in {function}")
             }
+            Failure::InvalidIr { error } => {
+                write!(f, "transformed module failed IR verification: {error}")
+            }
+            Failure::AdversaryCertified {
+                function,
+                certificate,
+            } => write!(
+                f,
+                "adversarial {function} was replaced with a parallel certificate: {certificate}"
+            ),
             Failure::MissedPlant { function, kind } => {
                 write!(f, "planted {kind:?} in {function} was not detected")
             }
@@ -147,6 +179,10 @@ impl std::fmt::Display for Failure {
             Failure::FalsePositive { function, kind } => {
                 write!(f, "near-miss {function} falsely reported as {kind:?}")
             }
+            Failure::ReversalDiverged(e) => write!(
+                f,
+                "independent-iterations certificate failed the reversed-iteration oracle: {e}"
+            ),
             Failure::Validation(e) => write!(f, "differential validation failed: {e}"),
         }
     }
@@ -162,6 +198,7 @@ pub fn check(spec: &Spec, canary: Canary) -> Result<Checked, Failure> {
         &spec.module_name(),
         &spec.expected(),
         &spec.forbidden(),
+        &spec.adversaries(),
         canary,
     )
 }
@@ -176,6 +213,7 @@ pub(crate) fn check_source(
     name: &str,
     expected: &[(String, IdiomKind)],
     forbidden: &[(String, IdiomKind)],
+    adversaries: &[String],
     canary: Canary,
 ) -> Result<Checked, Failure> {
     let out = idiomatch_core::run_pipeline_with(
@@ -193,6 +231,14 @@ pub(crate) fn check_source(
     if let Some(function) = out.incomplete_functions.first() {
         return Err(Failure::Truncated {
             function: function.clone(),
+        });
+    }
+    // The transformed module must be structurally well-formed before any
+    // semantic comparison (the verifier runs on the honest module, before
+    // the canary's deliberate tampering).
+    if let Some(error) = out.verify_errors.first() {
+        return Err(Failure::InvalidIr {
+            error: error.clone(),
         });
     }
 
@@ -244,6 +290,38 @@ pub(crate) fn check_source(
         }
     }
 
+    // Soundness: an adversary function may be detected, and may even be
+    // refused-or-serially replaced, but a replacement carrying an
+    // independent-iterations certificate means the dependence analysis
+    // proved a parallelism that does not exist.
+    for function in adversaries {
+        for o in &out.xform.outcomes {
+            let xform::Outcome::Replaced(rep) = &o.outcome else {
+                continue;
+            };
+            if &o.instance.function == function
+                && rep.certificate.safety == idioms::ParallelSafety::IndependentIterations
+            {
+                return Err(Failure::AdversaryCertified {
+                    function: function.clone(),
+                    certificate: rep.certificate.reason.clone(),
+                });
+            }
+        }
+    }
+
+    // Every surviving independent-iterations certificate is witnessed
+    // dynamically: the original program re-run with the certified loop
+    // reversed must match the forward run bitwise.
+    let reversal = idiomatch_core::check_reversal_oracle(
+        &out.module,
+        &out.instances,
+        Spec::ENTRY,
+        setup,
+        &FUZZ_SEEDS,
+    )
+    .map_err(Failure::ReversalDiverged)?;
+
     let validation = out.validation.map_err(Failure::Validation)?;
     Ok(Checked {
         functions: out.module.functions.len(),
@@ -254,6 +332,7 @@ pub(crate) fn check_source(
         solve_steps: out.solve_steps,
         detect_s: out.timings.detect_s,
         detect_replace_s: out.timings.detect_s + out.timings.transform_s,
+        reversal_checked: reversal.checked,
         validation,
     })
 }

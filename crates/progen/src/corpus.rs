@@ -33,6 +33,9 @@ pub struct CorpusCase {
     pub expects: Vec<(String, IdiomKind)>,
     /// `(function, kind)` pairs that must not be detected.
     pub forbids: Vec<(String, IdiomKind)>,
+    /// Functions that must never be replaced with an
+    /// independent-iterations certificate.
+    pub adversaries: Vec<String>,
     /// Free-text description of the original failure.
     pub note: String,
 }
@@ -54,6 +57,9 @@ pub fn to_corpus(spec: &Spec, name: &str, note: &str) -> String {
     for (f, k) in spec.forbidden() {
         out.push_str(&format!("// progen:forbid {f} {}\n", k.constraint_name()));
     }
+    for f in spec.adversaries() {
+        out.push_str(&format!("// progen:adversary {f}\n"));
+    }
     if !note.is_empty() {
         out.push_str(&format!("// progen:note {note}\n"));
     }
@@ -71,6 +77,7 @@ pub fn parse_case(text: &str) -> Result<CorpusCase, String> {
         source: text.to_owned(),
         expects: Vec::new(),
         forbids: Vec::new(),
+        adversaries: Vec::new(),
         note: String::new(),
     };
     for line in text.lines() {
@@ -84,6 +91,12 @@ pub fn parse_case(text: &str) -> Result<CorpusCase, String> {
             case.expects.push(parse_pair(spec)?);
         } else if let Some(spec) = rest.strip_prefix("forbid ") {
             case.forbids.push(parse_pair(spec)?);
+        } else if let Some(func) = rest.strip_prefix("adversary ") {
+            let func = func.trim();
+            if func.is_empty() || func.contains(char::is_whitespace) {
+                return Err(format!("expected `adversary <function>`, got {line:?}"));
+            }
+            case.adversaries.push(func.to_owned());
         } else if let Some(note) = rest.strip_prefix("note ") {
             case.note = note.to_owned();
         } else {
@@ -116,6 +129,7 @@ pub fn replay_case(case: &CorpusCase) -> Result<Checked, Failure> {
         &format!("corpus_{}", case.name),
         &case.expects,
         &case.forbids,
+        &case.adversaries,
         Canary::None,
     )
 }
@@ -132,6 +146,7 @@ mod tests {
         assert_eq!(case.name, "seed-3");
         assert_eq!(case.expects, spec.expected());
         assert_eq!(case.forbids, spec.forbidden());
+        assert_eq!(case.adversaries, spec.adversaries());
         assert_eq!(case.note, "format example");
         // Directives are comments: the file text compiles as-is.
         minicc::compile(&case.source, "t").unwrap();
@@ -141,6 +156,7 @@ mod tests {
     fn malformed_directives_are_rejected() {
         assert!(parse_case("// progen: case x\n// progen:expect f0\n").is_err());
         assert!(parse_case("// progen: case x\n// progen:expect f0 NotAKind\n").is_err());
+        assert!(parse_case("// progen: case x\n// progen:adversary f0 extra\n").is_err());
         assert!(parse_case("// progen:bogus\n").is_err());
         assert!(
             parse_case("double f() { return 1.0; }\n").is_err(),

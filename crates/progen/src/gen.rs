@@ -3,8 +3,8 @@
 //! so a seed is a complete reproducer of its program.
 
 use crate::spec::{
-    ArrayId, FillerStmt, FuncSpec, HistoVariant, NearMissKind, PlantKind, RedKernel, Role, Spec,
-    COEFS,
+    AdversaryKind, ArrayId, FillerStmt, FuncSpec, HistoVariant, NearMissKind, PlantKind, RedKernel,
+    Role, Spec, COEFS,
 };
 use crate::Rng;
 
@@ -154,6 +154,14 @@ fn gen_near_miss(rng: &mut Rng) -> NearMissKind {
     }
 }
 
+fn gen_adversary(rng: &mut Rng) -> AdversaryKind {
+    match rng.below(3) {
+        0 => AdversaryKind::AliasedParams,
+        1 => AdversaryKind::NonAffine,
+        _ => AdversaryKind::TriangularSweep,
+    }
+}
+
 /// A coefficient index whose value is ≤ 0.5: recurrence sweeps must be
 /// convex combinations (`ca + cb ≤ 1`) so they never amplify array
 /// magnitudes — computed histogram bins elsewhere in the program rely on
@@ -192,8 +200,9 @@ fn gen_fillers(rng: &mut Rng, max: usize) -> Vec<FillerStmt> {
 }
 
 /// Generates the deterministic program of `seed`: 1–4 planted idioms,
-/// 0–2 near-miss mutants and 0–2 filler functions, each with optional
-/// surrounding filler statements, in a shuffled order.
+/// 0–2 near-miss mutants, 0–1 dependence-analysis adversaries and 0–2
+/// filler functions, each (plants only) with optional surrounding filler
+/// statements, in a shuffled order.
 #[must_use]
 pub fn generate(seed: u64) -> Spec {
     let mut rng = Rng::new(seed);
@@ -207,6 +216,12 @@ pub fn generate(seed: u64) -> Spec {
         // Near-miss functions carry no in-function filler: nothing else
         // in the function may produce the forbidden kind.
         roles.push((Role::NearMiss(gen_near_miss(&mut rng)), vec![], vec![]));
+    }
+    for _ in 0..rng.below(2) {
+        // Dependence-analysis adversaries; like near-misses they carry no
+        // filler — the function must stay exactly the almost-parallel
+        // shape the legality layer has to refuse.
+        roles.push((Role::Adversary(gen_adversary(&mut rng)), vec![], vec![]));
     }
     for _ in 0..rng.below(3) {
         let stmts = {

@@ -38,8 +38,8 @@ pub use corpus::{parse_case, replay_case, to_corpus, CorpusCase};
 pub use gen::generate;
 pub use shrink::shrink;
 pub use spec::{
-    setup, ArrayId, FillerStmt, FuncSpec, HistoVariant, NearMissKind, PlantKind, RedKernel, Role,
-    Spec, BINS, COEFS, DIM, GRID, LEN, ROWS,
+    setup, AdversaryKind, ArrayId, FillerStmt, FuncSpec, HistoVariant, NearMissKind, PlantKind,
+    RedKernel, Role, Spec, BINS, COEFS, DIM, GRID, LEN, ROWS,
 };
 
 /// A splitmix64 stream: the one RNG behind generation and shrinking.

@@ -347,6 +347,31 @@ impl NearMissKind {
     }
 }
 
+/// A soundness adversary: a function whose loop *looks* offloadable but
+/// must never end up replaced **and** certified independent-iterations —
+/// each variant defeats one leg of the dependence analysis (call-site
+/// aliasing, affine subscript recovery, cross-iteration disjointness).
+/// Unlike a [`NearMissKind`], being *detected* is acceptable (the aliased
+/// stencil is a textbook stencil inside its own function); what the
+/// oracle checks is that the legality/certificate layer refuses the
+/// parallel path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// A clean out-of-place 1-D stencil `pb[i] = .5*pa[i-1] + .5*pa[i+1]`
+    /// whose *call site* passes the same array for both parameters: the
+    /// per-function view is replaceable, the whole-module view is an
+    /// in-place loop-carried sweep.
+    AliasedParams,
+    /// `pb[i*i] = .5*pa[i]`: the written subscript is quadratic in the
+    /// iterator, outside the affine model — no disjointness argument may
+    /// be constructed for it.
+    NonAffine,
+    /// A triangular wavefront on one matrix: row `i` is computed from row
+    /// `i-1` (written by the previous outer iteration) through the same
+    /// object, so outer iterations are genuinely ordered.
+    TriangularSweep,
+}
+
 /// Non-idiomatic surrounding code: shapes taken from the suite's
 /// uncovered benchmarks (recurrences, guarded in-place updates, scalar
 /// arithmetic) that the detector is known to ignore.
@@ -385,6 +410,9 @@ pub enum Role {
     Plant(PlantKind),
     /// A near-miss mutant (its tempting kind must not be detected).
     NearMiss(NearMissKind),
+    /// A dependence-analysis adversary (must never be replaced with an
+    /// independent-iterations certificate).
+    Adversary(AdversaryKind),
     /// Pure filler.
     Filler,
 }
@@ -443,6 +471,20 @@ impl Spec {
             .iter()
             .filter_map(|f| match &f.role {
                 Role::NearMiss(nm) => Some((f.name.clone(), nm.forbidden())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The adversary functions: any of these being replaced *and*
+    /// certified independent-iterations is a dependence-analysis
+    /// soundness failure.
+    #[must_use]
+    pub fn adversaries(&self) -> Vec<String> {
+        self.funcs
+            .iter()
+            .filter_map(|f| match &f.role {
+                Role::Adversary(_) => Some(f.name.clone()),
                 _ => None,
             })
             .collect()
@@ -1017,6 +1059,110 @@ fn render_near_miss(nm: &NearMissKind, names: &mut Names, body: &mut Vec<Stmt>) 
     }
 }
 
+/// Adversary formal parameters. These are NOT drawn from the array pool
+/// naming scheme on purpose: the aliasing adversary needs two pointer
+/// parameters that only the *call site* (see [`adversary_args`]) reveals
+/// to be one object.
+fn adversary_params(k: AdversaryKind) -> Vec<(String, CType)> {
+    match k {
+        AdversaryKind::AliasedParams => vec![
+            ("pa".into(), CType::Double.ptr_to()),
+            ("pb".into(), CType::Double.ptr_to()),
+            ("n".into(), CType::Int),
+        ],
+        AdversaryKind::NonAffine => vec![
+            ("pa".into(), CType::Double.ptr_to()),
+            ("pb".into(), CType::Double.ptr_to()),
+        ],
+        AdversaryKind::TriangularSweep => vec![
+            ("pm".into(), CType::Double.ptr_to()),
+            ("dim".into(), CType::Int),
+        ],
+    }
+}
+
+/// The entry-point arguments for an adversary call. `AliasedParams`
+/// passes the seeded `d2` array twice — the whole point of the variant.
+/// All adversaries write seeded (never all-zero) data so a wrongly
+/// parallelized replacement cannot hide from differential validation,
+/// and every kernel is a convex combination so array magnitudes stay
+/// bounded (the computed-histogram invariant elsewhere in generated
+/// programs).
+fn adversary_args(k: AdversaryKind) -> Vec<Expr> {
+    match k {
+        AdversaryKind::AliasedParams => vec![v("d2"), v("d2"), v("n")],
+        AdversaryKind::NonAffine => vec![v("d0"), v("o0")],
+        AdversaryKind::TriangularSweep => vec![v("m0"), v("dim")],
+    }
+}
+
+fn adversary_body(k: AdversaryKind, names: &mut Names) -> Vec<Stmt> {
+    let idx = |base: &str, e: Expr| Expr::idx(base, e);
+    let sto = |base: &str, e: Expr| LValue::Index {
+        base: base.into(),
+        indices: vec![e],
+    };
+    match k {
+        AdversaryKind::AliasedParams => {
+            // for i in 1..n-1: pb[i] = 0.5*pa[i-1] + 0.5*pa[i+1]
+            let i = names.iter();
+            vec![Stmt::count_for(
+                i.clone(),
+                Expr::int(1),
+                Expr::sub(v("n"), Expr::int(1)),
+                vec![Stmt::assign(
+                    sto("pb", v(&i)),
+                    Expr::add(
+                        Expr::mul(Expr::f64(0.5), idx("pa", off_expr(&i, -1))),
+                        Expr::mul(Expr::f64(0.5), idx("pa", off_expr(&i, 1))),
+                    ),
+                )],
+            )]
+        }
+        AdversaryKind::NonAffine => {
+            // for i in 0..8: pb[i*i] = 0.5*pa[i]   (i*i < LEN)
+            let i = names.iter();
+            vec![Stmt::count_for(
+                i.clone(),
+                Expr::int(0),
+                Expr::int(8),
+                vec![Stmt::assign(
+                    sto("pb", Expr::mul(v(&i), v(&i))),
+                    Expr::mul(Expr::f64(0.5), idx("pa", v(&i))),
+                )],
+            )]
+        }
+        AdversaryKind::TriangularSweep => {
+            // for i in 1..dim: for j in 0..i:
+            //   pm[i*dim+j] = 0.5*(pm[(i-1)*dim+j] + pm[j*dim+i])
+            let i = names.iter();
+            let j = names.iter();
+            let flat = |row: Expr, col: Expr| Expr::add(Expr::mul(row, v("dim")), col);
+            let inner = Stmt::count_for(
+                j.clone(),
+                Expr::int(0),
+                v(&i),
+                vec![Stmt::assign(
+                    sto("pm", flat(v(&i), v(&j))),
+                    Expr::mul(
+                        Expr::f64(0.5),
+                        Expr::add(
+                            idx("pm", flat(Expr::sub(v(&i), Expr::int(1)), v(&j))),
+                            idx("pm", flat(v(&j), v(&i))),
+                        ),
+                    ),
+                )],
+            );
+            vec![Stmt::count_for(
+                i.clone(),
+                Expr::int(1),
+                v("dim"),
+                vec![inner],
+            )]
+        }
+    }
+}
+
 /// Collects the parameters a function needs (arrays it touches plus the
 /// bound scalars), deduplicated in canonical order.
 fn func_params(f: &FuncSpec) -> Vec<Param> {
@@ -1102,7 +1248,9 @@ fn func_params(f: &FuncSpec) -> Vec<Param> {
                 ps.push(Param::N);
             }
         },
-        Role::Filler => {}
+        // Adversaries have bespoke (non-pool) parameters; see
+        // `adversary_params`/`adversary_args`.
+        Role::Adversary(_) | Role::Filler => {}
     }
     for stmt in f.pre.iter().chain(&f.post) {
         match stmt {
@@ -1147,12 +1295,25 @@ fn ret_type(f: &FuncSpec) -> CType {
             NearMissKind::GuardedReduction { .. } | NearMissKind::DownwardReduction { .. },
         ) => CType::Double,
         Role::NearMiss(_) => CType::Void,
+        Role::Adversary(_) => CType::Void,
         Role::Filler => CType::Double,
     }
 }
 
 fn render_func(f: &FuncSpec) -> FuncDef {
     let mut names = Names::default();
+    if let Role::Adversary(k) = &f.role {
+        // Adversaries carry no filler and use their own parameter names:
+        // the function must stay exactly the almost-parallel shape the
+        // dependence analysis has to refuse.
+        return FuncDef {
+            name: f.name.clone(),
+            params: adversary_params(*k),
+            ret: ret_type(f),
+            body: adversary_body(*k, &mut names),
+            line: 0,
+        };
+    }
     let mut body: Vec<Stmt> = Vec::new();
     let ret = match &f.role {
         Role::Plant(_) | Role::NearMiss(_) => {
@@ -1162,7 +1323,7 @@ fn render_func(f: &FuncSpec) -> FuncDef {
             let ty = match &f.role {
                 Role::Plant(p) => render_plant(p, &mut names, &mut body),
                 Role::NearMiss(nm) => render_near_miss(nm, &mut names, &mut body),
-                Role::Filler => unreachable!(),
+                Role::Adversary(_) | Role::Filler => unreachable!(),
             };
             for stmt in &f.post {
                 body.extend(render_filler(stmt, &mut names, None));
@@ -1172,6 +1333,7 @@ fn render_func(f: &FuncSpec) -> FuncDef {
             }
             ty
         }
+        Role::Adversary(_) => unreachable!("adversaries render above"),
         Role::Filler => {
             body.push(Stmt::decl("s", CType::Double, Expr::f64(0.0)));
             for stmt in f.pre.iter().chain(&f.post) {
@@ -1206,7 +1368,10 @@ fn render_entry(funcs: &[FuncSpec]) -> FuncDef {
     }
     let mut body = vec![Stmt::decl("total", CType::Double, Expr::f64(0.0))];
     for f in funcs {
-        let args: Vec<Expr> = func_params(f).iter().map(|p| v(p.cname())).collect();
+        let args: Vec<Expr> = match &f.role {
+            Role::Adversary(k) => adversary_args(*k),
+            _ => func_params(f).iter().map(|p| v(p.cname())).collect(),
+        };
         let call = Expr::call(&f.name, args);
         match ret_type(f) {
             CType::Void => body.push(Stmt::Expr(call, 0)),
@@ -1278,6 +1443,9 @@ mod tests {
             Role::NearMiss(NearMissKind::DownwardReduction { a: ArrayId::D0 }),
             Role::NearMiss(NearMissKind::IteratorHistogram),
             Role::NearMiss(NearMissKind::InPlaceStencil { arr: ArrayId::O0 }),
+            Role::Adversary(AdversaryKind::AliasedParams),
+            Role::Adversary(AdversaryKind::NonAffine),
+            Role::Adversary(AdversaryKind::TriangularSweep),
         ];
         for role in roles {
             let spec = one(role.clone());

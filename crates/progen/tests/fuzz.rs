@@ -3,7 +3,9 @@
 //! near-miss false positives, zero validation failures), and an injected
 //! canary miscompile must be caught and shrunk to a tiny reproducer.
 
-use progen::{check, generate, shrink, to_corpus, Canary, Failure, PlantKind, RedKernel, Role};
+use progen::{
+    check, generate, shrink, to_corpus, AdversaryKind, Canary, Failure, PlantKind, RedKernel, Role,
+};
 
 /// Seeds checked by `cargo test` (the release-mode `fuzz` binary and the
 /// CI smoke job run hundreds more).
@@ -37,6 +39,80 @@ fn every_generated_program_passes_the_pipeline_oracle() {
         replaced >= planted,
         "every plant replaced (plus incidentals)"
     );
+}
+
+fn one_adversary(kind: AdversaryKind) -> progen::Spec {
+    progen::Spec {
+        seed: 0,
+        funcs: vec![progen::FuncSpec {
+            name: "f0".into(),
+            role: Role::Adversary(kind),
+            pre: vec![],
+            post: vec![],
+        }],
+    }
+}
+
+#[test]
+fn adversaries_are_never_certified_parallel() {
+    // Each adversary alone must pass the oracle: refused, undetected, or
+    // at worst replaced WITHOUT an independent-iterations certificate —
+    // and the honest pipeline must stay differentially sound either way.
+    for kind in [
+        AdversaryKind::AliasedParams,
+        AdversaryKind::NonAffine,
+        AdversaryKind::TriangularSweep,
+    ] {
+        let spec = one_adversary(kind);
+        check(&spec, Canary::None)
+            .unwrap_or_else(|f| panic!("{kind:?} violated the oracle: {f}\n{}", spec.render()));
+    }
+}
+
+#[test]
+fn aliased_stencil_is_detected_but_refused_by_call_site_facts() {
+    // The aliasing adversary is the one the detector actually *sees*: in
+    // its own function it is a textbook out-of-place stencil, and only
+    // the whole-module call-site facts (the entry passes d2 twice) stop
+    // the rewrite. Pin all three stages: detected, attempted, refused.
+    let spec = one_adversary(AdversaryKind::AliasedParams);
+    let out = idiomatch_core::run_pipeline_with(
+        &spec.render(),
+        "adv_alias",
+        progen::Spec::ENTRY,
+        progen::setup,
+        &progen::FUZZ_SEEDS,
+        &idioms::DetectOptions::default(),
+        |_| {},
+    )
+    .expect("adversary program compiles and validates");
+    assert!(
+        out.instances
+            .iter()
+            .any(|i| i.function == "f0" && i.kind == idioms::IdiomKind::Stencil1D),
+        "the aliased stencil must be detected per-function: {:?}",
+        out.instances
+    );
+    let f0: Vec<_> = out
+        .xform
+        .outcomes
+        .iter()
+        .filter(|o| o.instance.function == "f0")
+        .collect();
+    assert!(
+        !f0.is_empty(),
+        "the instance must reach the transform driver"
+    );
+    for o in &f0 {
+        assert!(
+            matches!(o.outcome, xform::Outcome::Failed(_)),
+            "the rewrite must be refused at the legality gate, got {:?}",
+            o.outcome
+        );
+    }
+    // And the original loop survives untouched, so the program still
+    // validates (run_pipeline_with already checked that above).
+    assert_eq!(out.xform.replaced(), 0);
 }
 
 #[test]

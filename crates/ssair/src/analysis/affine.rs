@@ -1,0 +1,656 @@
+//! SCEV-lite affine forms over loop induction variables.
+//!
+//! Rewrites address/index computations into the normal form
+//! `konst + Σ coeff·iv + Σ coeff·sym`, where each `iv` is a recognised
+//! loop induction variable (a header phi whose in-loop update is
+//! `add phi, const`) and each `sym` is an opaque value treated
+//! symbolically. A coefficient is either a constant or a constant times
+//! one symbolic value (`i * dim` keeps `dim` symbolic), which is what
+//! delinearized row-major subscripts like `i*dim + j` need.
+//!
+//! Opaque symbols are *not* guaranteed loop-invariant here — a non-affine
+//! subexpression such as `i*i` also falls back to an opaque symbol.
+//! Consumers running dependence tests must check
+//! [`AffineMap::invariant_in`] for every symbol against the loop being
+//! tested; a symbol defined inside the loop poisons the test, which is
+//! exactly the conservative answer for non-affine subscripts.
+//!
+//! A small value-range lattice ([`VRange`]) tracks `[lo, hi)` bounds:
+//! induction variables get their range from the loop guard
+//! (`icmp slt iv, end` in the rotated-loop header), constants are exact,
+//! and simple `add`/`sub`-by-constant shifts propagate. Everything else
+//! is unknown.
+
+use super::{Analyses, LoopForest};
+use crate::function::{BlockId, Function, ICmpPred, Opcode, ValueId, ValueKind};
+use std::collections::BTreeMap;
+
+/// One end of a symbolic value range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// A known integer.
+    Const(i64),
+    /// A symbolic (run-time) value.
+    Sym(ValueId),
+    /// No information.
+    Unknown,
+}
+
+impl Bound {
+    /// Shifts a bound by a constant; symbolic bounds absorb only zero.
+    #[must_use]
+    pub fn offset(self, d: i64) -> Bound {
+        match self {
+            Bound::Const(k) => Bound::Const(k + d),
+            b if d == 0 => b,
+            _ => Bound::Unknown,
+        }
+    }
+}
+
+/// A `[lo, hi)` value range (inclusive low, exclusive high).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VRange {
+    /// Inclusive lower bound.
+    pub lo: Bound,
+    /// Exclusive upper bound.
+    pub hi: Bound,
+}
+
+impl VRange {
+    /// The range carrying no information.
+    pub const UNKNOWN: VRange = VRange {
+        lo: Bound::Unknown,
+        hi: Bound::Unknown,
+    };
+}
+
+/// One recognised induction variable.
+#[derive(Debug, Clone)]
+pub struct IndVar {
+    /// The header phi.
+    pub phi: ValueId,
+    /// The loop header block.
+    pub header: BlockId,
+    /// Index of the loop in [`LoopForest::loops`].
+    pub loop_idx: usize,
+    /// The incoming value from outside the loop.
+    pub init: ValueId,
+    /// The in-loop update instruction (`add phi, step`).
+    pub next: ValueId,
+    /// The constant step.
+    pub step: i64,
+    /// `[init, guard-end)` when the rotated-loop guard is recognised and
+    /// the step is `+1`; [`VRange::UNKNOWN`] otherwise.
+    pub range: VRange,
+}
+
+/// Coefficient of one induction-variable term: `k` or `k * sym`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coeff {
+    /// The constant factor.
+    pub k: i64,
+    /// An optional symbolic factor (e.g. the row stride `dim`).
+    pub sym: Option<ValueId>,
+}
+
+/// An affine index expression in element units.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffineIndex {
+    /// The constant term.
+    pub konst: i64,
+    /// Induction-variable terms, keyed by the IV's header phi.
+    pub terms: BTreeMap<ValueId, Coeff>,
+    /// Opaque symbolic terms with constant coefficients.
+    pub syms: BTreeMap<ValueId, i64>,
+}
+
+impl AffineIndex {
+    fn constant(k: i64) -> AffineIndex {
+        AffineIndex {
+            konst: k,
+            ..AffineIndex::default()
+        }
+    }
+
+    fn symbol(v: ValueId) -> AffineIndex {
+        let mut a = AffineIndex::default();
+        a.syms.insert(v, 1);
+        a
+    }
+
+    fn iv_term(phi: ValueId) -> AffineIndex {
+        let mut a = AffineIndex::default();
+        a.terms.insert(phi, Coeff { k: 1, sym: None });
+        a
+    }
+
+    /// `true` when the expression is a plain integer.
+    #[must_use]
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty() && self.syms.is_empty()
+    }
+
+    /// `self + sign * other`, dropping cancelled terms.
+    #[must_use]
+    pub fn add_scaled(mut self, other: &AffineIndex, sign: i64) -> Option<AffineIndex> {
+        self.konst += sign * other.konst;
+        for (&iv, &c) in &other.terms {
+            match self.terms.entry(iv) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(Coeff {
+                        k: sign * c.k,
+                        sym: c.sym,
+                    });
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    // Mixed `k*S1 + k*S2` coefficients on one IV are not
+                    // representable; only same-symbol terms combine.
+                    if e.get().sym != c.sym {
+                        return None;
+                    }
+                    e.get_mut().k += sign * c.k;
+                    if e.get().k == 0 {
+                        e.remove();
+                    }
+                }
+            }
+        }
+        for (&s, &c) in &other.syms {
+            let e = self.syms.entry(s).or_insert(0);
+            *e += sign * c;
+            if *e == 0 {
+                self.syms.remove(&s);
+            }
+        }
+        Some(self)
+    }
+
+    fn scale(mut self, k: i64) -> AffineIndex {
+        if k == 0 {
+            return AffineIndex::constant(0);
+        }
+        self.konst *= k;
+        for c in self.terms.values_mut() {
+            c.k *= k;
+        }
+        for c in self.syms.values_mut() {
+            *c *= k;
+        }
+        self
+    }
+
+    /// `true` when `self` is exactly one opaque symbol with coefficient 1.
+    fn as_bare_symbol(&self) -> Option<ValueId> {
+        if self.konst == 0 && self.terms.is_empty() && self.syms.len() == 1 {
+            let (&s, &c) = self.syms.iter().next().unwrap();
+            if c == 1 {
+                return Some(s);
+            }
+        }
+        None
+    }
+}
+
+/// An affine memory address: a root pointer plus an element-unit index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineAddr {
+    /// The root pointer (the start of the `gep` chain: a parameter, an
+    /// `alloca`, or some other non-`gep` pointer value).
+    pub base: ValueId,
+    /// The accumulated affine index.
+    pub index: AffineIndex,
+}
+
+/// Recognised induction variables and affine-form construction for one
+/// function.
+pub struct AffineMap {
+    /// Induction variables keyed by their header phi.
+    pub ivs: BTreeMap<ValueId, IndVar>,
+}
+
+impl AffineMap {
+    /// Recognises the induction variables of every natural loop of `f`.
+    #[must_use]
+    pub fn new(f: &Function, an: &Analyses) -> AffineMap {
+        let mut ivs = BTreeMap::new();
+        for (loop_idx, l) in an.loops.loops.iter().enumerate() {
+            for &v in &f.block(l.header).instrs {
+                if f.opcode(v) != Some(Opcode::Phi) {
+                    continue;
+                }
+                let Some(iv) = recognise_iv(f, l.header, loop_idx, &an.loops, v) else {
+                    continue;
+                };
+                ivs.insert(v, iv);
+            }
+        }
+        AffineMap { ivs }
+    }
+
+    /// The induction variable whose header phi is `v`, if any.
+    #[must_use]
+    pub fn iv(&self, v: ValueId) -> Option<&IndVar> {
+        self.ivs.get(&v)
+    }
+
+    /// The affine form of an integer index value, if one exists. Values
+    /// that cannot be linearized fold into opaque symbols (see the module
+    /// docs for the invariance caveat).
+    #[must_use]
+    pub fn index_of(&self, f: &Function, v: ValueId) -> AffineIndex {
+        self.index_rec(f, v, 24)
+    }
+
+    /// The affine address of a pointer value: the `gep` chain is chased
+    /// to its root and every index is accumulated. `None` when any link
+    /// of the chain fails to combine.
+    #[must_use]
+    pub fn address_of(&self, f: &Function, ptr: ValueId) -> Option<AffineAddr> {
+        let mut index = AffineIndex::constant(0);
+        let mut cur = ptr;
+        let mut fuel = 24;
+        while let Some(i) = f.instr(cur) {
+            if i.opcode != Opcode::Gep || fuel == 0 {
+                break;
+            }
+            fuel -= 1;
+            index = index.add_scaled(&self.index_rec(f, i.operands[1], 24), 1)?;
+            cur = i.operands[0];
+        }
+        Some(AffineAddr { base: cur, index })
+    }
+
+    /// `true` when `v` is invariant in loop `loop_idx`: a constant, an
+    /// argument, or an instruction defined outside the loop's blocks.
+    #[must_use]
+    pub fn invariant_in(f: &Function, forest: &LoopForest, loop_idx: usize, v: ValueId) -> bool {
+        if !f.is_instruction(v) {
+            return true;
+        }
+        let l = &forest.loops[loop_idx];
+        f.find_block_of(v).is_none_or(|b| !l.contains(b))
+    }
+
+    /// The `[lo, hi)` value range of `v` in the lattice: exact for
+    /// constants, guard-derived for induction variables, shifted through
+    /// `add`/`sub` by constants and integer extensions.
+    #[must_use]
+    pub fn range_of(&self, f: &Function, v: ValueId) -> VRange {
+        self.range_rec(f, v, 8)
+    }
+
+    fn range_rec(&self, f: &Function, v: ValueId, fuel: u32) -> VRange {
+        if fuel == 0 {
+            return VRange::UNKNOWN;
+        }
+        if let Some(iv) = self.ivs.get(&v) {
+            return iv.range;
+        }
+        match &f.value(v).kind {
+            ValueKind::ConstInt(k) => VRange {
+                lo: Bound::Const(*k),
+                hi: Bound::Const(*k + 1),
+            },
+            ValueKind::Instr(i) => match i.opcode {
+                Opcode::Add | Opcode::Sub => {
+                    let sign = if i.opcode == Opcode::Sub { -1 } else { 1 };
+                    if let ValueKind::ConstInt(k) = f.value(i.operands[1]).kind {
+                        let r = self.range_rec(f, i.operands[0], fuel - 1);
+                        VRange {
+                            lo: r.lo.offset(sign * k),
+                            hi: r.hi.offset(sign * k),
+                        }
+                    } else {
+                        VRange::UNKNOWN
+                    }
+                }
+                Opcode::SExt | Opcode::ZExt => self.range_rec(f, i.operands[0], fuel - 1),
+                _ => VRange::UNKNOWN,
+            },
+            _ => VRange::UNKNOWN,
+        }
+    }
+
+    fn index_rec(&self, f: &Function, v: ValueId, fuel: u32) -> AffineIndex {
+        if fuel == 0 {
+            return AffineIndex::symbol(v);
+        }
+        if self.ivs.contains_key(&v) {
+            return AffineIndex::iv_term(v);
+        }
+        match &f.value(v).kind {
+            ValueKind::ConstInt(k) => AffineIndex::constant(*k),
+            ValueKind::Instr(i) => match i.opcode {
+                Opcode::Add | Opcode::Sub => {
+                    let sign = if i.opcode == Opcode::Sub { -1 } else { 1 };
+                    let a = self.index_rec(f, i.operands[0], fuel - 1);
+                    let b = self.index_rec(f, i.operands[1], fuel - 1);
+                    a.add_scaled(&b, sign)
+                        .unwrap_or_else(|| AffineIndex::symbol(v))
+                }
+                Opcode::Mul => {
+                    let a = self.index_rec(f, i.operands[0], fuel - 1);
+                    let b = self.index_rec(f, i.operands[1], fuel - 1);
+                    mul_affine(&a, &b).unwrap_or_else(|| AffineIndex::symbol(v))
+                }
+                Opcode::Shl => {
+                    if let ValueKind::ConstInt(s) = f.value(i.operands[1]).kind {
+                        if (0..32).contains(&s) {
+                            return self.index_rec(f, i.operands[0], fuel - 1).scale(1 << s);
+                        }
+                    }
+                    AffineIndex::symbol(v)
+                }
+                Opcode::SExt | Opcode::ZExt | Opcode::Trunc => {
+                    self.index_rec(f, i.operands[0], fuel - 1)
+                }
+                _ => AffineIndex::symbol(v),
+            },
+            // Arguments and anything else opaque.
+            _ => AffineIndex::symbol(v),
+        }
+    }
+}
+
+/// Multiplies two affine forms when the product stays representable:
+/// const × anything, or bare-symbol × (const-coefficient IV polynomial),
+/// which yields symbolic-stride terms like `i * dim`.
+fn mul_affine(a: &AffineIndex, b: &AffineIndex) -> Option<AffineIndex> {
+    if a.is_const() {
+        return Some(b.clone().scale(a.konst));
+    }
+    if b.is_const() {
+        return Some(a.clone().scale(b.konst));
+    }
+    let (sym, poly) = match (a.as_bare_symbol(), b.as_bare_symbol()) {
+        (Some(s), None) => (s, b),
+        (None, Some(s)) => (s, a),
+        _ => return None,
+    };
+    if !poly.syms.is_empty() {
+        return None;
+    }
+    let mut out = AffineIndex::default();
+    for (&iv, &c) in &poly.terms {
+        if c.sym.is_some() {
+            return None;
+        }
+        out.terms.insert(
+            iv,
+            Coeff {
+                k: c.k,
+                sym: Some(sym),
+            },
+        );
+    }
+    if poly.konst != 0 {
+        out.syms.insert(sym, poly.konst);
+    }
+    Some(out)
+}
+
+/// Recognises `phi` (in `header` of loop `loop_idx`) as an induction
+/// variable: two incoming values, the in-loop one an `add phi, const`.
+fn recognise_iv(
+    f: &Function,
+    header: BlockId,
+    loop_idx: usize,
+    forest: &LoopForest,
+    phi: ValueId,
+) -> Option<IndVar> {
+    let l = &forest.loops[loop_idx];
+    let i = f.instr(phi)?;
+    if i.operands.len() != 2 {
+        return None;
+    }
+    let (mut init, mut next) = (None, None);
+    for (&val, &from) in i.operands.iter().zip(&i.incoming) {
+        if l.contains(from) {
+            next = Some(val);
+        } else {
+            init = Some(val);
+        }
+    }
+    let (init, next) = (init?, next?);
+    let ni = f.instr(next)?;
+    let step = match ni.opcode {
+        Opcode::Add | Opcode::Sub => {
+            let (x, y) = (ni.operands[0], ni.operands[1]);
+            let (other, konst_first) = if x == phi {
+                (y, false)
+            } else if y == phi && ni.opcode == Opcode::Add {
+                (x, true)
+            } else {
+                return None;
+            };
+            let _ = konst_first;
+            match f.value(other).kind {
+                ValueKind::ConstInt(k) if ni.opcode == Opcode::Add => k,
+                ValueKind::ConstInt(k) => -k,
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    let range = guard_range(f, header, l, phi, init, step);
+    Some(IndVar {
+        phi,
+        header,
+        loop_idx,
+        init,
+        next,
+        step,
+        range,
+    })
+}
+
+/// Derives `[init, end)` from the rotated-loop guard `icmp slt phi, end`
+/// (or its swapped/negated forms) feeding the header's conditional
+/// branch. Only `step == +1` upward loops get a range.
+fn guard_range(
+    f: &Function,
+    header: BlockId,
+    l: &super::Loop,
+    phi: ValueId,
+    init: ValueId,
+    step: i64,
+) -> VRange {
+    if step != 1 {
+        return VRange::UNKNOWN;
+    }
+    let Some(term) = f.terminator(header) else {
+        return VRange::UNKNOWN;
+    };
+    let Some(ti) = f.instr(term) else {
+        return VRange::UNKNOWN;
+    };
+    if ti.opcode != Opcode::CondBr {
+        return VRange::UNKNOWN;
+    }
+    let Some(ci) = f.instr(ti.operands[0]) else {
+        return VRange::UNKNOWN;
+    };
+    let Opcode::ICmp(mut pred) = ci.opcode else {
+        return VRange::UNKNOWN;
+    };
+    let (a, b) = (ci.operands[0], ci.operands[1]);
+    let end = if a == phi {
+        b
+    } else if b == phi {
+        pred = pred.swapped();
+        a
+    } else {
+        return VRange::UNKNOWN;
+    };
+    // If the *false* edge stays in the loop, the guard is negated.
+    let true_in = l.contains(ti.targets[0]);
+    let false_in = l.contains(ti.targets[1]);
+    let continues_on_true = match (true_in, false_in) {
+        (true, false) => true,
+        (false, true) => false,
+        _ => return VRange::UNKNOWN,
+    };
+    let eff = if continues_on_true {
+        pred
+    } else {
+        match pred {
+            ICmpPred::Slt => ICmpPred::Sge,
+            ICmpPred::Sle => ICmpPred::Sgt,
+            ICmpPred::Sgt => ICmpPred::Sle,
+            ICmpPred::Sge => ICmpPred::Slt,
+            ICmpPred::Eq => ICmpPred::Ne,
+            ICmpPred::Ne => ICmpPred::Eq,
+        }
+    };
+    // Loop continues while `phi <eff> end`; only `slt`/`sle` bound an
+    // upward IV.
+    let hi = match (eff, f.value(end).kind.clone()) {
+        (ICmpPred::Slt, ValueKind::ConstInt(k)) => Bound::Const(k),
+        (ICmpPred::Slt, _) => Bound::Sym(end),
+        (ICmpPred::Sle, ValueKind::ConstInt(k)) => Bound::Const(k + 1),
+        _ => Bound::Unknown,
+    };
+    let lo = match f.value(init).kind {
+        ValueKind::ConstInt(k) => Bound::Const(k),
+        _ => Bound::Sym(init),
+    };
+    VRange { lo, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function_text;
+
+    fn get(f: &Function, name: &str) -> ValueId {
+        f.named(name)
+            .unwrap_or_else(|| panic!("no value named {name}"))
+    }
+
+    const NEST: &str = r#"
+define void @nest(double* %mo, i64 %dim) {
+entry:
+  br label %oh
+oh:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %ol ]
+  %oc = icmp slt i64 %i, %dim
+  br i1 %oc, label %ih0, label %done
+ih0:
+  br label %ih
+ih:
+  %j = phi i64 [ 0, %ih0 ], [ %j.next, %ih ]
+  %row = mul i64 %i, %dim
+  %idx = add i64 %row, %j
+  %p = getelementptr double, double* %mo, i64 %idx
+  store double 0.0, double* %p
+  %j.next = add i64 %j, 1
+  %ic = icmp slt i64 %j.next, %dim
+  br i1 %ic, label %ih, label %ol
+ol:
+  %i.next = add i64 %i, 1
+  br label %oh
+done:
+  ret void
+}
+"#;
+
+    #[test]
+    fn recognises_ivs_with_guard_ranges() {
+        let f = parse_function_text(NEST).unwrap();
+        let an = Analyses::new(&f);
+        let map = AffineMap::new(&f, &an);
+        let i = get(&f, "i");
+        let dim = get(&f, "dim");
+        let iv = map.iv(i).expect("outer IV recognised");
+        assert_eq!(iv.step, 1);
+        assert_eq!(iv.range.lo, Bound::Const(0));
+        assert_eq!(iv.range.hi, Bound::Sym(dim));
+        assert!(map.iv(get(&f, "j")).is_some(), "inner IV recognised");
+    }
+
+    #[test]
+    fn delinearizes_row_major_subscripts() {
+        let f = parse_function_text(NEST).unwrap();
+        let an = Analyses::new(&f);
+        let map = AffineMap::new(&f, &an);
+        let addr = map.address_of(&f, get(&f, "p")).expect("affine address");
+        assert_eq!(addr.base, get(&f, "mo"));
+        let i = get(&f, "i");
+        let j = get(&f, "j");
+        let dim = get(&f, "dim");
+        assert_eq!(addr.index.konst, 0);
+        assert_eq!(
+            addr.index.terms.get(&i),
+            Some(&Coeff {
+                k: 1,
+                sym: Some(dim)
+            })
+        );
+        assert_eq!(addr.index.terms.get(&j), Some(&Coeff { k: 1, sym: None }));
+        assert!(addr.index.syms.is_empty());
+    }
+
+    #[test]
+    fn non_affine_subscripts_fall_back_to_in_loop_symbols() {
+        let f = parse_function_text(
+            r#"
+define void @sq(double* %a, i64 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %b ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %b, label %x
+b:
+  %ii = mul i64 %i, %i
+  %p = getelementptr double, double* %a, i64 %ii
+  store double 1.0, double* %p
+  %i.next = add i64 %i, 1
+  br label %h
+x:
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let an = Analyses::new(&f);
+        let map = AffineMap::new(&f, &an);
+        let addr = map.address_of(&f, get(&f, "p")).unwrap();
+        let ii = get(&f, "ii");
+        assert_eq!(addr.index.syms.get(&ii), Some(&1), "i*i stays opaque");
+        assert!(
+            !AffineMap::invariant_in(&f, &an.loops, 0, ii),
+            "and the opaque symbol is not loop-invariant, poisoning tests"
+        );
+    }
+
+    #[test]
+    fn ranges_shift_through_constant_arithmetic() {
+        let f = parse_function_text(
+            r#"
+define void @r(i64 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i64 [ 2, %entry ], [ %i.next, %b ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %b, label %x
+b:
+  %k = add i64 %i, 3
+  %i.next = add i64 %i, 1
+  br label %h
+x:
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        let an = Analyses::new(&f);
+        let map = AffineMap::new(&f, &an);
+        let k = get(&f, "k");
+        let r = map.range_of(&f, k);
+        assert_eq!(r.lo, Bound::Const(5));
+        assert_eq!(r.hi, Bound::Unknown, "symbolic end does not shift");
+    }
+}

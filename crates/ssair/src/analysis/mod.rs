@@ -7,6 +7,7 @@
 //! requires (§3 of the paper: "Control flow in our model is evaluated on
 //! the granularity of instructions").
 
+mod affine;
 mod cfg;
 mod defuse;
 mod dom;
@@ -14,6 +15,7 @@ mod flow;
 mod layout;
 mod loops;
 
+pub use affine::{AffineAddr, AffineIndex, AffineMap, Bound, Coeff, IndVar, VRange};
 pub use cfg::Cfg;
 pub use defuse::DefUse;
 pub use dom::DomTree;

@@ -28,7 +28,8 @@
 //! (unsupported shape, §6.3 unsoundness) never leaves half-rewritten
 //! functions or orphan generated kernels behind for later instances.
 
-use crate::replace::{apply_replacement, Replacement, XformError};
+use crate::replace::{apply_replacement_with, Replacement, XformError};
+use analysis::ParamAliasFacts;
 use idioms::{IdiomInstance, IdiomKind};
 use ssair::Module;
 
@@ -144,6 +145,10 @@ pub fn transform_instances(module: &Module, instances: Vec<IdiomInstance>) -> Mo
     // is refused, the loop below still reaches the lower-priority
     // instance — its region is intact, so it gets its own attempt
     // instead of being skipped for nothing.
+    // Call-site alias facts are a whole-module property; compute them once
+    // on the pristine module (replacements only excise loops inside the
+    // functions detection already ran on, so the facts stay valid).
+    let facts = ParamAliasFacts::of_module(module);
     let mut out = module.clone();
     let mut outcomes: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
     let mut replaced_idx: Vec<usize> = Vec::new();
@@ -168,7 +173,7 @@ pub fn transform_instances(module: &Module, instances: Vec<IdiomInstance>) -> Mo
                 "instance region no longer exists after earlier replacements".into(),
             ))
         } else {
-            match apply_replacement(&mut trial, &fresh, uid) {
+            match apply_replacement_with(&mut trial, &fresh, uid, Some(&facts)) {
                 Ok(rep) => {
                     uid += 1;
                     out = trial;

@@ -33,9 +33,14 @@ pub mod driver;
 pub mod dsl;
 pub mod outline;
 pub mod replace;
+pub mod reverse;
 pub mod tocsrc;
 
 pub use driver::{transform_instances, transform_module, InstanceOutcome, ModuleXform, Outcome};
 pub use outline::{outline_kernel, OutlinedKernel};
-pub use replace::{apply_replacement, check_soundness, Replacement, XformError};
+pub use replace::{
+    apply_replacement, apply_replacement_with, check_soundness, check_soundness_with, Replacement,
+    XformError,
+};
+pub use reverse::{reverse_loop, reversed_module};
 pub use tocsrc::ir_to_c;

@@ -11,8 +11,9 @@
 //! call targets the generated code.
 
 use crate::outline::outline_kernel;
+use analysis::{LegalityVerdict, ParamAliasFacts, SafetyCertificate, VerdictKind};
 use idioms::{IdiomInstance, IdiomKind};
-use ssair::analysis::Analyses;
+use ssair::analysis::{AffineMap, Analyses};
 use ssair::pass::{eliminate_dead_code, remove_unreachable_blocks, replace_all_uses};
 use ssair::{Function, ICmpPred, Module, Opcode, Type, ValueId, ValueKind};
 
@@ -50,6 +51,29 @@ pub struct Replacement {
     /// Names of functions generated and appended to the module (outlined
     /// kernels + device programs); empty for library calls.
     pub generated: Vec<String>,
+    /// The legality verdict that admitted this replacement (never
+    /// [`VerdictKind::Rejected`] — rejection aborts the rewrite as
+    /// [`XformError::Unsound`] before anything commits).
+    pub verdict: LegalityVerdict,
+    /// The parallel-safety certificate of the excised region, refined
+    /// with whatever call-site alias facts the caller supplied.
+    pub certificate: SafetyCertificate,
+}
+
+/// The kind/callee/generated description of a committed rewrite; verdict
+/// and certificate are stamped on by [`apply_replacement_with`] from the
+/// admission check that already ran before the per-kind backend.
+fn base_replacement(kind: IdiomKind, callee: String, generated: Vec<String>) -> Replacement {
+    Replacement {
+        kind,
+        callee,
+        generated,
+        verdict: LegalityVerdict {
+            kind: VerdictKind::Rejected,
+            evidence: vec!["verdict not yet stamped".into()],
+        },
+        certificate: SafetyCertificate::serial("certificate not yet stamped"),
+    }
 }
 
 fn bind(inst: &IdiomInstance, name: &str) -> Result<ValueId> {
@@ -118,6 +142,19 @@ fn region_live_outs(f: &Function, an: &Analyses, inst: &IdiomInstance) -> Vec<Va
 /// matched ones, and no values other than the matched result may flow out
 /// of the region.
 pub fn check_soundness(f: &Function, inst: &IdiomInstance) -> Result<()> {
+    check_soundness_with(f, inst, None).map(|_| ())
+}
+
+/// [`check_soundness`] upgraded with module-level call-site alias facts:
+/// returns the evidence-carrying legality verdict that admits the
+/// replacement plus the region's refined parallel-safety certificate.
+/// A [`VerdictKind::Rejected`] verdict surfaces as
+/// [`XformError::Unsound`] — nothing is committed for it.
+pub fn check_soundness_with(
+    f: &Function,
+    inst: &IdiomInstance,
+    facts: Option<&ParamAliasFacts>,
+) -> Result<(LegalityVerdict, SafetyCertificate)> {
     let an = Analyses::new(f);
     let (stores, calls) = region_side_effects(f, inst);
     if !calls.is_empty() {
@@ -169,7 +206,9 @@ pub fn check_soundness(f: &Function, inst: &IdiomInstance) -> Result<()> {
     }
     // Restrict-model legality (§6.3): the region must be pure outside the
     // memory objects the instance reports — every live load rooted at a
-    // reported input (or output), every store at a reported output.
+    // reported input (or output), every store at a reported output — and
+    // every read/write object pair must be proven or assumed disjoint
+    // (same-object pairs need per-iteration disjoint affine subscripts).
     let reads: Vec<ValueId> = inst
         .bindings
         .iter()
@@ -182,9 +221,29 @@ pub fn check_soundness(f: &Function, inst: &IdiomInstance) -> Result<()> {
         IdiomKind::Stencil1D | IdiomKind::Stencil2D => vec![bind(inst, "write.base_pointer")?],
         IdiomKind::Spmv | IdiomKind::Gemm => vec![bind(inst, "output.base_pointer")?],
     };
-    analysis::check_region_purity(f, &inst.blocks, &reads, &writes)
-        .map_err(|e| XformError::Unsound(e.to_string()))?;
-    Ok(())
+    let map = AffineMap::new(f, &an);
+    let outer_iv = inst.value(inst.kind.outer_iterator_var());
+    let verdict = analysis::check_region_legality(
+        f,
+        &an,
+        &map,
+        &inst.blocks,
+        &reads,
+        &writes,
+        outer_iv,
+        facts,
+    );
+    if verdict.kind == VerdictKind::Rejected {
+        return Err(XformError::Unsound(format!(
+            "legality rejected: {}",
+            verdict.evidence.join("; ")
+        )));
+    }
+    let certificate = match outer_iv {
+        Some(iv) => analysis::classify_region(f, &an, &map, &inst.blocks, iv, facts),
+        None => SafetyCertificate::serial("no outer iterator binding"),
+    };
+    Ok((verdict, certificate))
 }
 
 fn address_root(f: &Function, mut v: ValueId) -> ValueId {
@@ -210,23 +269,38 @@ pub fn apply_replacement(
     inst: &IdiomInstance,
     uid: usize,
 ) -> Result<Replacement> {
+    apply_replacement_with(module, inst, uid, None)
+}
+
+/// [`apply_replacement`] with module-level call-site alias facts folded
+/// into the admission check; the returned [`Replacement`] carries the
+/// verdict and refined certificate that admitted it.
+pub fn apply_replacement_with(
+    module: &mut Module,
+    inst: &IdiomInstance,
+    uid: usize,
+    facts: Option<&ParamAliasFacts>,
+) -> Result<Replacement> {
     let fidx = module
         .functions
         .iter()
         .position(|f| f.name == inst.function)
         .ok_or_else(|| XformError::Unsupported("function not in module".into()))?;
-    {
+    let (verdict, certificate) = {
         let f = &module.functions[fidx];
-        check_soundness(f, inst)?;
-    }
-    match inst.kind {
+        check_soundness_with(f, inst, facts)?
+    };
+    let mut rep = match inst.kind {
         IdiomKind::Gemm => replace_gemm(module, fidx, inst),
         IdiomKind::Spmv => replace_spmv(module, fidx, inst),
         IdiomKind::Reduction => replace_reduction(module, fidx, inst, uid),
         IdiomKind::Histogram => replace_histogram(module, fidx, inst, uid),
         IdiomKind::Stencil1D => replace_stencil1d(module, fidx, inst, uid),
         IdiomKind::Stencil2D => replace_stencil2d(module, fidx, inst, uid),
-    }
+    }?;
+    rep.verdict = verdict;
+    rep.certificate = certificate;
+    Ok(rep)
 }
 
 /// Inserts `call @callee(args...)` immediately before the `precursor`
@@ -375,11 +449,7 @@ fn replace_gemm(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Resul
         args,
         None,
     )?;
-    Ok(Replacement {
-        kind: IdiomKind::Gemm,
-        callee: "gemm_f64".into(),
-        generated: vec![],
-    })
+    Ok(base_replacement(IdiomKind::Gemm, "gemm_f64".into(), vec![]))
 }
 
 fn replace_spmv(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Result<Replacement> {
@@ -428,11 +498,11 @@ fn replace_spmv(module: &mut Module, fidx: usize, inst: &IdiomInstance) -> Resul
         args,
         None,
     )?;
-    Ok(Replacement {
-        kind: IdiomKind::Spmv,
-        callee: "csrmv_f64".into(),
-        generated: vec![],
-    })
+    Ok(base_replacement(
+        IdiomKind::Spmv,
+        "csrmv_f64".into(),
+        vec![],
+    ))
 }
 
 // ----- DSL path: generate device code as IR text, then link it in -----
@@ -585,11 +655,11 @@ fn replace_reduction(
         args,
         Some(acc),
     )?;
-    Ok(Replacement {
-        kind: IdiomKind::Reduction,
-        callee: devgen.clone(),
-        generated: vec![kname, devgen],
-    })
+    Ok(base_replacement(
+        IdiomKind::Reduction,
+        devgen.clone(),
+        vec![kname, devgen],
+    ))
 }
 
 fn replace_histogram(
@@ -703,11 +773,11 @@ fn replace_histogram(
         args,
         None,
     )?;
-    Ok(Replacement {
-        kind: IdiomKind::Histogram,
-        callee: devgen.clone(),
-        generated: vec![vk_name, ik_name, devgen],
-    })
+    Ok(base_replacement(
+        IdiomKind::Histogram,
+        devgen.clone(),
+        vec![vk_name, ik_name, devgen],
+    ))
 }
 
 /// Constant offset of `idx` relative to `center` (`i`, `i±c`), or `None`.
@@ -814,11 +884,11 @@ fn replace_stencil1d(
         args,
         None,
     )?;
-    Ok(Replacement {
-        kind: IdiomKind::Stencil1D,
-        callee: devgen.clone(),
-        generated: vec![kname, devgen],
-    })
+    Ok(base_replacement(
+        IdiomKind::Stencil1D,
+        devgen.clone(),
+        vec![kname, devgen],
+    ))
 }
 
 fn replace_stencil2d(
@@ -958,9 +1028,9 @@ fn replace_stencil2d(
         args,
         None,
     )?;
-    Ok(Replacement {
-        kind: IdiomKind::Stencil2D,
-        callee: devgen.clone(),
-        generated: vec![kname, devgen],
-    })
+    Ok(base_replacement(
+        IdiomKind::Stencil2D,
+        devgen.clone(),
+        vec![kname, devgen],
+    ))
 }

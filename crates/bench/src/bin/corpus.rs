@@ -74,6 +74,10 @@ fn summarize(summary: &RunSummary, source: &Source, cfg: &RunConfig) -> Report {
         .bounded_up("total_solve_steps", sum(|r| r.solve_steps), 0.05)
         .stable("pruned_pairs", Json::U(sum(|r| r.pruned_pairs)))
         .stable("taxonomy", nested_object(&tax_pairs))
+        .stable(
+            "abandoned_threads",
+            Json::U(summary.abandoned_threads as u64),
+        )
         .volatile("workers", Json::U(cfg.workers as u64))
         .volatile("timeout_ms", Json::U(cfg.timeout.as_millis() as u64))
         .volatile("analyzed_this_run", Json::U(summary.analyzed as u64))

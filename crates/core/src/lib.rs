@@ -49,6 +49,10 @@ pub struct Analysis {
     pub idiom_ms: f64,
     /// Aggregate device workload of the idiom regions.
     pub workload: Workload,
+    /// Measured (unscaled) per-run counts of the idiom regions, straight
+    /// from the profiling run — the input to profile-guided offload
+    /// decisions ([`hetero::best_configuration_profiled`]).
+    pub profile: hetero::RegionProfile,
     /// The dominant idiom kind by dynamic cost (drives API selection).
     pub dominant_kind: Option<IdiomKind>,
     /// Frontend wall-clock seconds (Table 2, "without IDL").
@@ -216,6 +220,13 @@ pub fn analyze(b: &benchsuite::Benchmark) -> Analysis {
         sequential_ms: hetero::sequential_time_ms(scaled(total_cost)),
         idiom_ms: hetero::sequential_time_ms(scaled(idiom_cost)),
         workload,
+        profile: hetero::RegionProfile {
+            cost_units: idiom_cost,
+            total_cost_units: total_cost,
+            flops,
+            bytes,
+            launches: b.invocations,
+        },
         dominant_kind,
         compile_s,
         detect_s,

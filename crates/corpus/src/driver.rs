@@ -123,6 +123,11 @@ pub struct RunSummary {
     pub wall_s: f64,
     /// `true` when every shard of the corpus is on disk.
     pub complete: bool,
+    /// Sandbox threads abandoned by *this* call after blowing their
+    /// wall-clock budget. Each one may still be burning a core in the
+    /// background; a leaking corpus run shows up here (and as a stable
+    /// field in `BENCH_corpus.json`) instead of as mysterious slowness.
+    pub abandoned_threads: usize,
 }
 
 impl RunSummary {
@@ -225,8 +230,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Analyzes one job inside the isolation sandbox: a fresh thread, panic
-/// containment, and a wall-clock budget. Always returns a record.
-fn analyze_isolated(job: Job, shard: u64, timeout: Duration, record_latency: bool) -> ModuleRecord {
+/// containment, and a wall-clock budget. Always returns a record, plus
+/// the abandoned thread's handle when the budget expired (the caller
+/// counts the leak; joining it would re-inherit the hang).
+fn analyze_isolated(
+    job: Job,
+    shard: u64,
+    timeout: Duration,
+    record_latency: bool,
+) -> (ModuleRecord, Option<std::thread::JoinHandle<()>>) {
     let id = job.id.clone();
     let (tx, rx) = mpsc::channel();
     let t0 = Instant::now();
@@ -238,6 +250,7 @@ fn analyze_isolated(job: Job, shard: u64, timeout: Duration, record_latency: boo
             // abandoned result is intentionally discarded.
             let _ = tx.send(out);
         });
+    let mut abandoned = None;
     let mut rec = match spawned {
         Err(e) => ModuleRecord::empty(
             &id,
@@ -245,23 +258,33 @@ fn analyze_isolated(job: Job, shard: u64, timeout: Duration, record_latency: boo
             Taxonomy::Crash,
             format!("sandbox spawn failed: {e}"),
         ),
-        Ok(_detached) => match rx.recv_timeout(timeout) {
-            Ok(Ok(mut rec)) => {
-                rec.shard = shard;
-                rec
+        Ok(handle) => match rx.recv_timeout(timeout) {
+            Ok(out) => {
+                // The sandbox already sent its result: reap the thread so
+                // completed analyses never accumulate detached threads.
+                let _ = handle.join();
+                match out {
+                    Ok(mut rec) => {
+                        rec.shard = shard;
+                        rec
+                    }
+                    Err(payload) => {
+                        ModuleRecord::empty(&id, shard, Taxonomy::Crash, panic_message(&*payload))
+                    }
+                }
             }
-            Ok(Err(payload)) => {
-                ModuleRecord::empty(&id, shard, Taxonomy::Crash, panic_message(&*payload))
+            Err(_) => {
+                abandoned = Some(handle);
+                ModuleRecord::empty(
+                    &id,
+                    shard,
+                    Taxonomy::Timeout,
+                    format!(
+                        "exceeded the {} ms budget; sandbox thread abandoned",
+                        timeout.as_millis()
+                    ),
+                )
             }
-            Err(_) => ModuleRecord::empty(
-                &id,
-                shard,
-                Taxonomy::Timeout,
-                format!(
-                    "exceeded the {} ms budget; sandbox thread abandoned",
-                    timeout.as_millis()
-                ),
-            ),
         },
     };
     rec.latency_ms = if record_latency {
@@ -269,7 +292,7 @@ fn analyze_isolated(job: Job, shard: u64, timeout: Duration, record_latency: boo
     } else {
         0.0
     };
-    rec
+    (rec, abandoned)
 }
 
 /// Runs (or resumes) a batch analysis over the configured corpus.
@@ -340,6 +363,7 @@ pub fn run(cfg: &RunConfig) -> Result<RunSummary, CorpusError> {
         .map_or(total_shards, |k| total_shards.min(start_shard + k));
     let next = AtomicUsize::new(start_shard);
     let analyzed = AtomicUsize::new(0);
+    let abandoned = AtomicUsize::new(0);
     let workers = cfg.workers.max(1);
 
     let flushed_shards = std::thread::scope(|s| -> Result<usize, CorpusError> {
@@ -381,7 +405,7 @@ pub fn run(cfg: &RunConfig) -> Result<RunSummary, CorpusError> {
         });
         for _ in 0..workers {
             let tx = tx.clone();
-            let (next, analyzed) = (&next, &analyzed);
+            let (next, analyzed, abandoned) = (&next, &analyzed, &abandoned);
             s.spawn(move || loop {
                 let shard = next.fetch_add(1, Ordering::Relaxed);
                 if shard >= end_shard {
@@ -392,7 +416,13 @@ pub fn run(cfg: &RunConfig) -> Result<RunSummary, CorpusError> {
                 let mut lines = Vec::with_capacity(hi - lo);
                 for ordinal in lo..hi {
                     let job = cfg.source.job(ordinal);
-                    let rec = analyze_isolated(job, shard as u64, cfg.timeout, cfg.record_latency);
+                    let (rec, leaked) =
+                        analyze_isolated(job, shard as u64, cfg.timeout, cfg.record_latency);
+                    if leaked.is_some() {
+                        // Dropping the handle detaches the hung thread;
+                        // the count is what makes the leak observable.
+                        abandoned.fetch_add(1, Ordering::Relaxed);
+                    }
                     lines.push(rec.to_jsonl());
                 }
                 analyzed.fetch_add(hi - lo, Ordering::Relaxed);
@@ -429,6 +459,7 @@ pub fn run(cfg: &RunConfig) -> Result<RunSummary, CorpusError> {
         analyzed,
         wall_s: t0.elapsed().as_secs_f64(),
         complete,
+        abandoned_threads: abandoned.load(Ordering::Relaxed),
     })
 }
 
@@ -472,5 +503,25 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1], "byte-identical across pools");
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// A run that blows every budget reports exactly how many sandbox
+    /// threads it abandoned — a clean run reports zero (checked by the
+    /// worker-count test above via `BENCH_corpus.json`'s stable field).
+    #[test]
+    fn abandoned_sandbox_threads_are_counted() {
+        let dir = std::env::temp_dir().join(format!("corpus_driver_leak_{}", std::process::id()));
+        let mut cfg = RunConfig::new(Source::progen(3, 900), &dir);
+        cfg.timeout = Duration::from_nanos(1);
+        cfg.record_latency = false;
+        let summary = run(&cfg).expect("run succeeds");
+        assert!(summary.complete);
+        assert_eq!(summary.records.len(), 3);
+        assert!(summary
+            .records
+            .iter()
+            .all(|r| r.outcome == Taxonomy::Timeout));
+        assert_eq!(summary.abandoned_threads, 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,14 +17,23 @@
 //!   stencils, Halide has no working GPU backend, cuBLAS/cuSPARSE win on
 //!   the discrete GPU, and the custom libSPMV runs everywhere.
 //!
+//! * **a parallel backend** ([`exec`]) — a scoped thread-pool executor
+//!   that runs replaced kernels on real host threads, gated by the
+//!   parallel-safety certificates stamped on each replacement, with the
+//!   serial hosts as a bitwise oracle. This is where the repo's measured
+//!   (not modeled) speedups come from (`BENCH_offload.json`).
+//!
 //! The lazy-copy runtime optimization (the red bars of Figure 18) is a
 //! model knob: with it, array transfers are paid once per program phase
 //! instead of once per kernel launch.
 
+pub mod exec;
 pub mod hosts;
 pub mod model;
 
+pub use exec::{ExecConfig, ExecStats, KernelBatch, ParallelCert};
 pub use model::{
-    best_configuration, best_configuration_certified, kernel_time_ms, kernel_time_ms_certified,
-    platform_admits, sequential_time_ms, supported, Api, Platform, Workload,
+    best_configuration, best_configuration_certified, best_configuration_profiled, kernel_time_ms,
+    kernel_time_ms_certified, platform_admits, sequential_time_ms, supported, Api, Platform,
+    RegionProfile, Workload, OFFLOAD_COVERAGE_THRESHOLD,
 };

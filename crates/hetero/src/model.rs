@@ -291,6 +291,87 @@ pub fn best_configuration_certified(
     best_configuration(platform, kind, w, lazy_copy)
 }
 
+/// Minimum share of a program's measured dynamic cost a region must
+/// account for before offloading it is worthwhile (Figure 17's coverage
+/// logic: regions that dominate runtime are the ones worth moving; a
+/// region below this threshold can at best shave that fraction off the
+/// program, which launch overhead eats).
+pub const OFFLOAD_COVERAGE_THRESHOLD: f64 = 0.10;
+
+/// Measured execution counts for one replaced region, taken from an
+/// [`interp::Profile`] run — the profile-guided alternative to a static
+/// [`Workload`] guess.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct RegionProfile {
+    /// Weighted cost units attributed to the region's instructions.
+    pub cost_units: f64,
+    /// Weighted cost units of the whole program run.
+    pub total_cost_units: f64,
+    /// Floating-point operations counted inside the region.
+    pub flops: f64,
+    /// Bytes moved by the region's loads and stores.
+    pub bytes: f64,
+    /// Region entries over the run (kernel launches).
+    pub launches: f64,
+}
+
+impl RegionProfile {
+    /// The region's share of the program's measured dynamic cost
+    /// (Figure 17's per-benchmark coverage bar).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total_cost_units > 0.0 {
+            self.cost_units / self.total_cost_units
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the measured coverage justifies offloading at all.
+    #[must_use]
+    pub fn clears_threshold(&self) -> bool {
+        self.coverage() >= OFFLOAD_COVERAGE_THRESHOLD
+    }
+
+    /// The measured counts as a [`Workload`] for the roofline model.
+    /// Transfers move the region's array footprint once per launch, so
+    /// the per-transfer size is the measured bytes averaged over
+    /// launches.
+    #[must_use]
+    pub fn workload(&self) -> Workload {
+        Workload {
+            flops: self.flops,
+            bytes: self.bytes,
+            transfer_bytes: self.bytes / self.launches.max(1.0),
+            launches: self.launches.max(1.0),
+        }
+    }
+
+    /// Modeled sequential time of the region itself.
+    #[must_use]
+    pub fn sequential_time_ms(&self) -> f64 {
+        sequential_time_ms(self.cost_units)
+    }
+}
+
+/// Profile-guided [`best_configuration_certified`]: consumes measured
+/// region counts instead of a static workload guess and refuses to
+/// offload regions whose measured dynamic-cost share is below
+/// [`OFFLOAD_COVERAGE_THRESHOLD`].
+#[must_use]
+pub fn best_configuration_profiled(
+    platform: Platform,
+    kind: IdiomKind,
+    profile: &RegionProfile,
+    lazy_copy: bool,
+    safety: ParallelSafety,
+) -> Option<(Api, f64)> {
+    if !profile.clears_threshold() {
+        return None;
+    }
+    best_configuration_certified(platform, kind, &profile.workload(), lazy_copy, safety)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +511,74 @@ mod tests {
     fn sequential_scale_is_sane() {
         // 3.7e9 units ≈ one second of one core.
         assert!((sequential_time_ms(3.7e9) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profiled_offload_is_coverage_gated() {
+        // A GEMM that dominates the measured run: offloads like the
+        // static query would.
+        let hot = RegionProfile {
+            cost_units: 9.0e9,
+            total_cost_units: 1.0e10,
+            flops: 2.0 * 1024f64.powi(3),
+            bytes: 3.0 * 1024.0 * 1024.0 * 8.0,
+            launches: 1.0,
+        };
+        assert!((hot.coverage() - 0.9).abs() < 1e-12);
+        assert!(hot.clears_threshold());
+        let got = best_configuration_profiled(
+            Platform::Gpu,
+            idioms::IdiomKind::Gemm,
+            &hot,
+            true,
+            ParallelSafety::IndependentIterations,
+        );
+        assert_eq!(got.map(|(api, _)| api), Some(Api::CuBlas));
+
+        // The same region in a program where it is 1% of the measured
+        // cost: below the Figure 17 coverage threshold, never offloaded.
+        let cold = RegionProfile {
+            total_cost_units: 9.0e11,
+            ..hot
+        };
+        assert!(!cold.clears_threshold());
+        assert!(best_configuration_profiled(
+            Platform::Gpu,
+            idioms::IdiomKind::Gemm,
+            &cold,
+            true,
+            ParallelSafety::IndependentIterations,
+        )
+        .is_none());
+
+        // And the certificate gate still composes: serial never offloads
+        // to a GPU no matter how hot the region measured.
+        assert!(best_configuration_profiled(
+            Platform::Gpu,
+            idioms::IdiomKind::Gemm,
+            &hot,
+            true,
+            ParallelSafety::Serial,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn profiled_workload_averages_transfer_over_launches() {
+        let p = RegionProfile {
+            cost_units: 1.0,
+            total_cost_units: 1.0,
+            flops: 100.0,
+            bytes: 8000.0,
+            launches: 10.0,
+        };
+        let w = p.workload();
+        assert_eq!(w.transfer_bytes, 800.0);
+        assert_eq!(w.launches, 10.0);
+        // Degenerate profile (no launches recorded) stays finite.
+        let z = RegionProfile::default();
+        assert_eq!(z.coverage(), 0.0);
+        assert!(z.workload().transfer_bytes.abs() < 1e-12);
     }
 
     #[test]

@@ -23,5 +23,5 @@ mod memory;
 mod profile;
 
 pub use machine::{ExecError, HostFn, Machine, Value};
-pub use memory::{Allocation, Memory};
+pub use memory::{Allocation, Memory, OutWindow, ReadView};
 pub use profile::Profile;

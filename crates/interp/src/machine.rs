@@ -4,7 +4,7 @@ use crate::memory::Memory;
 use crate::profile::Profile;
 use ssair::{BlockId, FCmpPred, Function, ICmpPred, Module, Opcode, Type, ValueId, ValueKind};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A runtime value. Integers of all widths are kept sign-extended in `I`;
 /// both float widths are kept in `F` (narrowing happens at stores and
@@ -101,14 +101,19 @@ type Result<T> = std::result::Result<T, ExecError>;
 /// Returns the call's result value and the simulated "device work"
 /// descriptor is the host function's own business (the `hetero` crate logs
 /// kernel launches through captured state).
-pub type HostFn = Rc<dyn Fn(&mut Memory, &[Value]) -> std::result::Result<Value, String>>;
+///
+/// `Send + Sync` (behind `Arc`) so a registry can be shared with the
+/// parallel kernel backend; the `'m` lifetime lets executors capture the
+/// module they interpret chunks of.
+pub type HostFn<'m> =
+    Arc<dyn Fn(&mut Memory, &[Value]) -> std::result::Result<Value, String> + Send + Sync + 'm>;
 
 /// The interpreter.
 pub struct Machine<'m> {
     module: &'m Module,
     /// The linear memory of the run.
     pub mem: Memory,
-    host: HashMap<String, HostFn>,
+    host: HashMap<String, HostFn<'m>>,
     /// Per-instruction execution counts.
     pub profile: Profile,
     /// Abort knob for runaway programs.
@@ -132,7 +137,7 @@ impl<'m> Machine<'m> {
 
     /// Registers a host function; calls to `name` dispatch to it before
     /// intrinsics and module functions are considered.
-    pub fn register_host(&mut self, name: impl Into<String>, f: HostFn) {
+    pub fn register_host(&mut self, name: impl Into<String>, f: HostFn<'m>) {
         self.host.insert(name.into(), f);
     }
 
@@ -592,7 +597,7 @@ entry:
         let mut vm = Machine::new(&m);
         vm.register_host(
             "sqrt",
-            Rc::new(|_mem, args| Ok(Value::F(args[0].as_f() + 100.0))),
+            Arc::new(|_mem, args| Ok(Value::F(args[0].as_f() + 100.0))),
         );
         let r = vm.run("f", &[Value::F(4.0)]).unwrap();
         assert_eq!(r, Value::F(104.0), "host overrides the intrinsic");
@@ -658,7 +663,7 @@ entry:
         let mut vm2 = Machine::new(&m2);
         vm2.register_host(
             "h",
-            Rc::new(|_mem, args| Ok(Value::F(args[0].try_p()? as f64))),
+            Arc::new(|_mem, args| Ok(Value::F(args[0].try_p()? as f64))),
         );
         let err = vm2.run("g", &[Value::F(1.0)]).unwrap_err();
         assert!(err.message.contains("expected pointer"), "{err}");

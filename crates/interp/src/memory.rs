@@ -33,6 +33,7 @@ impl Allocation {
 }
 
 /// Linear memory.
+#[derive(Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
     allocations: Vec<Allocation>,
@@ -237,6 +238,191 @@ impl Memory {
             .map(|i| self.load_i64(addr + 8 * i as u64).expect("in bounds"))
             .collect()
     }
+
+    // ----- parallel-backend support -----
+
+    /// The raw byte image (for snapshotting and bitwise comparison).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable access to the raw byte image. Used by parallel executors
+    /// to merge disjoint worker writes back; the allocation table is
+    /// unaffected.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Splits the memory into a shared read view of everything *outside*
+    /// `[base, base + len)` and an exclusive output window over that
+    /// range. The view is `Sync` (workers share it), the window is `Send`
+    /// and can be further [`OutWindow::split_at`] into disjoint
+    /// per-worker slices — together they are the threading contract of
+    /// the parallel kernel hosts: concurrent reads anywhere except the
+    /// output, exclusive writes inside it.
+    pub fn split_out(
+        &mut self,
+        base: u64,
+        len: usize,
+    ) -> Result<(ReadView<'_>, OutWindow<'_>), String> {
+        if base == 0 {
+            return Err("null pointer output window".into());
+        }
+        let b = base as usize;
+        if b + len > self.bytes.len() {
+            return Err(format!("out-of-bounds output window at {base} (+{len})"));
+        }
+        let (lo, rest) = self.bytes.split_at_mut(b);
+        let (win, hi) = rest.split_at_mut(len);
+        Ok((
+            ReadView {
+                lo,
+                hi,
+                win_start: b,
+                win_end: b + len,
+            },
+            OutWindow {
+                bytes: win,
+                start: b,
+            },
+        ))
+    }
+}
+
+/// Read-only view of a [`Memory`] with one address range carved out (the
+/// output window of a parallel kernel). Loads that land inside the
+/// carved-out range fail with a descriptive error — an input overlapping
+/// the output means the independence certificate was wrong, and the
+/// parallel backend reports that instead of racing.
+pub struct ReadView<'a> {
+    lo: &'a [u8],
+    hi: &'a [u8],
+    win_start: usize,
+    win_end: usize,
+}
+
+impl ReadView<'_> {
+    fn slice(&self, addr: u64, n: usize) -> Result<&[u8], String> {
+        if addr == 0 {
+            return Err("null pointer access".into());
+        }
+        let a = addr as usize;
+        if a + n <= self.win_start {
+            return Ok(&self.lo[a..a + n]);
+        }
+        if a >= self.win_end {
+            let off = a - self.win_end;
+            if off + n > self.hi.len() {
+                return Err(format!("out-of-bounds access at {addr} (+{n})"));
+            }
+            return Ok(&self.hi[off..off + n]);
+        }
+        Err(format!(
+            "read at {addr} (+{n}) overlaps the parallel output window [{}, {}) — \
+             input/output alias violates the independence certificate",
+            self.win_start, self.win_end
+        ))
+    }
+
+    /// Loads an `f64`.
+    pub fn load_f64(&self, addr: u64) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(
+            self.slice(addr, 8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Loads an `i64` (or pointer) value.
+    pub fn load_i64(&self, addr: u64) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(
+            self.slice(addr, 8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Loads an `i32` value (sign-preserved in `i64`).
+    pub fn load_i32(&self, addr: u64) -> Result<i64, String> {
+        Ok(i64::from(i32::from_le_bytes(
+            self.slice(addr, 4)?.try_into().expect("4 bytes"),
+        )))
+    }
+}
+
+/// Exclusive, bounds-checked window over one output range of a
+/// [`Memory`]. Addresses are absolute (same address space as the parent
+/// memory); [`OutWindow::split_at`] carves it into disjoint per-worker
+/// windows.
+pub struct OutWindow<'a> {
+    bytes: &'a mut [u8],
+    start: usize,
+}
+
+impl<'a> OutWindow<'a> {
+    /// Absolute address of the first byte of the window.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.start as u64
+    }
+
+    /// Window length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn offset(&self, addr: u64, n: usize) -> Result<usize, String> {
+        let a = addr as usize;
+        if a < self.start || a + n > self.start + self.bytes.len() {
+            return Err(format!(
+                "access at {addr} (+{n}) outside the output window [{}, {})",
+                self.start,
+                self.start + self.bytes.len()
+            ));
+        }
+        Ok(a - self.start)
+    }
+
+    /// Loads an `f64` from inside the window (absolute address).
+    pub fn load_f64(&self, addr: u64) -> Result<f64, String> {
+        let o = self.offset(addr, 8)?;
+        Ok(f64::from_le_bytes(
+            self.bytes[o..o + 8].try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Stores an `f64` inside the window (absolute address).
+    pub fn store_f64(&mut self, addr: u64, v: f64) -> Result<(), String> {
+        let o = self.offset(addr, 8)?;
+        self.bytes[o..o + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Splits at absolute address `addr`, returning the windows
+    /// `[base, addr)` and `[addr, base + len)`.
+    pub fn split_at(self, addr: u64) -> Result<(OutWindow<'a>, OutWindow<'a>), String> {
+        let a = addr as usize;
+        if a < self.start || a > self.start + self.bytes.len() {
+            return Err(format!(
+                "split at {addr} outside the output window [{}, {})",
+                self.start,
+                self.start + self.bytes.len()
+            ));
+        }
+        let mid = a - self.start;
+        let (l, r) = self.bytes.split_at_mut(mid);
+        Ok((
+            OutWindow {
+                bytes: l,
+                start: self.start,
+            },
+            OutWindow { bytes: r, start: a },
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +483,63 @@ mod tests {
             ]
         );
         assert_eq!(m.allocations()[0].size_bytes(), 16);
+    }
+
+    #[test]
+    fn split_out_gives_disjoint_view_and_window() {
+        let mut m = Memory::new();
+        let a = m.alloc_f64_slice(&[1.0, 2.0]);
+        let out = m.alloc_f64_slice(&[0.0, 0.0, 0.0]);
+        let (view, mut win) = m.split_out(out, 24).unwrap();
+        // Reads outside the window succeed, including past it.
+        assert_eq!(view.load_f64(a).unwrap(), 1.0);
+        assert_eq!(view.load_f64(a + 8).unwrap(), 2.0);
+        // Reads inside the window are refused (alias = broken certificate).
+        let err = view.load_f64(out + 8).unwrap_err();
+        assert!(err.contains("independence certificate"), "{err}");
+        assert!(view.load_f64(0).is_err());
+        // Window stores land in the parent memory.
+        win.store_f64(out + 16, 7.5).unwrap();
+        assert_eq!(win.load_f64(out + 16).unwrap(), 7.5);
+        assert!(win.store_f64(a, 0.0).is_err());
+        assert!(win.store_f64(out + 24, 0.0).is_err());
+        assert_eq!(m.read_f64_slice(out, 3), vec![0.0, 0.0, 7.5]);
+    }
+
+    #[test]
+    fn out_window_splits_into_disjoint_chunks() {
+        let mut m = Memory::new();
+        let out = m.alloc_f64_slice(&[0.0; 4]);
+        let (_view, win) = m.split_out(out, 32).unwrap();
+        let (mut l, mut r) = win.split_at(out + 16).unwrap();
+        assert_eq!(l.base(), out);
+        assert_eq!(l.len(), 16);
+        assert_eq!(r.base(), out + 16);
+        assert_eq!(r.len(), 16);
+        l.store_f64(out + 8, 1.0).unwrap();
+        r.store_f64(out + 16, 2.0).unwrap();
+        assert!(l.store_f64(out + 16, 9.0).is_err());
+        assert!(r.store_f64(out + 8, 9.0).is_err());
+        assert_eq!(m.read_f64_slice(out, 4), vec![0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn split_out_rejects_null_and_oob_windows() {
+        let mut m = Memory::new();
+        assert!(m.split_out(0, 8).is_err());
+        let a = m.alloc_f64_slice(&[1.0]);
+        assert!(m.split_out(a, 16).is_err());
+    }
+
+    #[test]
+    fn memory_clone_is_independent() {
+        let mut m = Memory::new();
+        let a = m.alloc_f64_slice(&[1.0]);
+        let mut c = m.clone();
+        c.store_f64(a, 2.0).unwrap();
+        assert_eq!(m.load_f64(a).unwrap(), 1.0);
+        assert_eq!(c.load_f64(a).unwrap(), 2.0);
+        assert_eq!(m.allocations(), c.allocations());
     }
 
     #[test]

@@ -86,6 +86,26 @@ impl ModuleXform {
             .filter(|o| o.outcome.is_replaced())
             .count()
     }
+
+    /// The parallel-safety certificate of every callee introduced by a
+    /// committed replacement, keyed by callee symbol. Library entry
+    /// points (`gemm_f64`, `csrmv_f64`) can be shared by several
+    /// replacements; the weakest certificate wins, so an executor keyed
+    /// off this map is safe for every call site.
+    #[must_use]
+    pub fn certificates(&self) -> std::collections::BTreeMap<String, idioms::ParallelSafety> {
+        let mut map = std::collections::BTreeMap::new();
+        for o in &self.outcomes {
+            if let Outcome::Replaced(rep) = &o.outcome {
+                map.entry(rep.callee.clone())
+                    .and_modify(|s: &mut idioms::ParallelSafety| {
+                        *s = (*s).max(rep.certificate.safety);
+                    })
+                    .or_insert(rep.certificate.safety);
+            }
+        }
+        map
+    }
 }
 
 fn kind_rank(kind: IdiomKind) -> usize {

@@ -5,7 +5,7 @@
 use idioms::{detect, IdiomKind};
 use interp::{Machine, Value};
 use ssair::Module;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn compile(src: &str) -> Module {
     minicc::compile(src, "t").expect("compiles")
@@ -16,7 +16,7 @@ fn compile(src: &str) -> Module {
 fn register_hosts(vm: &mut Machine) {
     vm.register_host(
         "gemm_f64",
-        Rc::new(|mem, args| {
+        Arc::new(|mem, args| {
             let (a, b, c) = (args[0].as_p(), args[1].as_p(), args[2].as_p());
             let (m, n, k) = (args[3].as_i(), args[4].as_i(), args[5].as_i());
             let (sa, sb, sc) = (args[6].as_i(), args[7].as_i(), args[8].as_i());
@@ -52,7 +52,7 @@ fn register_hosts(vm: &mut Machine) {
     );
     vm.register_host(
         "csrmv_f64",
-        Rc::new(|mem, args| {
+        Arc::new(|mem, args| {
             let (vals, rowptr, colidx, x, y) = (
                 args[0].as_p(),
                 args[1].as_p(),
@@ -309,6 +309,38 @@ fn spmv_replacement_calls_the_library() {
         vm.mem.read_f64_slice(yp, 4)
     };
     assert_eq!(run(&original), run(&transformed));
+}
+
+#[test]
+fn certificates_map_covers_committed_callees() {
+    let src = "void mm(double* M1, double* M2, double* M3, int n) {
+        for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++) {
+                M3[i*n+j] = 0.0;
+                for (int k = 0; k < n; k++)
+                    M3[i*n+j] += M1[i*n+k] * M2[k*n+j];
+            }
+    }
+    double dot(double* x, double* y, int n) {
+        double s = 0.0;
+        for (int i = 0; i < n; i++) s += x[i] * y[i];
+        return s;
+    }";
+    let m = compile(src);
+    let xf = xform::transform_module(&m);
+    let certs = xf.certificates();
+    // One certificate per introduced callee, none of them serial (the
+    // parallel executor registry is keyed off this map).
+    assert_eq!(certs.len(), xf.replaced());
+    assert!(certs.contains_key("gemm_f64"));
+    assert!(certs.keys().any(|c| c.starts_with("lift_red_")));
+    for (callee, safety) in &certs {
+        assert_ne!(
+            *safety,
+            idioms::ParallelSafety::Serial,
+            "{callee} unexpectedly serial"
+        );
+    }
 }
 
 #[test]

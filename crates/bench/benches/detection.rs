@@ -135,6 +135,46 @@ fn bench_solver_per_idiom(c: &mut Criterion) {
     }
 }
 
+/// Execution-only microbenchmarks: one canonical-seed run of a
+/// representative benchmark on each executor tier — the tree-walking
+/// `Machine` oracle, the bytecode `Vm` (compile amortized outside the
+/// loop), and compile+execute on the `Vm` (the per-validation-seed cost
+/// the pipeline actually pays once, then reuses).
+fn bench_execution(c: &mut Criterion) {
+    let suite = benchsuite::all();
+    for name in ["CG", "stencil"] {
+        let b = suite
+            .iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| panic!("suite has {name}"));
+        let module = minicc::compile(b.source, b.name).unwrap();
+        let tag = name.replace('-', "_");
+        c.bench_function(&format!("exec_walker_{tag}"), |bench| {
+            bench.iter(|| {
+                let mut vm = interp::Machine::new(&module);
+                let args = (b.setup)(&mut vm.mem, benchsuite::CANONICAL_SEED);
+                vm.run(b.entry, &args).unwrap()
+            })
+        });
+        let code = interp::compile_module(&module);
+        c.bench_function(&format!("exec_vm_{tag}"), |bench| {
+            bench.iter(|| {
+                let mut vm = interp::Vm::new(&code);
+                let args = (b.setup)(&mut vm.mem, benchsuite::CANONICAL_SEED);
+                vm.run(b.entry, &args).unwrap()
+            })
+        });
+        c.bench_function(&format!("compile_exec_vm_{tag}"), |bench| {
+            bench.iter(|| {
+                let code = interp::compile_module(&module);
+                let mut vm = interp::Vm::new(&code);
+                let args = (b.setup)(&mut vm.mem, benchsuite::CANONICAL_SEED);
+                vm.run(b.entry, &args).unwrap()
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = solver_benches;
     config = Criterion::default().sample_size(20);
@@ -142,8 +182,14 @@ criterion_group! {
 }
 
 criterion_group! {
+    name = exec_benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_execution
+}
+
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_detection
 }
-criterion_main!(benches, solver_benches);
+criterion_main!(benches, solver_benches, exec_benches);

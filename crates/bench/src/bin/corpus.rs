@@ -50,7 +50,9 @@ fn summarize(summary: &RunSummary, source: &Source, cfg: &RunConfig) -> Report {
         .map(|(t, n)| (t.as_str(), n))
         .collect();
     let sum = |f: fn(&corpus::ModuleRecord) -> u64| recs.iter().map(f).sum::<u64>();
+    let sum_f = |f: fn(&corpus::ModuleRecord) -> f64| recs.iter().map(f).sum::<f64>();
     let latencies: Vec<f64> = recs.iter().map(|r| r.latency_ms).collect();
+    let exec_ms: Vec<f64> = recs.iter().map(|r| r.exec_ms).collect();
     Report::new()
         .stable("bench", Json::S("corpus_batch".into()))
         .stable("source", Json::S(source.descriptor()))
@@ -91,6 +93,12 @@ fn summarize(summary: &RunSummary, source: &Source, cfg: &RunConfig) -> Report {
         .volatile("p50_latency_ms", Json::F(percentile(&latencies, 50.0), 3))
         .volatile("p95_latency_ms", Json::F(percentile(&latencies, 95.0), 3))
         .volatile("p99_latency_ms", Json::F(percentile(&latencies, 99.0), 3))
+        // Per-module latency splits: frontend compile and (bytecode VM)
+        // multi-seed validation, so artifact diffs show which stage moved.
+        .volatile("compile_ms_total", Json::F(sum_f(|r| r.compile_ms), 3))
+        .volatile("exec_ms_total", Json::F(sum_f(|r| r.exec_ms), 3))
+        .volatile("p50_exec_ms", Json::F(percentile(&exec_ms, 50.0), 3))
+        .volatile("p95_exec_ms", Json::F(percentile(&exec_ms, 95.0), 3))
 }
 
 fn main() {

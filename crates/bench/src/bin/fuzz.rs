@@ -110,6 +110,7 @@ fn main() {
     let mut solve_steps = 0u64;
     let mut detect_s = 0f64;
     let mut detect_replace_s = 0f64;
+    let mut execute_s = 0f64;
     let mut failures: Vec<(u64, &'static str)> = Vec::new();
     let t0 = Instant::now();
     for seed in seed_start..seed_start + count {
@@ -125,6 +126,7 @@ fn main() {
                 solve_steps += c.solve_steps;
                 detect_s += c.detect_s;
                 detect_replace_s += c.detect_replace_s;
+                execute_s += c.execute_s;
             }
             Err(f) => {
                 failures.push((seed, failure_class(&f)));
@@ -177,8 +179,9 @@ fn main() {
         // `elapsed_s` (and the headline `programs_per_sec`) folds in
         // program generation, lowering and multi-seed validation; the
         // detect-only and detect+replace splits measure the compiler
-        // pipeline itself, which is what the perf trajectory tracks
-        // across PRs.
+        // pipeline itself, and the execute split isolates the bytecode
+        // VM (multi-seed validation + reversal oracle) — together these
+        // are what the perf trajectory tracks across PRs.
         .rate("elapsed_s", "programs_per_sec", count, elapsed)
         .rate("detect_s", "detect_programs_per_sec", count, detect_s)
         .rate(
@@ -187,6 +190,7 @@ fn main() {
             count,
             detect_replace_s,
         )
+        .rate("execute_s", "execute_programs_per_sec", count, execute_s)
         .stable("failures", object_array(&failures_json));
     report.write(&out_path);
     print!("{}", report.render());

@@ -117,6 +117,8 @@ fn run_full(
     let mut rec = ModuleRecord::empty(id, 0, Taxonomy::Ok, String::new());
     fill_counts(&mut rec, &out.instances, out.solve_steps, expects, forbids);
     rec.pruned_pairs = out.pruned_pairs;
+    rec.compile_ms = out.timings.compile_s * 1e3;
+    rec.exec_ms = out.timings.validate_s * 1e3;
     rec.replaced = out.xform.replaced() as u64;
     // Legality evidence census: every committed replacement carries a
     // verdict (rejections abort the rewrite, so only Proven /

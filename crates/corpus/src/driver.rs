@@ -292,6 +292,12 @@ fn analyze_isolated(
     } else {
         0.0
     };
+    if !record_latency {
+        // The per-stage splits are wall-clock too; byte-deterministic
+        // runs zero them alongside `latency_ms`.
+        rec.compile_ms = 0.0;
+        rec.exec_ms = 0.0;
+    }
     (rec, abandoned)
 }
 

@@ -121,6 +121,13 @@ pub struct ModuleRecord {
     /// `true` when multi-seed differential validation ran and passed
     /// (detect-only modules record `false` with outcome `Ok`).
     pub validated: bool,
+    /// Frontend compile milliseconds within `latency_ms` (written as
+    /// `0.000` under byte-deterministic output, like `latency_ms`).
+    pub compile_ms: f64,
+    /// Execution milliseconds within `latency_ms`: the multi-seed
+    /// differential validation on the bytecode VM (zeroed like
+    /// `latency_ms` under byte-deterministic output).
+    pub exec_ms: f64,
     /// Wall-clock analysis latency in milliseconds (written as `0.000`
     /// when the run is configured for byte-deterministic output).
     pub latency_ms: f64,
@@ -148,6 +155,8 @@ impl ModuleRecord {
             solve_steps: 0,
             pruned_pairs: 0,
             validated: false,
+            compile_ms: 0.0,
+            exec_ms: 0.0,
             latency_ms: 0.0,
         }
     }
@@ -163,7 +172,7 @@ impl ModuleRecord {
             pairs.join(",")
         };
         format!(
-            "{{\"module\":{},\"shard\":{},\"outcome\":{},\"detail\":{},\"instances\":{{{}}},\"detected\":{},\"replaced\":{},\"legality_proven\":{},\"legality_assumed\":{},\"certificates\":{{{}}},\"planted\":{},\"planted_hit\":{},\"false_positives\":{},\"solve_steps\":{},\"pruned_pairs\":{},\"validated\":{},\"latency_ms\":{:.3}}}",
+            "{{\"module\":{},\"shard\":{},\"outcome\":{},\"detail\":{},\"instances\":{{{}}},\"detected\":{},\"replaced\":{},\"legality_proven\":{},\"legality_assumed\":{},\"certificates\":{{{}}},\"planted\":{},\"planted_hit\":{},\"false_positives\":{},\"solve_steps\":{},\"pruned_pairs\":{},\"validated\":{},\"compile_ms\":{:.3},\"exec_ms\":{:.3},\"latency_ms\":{:.3}}}",
             escape(&self.module),
             self.shard,
             escape(self.outcome.as_str()),
@@ -180,6 +189,8 @@ impl ModuleRecord {
             self.solve_steps,
             self.pruned_pairs,
             self.validated,
+            self.compile_ms,
+            self.exec_ms,
             self.latency_ms,
         )
     }
@@ -218,6 +229,8 @@ impl ModuleRecord {
                 "solve_steps" => rec.solve_steps = p.u64()?,
                 "pruned_pairs" => rec.pruned_pairs = p.u64()?,
                 "validated" => rec.validated = p.bool()?,
+                "compile_ms" => rec.compile_ms = p.f64()?,
+                "exec_ms" => rec.exec_ms = p.f64()?,
                 "latency_ms" => rec.latency_ms = p.f64()?,
                 other => return Err(format!("unknown record field {other:?}")),
             }
@@ -459,6 +472,8 @@ mod tests {
         rec.solve_steps = 1234;
         rec.pruned_pairs = 7;
         rec.validated = false;
+        rec.compile_ms = 1.25;
+        rec.exec_ms = 2.5;
         rec.latency_ms = 6.125;
         let line = rec.to_jsonl();
         assert!(!line.contains('\n'), "one record = one line: {line}");

@@ -27,7 +27,7 @@ use crate::hosts::{
     parse_gemm,
 };
 use idioms::ParallelSafety;
-use interp::{HostFn, Machine, Memory, Value};
+use interp::{compile_module, CompiledModule, HostFn, HostRegistry, Memory, Value, Vm};
 use ssair::{Function, Module};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -144,15 +144,17 @@ fn chunk_range(begin: i64, end: i64, workers: usize) -> Vec<(i64, i64)> {
     parts
 }
 
-/// Runs `callee` from `module` on the calling thread against the
-/// caller's memory (swapped in and out) — the sequential executor.
+/// Runs `callee` from the pre-compiled module on the calling thread
+/// against the caller's memory (swapped in and out) — the sequential
+/// executor. The bytecode was compiled once at registration; each launch
+/// only pays the dispatch loop.
 fn run_inline(
-    module: &Module,
+    code: &CompiledModule<'_>,
     callee: &str,
     mem: &mut Memory,
     args: &[Value],
 ) -> Result<Value, String> {
-    let mut inner = Machine::new(module);
+    let mut inner = Vm::new(code);
     inner.mem = std::mem::take(mem);
     let r = inner.run(callee, args).map_err(|e| e.message);
     *mem = std::mem::take(&mut inner.mem);
@@ -380,7 +382,7 @@ fn param_pos(f: &Function, name: &str) -> Option<usize> {
 /// workers dirtying the same byte differently means the independence
 /// certificate lied, and the launch fails instead of racing.
 fn stencil_host<'m>(
-    module: &'m Module,
+    code: Arc<CompiledModule<'m>>,
     callee: String,
     range: (&'static str, &'static str),
     workers: usize,
@@ -390,7 +392,8 @@ fn stencil_host<'m>(
     Arc::new(move |mem, args| {
         ParallelCert::admit(safety, &stats)?;
         stats.parallel_launches.fetch_add(1, Ordering::Relaxed);
-        let f = module
+        let f = code
+            .module()
             .function(&callee)
             .ok_or_else(|| format!("unknown kernel {callee}"))?;
         let bi = param_pos(f, range.0)
@@ -406,13 +409,14 @@ fn stencil_host<'m>(
         }
         let parts = chunk_range(args[bi].try_i()?, args[ei].try_i()?, workers);
         if parts.len() <= 1 {
-            return run_inline(module, &callee, mem, args);
+            return run_inline(&code, &callee, mem, args);
         }
 
         let baseline = mem.clone();
         let results: Vec<Result<Memory, String>> = std::thread::scope(|s| {
             let baseline = &baseline;
             let callee = &callee;
+            let code = &code;
             let handles: Vec<_> = parts
                 .iter()
                 .map(|&(lo, hi)| {
@@ -420,7 +424,7 @@ fn stencil_host<'m>(
                     s.spawn(move || {
                         cargs[bi] = Value::I(lo);
                         cargs[ei] = Value::I(hi);
-                        let mut inner = Machine::new(module);
+                        let mut inner = Vm::new(code);
                         inner.mem = baseline.clone();
                         inner.run(callee, &cargs).map_err(|e| e.message)?;
                         Ok(std::mem::take(&mut inner.mem))
@@ -463,10 +467,14 @@ fn stencil_host<'m>(
 /// launch. Used for `serial` certificates and for kernels whose single
 /// accumulation chain makes bitwise-deterministic parallelism impossible
 /// (scalar reductions, histograms).
-fn sequential_host<'m>(module: &'m Module, callee: String, stats: Arc<ExecStats>) -> HostFn<'m> {
+fn sequential_host<'m>(
+    code: Arc<CompiledModule<'m>>,
+    callee: String,
+    stats: Arc<ExecStats>,
+) -> HostFn<'m> {
     Arc::new(move |mem, args| {
         stats.sequential_launches.fetch_add(1, Ordering::Relaxed);
-        run_inline(module, &callee, mem, args)
+        run_inline(&code, &callee, mem, args)
     })
 }
 
@@ -477,19 +485,25 @@ fn sequential_host<'m>(module: &'m Module, callee: String, stats: Arc<ExecStats>
 /// cannot be split without reassociating float adds) get the sequential
 /// one. `certs` is typically
 /// [`ModuleXform::certificates`](../xform/struct.ModuleXform.html).
+///
+/// The module is lowered to bytecode once here; every registered host
+/// shares that [`CompiledModule`], so repeated kernel launches pay only
+/// the dispatch loop. Generic over [`HostRegistry`], so hosts install on
+/// a walker `Machine` or a bytecode `Vm` alike.
 pub fn register_parallel<'m>(
-    vm: &mut Machine<'m>,
+    vm: &mut impl HostRegistry<'m>,
     module: &'m Module,
     certs: &BTreeMap<String, ParallelSafety>,
     cfg: &ExecConfig,
     stats: &Arc<ExecStats>,
 ) {
     let workers = cfg.workers.max(1);
+    let code = Arc::new(compile_module(module));
     for (callee, &safety) in certs {
         let name = callee.clone();
         let st = Arc::clone(stats);
         let host: HostFn<'m> = match ParallelCert::try_from(safety) {
-            Err(_) => sequential_host(module, name.clone(), st),
+            Err(_) => sequential_host(Arc::clone(&code), name.clone(), st),
             Ok(_) if name == "gemm_f64" => Arc::new(move |mem, args| {
                 let cert = ParallelCert::admit(safety, &st)?;
                 st.parallel_launches.fetch_add(1, Ordering::Relaxed);
@@ -500,17 +514,27 @@ pub fn register_parallel<'m>(
                 st.parallel_launches.fetch_add(1, Ordering::Relaxed);
                 csrmv_parallel(cert, workers, mem, args)
             }),
-            Ok(ParallelCert::Independent) if name.starts_with("halide_st1_") => {
-                stencil_host(module, name.clone(), ("begin", "end"), workers, safety, st)
-            }
-            Ok(ParallelCert::Independent) if name.starts_with("halide_st2_") => {
-                stencil_host(module, name.clone(), ("b0r", "e0r"), workers, safety, st)
-            }
+            Ok(ParallelCert::Independent) if name.starts_with("halide_st1_") => stencil_host(
+                Arc::clone(&code),
+                name.clone(),
+                ("begin", "end"),
+                workers,
+                safety,
+                st,
+            ),
+            Ok(ParallelCert::Independent) if name.starts_with("halide_st2_") => stencil_host(
+                Arc::clone(&code),
+                name.clone(),
+                ("b0r", "e0r"),
+                workers,
+                safety,
+                st,
+            ),
             // lift_red_* / lift_histo_*: one accumulation chain; bitwise
             // determinism forbids splitting it (owner-computes).
-            Ok(_) => sequential_host(module, name.clone(), st),
+            Ok(_) => sequential_host(Arc::clone(&code), name.clone(), st),
         };
-        vm.register_host(name, host);
+        vm.register_host(&name, host);
     }
 }
 
@@ -598,6 +622,7 @@ impl<'j, T: Send + 'j> Default for KernelBatch<'j, T> {
 mod tests {
     use super::*;
     use crate::hosts::register_all;
+    use interp::Machine;
 
     #[test]
     fn serial_certificates_are_unrepresentable_as_parallel() {

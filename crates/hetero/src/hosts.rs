@@ -11,7 +11,7 @@
 //! or hostile layout facts from a bad replacement — fails with a
 //! descriptive error instead of wrapping to a huge `u64` offset.
 
-use interp::{Machine, Memory, ReadView, Value};
+use interp::{HostRegistry, Memory, ReadView, Value};
 use std::sync::Arc;
 
 /// Address of signed element `idx` (of `width` bytes) at `base`.
@@ -250,7 +250,10 @@ pub fn csrmv_serial(mem: &mut Memory, args: &[Value]) -> Result<Value, String> {
 ///
 /// `csrmv_f64(vals, rowptr, colidx, x, y, m, rowptr_width, colidx_width)`
 /// is the cuSPARSE `csrmv` equivalent of the paper's Figure 6.
-pub fn register_all(vm: &mut Machine<'_>) {
+///
+/// Generic over [`HostRegistry`] so the same registration serves the
+/// tree-walking `Machine` and the bytecode `Vm`.
+pub fn register_all<'m>(vm: &mut impl HostRegistry<'m>) {
     vm.register_host("gemm_f64", Arc::new(gemm_serial));
     vm.register_host("csrmv_f64", Arc::new(csrmv_serial));
 }
@@ -258,6 +261,7 @@ pub fn register_all(vm: &mut Machine<'_>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use interp::Machine;
 
     #[test]
     fn gemm_host_matches_naive_oracle() {

@@ -13,15 +13,24 @@
 //!    — the `hetero` crate converts profile counts into modeled sequential
 //!    milliseconds.
 //!
-//! The machine is a straightforward SSA evaluator over a byte-addressable
-//! memory. Calls resolve in order to: registered *host functions* (the
-//! simulated heterogeneous APIs installed by the `hetero` crate), the math
-//! intrinsics, then module functions.
+//! Two executors share one semantics. The tree-walking [`Machine`] is a
+//! straightforward SSA evaluator over a byte-addressable memory and serves
+//! as the debug oracle; the production path lowers each module once with
+//! [`compile_module`] into a flat register bytecode and executes it many
+//! times with the [`Vm`] — same results, same errors, same step
+//! accounting, differential-tested bit-for-bit. Calls resolve in order
+//! to: registered *host functions* (the simulated heterogeneous APIs
+//! installed by the `hetero` crate), the math intrinsics, then module
+//! functions.
 
+mod bytecode;
 mod machine;
 mod memory;
 mod profile;
+mod vm;
 
-pub use machine::{ExecError, HostFn, Machine, Value};
+pub use bytecode::{compile_module, CompiledModule};
+pub use machine::{ExecError, HostFn, HostRegistry, Machine, Value};
 pub use memory::{Allocation, Memory, OutWindow, ReadView};
 pub use profile::Profile;
+pub use vm::Vm;

@@ -108,6 +108,16 @@ type Result<T> = std::result::Result<T, ExecError>;
 pub type HostFn<'m> =
     Arc<dyn Fn(&mut Memory, &[Value]) -> std::result::Result<Value, String> + Send + Sync + 'm>;
 
+/// Anything that can install host functions — the tree-walking
+/// [`Machine`] and the bytecode [`crate::Vm`]. The `hetero` crate
+/// registers its simulated heterogeneous APIs through this trait so the
+/// same registration code serves either executor.
+pub trait HostRegistry<'m> {
+    /// Registers a host function under `name`; calls to it dispatch to
+    /// the host before intrinsics and module functions are considered.
+    fn register_host(&mut self, name: &str, f: HostFn<'m>);
+}
+
 /// The interpreter.
 pub struct Machine<'m> {
     module: &'m Module,
@@ -185,12 +195,19 @@ impl<'m> Machine<'m> {
         let mut block = BlockId(0);
         let mut prev: Option<BlockId> = None;
         loop {
-            // Phis evaluate simultaneously on block entry.
+            // Phis evaluate simultaneously on block entry. Each phi is a
+            // real execution step: it counts against the runaway budget
+            // exactly like a body instruction (and exactly like the
+            // bytecode VM's parallel-move snippets).
             let mut phi_updates: Vec<(ValueId, Value)> = Vec::new();
             for &v in &f.block(block).instrs {
                 let Some(i) = f.instr(v) else { continue };
                 if i.opcode != Opcode::Phi {
                     break;
+                }
+                self.steps += 1;
+                if self.steps > self.max_steps {
+                    return Err(Self::err("step limit exceeded (infinite loop?)"));
                 }
                 let from = prev
                     .ok_or_else(|| Self::err(format!("phi {} in entry block of @{}", v, f.name)))?;
@@ -206,10 +223,11 @@ impl<'m> Machine<'m> {
             for (v, val) in phi_updates {
                 regs[v.0 as usize] = Some(val);
             }
-            // Straight-line body.
-            let instrs = f.block(block).instrs.clone();
+            // Straight-line body. `f` borrows from the `'m` module, not
+            // from `self`, so the instruction list is iterated in place —
+            // no per-block-iteration clone.
             let mut next: Option<BlockId> = None;
-            for &v in &instrs {
+            for &v in &f.block(block).instrs {
                 let Some(i) = f.instr(v) else { continue };
                 if i.opcode == Opcode::Phi {
                     continue;
@@ -271,8 +289,8 @@ impl<'m> Machine<'m> {
         regs: &mut [Option<Value>],
         v: ValueId,
     ) -> Result<Value> {
-        let i = f.instr(v).expect("instruction").clone();
-        let ty = f.value(v).ty.clone();
+        let i = f.instr(v).expect("instruction");
+        let ty = &f.value(v).ty;
         let op = |k: usize| self.operand(f, regs, i.operands[k]);
         // Typed operand accessors: type confusion (a pointer where an
         // integer is expected, …) is an execution error, never a panic —
@@ -331,7 +349,7 @@ impl<'m> Machine<'m> {
                     Opcode::AShr => a.wrapping_shr(b as u32),
                     _ => unreachable!(),
                 };
-                Value::I(wrap_int(&ty, r))
+                Value::I(wrap_int(ty, r))
             }
             Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv => {
                 let a = op_f(0)?;
@@ -343,7 +361,7 @@ impl<'m> Machine<'m> {
                     Opcode::FDiv => a / b,
                     _ => unreachable!(),
                 };
-                Value::F(wrap_float(&ty, r))
+                Value::F(wrap_float(ty, r))
             }
             Opcode::ICmp(pred) => {
                 let a = op(0)?;
@@ -403,8 +421,7 @@ impl<'m> Machine<'m> {
             Opcode::Store => {
                 let val = op(0)?;
                 let addr = op_p(1)?;
-                let vty = f.value(i.operands[0]).ty.clone();
-                let res = match vty {
+                let res = match &f.value(i.operands[0]).ty {
                     Type::I1 => val.try_i().and_then(|x| self.mem.store_i8(addr, x)),
                     Type::I32 => val.try_i().and_then(|x| self.mem.store_i32(addr, x)),
                     Type::I64 => val.try_i().and_then(|x| self.mem.store_i64(addr, x)),
@@ -421,25 +438,25 @@ impl<'m> Machine<'m> {
                 if n < 0 {
                     return Err(Self::err("negative alloca size"));
                 }
-                let elem = ty.pointee().expect("alloca yields pointer").clone();
-                Value::P(self.mem.alloc(&elem, n as usize))
+                let elem = ty.pointee().expect("alloca yields pointer");
+                Value::P(self.mem.alloc(elem, n as usize))
             }
-            Opcode::SExt | Opcode::ZExt => Value::I(wrap_int(&ty, op_i(0)?)),
-            Opcode::Trunc => Value::I(wrap_int(&ty, op_i(0)?)),
-            Opcode::SIToFP => Value::F(wrap_float(&ty, op_i(0)? as f64)),
-            Opcode::FPToSI => Value::I(wrap_int(&ty, op_f(0)? as i64)),
+            Opcode::SExt | Opcode::ZExt => Value::I(wrap_int(ty, op_i(0)?)),
+            Opcode::Trunc => Value::I(wrap_int(ty, op_i(0)?)),
+            Opcode::SIToFP => Value::F(wrap_float(ty, op_i(0)? as f64)),
+            Opcode::FPToSI => Value::I(wrap_int(ty, op_f(0)? as i64)),
             Opcode::FPExt => Value::F(op_f(0)?),
             Opcode::FPTrunc => Value::F(op_f(0)? as f32 as f64),
             Opcode::Call => {
                 let callee = i
                     .callee
-                    .clone()
+                    .as_deref()
                     .ok_or_else(|| Self::err("call without callee"))?;
                 let mut args = Vec::with_capacity(i.operands.len());
                 for k in 0..i.operands.len() {
                     args.push(op(k)?);
                 }
-                self.dispatch_call(&callee, &args)?
+                self.dispatch_call(callee, &args)?
             }
             Opcode::Phi | Opcode::Br | Opcode::CondBr | Opcode::Ret => {
                 unreachable!("handled by the block loop")
@@ -489,6 +506,12 @@ impl<'m> Machine<'m> {
             "fmax" => binary(f64::max, args),
             _ => return None,
         })
+    }
+}
+
+impl<'m> HostRegistry<'m> for Machine<'m> {
+    fn register_host(&mut self, name: &str, f: HostFn<'m>) {
+        Machine::register_host(self, name, f);
     }
 }
 

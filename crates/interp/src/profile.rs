@@ -128,6 +128,21 @@ impl Profile {
         total
     }
 
+    /// Merges a dense per-value count vector (the bytecode VM's profile
+    /// representation) into this profile under `func`'s name.
+    pub(crate) fn add_counts(&mut self, func: &str, counts: &[u64]) {
+        if counts.iter().all(|&c| c == 0) {
+            return;
+        }
+        let mine = self.counts.entry(func.to_owned()).or_default();
+        if mine.len() < counts.len() {
+            mine.resize(counts.len(), 0);
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            mine[i] += c;
+        }
+    }
+
     /// Merges another profile into this one (summing counts).
     pub fn merge(&mut self, other: &Profile) {
         for (fname, cs) in &other.counts {

@@ -16,7 +16,7 @@
 //! All passes preserve the verifier invariants; `optimize_module` asserts
 //! this in debug builds.
 
-use ssair::analysis::Analyses;
+use ssair::analysis::{Analyses, Cfg, DomTree, Layout};
 use ssair::pass::{eliminate_dead_code, replace_all_uses};
 use ssair::{BlockId, Function, ICmpPred, Module, Opcode, Type, ValueId, ValueKind};
 
@@ -99,24 +99,37 @@ pub fn eliminate_redundant_loads(f: &mut Function) -> usize {
 /// read-modify-write promotion needs the load and store of `C[i][j] += x`
 /// to share one address value.
 pub fn common_subexpression_elimination(f: &mut Function) -> usize {
-    let an = Analyses::new(f);
-    let mut table: std::collections::HashMap<(String, Vec<ValueId>), Vec<ValueId>> =
+    // Only placement and forward dominance are queried, so build just
+    // those (the full `Analyses` bundle also pays for post-dominators,
+    // def-use chains and the loop forest on every fixpoint iteration).
+    let layout = Layout::new(f);
+    let cfg = Cfg::new(f);
+    let dom = DomTree::dominators(&cfg);
+    let strictly_dominates = |a: ValueId, b: ValueId| {
+        let (Some(ba), Some(bb)) = (layout.block_of(a), layout.block_of(b)) else {
+            return false;
+        };
+        a != b
+            && if ba == bb {
+                layout.position(a) <= layout.position(b)
+            } else {
+                dom.dominates(ba, bb)
+            }
+    };
+    let mut table: std::collections::HashMap<(Opcode, &Type, Vec<ValueId>), Vec<ValueId>> =
         std::collections::HashMap::new();
     let mut rewrites: Vec<(ValueId, ValueId)> = Vec::new();
     // Reverse post-order guarantees dominators are visited before their
     // dominated blocks (for reducible CFGs, which the frontend produces).
-    for &b in &an.cfg.rpo {
+    for &b in &cfg.rpo {
         for &v in &f.block(b).instrs {
             let Some(i) = f.instr(v) else { continue };
             if !(i.opcode.is_pure_arith() || i.opcode == Opcode::Gep) {
                 continue;
             }
-            let key = (
-                format!("{:?}/{:?}", i.opcode, f.value(v).ty),
-                i.operands.clone(),
-            );
+            let key = (i.opcode, &f.value(v).ty, i.operands.clone());
             let entry = table.entry(key).or_default();
-            if let Some(&prior) = entry.iter().find(|&&p| an.inst_strictly_dominates(p, v)) {
+            if let Some(&prior) = entry.iter().find(|&&p| strictly_dominates(p, v)) {
                 rewrites.push((v, prior));
             } else {
                 entry.push(v);

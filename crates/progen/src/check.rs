@@ -87,6 +87,10 @@ pub struct Checked {
     /// Wall-clock seconds in detection + transformation (the compiler
     /// pipeline, excluding generation/lowering and validation).
     pub detect_replace_s: f64,
+    /// Wall-clock seconds executing programs: the multi-seed differential
+    /// validation plus the reversed-iteration oracle runs (everything
+    /// that goes through the bytecode VM / interpreter).
+    pub execute_s: f64,
     /// Independent-iterations regions whose certificate was witnessed by
     /// the reversed-iteration oracle.
     pub reversal_checked: usize,
@@ -313,6 +317,7 @@ pub(crate) fn check_source(
     // Every surviving independent-iterations certificate is witnessed
     // dynamically: the original program re-run with the certified loop
     // reversed must match the forward run bitwise.
+    let t = std::time::Instant::now();
     let reversal = idiomatch_core::check_reversal_oracle(
         &out.module,
         &out.instances,
@@ -321,6 +326,7 @@ pub(crate) fn check_source(
         &FUZZ_SEEDS,
     )
     .map_err(Failure::ReversalDiverged)?;
+    let reversal_s = t.elapsed().as_secs_f64();
 
     let validation = out.validation.map_err(Failure::Validation)?;
     Ok(Checked {
@@ -332,6 +338,7 @@ pub(crate) fn check_source(
         solve_steps: out.solve_steps,
         detect_s: out.timings.detect_s,
         detect_replace_s: out.timings.detect_s + out.timings.transform_s,
+        execute_s: out.timings.validate_s + reversal_s,
         reversal_checked: reversal.checked,
         validation,
     })
